@@ -1,0 +1,120 @@
+// Command ilbench regenerates the paper's experimental tables over the
+// twelve-benchmark suite:
+//
+//	ilbench              # all tables
+//	ilbench -table 4     # one table (1, 2, 3, 4, or 4x)
+//	ilbench -bench grep  # restrict to one benchmark
+//	ilbench -threshold 100 -sizelimit 1.5 -postopt   # parameter overrides
+//	ilbench -ablation    # design-choice studies (threshold/size/heuristic/order)
+//	ilbench -icache      # instruction-cache sweep (conclusion's extension)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"inlinec/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderrW io.Writer) int {
+	fs := flag.NewFlagSet("ilbench", flag.ContinueOnError)
+	fs.SetOutput(stderrW)
+	table := fs.String("table", "all", "table to print: 1, 2, 3, 4, 4x, or all")
+	benchName := fs.String("bench", "", "run a single benchmark by name")
+	threshold := fs.Float64("threshold", 10, "arc weight threshold")
+	stackBound := fs.Int("stackbound", 4096, "stack bound in bytes for recursion hazard")
+	sizeLimit := fs.Float64("sizelimit", 1.25, "program size limit factor")
+	maxRuns := fs.Int("runs", 0, "cap profiling runs per benchmark (0 = all)")
+	postOpt := fs.Bool("postopt", false, "apply post-inline cleanup passes before measuring")
+	ablation := fs.Bool("ablation", false, "run the design-choice ablation studies instead of the tables")
+	icache := fs.Bool("icache", false, "run the instruction-cache sweep instead of the tables")
+	verbose := fs.Bool("v", false, "print per-benchmark progress and expansion details")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Inline.WeightThreshold = *threshold
+	cfg.Inline.StackBound = *stackBound
+	cfg.Inline.SizeLimitFactor = *sizeLimit
+	cfg.Classify.WeightThreshold = *threshold
+	cfg.Classify.StackBound = *stackBound
+	cfg.MaxRuns = *maxRuns
+	cfg.PostOptimize = *postOpt
+
+	if *ablation {
+		report, err := bench.AblationReport(cfg)
+		if err != nil {
+			fmt.Fprintf(stderrW, "ilbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, report)
+		return 0
+	}
+	if *icache {
+		report, err := bench.ICacheReport(
+			[]string{"cccp", "compress", "eqn", "espresso", "grep", "yacc"},
+			[]int{256, 512, 1024, 2048}, cfg)
+		if err != nil {
+			fmt.Fprintf(stderrW, "ilbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, report)
+		return 0
+	}
+
+	var results []*bench.BenchResult
+	var err error
+	progress := func(name string) {
+		if *verbose {
+			fmt.Fprintf(stderrW, "running %s...\n", name)
+		}
+	}
+	if *benchName != "" {
+		b := bench.Get(*benchName)
+		if b == nil {
+			fmt.Fprintf(stderrW, "ilbench: unknown benchmark %q (have %v)\n", *benchName, bench.SuiteNames())
+			return 2
+		}
+		progress(b.Name)
+		var r *bench.BenchResult
+		r, err = bench.RunOne(b, cfg)
+		if r != nil {
+			results = append(results, r)
+		}
+	} else {
+		results, err = bench.RunAll(cfg, progress)
+	}
+	if err != nil {
+		fmt.Fprintf(stderrW, "ilbench: %v\n", err)
+		return 1
+	}
+
+	switch *table {
+	case "1":
+		fmt.Fprint(stdout, bench.Table1(results))
+	case "2":
+		fmt.Fprint(stdout, bench.Table2(results))
+	case "3":
+		fmt.Fprint(stdout, bench.Table3(results))
+	case "4":
+		fmt.Fprint(stdout, bench.Table4(results))
+	case "4x":
+		fmt.Fprint(stdout, bench.Table4x(results))
+	default:
+		fmt.Fprint(stdout, bench.AllTables(results))
+	}
+	if *verbose {
+		for _, r := range results {
+			fmt.Fprintf(stdout, "\n--- %s: %d expansions, cache hit rate %.0f%%\n%s",
+				r.Name, r.Expansions, 100*r.Result.Cache.HitRate(), r.Result)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runBench(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestBenchSingleBenchmarkTable4(t *testing.T) {
+	code, out, errb := runBench(t, "-bench", "tee", "-runs", "1", "-table", "4")
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errb)
+	}
+	if !strings.Contains(out, "Table 4") || !strings.Contains(out, "tee") {
+		t.Errorf("output = %q", out)
+	}
+	// tee must show 0% call decrease, the paper's result.
+	if !strings.Contains(out, "0%") {
+		t.Errorf("tee row should show 0%%: %q", out)
+	}
+}
+
+func TestBenchAllTablesOneBenchmark(t *testing.T) {
+	code, out, _ := runBench(t, "-bench", "wc", "-runs", "1", "-v")
+	if code != 0 {
+		t.Fatal("nonzero exit")
+	}
+	for _, frag := range []string{"Table 1", "Table 2", "Table 3", "Table 4", "Post-inline"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q", frag)
+		}
+	}
+}
+
+func TestBenchUnknownBenchmark(t *testing.T) {
+	code, _, errb := runBench(t, "-bench", "nonesuch")
+	if code == 0 || !strings.Contains(errb, "unknown benchmark") {
+		t.Errorf("exit=%d err=%q", code, errb)
+	}
+}
+
+func TestBenchBadFlag(t *testing.T) {
+	if code, _, _ := runBench(t, "-nope"); code == 0 {
+		t.Error("unknown flag must fail")
+	}
+}

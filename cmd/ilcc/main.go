@@ -1,0 +1,202 @@
+// Command ilcc is the MiniC compiler driver: it compiles source files to
+// IL and can dump the IL, the weighted call graph (text or dot), run the
+// program, profile it, and apply profile-guided inline expansion.
+//
+//	ilcc prog.c                      # compile, report sizes
+//	ilcc -run prog.c < input         # compile and execute
+//	ilcc -dump prog.c                # print the IL
+//	ilcc -dot prog.c                 # call graph in Graphviz dot
+//	ilcc -inline -run prog.c         # profile on stdin, inline, re-run
+//	ilcc -inline -heuristic leaf ... # static baseline policies
+//	ilcc -inline -run a.c b.c c.c    # separate compilation + link-time inlining
+//	ilcc -tco -run prog.c            # remove self tail recursion first
+//	ilcc -inline -profile p.prof ... # use a profile saved by ilprof -o
+//
+// The simulated file system is populated with -file guest=host pairs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"inlinec"
+	"inlinec/internal/inline"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+type fileList []string
+
+func (f *fileList) String() string { return strings.Join(*f, ",") }
+func (f *fileList) Set(s string) error {
+	*f = append(*f, s)
+	return nil
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ilcc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	doRun := fs.Bool("run", false, "execute the program (stdin is the program's stdin)")
+	dump := fs.Bool("dump", false, "print the IL module")
+	dot := fs.Bool("dot", false, "print the call graph in dot format")
+	doInline := fs.Bool("inline", false, "profile once and apply inline expansion")
+	postOpt := fs.Bool("O", false, "apply post-inline cleanup optimizations")
+	tco := fs.Bool("tco", false, "eliminate self tail calls before anything else")
+	heuristic := fs.String("heuristic", "profile", "site selection: profile, leaf, or small")
+	threshold := fs.Float64("threshold", 10, "arc weight threshold (profile heuristic)")
+	sizeLimit := fs.Float64("sizelimit", 1.25, "program size limit factor")
+	stats := fs.Bool("stats", false, "print dynamic statistics after -run")
+	profilePath := fs.String("profile", "", "use a saved profile (from ilprof -o) for -inline")
+	var files fileList
+	fs.Var(&files, "file", "seed the simulated FS: guestpath=hostpath (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if fs.NArg() < 1 {
+		fmt.Fprintln(stderr, "usage: ilcc [flags] prog.c [more.c ...]")
+		fs.PrintDefaults()
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "ilcc: %v\n", err)
+		return 1
+	}
+
+	srcPath := fs.Arg(0)
+	var prog *inlinec.Program
+	if fs.NArg() == 1 {
+		src, err := os.ReadFile(srcPath)
+		if err != nil {
+			return fail(err)
+		}
+		prog, err = inlinec.Compile(srcPath, string(src))
+		if err != nil {
+			return fail(err)
+		}
+	} else {
+		// Separate compilation + linking (section 2.1 of the paper):
+		// compile each unit independently, then link.
+		var units []*inlinec.Unit
+		for _, path := range fs.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return fail(err)
+			}
+			u, err := inlinec.CompileUnit(path, string(src))
+			if err != nil {
+				return fail(err)
+			}
+			units = append(units, u)
+		}
+		var err error
+		prog, err = inlinec.LinkUnits("a.out", units...)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	if *tco {
+		n, err := prog.EliminateTailCalls()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "ilcc: rewrote %d self tail call(s)\n", n)
+	}
+
+	input := inlinec.Input{Files: make(map[string][]byte)}
+	for _, spec := range files {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			return fail(fmt.Errorf("bad -file spec %q (want guest=host)", spec))
+		}
+		data, err := os.ReadFile(parts[1])
+		if err != nil {
+			return fail(err)
+		}
+		input.Files[parts[0]] = data
+	}
+	if *doRun || *doInline {
+		data, err := io.ReadAll(stdin)
+		if err != nil {
+			return fail(err)
+		}
+		input.Stdin = data
+	}
+
+	if *doInline {
+		var prof *inlinec.Profile
+		if *profilePath != "" {
+			f, err := os.Open(*profilePath)
+			if err != nil {
+				return fail(err)
+			}
+			prof, err = inlinec.ReadProfile(f)
+			f.Close()
+			if err != nil {
+				return fail(err)
+			}
+		} else {
+			var err error
+			prof, err = prog.ProfileInputs(input)
+			if err != nil {
+				return fail(fmt.Errorf("profiling: %w", err))
+			}
+		}
+		params := inlinec.DefaultParams()
+		params.WeightThreshold = *threshold
+		params.SizeLimitFactor = *sizeLimit
+		switch *heuristic {
+		case "profile":
+		case "leaf":
+			params.Heuristic = inline.HeuristicLeaf
+		case "small":
+			params.Heuristic = inline.HeuristicSmall
+		default:
+			return fail(fmt.Errorf("unknown heuristic %q", *heuristic))
+		}
+		res, err := prog.Inline(prof, params)
+		if err != nil {
+			return fail(err)
+		}
+		if *postOpt {
+			if err := prog.Optimize(); err != nil {
+				return fail(err)
+			}
+		}
+		fmt.Fprintf(stderr, "%s", res)
+	}
+
+	switch {
+	case *dump:
+		fmt.Fprint(stdout, prog.Module.String())
+	case *dot:
+		prof, err := prog.ProfileInputs(input)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, prog.CallGraph(prof).Dot())
+	case *doRun:
+		out, err := prog.Run(input)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, out.Stdout)
+		fmt.Fprint(stderr, out.Stderr)
+		if *stats {
+			fmt.Fprintf(stderr, "IL=%d control=%d calls=%d (extern %d, ptr %d) maxstack=%dB\n",
+				out.Stats.IL, out.Stats.Control, out.Stats.Calls,
+				out.Stats.ExternCalls, out.Stats.PtrCalls, out.Stats.MaxStack)
+		}
+		return int(out.ExitCode)
+	default:
+		fmt.Fprintf(stdout, "%s: %d functions, %d IL instructions\n",
+			srcPath, len(prog.Module.Funcs), prog.Module.TotalCodeSize())
+	}
+	return 0
+}

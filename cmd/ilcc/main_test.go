@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile drops MiniC source (or any content) into a temp dir.
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const prog = `
+extern int printf(char *fmt, ...);
+int triple(int x) { return x * 3; }
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 50; i++) s += triple(i);
+    printf("%d\n", s);
+    return 0;
+}
+`
+
+func runCLI(t *testing.T, args []string, stdin string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCLICompileOnly(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "p.c", prog)
+	code, out, _ := runCLI(t, []string{p}, "")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "2 functions") {
+		t.Errorf("summary = %q", out)
+	}
+}
+
+func TestCLIRun(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "p.c", prog)
+	code, out, errb := runCLI(t, []string{"-run", "-stats", p}, "")
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errb)
+	}
+	if out != "3675\n" {
+		t.Errorf("stdout = %q", out)
+	}
+	if !strings.Contains(errb, "IL=") || !strings.Contains(errb, "calls=") {
+		t.Errorf("stats missing: %q", errb)
+	}
+}
+
+func TestCLIInlineRun(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "p.c", prog)
+	code, out, errb := runCLI(t, []string{"-inline", "-run", p}, "")
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errb)
+	}
+	if out != "3675\n" {
+		t.Errorf("stdout after inlining = %q", out)
+	}
+	if !strings.Contains(errb, "expanded site") {
+		t.Errorf("expansion report missing: %q", errb)
+	}
+}
+
+func TestCLIDumpAndDot(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "p.c", prog)
+	_, dumpOut, _ := runCLI(t, []string{"-dump", p}, "")
+	if !strings.Contains(dumpOut, "func main") || !strings.Contains(dumpOut, "call triple") {
+		t.Errorf("dump = %.200q", dumpOut)
+	}
+	_, dotOut, _ := runCLI(t, []string{"-dot", p}, "")
+	if !strings.Contains(dotOut, "digraph") || !strings.Contains(dotOut, `"triple"`) {
+		t.Errorf("dot = %.200q", dotOut)
+	}
+}
+
+func TestCLILinkMultipleUnits(t *testing.T) {
+	dir := t.TempDir()
+	lib := writeFile(t, dir, "lib.c", `
+int helper(int x) { return x + 5; }
+`)
+	app := writeFile(t, dir, "app.c", `
+extern int printf(char *fmt, ...);
+extern int helper(int x);
+int main() { printf("%d\n", helper(37)); return 0; }
+`)
+	code, out, errb := runCLI(t, []string{"-run", lib, app}, "")
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errb)
+	}
+	if out != "42\n" {
+		t.Errorf("stdout = %q", out)
+	}
+}
+
+func TestCLITailCallFlag(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "p.c", `
+extern int printf(char *fmt, ...);
+int count(int n, int acc) { if (n <= 0) return acc; return count(n - 1, acc + 1); }
+int main() { printf("%d\n", count(500, 0)); return 0; }
+`)
+	code, out, errb := runCLI(t, []string{"-tco", "-run", p}, "")
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errb)
+	}
+	if out != "500\n" {
+		t.Errorf("stdout = %q", out)
+	}
+	if !strings.Contains(errb, "rewrote 1 self tail call") {
+		t.Errorf("tco report missing: %q", errb)
+	}
+}
+
+func TestCLIFileSeeding(t *testing.T) {
+	dir := t.TempDir()
+	host := writeFile(t, dir, "data.txt", "hello-fs")
+	p := writeFile(t, dir, "p.c", `
+extern int open(char *path, int mode);
+extern int getc(int fd);
+extern int putchar(int c);
+int main() {
+    int fd; int c;
+    fd = open("guest.txt", 0);
+    if (fd < 0) return 1;
+    while ((c = getc(fd)) != -1) putchar(c);
+    return 0;
+}
+`)
+	code, out, _ := runCLI(t, []string{"-run", "-file", "guest.txt=" + host, p}, "")
+	if code != 0 || out != "hello-fs" {
+		t.Errorf("exit=%d out=%q", code, out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := writeFile(t, dir, "bad.c", "int main( { return }")
+	cases := [][]string{
+		{},                  // no args
+		{"-badflag", "x.c"}, // unknown flag
+		{filepath.Join(dir, "missing.c")},
+		{bad},
+		{"-inline", "-heuristic", "bogus", bad},
+		{"-run", "-file", "malformed", bad},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(t, args, ""); code == 0 {
+			t.Errorf("args %v: expected nonzero exit", args)
+		}
+	}
+}
+
+func TestCLIExitCodePropagates(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "p.c", "int main() { return 7; }")
+	code, _, _ := runCLI(t, []string{"-run", p}, "")
+	if code != 7 {
+		t.Errorf("exit = %d, want the program's own 7", code)
+	}
+}

@@ -1,0 +1,123 @@
+// Command ilprof is the standalone profiler: it runs a MiniC program over
+// one or more inputs and prints the averaged profile — function execution
+// counts (call-graph node weights) and call-site invocation counts (arc
+// weights). With -o the profile is serialized for a later ilcc -inline
+// -profile run, mirroring the IMPACT-I profiler-to-compiler interface.
+//
+//	ilprof prog.c < input              # one run over stdin
+//	ilprof -in a.txt -in b.txt prog.c  # one run per -in file
+//	ilprof -sites prog.c < input       # include per-site arc weights
+//	ilprof -o prog.prof prog.c < input # write the profile to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"inlinec"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+type inputList []string
+
+func (f *inputList) String() string { return strings.Join(*f, ",") }
+func (f *inputList) Set(s string) error {
+	*f = append(*f, s)
+	return nil
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ilprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sites := fs.Bool("sites", false, "print per-call-site arc weights")
+	outPath := fs.String("o", "", "write the profile to this file (ilcc -profile consumes it)")
+	var ins inputList
+	fs.Var(&ins, "in", "host file used as one profiling run's stdin (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: ilprof [flags] prog.c")
+		fs.PrintDefaults()
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "ilprof: %v\n", err)
+		return 1
+	}
+	prog, err := inlinec.Compile(fs.Arg(0), string(src))
+	if err != nil {
+		fmt.Fprintf(stderr, "ilprof: %v\n", err)
+		return 1
+	}
+
+	var inputs []inlinec.Input
+	if len(ins) == 0 {
+		data, _ := io.ReadAll(stdin)
+		inputs = []inlinec.Input{{Stdin: data}}
+	} else {
+		for _, path := range ins {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "ilprof: %v\n", err)
+				return 1
+			}
+			inputs = append(inputs, inlinec.Input{Stdin: data})
+		}
+	}
+
+	prof, err := prog.ProfileInputs(inputs...)
+	if err != nil {
+		fmt.Fprintf(stderr, "ilprof: %v\n", err)
+		return 1
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "ilprof: %v\n", err)
+			return 1
+		}
+		if _, err := prof.WriteTo(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "ilprof: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "ilprof: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprint(stdout, prof.String())
+
+	if *sites {
+		g := prog.CallGraph(prof)
+		var arcs []int
+		for id := range prof.SiteCounts {
+			arcs = append(arcs, id)
+		}
+		sort.Slice(arcs, func(i, j int) bool {
+			if prof.SiteCounts[arcs[i]] != prof.SiteCounts[arcs[j]] {
+				return prof.SiteCounts[arcs[i]] > prof.SiteCounts[arcs[j]]
+			}
+			return arcs[i] < arcs[j]
+		})
+		fmt.Fprintln(stdout, "call sites (arc weights):")
+		for _, id := range arcs {
+			a := g.Arc(id)
+			if a == nil {
+				continue
+			}
+			fmt.Fprintf(stdout, "  site %-4d %-20s -> %-20s %12.1f\n",
+				id, a.Caller.Name, a.Callee.Name, prof.SiteWeight(id))
+		}
+	}
+	return 0
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"inlinec"
+)
+
+const prog = `
+extern int printf(char *fmt, ...);
+int work(int x) { return x * x; }
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 25; i++) s += work(i);
+    printf("%d\n", s);
+    return 0;
+}
+`
+
+func runCLI(t *testing.T, args []string, stdin string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestProfilerBasic(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "p.c")
+	os.WriteFile(p, []byte(prog), 0o644)
+	code, out, errb := runCLI(t, []string{p}, "")
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errb)
+	}
+	if !strings.Contains(out, "work") || !strings.Contains(out, "25.0") {
+		t.Errorf("profile output = %q", out)
+	}
+}
+
+func TestProfilerSites(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "p.c")
+	os.WriteFile(p, []byte(prog), 0o644)
+	code, out, _ := runCLI(t, []string{"-sites", p}, "")
+	if code != 0 {
+		t.Fatal("nonzero exit")
+	}
+	if !strings.Contains(out, "call sites") || !strings.Contains(out, "main") {
+		t.Errorf("sites output = %q", out)
+	}
+}
+
+func TestProfilerMultipleInputsAndOutputFile(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "cat.c")
+	os.WriteFile(p, []byte(`
+extern int getchar();
+int seen;
+int note(int c) { seen++; return c; }
+int main() {
+    int c;
+    while ((c = getchar()) != -1) note(c);
+    return 0;
+}
+`), 0o644)
+	in1 := filepath.Join(dir, "a.txt")
+	in2 := filepath.Join(dir, "b.txt")
+	os.WriteFile(in1, []byte("xx"), 0o644)     // 2 calls
+	os.WriteFile(in2, []byte("yyyyyy"), 0o644) // 6 calls
+	profPath := filepath.Join(dir, "out.prof")
+	code, out, errb := runCLI(t, []string{"-in", in1, "-in", in2, "-o", profPath, p}, "")
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errb)
+	}
+	// Averaged over two runs: note entered (2+6)/2 = 4 times.
+	if !strings.Contains(out, "2 run(s)") {
+		t.Errorf("runs missing from %q", out)
+	}
+	data, err := os.ReadFile(profPath)
+	if err != nil {
+		t.Fatalf("profile file: %v", err)
+	}
+	prof, err := inlinec.ReadProfile(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if got := prof.FuncWeight("note"); got != 4 {
+		t.Errorf("note weight = %v, want 4", got)
+	}
+}
+
+func TestProfilerErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, nil, ""); code == 0 {
+		t.Error("no args must fail")
+	}
+	if code, _, _ := runCLI(t, []string{"nope.c"}, ""); code == 0 {
+		t.Error("missing file must fail")
+	}
+}

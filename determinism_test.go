@@ -1,0 +1,141 @@
+package inlinec
+
+import (
+	"strings"
+	"testing"
+
+	"inlinec/internal/inline"
+	"inlinec/internal/testgen"
+)
+
+// TestDeterministicExecution: the interpreter is exact — identical inputs
+// give identical statistics, not just identical output.
+func TestDeterministicExecution(t *testing.T) {
+	src := testgen.Generate(31, testgen.Options{Funcs: 8, Recursion: true})
+	p, err := Compile("d.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Run(Input{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Run(Input{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stdout != b.Stdout || a.Stats.IL != b.Stats.IL ||
+		a.Stats.Control != b.Stats.Control || a.Stats.Calls != b.Stats.Calls ||
+		a.Stats.MaxStack != b.Stats.MaxStack {
+		t.Errorf("two runs differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+	for id, n := range a.Stats.SiteCounts {
+		if b.Stats.SiteCounts[id] != n {
+			t.Errorf("site %d count %d vs %d", id, n, b.Stats.SiteCounts[id])
+		}
+	}
+}
+
+// TestDeterministicInlining: the expander's decisions are reproducible,
+// including the linear order and the decision list.
+func TestDeterministicInlining(t *testing.T) {
+	src := testgen.Generate(77, testgen.Options{Funcs: 9})
+	decide := func() *Result {
+		p, err := Compile("d.c", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := p.ProfileInputs(Input{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := DefaultParams()
+		params.WeightThreshold = 1
+		params.SizeLimitFactor = 2.0
+		res, err := p.Inline(prof, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := decide(), decide()
+	if strings.Join(r1.Order, ",") != strings.Join(r2.Order, ",") {
+		t.Errorf("linear orders differ:\n%v\n%v", r1.Order, r2.Order)
+	}
+	if len(r1.Decisions) != len(r2.Decisions) {
+		t.Fatalf("decision counts differ: %d vs %d", len(r1.Decisions), len(r2.Decisions))
+	}
+	for i := range r1.Decisions {
+		if r1.Decisions[i] != r2.Decisions[i] {
+			t.Errorf("decision %d differs: %+v vs %+v", i, r1.Decisions[i], r2.Decisions[i])
+		}
+	}
+	if r1.FinalSize != r2.FinalSize {
+		t.Errorf("final sizes differ: %d vs %d", r1.FinalSize, r2.FinalSize)
+	}
+}
+
+// TestDensityOrderingUnderTightBudget: with a budget too small for every
+// hot arc, density ordering (weight per instruction) must fit at least as
+// many eliminated calls per added instruction as raw weight ordering.
+func TestDensityOrderingUnderTightBudget(t *testing.T) {
+	src := `
+extern int printf(char *fmt, ...);
+/* tiny, hot: superb density */
+int inc(int x) { return x + 1; }
+/* large, equally hot: poor density */
+int wide(int x) {
+    int a, b, c, d, e;
+    a = x + 1; b = a * 3; c = b ^ a; d = c - b; e = d & 0xff;
+    a = e << 2; b = a | d; c = b % 97; d = c + e; e = d * b;
+    return (a + b + c + d + e) & 0xffff;
+}
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 500; i++) { s += inc(i); s ^= wide(i); }
+    printf("%d\n", s);
+    return 0;
+}
+`
+	measure := func(density bool) (callsAfter float64, expanded []string) {
+		p, err := Compile("density.c", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := p.ProfileInputs(Input{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := DefaultParams()
+		params.WeightThreshold = 1
+		params.SizeLimitFactor = 1.15 // room for the small callee only
+		params.OrderByDensity = density
+		res, err := p.Inline(prof, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := p.ProfileInputs(Input{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range res.Expanded {
+			expanded = append(expanded, d.Callee)
+		}
+		return after.AvgCalls(), expanded
+	}
+
+	// Raw weight ordering ties (both arcs weight 500) and may pick the
+	// wide callee first, exhausting the budget; density ordering must pick
+	// the small callee.
+	densityCalls, densityExpanded := measure(true)
+	if len(densityExpanded) == 0 || densityExpanded[0] != "inc" {
+		t.Errorf("density ordering picked %v, want inc first", densityExpanded)
+	}
+	weightCalls, _ := measure(false)
+	if densityCalls > weightCalls {
+		t.Errorf("density ordering eliminated fewer calls under the same budget: %v vs %v",
+			densityCalls, weightCalls)
+	}
+	_ = inline.HeuristicProfile // document the related knob's package
+}

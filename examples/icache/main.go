@@ -1,0 +1,74 @@
+// Instruction-cache study: the paper's conclusion notes that although
+// inline expansion grows static code, it improves instruction-cache
+// behaviour by removing the cross-function jumping that causes mapping
+// conflicts in low-associativity caches (Hwu & Chang, ISCA 1989). This
+// example measures the miss rate of a small direct-mapped cache on the
+// same workload before and after inline expansion, across a sweep of
+// cache sizes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"inlinec"
+)
+
+// A loop whose body bounces between several helper functions laid out far
+// apart in instruction memory: the pattern that produces mapping
+// conflicts in a direct-mapped cache.
+const src = `
+extern int printf(char *fmt, ...);
+
+int pad0(int x) { return x + 1; }
+int weigh(int a, int b) { return a * 3 + b; }
+int pad1(int x) { return x + 2; }
+int clamp(int v, int lo, int hi) {
+    if (v < lo) return lo;
+    if (v > hi) return hi;
+    return v;
+}
+int pad2(int x) { return x + 3; }
+int mix(int a, int b) { return weigh(a, b) ^ clamp(a - b, 0, 255); }
+int pad3(int x) { return x + 4; }
+
+int main() {
+    int i; int acc;
+    acc = 0;
+    for (i = 0; i < 20000; i++) {
+        acc = mix(acc & 0xff, i & 0xff);
+    }
+    printf("%d\n", acc);
+    return 0;
+}
+`
+
+func main() {
+	prog, err := inlinec.Compile("hotloop.c", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := prog.ProfileInputs(inlinec.Input{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := prog.Inline(prof, inlinec.DefaultParams()); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("direct-mapped i-cache miss rates, before vs after inlining:")
+	fmt.Println("size    before     after")
+	for _, size := range []int{256, 512, 1024, 2048} {
+		cfg := inlinec.ICacheConfig{Size: size, LineSize: 16, Assoc: 1}
+		before, err := prog.SimulateICacheOriginal(inlinec.Input{}, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		after, err := prog.SimulateICache(inlinec.Input{}, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d  %8.4f%%  %8.4f%%\n",
+			size, 100*before.MissRate(), 100*after.MissRate())
+	}
+}

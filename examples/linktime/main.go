@@ -1,0 +1,120 @@
+// Link-time inline expansion: the paper's section 2.1 weighs performing
+// expansion at compile time (program structure visible, but separate
+// compilation suffers) against link time (every function body available).
+// This example compiles a two-unit program separately, links it, and
+// shows that hot calls across the unit boundary — invisible to any
+// per-unit compiler — are expanded once the linker has merged the bodies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"inlinec"
+)
+
+// A string library unit: the app below can only see these through extern
+// declarations until link time.
+const strlibSrc = `
+int sl_length(char *s) {
+    int n;
+    n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+int sl_hash(char *s) {
+    int h;
+    h = 5381;
+    while (*s) { h = h * 33 + *s; s++; }
+    return h & 0x7fffffff;
+}
+
+/* unit-private helper: stays out of the app's namespace */
+static int classify(int c) {
+    if (c >= 'a' && c <= 'z') return 1;
+    if (c >= '0' && c <= '9') return 2;
+    return 0;
+}
+
+int sl_letters(char *s) {
+    int n;
+    n = 0;
+    while (*s) { if (classify(*s) == 1) n++; s++; }
+    return n;
+}
+`
+
+const appSrc = `
+extern int printf(char *fmt, ...);
+extern int sl_length(char *s);
+extern int sl_hash(char *s);
+extern int sl_letters(char *s);
+
+char *samples[4] = { "inline", "expansion", "call graph", "profile42" };
+
+int main() {
+    int i; int round; int hashes; int letters; int chars;
+    hashes = 0;
+    letters = 0;
+    chars = 0;
+    for (round = 0; round < 500; round++) {
+        for (i = 0; i < 4; i++) {
+            hashes ^= sl_hash(samples[i]);
+            letters += sl_letters(samples[i]);
+            chars += sl_length(samples[i]);
+        }
+    }
+    printf("hashes=%d letters=%d chars=%d\n", hashes, letters, chars);
+    return 0;
+}
+`
+
+func main() {
+	lib, err := inlinec.CompileUnit("strlib.c", strlibSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := inlinec.CompileUnit("app.c", appSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("units: strlib (%d fns, %d IL), app (%d fns, %d IL)\n",
+		len(lib.Module.Funcs), lib.Module.TotalCodeSize(),
+		len(app.Module.Funcs), app.Module.TotalCodeSize())
+
+	prog, err := inlinec.LinkUnits("prog", lib, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("linked: %d fns, %d IL, externs left: %d (true library calls)\n",
+		len(prog.Module.Funcs), prog.Module.TotalCodeSize(), len(prog.Module.Externs))
+
+	prof, err := prog.ProfileInputs(inlinec.Input{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before: %.0f dynamic calls\n", prof.AvgCalls())
+
+	params := inlinec.DefaultParams()
+	params.SizeLimitFactor = 2.0
+	res, err := prog.Inline(prof, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cross-unit expansions:")
+	for _, d := range res.Expanded {
+		fmt.Printf("  %s <- %s (weight %.0f)\n", d.Caller, d.Callee, d.Weight)
+	}
+
+	after, err := prog.ProfileInputs(inlinec.Input{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := prog.Run(inlinec.Input{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after: %.0f dynamic calls, code %+.1f%%\n", after.AvgCalls(), 100*res.CodeIncrease())
+	fmt.Printf("program output: %s", out.Stdout)
+}

@@ -1,0 +1,200 @@
+// Profile-guided optimization walkthrough on a text-processing workload:
+// the example mirrors the paper's methodology end to end — multiple
+// representative profiling inputs, call-site classification (Table 2/3
+// style), the expansion decision list with rejection reasons (hazards),
+// a weight-threshold sweep, and a comparison against the two static
+// baselines the paper discusses (inline-all-leaves and
+// inline-small-callees).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"inlinec"
+	"inlinec/internal/inline"
+)
+
+// A word-frequency counter with the call structure the paper cares about:
+// hot leaves (hashing, classification), a recursive cold path (report
+// tree), library calls, and a rarely-executed error branch.
+const src = `
+extern int getchar();
+extern int printf(char *fmt, ...);
+
+enum { NBUCKETS = 256, MAXWORDS = 2048, WORDLEN = 24 };
+
+char words[MAXWORDS][WORDLEN];
+int counts[MAXWORDS];
+int buckets[NBUCKETS];
+int chain[MAXWORDS];
+int nwords;
+
+int is_letter(int c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+int to_lower(int c) {
+    if (c >= 'A' && c <= 'Z') return c - 'A' + 'a';
+    return c;
+}
+
+int hash_word(char *w) {
+    int h;
+    h = 0;
+    while (*w) { h = h * 31 + *w; w++; }
+    h = h % NBUCKETS;
+    if (h < 0) h += NBUCKETS;
+    return h;
+}
+
+int same_word(char *a, char *b) {
+    while (*a && *b) {
+        if (*a != *b) return 0;
+        a++; b++;
+    }
+    return *a == *b;
+}
+
+void overflow() {
+    printf("word table overflow\n");
+}
+
+int intern(char *w) {
+    int h, i, j;
+    h = hash_word(w);
+    for (i = buckets[h] - 1; i >= 0; i = chain[i] - 1) {
+        if (same_word(words[i], w)) return i;
+    }
+    if (nwords >= MAXWORDS) { overflow(); return MAXWORDS - 1; }
+    i = nwords++;
+    for (j = 0; w[j] && j < WORDLEN - 1; j++) words[i][j] = w[j];
+    words[i][j] = '\0';
+    chain[i] = buckets[h];
+    buckets[h] = i + 1;
+    return i;
+}
+
+int main() {
+    char w[WORDLEN];
+    int c, n, total, i, maxc, maxi;
+    n = 0;
+    total = 0;
+    for (;;) {
+        c = getchar();
+        if (is_letter(c)) {
+            if (n < WORDLEN - 1) w[n++] = to_lower(c);
+            continue;
+        }
+        if (n > 0) {
+            w[n] = '\0';
+            counts[intern(w)]++;
+            total++;
+            n = 0;
+        }
+        if (c == -1) break;
+    }
+    maxc = 0;
+    maxi = 0;
+    for (i = 0; i < nwords; i++) {
+        if (counts[i] > maxc) { maxc = counts[i]; maxi = i; }
+    }
+    printf("%d words, %d distinct, top=%s (%d)\n", total, nwords, words[maxi], maxc);
+    return 0;
+}
+`
+
+func inputs() []inlinec.Input {
+	texts := []string{
+		"the quick brown fox jumps over the lazy dog and the dog sleeps",
+		"inline function expansion replaces a function call with the function body",
+		"profile information identifies the important function calls to expand",
+		"code expansion stack expansion and unavailable function bodies are the hazards",
+	}
+	var ins []inlinec.Input
+	for _, t := range texts {
+		big := ""
+		for i := 0; i < 40; i++ {
+			big += t + "\n"
+		}
+		ins = append(ins, inlinec.Input{Stdin: []byte(big)})
+	}
+	return ins
+}
+
+func measure(p *inlinec.Program, ins []inlinec.Input) (calls, il float64) {
+	prof, err := p.ProfileInputs(ins...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return prof.AvgCalls(), prof.AvgIL()
+}
+
+func main() {
+	ins := inputs()
+
+	// --- classification, as Tables 2 and 3 ---
+	base, err := inlinec.Compile("wordfreq.c", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := base.ProfileInputs(ins...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cc := base.Classify(prof, inlinec.DefaultClassifyParams())
+	fmt.Println("call-site classification (external/pointer/unsafe/safe):")
+	fmt.Printf("  static:  %v of %d sites\n", cc.Static, cc.TotalStatic())
+	fmt.Printf("  dynamic: %.0f %.0f %.0f %.0f of %.0f calls\n",
+		cc.Dynamic[0], cc.Dynamic[1], cc.Dynamic[2], cc.Dynamic[3], cc.TotalDynamic())
+
+	// --- the paper's policy, with the decision list ---
+	res, err := base.Inline(prof, inlinec.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nexpansion decisions (profile-guided):")
+	for _, d := range res.Decisions {
+		verdict := "EXPAND"
+		if !d.Accepted {
+			verdict = "reject: " + d.Reason
+		}
+		fmt.Printf("  %-12s <- %-12s w=%-8.0f %s\n", d.Caller, d.Callee, d.Weight, verdict)
+	}
+	afterCalls, _ := measure(base, ins)
+	beforeCalls := prof.AvgCalls()
+	fmt.Printf("dynamic calls: %.0f -> %.0f (%.0f%% eliminated), code %+.1f%%\n",
+		beforeCalls, afterCalls, 100*(beforeCalls-afterCalls)/beforeCalls, 100*res.CodeIncrease())
+
+	// --- threshold sweep ---
+	fmt.Println("\nweight-threshold sweep:")
+	for _, th := range []float64{1, 10, 100, 1000, 100000} {
+		p, _ := inlinec.Compile("wordfreq.c", src)
+		pr, _ := p.ProfileInputs(ins...)
+		params := inlinec.DefaultParams()
+		params.WeightThreshold = th
+		r, err := p.Inline(pr, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ac, _ := measure(p, ins)
+		fmt.Printf("  threshold %-7.0f expanded %-3d code %+6.1f%%  calls %.0f -> %.0f\n",
+			th, len(r.Expanded), 100*r.CodeIncrease(), pr.AvgCalls(), ac)
+	}
+
+	// --- static baselines the paper discusses ---
+	fmt.Println("\nstatic baselines vs profile guidance:")
+	for _, h := range []inline.Heuristic{inline.HeuristicProfile, inline.HeuristicLeaf, inline.HeuristicSmall} {
+		p, _ := inlinec.Compile("wordfreq.c", src)
+		pr, _ := p.ProfileInputs(ins...)
+		params := inlinec.DefaultParams()
+		params.Heuristic = h
+		r, err := p.Inline(pr, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ac, _ := measure(p, ins)
+		fmt.Printf("  %-13s expanded %-3d code %+6.1f%%  calls %.0f -> %.0f\n",
+			h, len(r.Expanded), 100*r.CodeIncrease(), pr.AvgCalls(), ac)
+	}
+}

@@ -1,0 +1,95 @@
+package inlinec
+
+import (
+	"testing"
+
+	"inlinec/internal/interp"
+	"inlinec/internal/ir"
+	"inlinec/internal/irgen"
+	"inlinec/internal/parser"
+	"inlinec/internal/sema"
+)
+
+// FuzzCompileAndRun drives the whole pipeline on arbitrary source: any
+// input that survives the front end must lower to verified IL, execute
+// under a small instruction budget without panicking, and still behave
+// identically after inline expansion. Runtime errors (faults, overflow,
+// budget) are fine; panics and divergence are not.
+func FuzzCompileAndRun(f *testing.F) {
+	seeds := []string{
+		"int main() { return 42; }",
+		`extern int printf(char *f, ...);
+int sq(int x) { return x * x; }
+int main() { printf("%d\n", sq(7)); return 0; }`,
+		`int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { return fib(10); }`,
+		`int main() { int a[4]; int i; for (i=0;i<4;i++) a[i]=i; return a[3]; }`,
+		`struct P { int x; char c; };
+int main() { struct P p; p.x = 1; p.c = 'z'; return p.x + p.c; }`,
+		`int h(int x) { return x ^ 0x5a; }
+int g(int x) { return h(x) + h(x+1); }
+int main() { int i; int s; s=0; for (i=0;i<9;i++) s+=g(i); return s & 0x7f; }`,
+		`int main() { char *s; s = "abc"; return s[0] + s[1]; }`,
+		`int main() { int x; x = 1 / 1; return x % 1; }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			t.Skip()
+		}
+		file, err := parser.Parse("fuzz.c", src)
+		if err != nil {
+			return
+		}
+		prog, err := sema.Check(file)
+		if err != nil {
+			return
+		}
+		mod, err := irgen.Generate(prog)
+		if err != nil {
+			return
+		}
+		if err := mod.Verify(); err != nil {
+			t.Fatalf("front end produced invalid IL: %v\nsource:\n%s", err, src)
+		}
+		if mod.Func("main") == nil {
+			return
+		}
+		run := func(m *ir.Module) (string, bool) {
+			mm, err := interp.NewMachine(m, interp.NewEnv(), interp.Options{
+				MaxIL: 200000, StackSize: 1 << 20, HeapSize: 1 << 20,
+			})
+			if err != nil {
+				return "", false
+			}
+			if _, err := mm.Run(); err != nil {
+				return "", false
+			}
+			return mm.Env.Stdout.String(), true
+		}
+		before, okBefore := run(mod)
+		if !okBefore {
+			return // runtime error: acceptable, nothing to compare
+		}
+		p := &Program{Module: mod, Original: mod.Clone(), name: "fuzz.c"}
+		prof, err := p.ProfileInputs(Input{})
+		if err != nil {
+			return
+		}
+		params := DefaultParams()
+		params.WeightThreshold = 1
+		params.SizeLimitFactor = 3.0
+		if _, err := p.Inline(prof, params); err != nil {
+			t.Fatalf("inline failed on valid program: %v\nsource:\n%s", err, src)
+		}
+		after, okAfter := run(p.Module)
+		if !okAfter {
+			t.Fatalf("program broke after inlining\nsource:\n%s", src)
+		}
+		if before != after {
+			t.Fatalf("inlining changed output %q -> %q\nsource:\n%s", before, after, src)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module inlinec
+
+go 1.22

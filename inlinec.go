@@ -1,0 +1,327 @@
+// Package inlinec is a reproduction of "Inline Function Expansion for
+// Compiling C Programs" (Hwu & Chang, PLDI 1989): the IMPACT-I C
+// compiler's profile-guided inline function expander, together with every
+// substrate it needs — a C-subset (MiniC) front end, a three-address
+// intermediate language (IL), an interpreting profiler with a simulated
+// UNIX environment, a weighted call graph with the paper's $$$/### summary
+// nodes, and the surrounding classical optimizations.
+//
+// The high-level pipeline matches the paper:
+//
+//	prog := inlinec.MustCompile("prog.c", src)     // front end -> IL
+//	prof := prog.Profile(inputs...)                // many representative runs
+//	res, _ := prog.Inline(prof, inlinec.DefaultParams()) // expansion
+//	after := prog.Profile(inputs...)               // measure the effect
+//
+// Compile/Profile/Inline never mutate each other's results implicitly:
+// Inline transforms the Program's module in place and returns a report,
+// while the original module remains available via Original.
+package inlinec
+
+import (
+	"fmt"
+	"io"
+
+	"inlinec/internal/callgraph"
+	"inlinec/internal/icache"
+	"inlinec/internal/inline"
+	"inlinec/internal/interp"
+	"inlinec/internal/ir"
+	"inlinec/internal/irgen"
+	"inlinec/internal/link"
+	"inlinec/internal/opt"
+	"inlinec/internal/parser"
+	"inlinec/internal/profile"
+	"inlinec/internal/sema"
+)
+
+// Params re-exports the inline expander's configuration.
+type Params = inline.Params
+
+// Result re-exports the inline expander's report.
+type Result = inline.Result
+
+// Profile re-exports averaged multi-run profile data.
+type Profile = profile.Profile
+
+// RunStats re-exports single-run dynamic counts.
+type RunStats = profile.RunStats
+
+// ReadProfile parses a profile previously serialized with
+// Profile.WriteTo — the file interface that lets the profiler and the
+// compiler run as separate tool invocations, as IMPACT-I's did.
+func ReadProfile(r io.Reader) (*Profile, error) { return profile.ReadProfile(r) }
+
+// Graph re-exports the weighted call graph.
+type Graph = callgraph.Graph
+
+// ClassifyParams re-exports the call-site classification thresholds.
+type ClassifyParams = callgraph.ClassifyParams
+
+// DefaultParams returns the paper's thresholds (weight ≥ 10, 4 KiB stack
+// bound for recursion, calibrated 1.25× program-size cap).
+func DefaultParams() Params { return inline.DefaultParams() }
+
+// DefaultClassifyParams returns the paper's classification thresholds.
+func DefaultClassifyParams() ClassifyParams { return callgraph.DefaultClassifyParams() }
+
+// Input is one program execution request: file system, stdin, and an
+// optional stack-size override.
+type Input struct {
+	// Files populates the simulated file system (path -> contents).
+	Files map[string][]byte
+	// Stdin is the standard-input stream.
+	Stdin []byte
+	// StackSize overrides the 4 MiB default control stack when positive.
+	StackSize int
+}
+
+// RunOutput is the observable behaviour of one run.
+type RunOutput struct {
+	Stdout   string
+	Stderr   string
+	ExitCode int64
+	// Files is the file system after the run (including written files).
+	Files map[string][]byte
+	Stats *RunStats
+}
+
+// Program is a compiled MiniC translation unit plus its pristine original,
+// kept for before/after comparisons.
+type Program struct {
+	// Module is the working IL module; Inline rewrites it in place.
+	Module *ir.Module
+	// Original is the module as compiled (after the paper's pre-inline
+	// constant folding and jump optimization), untouched by Inline.
+	Original *ir.Module
+
+	name string
+}
+
+// Compile parses, checks, lowers, and pre-optimizes a MiniC source file.
+// As in the paper, constant folding and jump optimization run before
+// inline expansion.
+func Compile(name, src string) (*Program, error) {
+	file, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", name, err)
+	}
+	prog, err := sema.Check(file)
+	if err != nil {
+		return nil, fmt.Errorf("check %s: %w", name, err)
+	}
+	mod, err := irgen.Generate(prog)
+	if err != nil {
+		return nil, fmt.Errorf("lower %s: %w", name, err)
+	}
+	opt.PreInline(mod)
+	if err := mod.Verify(); err != nil {
+		return nil, fmt.Errorf("pre-inline optimization broke %s: %w", name, err)
+	}
+	return &Program{Module: mod, Original: mod.Clone(), name: name}, nil
+}
+
+// Unit is one separately compiled translation unit, ready for linking.
+// Cross-unit references appear as extern declarations in each unit;
+// static functions and variables stay unit-private.
+type Unit struct {
+	Name   string
+	Module *ir.Module
+}
+
+// CompileUnit compiles one translation unit for later linking. Unlike a
+// whole program, a unit need not define main and may reference functions
+// and variables defined elsewhere via extern declarations.
+func CompileUnit(name, src string) (*Unit, error) {
+	file, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", name, err)
+	}
+	prog, err := sema.Check(file)
+	if err != nil {
+		return nil, fmt.Errorf("check %s: %w", name, err)
+	}
+	mod, err := irgen.Generate(prog)
+	if err != nil {
+		return nil, fmt.Errorf("lower %s: %w", name, err)
+	}
+	opt.PreInline(mod)
+	if err := mod.Verify(); err != nil {
+		return nil, fmt.Errorf("pre-inline optimization broke %s: %w", name, err)
+	}
+	return &Unit{Name: name, Module: mod}, nil
+}
+
+// LinkUnits merges separately compiled units into a runnable Program —
+// section 2.1's link-time setting, where every function body is available
+// and inline expansion "can naturally be performed without sacrificing
+// separate compilation".
+func LinkUnits(name string, units ...*Unit) (*Program, error) {
+	mods := make([]*ir.Module, len(units))
+	for i, u := range units {
+		mods[i] = u.Module
+	}
+	linked, err := link.Link(name, mods...)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Module: linked, Original: linked.Clone(), name: name}, nil
+}
+
+// MustCompile is Compile that panics on error, for examples and tests.
+func MustCompile(name, src string) *Program {
+	p, err := Compile(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name returns the source name the program was compiled from.
+func (p *Program) Name() string { return p.name }
+
+// Run executes the working module once on the input.
+func (p *Program) Run(in Input) (*RunOutput, error) {
+	return runModule(p.Module, in)
+}
+
+// RunOriginal executes the pristine pre-inline module once.
+func (p *Program) RunOriginal(in Input) (*RunOutput, error) {
+	return runModule(p.Original, in)
+}
+
+func runModule(mod *ir.Module, in Input) (*RunOutput, error) {
+	env := interp.NewEnv()
+	for k, v := range in.Files {
+		env.Files[k] = append([]byte(nil), v...)
+	}
+	env.Stdin = in.Stdin
+	m, err := interp.NewMachine(mod, env, interp.Options{StackSize: in.StackSize})
+	if err != nil {
+		return nil, err
+	}
+	st, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &RunOutput{
+		Stdout:   env.Stdout.String(),
+		Stderr:   env.Stderr.String(),
+		ExitCode: st.ExitCode,
+		Files:    env.Files,
+		Stats:    st,
+	}, nil
+}
+
+// ProfileInputs runs the working module once per input and averages the
+// statistics — the paper's "average run-time statistics over many runs of
+// a program" with representative inputs.
+func (p *Program) ProfileInputs(inputs ...Input) (*Profile, error) {
+	return profileModule(p.Module, inputs)
+}
+
+// ProfileOriginal profiles the pristine pre-inline module.
+func (p *Program) ProfileOriginal(inputs ...Input) (*Profile, error) {
+	return profileModule(p.Original, inputs)
+}
+
+func profileModule(mod *ir.Module, inputs []Input) (*Profile, error) {
+	if len(inputs) == 0 {
+		inputs = []Input{{}}
+	}
+	prof := profile.NewProfile()
+	for i, in := range inputs {
+		out, err := runModule(mod, in)
+		if err != nil {
+			return nil, fmt.Errorf("profiling run %d: %w", i+1, err)
+		}
+		prof.Add(out.Stats)
+	}
+	return prof, nil
+}
+
+// CallGraph builds the weighted call graph of the working module with the
+// profile's node and arc weights attached.
+func (p *Program) CallGraph(prof *Profile) *Graph {
+	return callgraph.Build(p.Module, prof)
+}
+
+// Inline runs profile-guided inline expansion over the working module in
+// place and returns the expansion report. The pristine module remains in
+// Original.
+func (p *Program) Inline(prof *Profile, params Params) (*Result, error) {
+	g := callgraph.Build(p.Module, prof)
+	return inline.Expand(p.Module, g, prof, params)
+}
+
+// Optimize applies the post-inline cleanup passes (copy propagation,
+// constant folding, dead code elimination, jump optimization) to the
+// working module — the "comprehensive code optimizations after inline
+// expansion" the paper deferred.
+func (p *Program) Optimize() error {
+	opt.PostInline(p.Module)
+	return p.Module.Verify()
+}
+
+// EliminateTailCalls rewrites self tail calls in the working module into
+// jumps — the "standard way of removing tail recursion" section 2.2 of
+// the paper points to as the complement of not inlining simple recursion.
+// It returns the number of rewritten call sites.
+func (p *Program) EliminateTailCalls() (int, error) {
+	n := opt.TailCallEliminate(p.Module)
+	if err := p.Module.Verify(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Classify categorizes every static call site of the working module as
+// external / pointer / unsafe / safe under the paper's rules.
+func (p *Program) Classify(prof *Profile, params callgraph.ClassifyParams) callgraph.ClassCounts {
+	g := callgraph.Build(p.Module, prof)
+	return callgraph.Count(g.Classify(params))
+}
+
+// ICacheConfig re-exports the instruction-cache geometry.
+type ICacheConfig = icache.Config
+
+// ICacheStats re-exports instruction-cache hit/miss statistics.
+type ICacheStats = icache.Stats
+
+// DefaultICacheConfig returns the 2 KiB direct-mapped configuration of
+// the paper's companion instruction-cache study.
+func DefaultICacheConfig() ICacheConfig { return icache.DefaultConfig() }
+
+// SimulateICache executes the working module once on the input while
+// simulating an instruction cache over the dynamic instruction stream,
+// reproducing the paper's conclusion-section observation that inline
+// expansion reduces mapping conflicts despite larger static code.
+func (p *Program) SimulateICache(in Input, cfg ICacheConfig) (ICacheStats, error) {
+	return simulateICache(p.Module, in, cfg)
+}
+
+// SimulateICacheOriginal simulates the cache over the pristine module.
+func (p *Program) SimulateICacheOriginal(in Input, cfg ICacheConfig) (ICacheStats, error) {
+	return simulateICache(p.Original, in, cfg)
+}
+
+func simulateICache(mod *ir.Module, in Input, cfg ICacheConfig) (ICacheStats, error) {
+	cache, err := icache.New(cfg)
+	if err != nil {
+		return ICacheStats{}, err
+	}
+	tracer := &icache.Tracer{Cache: cache, Layout: icache.NewLayout(mod)}
+	env := interp.NewEnv()
+	for k, v := range in.Files {
+		env.Files[k] = append([]byte(nil), v...)
+	}
+	env.Stdin = in.Stdin
+	m, err := interp.NewMachine(mod, env, interp.Options{StackSize: in.StackSize, Trace: tracer.Step})
+	if err != nil {
+		return ICacheStats{}, err
+	}
+	if _, err := m.Run(); err != nil {
+		return ICacheStats{}, err
+	}
+	return cache.Stats, nil
+}

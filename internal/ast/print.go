@@ -1,0 +1,220 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"inlinec/internal/token"
+)
+
+// Print renders the file as an indented tree, one node per line — a
+// debugging aid for the front end and the format the parser's golden
+// tests compare against.
+func Print(f *File) string {
+	p := &printer{}
+	fmt.Fprintf(&p.sb, "file %s\n", f.Name)
+	for _, d := range f.Decls {
+		p.decl(d, 1)
+	}
+	return p.sb.String()
+}
+
+type printer struct {
+	sb strings.Builder
+}
+
+func (p *printer) linef(depth int, format string, args ...any) {
+	p.sb.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(&p.sb, format, args...)
+	p.sb.WriteByte('\n')
+}
+
+func (p *printer) decl(d Decl, depth int) {
+	switch dd := d.(type) {
+	case *FuncDecl:
+		kind := "func"
+		if dd.IsExtern {
+			kind = "extern func"
+		}
+		if dd.IsStatic {
+			kind = "static " + kind
+		}
+		names := make([]string, len(dd.Params))
+		for i, prm := range dd.Params {
+			names[i] = prm.Name
+		}
+		p.linef(depth, "%s %s %s (%s)", kind, dd.Name, dd.Type, strings.Join(names, ", "))
+		if dd.Body != nil {
+			p.stmt(dd.Body, depth+1)
+		}
+	case *VarDecl:
+		p.varDecl(dd, depth)
+	default:
+		p.linef(depth, "decl %T", d)
+	}
+}
+
+func (p *printer) varDecl(vd *VarDecl, depth int) {
+	attrs := ""
+	if vd.IsExtern {
+		attrs += " extern"
+	}
+	if vd.IsStatic {
+		attrs += " static"
+	}
+	p.linef(depth, "var %s %s%s", vd.Name, vd.Type, attrs)
+	if vd.Init != nil {
+		p.expr(vd.Init, depth+1)
+	}
+}
+
+func (p *printer) stmt(s Stmt, depth int) {
+	switch ss := s.(type) {
+	case *BlockStmt:
+		label := "block"
+		if ss.DeclGroup {
+			label = "declgroup"
+		}
+		p.linef(depth, "%s", label)
+		for _, st := range ss.List {
+			p.stmt(st, depth+1)
+		}
+	case *VarDecl:
+		p.varDecl(ss, depth)
+	case *ExprStmt:
+		p.linef(depth, "expr")
+		p.expr(ss.X, depth+1)
+	case *EmptyStmt:
+		p.linef(depth, "empty")
+	case *IfStmt:
+		p.linef(depth, "if")
+		p.expr(ss.Cond, depth+1)
+		p.stmt(ss.Then, depth+1)
+		if ss.Else != nil {
+			p.linef(depth, "else")
+			p.stmt(ss.Else, depth+1)
+		}
+	case *WhileStmt:
+		p.linef(depth, "while")
+		p.expr(ss.Cond, depth+1)
+		p.stmt(ss.Body, depth+1)
+	case *DoWhileStmt:
+		p.linef(depth, "do-while")
+		p.stmt(ss.Body, depth+1)
+		p.expr(ss.Cond, depth+1)
+	case *ForStmt:
+		p.linef(depth, "for")
+		if ss.Init != nil {
+			p.stmt(ss.Init, depth+1)
+		}
+		if ss.Cond != nil {
+			p.expr(ss.Cond, depth+1)
+		}
+		if ss.Post != nil {
+			p.expr(ss.Post, depth+1)
+		}
+		p.stmt(ss.Body, depth+1)
+	case *ReturnStmt:
+		p.linef(depth, "return")
+		if ss.X != nil {
+			p.expr(ss.X, depth+1)
+		}
+	case *BreakStmt:
+		p.linef(depth, "break")
+	case *ContinueStmt:
+		p.linef(depth, "continue")
+	case *GotoStmt:
+		p.linef(depth, "goto %s", ss.Label)
+	case *LabeledStmt:
+		p.linef(depth, "label %s", ss.Label)
+		p.stmt(ss.Stmt, depth+1)
+	case *SwitchStmt:
+		p.linef(depth, "switch")
+		p.expr(ss.Tag, depth+1)
+		for _, cc := range ss.Cases {
+			if cc.Values == nil {
+				p.linef(depth+1, "default")
+			} else {
+				p.linef(depth+1, "case")
+				for _, v := range cc.Values {
+					p.expr(v, depth+2)
+				}
+			}
+			for _, st := range cc.Body {
+				p.stmt(st, depth+2)
+			}
+		}
+	default:
+		p.linef(depth, "stmt %T", s)
+	}
+}
+
+func (p *printer) expr(e Expr, depth int) {
+	switch ee := e.(type) {
+	case *IntLit:
+		p.linef(depth, "int %d", ee.Value)
+	case *StrLit:
+		p.linef(depth, "string %q", ee.Value)
+	case *Ident:
+		p.linef(depth, "ident %s", ee.Name)
+	case *UnaryExpr:
+		p.linef(depth, "unary %s", opName(ee.Op))
+		p.expr(ee.X, depth+1)
+	case *PostfixExpr:
+		p.linef(depth, "postfix %s", opName(ee.Op))
+		p.expr(ee.X, depth+1)
+	case *BinaryExpr:
+		p.linef(depth, "binary %s", opName(ee.Op))
+		p.expr(ee.X, depth+1)
+		p.expr(ee.Y, depth+1)
+	case *AssignExpr:
+		p.linef(depth, "assign %s", opName(ee.Op))
+		p.expr(ee.X, depth+1)
+		p.expr(ee.Y, depth+1)
+	case *CondExpr:
+		p.linef(depth, "cond")
+		p.expr(ee.Cond, depth+1)
+		p.expr(ee.Then, depth+1)
+		p.expr(ee.Else, depth+1)
+	case *CallExpr:
+		p.linef(depth, "call")
+		p.expr(ee.Fun, depth+1)
+		for _, a := range ee.Args {
+			p.expr(a, depth+1)
+		}
+	case *IndexExpr:
+		p.linef(depth, "index")
+		p.expr(ee.X, depth+1)
+		p.expr(ee.Index, depth+1)
+	case *MemberExpr:
+		op := "."
+		if ee.Arrow {
+			op = "->"
+		}
+		p.linef(depth, "member %s%s", op, ee.Name)
+		p.expr(ee.X, depth+1)
+	case *SizeofExpr:
+		if ee.ArgType != nil {
+			p.linef(depth, "sizeof-type %s", ee.ArgType)
+		} else {
+			p.linef(depth, "sizeof-expr")
+			p.expr(ee.Arg, depth+1)
+		}
+	case *CastExpr:
+		p.linef(depth, "cast %s", ee.To)
+		p.expr(ee.X, depth+1)
+	case *CommaExpr:
+		p.linef(depth, "comma")
+		p.expr(ee.X, depth+1)
+		p.expr(ee.Y, depth+1)
+	case *InitListExpr:
+		p.linef(depth, "initlist")
+		for _, el := range ee.Elems {
+			p.expr(el, depth+1)
+		}
+	default:
+		p.linef(depth, "expr %T", e)
+	}
+}
+
+func opName(k token.Kind) string { return k.String() }

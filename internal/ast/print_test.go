@@ -1,0 +1,100 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"inlinec/internal/ast"
+	"inlinec/internal/parser"
+)
+
+func dump(t *testing.T, src string) string {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return ast.Print(f)
+}
+
+func TestPrintGolden(t *testing.T) {
+	got := dump(t, `
+int g = 3;
+int add(int a, int b) {
+    if (a > 0) return a + b;
+    return b - a;
+}
+`)
+	want := strings.TrimLeft(`
+file t.c
+  var g int
+    int 3
+  func add int (int, int) (a, b)
+    block
+      if
+        binary >
+          ident a
+          int 0
+        return
+          binary +
+            ident a
+            ident b
+      return
+        binary -
+          ident b
+          ident a
+`, "\n")
+	if got != want {
+		t.Errorf("golden mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrintCoversAllStatementKinds(t *testing.T) {
+	got := dump(t, `
+extern int printf(char *fmt, ...);
+struct S { int v; };
+int f(int n) {
+    int i, acc;
+    char *s;
+    struct S st;
+    acc = 0;
+    s = "txt";
+    st.v = sizeof(struct S);
+    for (i = 0; i < n; i++) { acc += i; continue; }
+    while (acc > 100) acc /= 2;
+    do acc++; while (acc < 5);
+    switch (acc) {
+    case 1: acc = n > 0 ? 1 : 2; break;
+    default: ;
+    }
+top:
+    if (acc) goto top; else acc--;
+    printf("%d %d\n", acc, st.v, (char)i, i, -i, !i, s[0], *s, &acc, st.v);
+    return acc;
+}
+`)
+	for _, frag := range []string{
+		"declgroup", "for", "while", "do-while", "switch", "case", "default",
+		"label top", "goto top", "break", "continue", "if", "else",
+		"cond", "call", "member .v", "sizeof-type", "cast char",
+		"unary -", "unary !", "unary *", "unary &", "index",
+		"string \"txt\"", "postfix ++", "assign +=", "assign /=", "empty",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("printout missing %q\n%s", frag, got)
+		}
+	}
+}
+
+func TestPrintExternAndStatic(t *testing.T) {
+	got := dump(t, `
+extern int lib(int x);
+static int priv(int x) { return x; }
+extern int evar;
+`)
+	for _, frag := range []string{"extern func lib", "static func priv", "var evar int extern"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("missing %q in:\n%s", frag, got)
+		}
+	}
+}

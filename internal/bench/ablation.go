@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"inlinec"
+	"inlinec/internal/inline"
+)
+
+// AblationReport runs the design-choice studies DESIGN.md calls out —
+// weight-threshold sweep, size-limit sweep, static-heuristic comparison,
+// and the linearization effect — and renders them as tables. These are
+// the same measurements the testing.B ablation benchmarks expose as
+// metrics, packaged for `ilbench -ablation`.
+func AblationReport(cfg Config) (string, error) {
+	var sb strings.Builder
+
+	if err := thresholdSweep(&sb, cfg); err != nil {
+		return sb.String(), err
+	}
+	sb.WriteByte('\n')
+	if err := sizeLimitSweep(&sb, cfg); err != nil {
+		return sb.String(), err
+	}
+	sb.WriteByte('\n')
+	if err := heuristicComparison(&sb, cfg); err != nil {
+		return sb.String(), err
+	}
+	sb.WriteByte('\n')
+	if err := linearizationEffect(&sb, cfg); err != nil {
+		return sb.String(), err
+	}
+	sb.WriteByte('\n')
+	if err := representativeness(&sb, cfg); err != nil {
+		return sb.String(), err
+	}
+	return sb.String(), nil
+}
+
+func thresholdSweep(sb *strings.Builder, cfg Config) error {
+	sb.WriteString("Ablation A. Weight-threshold sweep (cccp).\n")
+	w := tabwriter.NewWriter(sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "threshold\texpanded\tcall dec\tcode inc")
+	for _, th := range []float64{0, 1, 10, 100, 1000, 10000} {
+		c := cfg
+		c.Inline.WeightThreshold = th
+		c.Classify.WeightThreshold = th
+		r, err := RunOne(Get("cccp"), c)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%.0f\t%d\t%.1f%%\t%.1f%%\n", th, r.Expansions, 100*r.CallDec, 100*r.CodeInc)
+	}
+	w.Flush()
+	return nil
+}
+
+func sizeLimitSweep(sb *strings.Builder, cfg Config) error {
+	sb.WriteString("Ablation B. Program-size-limit sweep (lex).\n")
+	w := tabwriter.NewWriter(sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "cap\texpanded\tcall dec\tcode inc")
+	for _, factor := range []float64{1.05, 1.1, 1.25, 1.5, 2.0, 3.0} {
+		c := cfg
+		c.Inline.SizeLimitFactor = factor
+		r, err := RunOne(Get("lex"), c)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%.2fx\t%d\t%.1f%%\t%.1f%%\n", factor, r.Expansions, 100*r.CallDec, 100*r.CodeInc)
+	}
+	w.Flush()
+	return nil
+}
+
+func heuristicComparison(sb *strings.Builder, cfg Config) error {
+	sb.WriteString("Ablation C. Profile guidance vs static policies (compress).\n")
+	w := tabwriter.NewWriter(sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "policy\texpanded\tcall dec\tcode inc")
+	for _, h := range []inline.Heuristic{
+		inline.HeuristicProfile, inline.HeuristicLeaf, inline.HeuristicSmall,
+	} {
+		c := cfg
+		c.Inline.Heuristic = h
+		r, err := RunOne(Get("compress"), c)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f%%\t%.1f%%\n", h, r.Expansions, 100*r.CallDec, 100*r.CodeInc)
+	}
+	w.Flush()
+	return nil
+}
+
+func linearizationEffect(sb *strings.Builder, cfg Config) error {
+	sb.WriteString("Ablation D. Linearization vs fixed-point expansion (compress).\n")
+	w := tabwriter.NewWriter(sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "mode\tphysical expansions\tcall dec\tcode inc")
+	for _, noOrder := range []bool{false, true} {
+		bm := Get("compress")
+		p, err := bm.Compile()
+		if err != nil {
+			return err
+		}
+		inputs := bm.Inputs
+		if cfg.MaxRuns > 0 && len(inputs) > cfg.MaxRuns {
+			inputs = inputs[:cfg.MaxRuns]
+		}
+		prof, err := p.ProfileInputs(inputs...)
+		if err != nil {
+			return err
+		}
+		params := cfg.Inline
+		params.NoLinearOrder = noOrder
+		r, err := p.Inline(prof, params)
+		if err != nil {
+			return err
+		}
+		after, err := p.ProfileInputs(inputs...)
+		if err != nil {
+			return err
+		}
+		dec := 0.0
+		if prof.AvgCalls() > 0 {
+			dec = (prof.AvgCalls() - after.AvgCalls()) / prof.AvgCalls()
+		}
+		mode := "linear order"
+		if noOrder {
+			mode = "fixed point"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f%%\t%.1f%%\n", mode, r.NumExpansions, 100*dec, 100*r.CodeIncrease())
+	}
+	w.Flush()
+	return nil
+}
+
+// representativeness measures the paper's section 1.2 caveat ("it is
+// critical that the inputs used for executing the equivalent C program
+// are representative"): profile on the even-indexed inputs, inline with
+// that profile, then measure the call decrease separately on the training
+// inputs and on the held-out odd-indexed inputs.
+func representativeness(sb *strings.Builder, cfg Config) error {
+	sb.WriteString("Ablation E. Profile representativeness (train on even inputs, test on odd).\n")
+	w := tabwriter.NewWriter(sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tcall dec (train)\tcall dec (held out)")
+	for _, name := range []string{"cccp", "compress", "grep", "lex", "yacc"} {
+		bm := Get(name)
+		var train, test []inlinec.Input
+		for i, in := range bm.Inputs {
+			if i%2 == 0 {
+				train = append(train, in)
+			} else {
+				test = append(test, in)
+			}
+		}
+		if len(train) == 0 || len(test) == 0 {
+			continue
+		}
+		p, err := bm.Compile()
+		if err != nil {
+			return err
+		}
+		trainBefore, err := p.ProfileInputs(train...)
+		if err != nil {
+			return err
+		}
+		testBefore, err := p.ProfileInputs(test...)
+		if err != nil {
+			return err
+		}
+		if _, err := p.Inline(trainBefore, cfg.Inline); err != nil {
+			return err
+		}
+		trainAfter, err := p.ProfileInputs(train...)
+		if err != nil {
+			return err
+		}
+		testAfter, err := p.ProfileInputs(test...)
+		if err != nil {
+			return err
+		}
+		dec := func(before, after float64) float64 {
+			if before <= 0 {
+				return 0
+			}
+			return 100 * (before - after) / before
+		}
+		fmt.Fprintf(w, "%s\t%.1f%%\t%.1f%%\n", name,
+			dec(trainBefore.AvgCalls(), trainAfter.AvgCalls()),
+			dec(testBefore.AvgCalls(), testAfter.AvgCalls()))
+	}
+	w.Flush()
+	return nil
+}
+
+// ICacheReport sweeps the instruction-cache simulation across the given
+// benchmarks and cache sizes (direct-mapped, 16-byte lines), printing
+// before/after miss rates — the conclusion-section extension.
+func ICacheReport(names []string, sizes []int, cfg Config) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("Instruction-cache effect (direct-mapped, 16-byte lines).\n")
+	w := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprint(w, "benchmark")
+	for _, s := range sizes {
+		fmt.Fprintf(w, "\t%dB", s)
+	}
+	fmt.Fprintln(w)
+	for _, name := range names {
+		bm := Get(name)
+		if bm == nil {
+			return sb.String(), fmt.Errorf("unknown benchmark %q", name)
+		}
+		p, err := bm.Compile()
+		if err != nil {
+			return sb.String(), err
+		}
+		prof, err := p.ProfileInputs(bm.Inputs[0])
+		if err != nil {
+			return sb.String(), err
+		}
+		if _, err := p.Inline(prof, cfg.Inline); err != nil {
+			return sb.String(), err
+		}
+		fmt.Fprintf(w, "%s", name)
+		for _, size := range sizes {
+			c := inlinec.ICacheConfig{Size: size, LineSize: 16, Assoc: 1}
+			before, err := p.SimulateICacheOriginal(bm.Inputs[0], c)
+			if err != nil {
+				return sb.String(), err
+			}
+			after, err := p.SimulateICache(bm.Inputs[0], c)
+			if err != nil {
+				return sb.String(), err
+			}
+			fmt.Fprintf(w, "\t%.2f→%.2f%%", 100*before.MissRate(), 100*after.MissRate())
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return sb.String(), nil
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many experiment configurations")
+	}
+	report, err := AblationReport(quickConfig())
+	if err != nil {
+		t.Fatalf("AblationReport: %v", err)
+	}
+	for _, frag := range []string{
+		"Ablation A", "threshold",
+		"Ablation B", "cap",
+		"Ablation C", "profile", "leaf", "small-callee",
+		"Ablation D", "linear order", "fixed point",
+		"Ablation E", "held out",
+	} {
+		if !strings.Contains(report, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+}
+
+func TestICacheReport(t *testing.T) {
+	report, err := ICacheReport([]string{"tee"}, []int{256, 1024}, quickConfig())
+	if err != nil {
+		t.Fatalf("ICacheReport: %v", err)
+	}
+	if !strings.Contains(report, "tee") || !strings.Contains(report, "256B") {
+		t.Errorf("report = %q", report)
+	}
+	if _, err := ICacheReport([]string{"bogus"}, []int{256}, quickConfig()); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"inlinec"
+	"inlinec/internal/callgraph"
+	"inlinec/internal/inline"
+)
+
+// Config selects the experiment parameters. Zero values take the paper's
+// defaults.
+type Config struct {
+	Inline   inlinec.Params
+	Classify inlinec.ClassifyParams
+	// MaxRuns caps the profiling runs per benchmark (0 = all). Useful for
+	// quick tests; the full tables use every input.
+	MaxRuns int
+	// PostOptimize additionally runs the post-inline cleanup passes before
+	// the final measurement (the paper did not; this is the ablation its
+	// section 4.4 sketches).
+	PostOptimize bool
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		Inline:   inlinec.DefaultParams(),
+		Classify: inlinec.DefaultClassifyParams(),
+	}
+}
+
+// BenchResult holds everything the four tables need for one benchmark.
+type BenchResult struct {
+	Name      string
+	InputDesc string
+
+	// Table 1: benchmark characteristics.
+	CLines     int
+	Runs       int
+	AvgIL      float64 // dynamic IL count per typical run (pre-inline)
+	AvgControl float64 // dynamic control transfers per run (pre-inline)
+
+	// Table 2/3: static and dynamic call-site characteristics.
+	Classes callgraph.ClassCounts
+
+	// Table 4: inline expansion results.
+	CodeInc    float64    // fractional static code increase
+	CallDec    float64    // fraction of dynamic calls eliminated
+	ILPerCall  float64    // dynamic ILs between calls, after inlining
+	CTPerCall  float64    // dynamic control transfers between calls, after
+	PostMix    [4]float64 // post-inline dynamic call mix by class (fractions)
+	Expansions int
+	Result     *inline.Result
+}
+
+// RunOne executes the full methodology for one benchmark: profile the
+// original, classify its call sites, inline with profile guidance,
+// re-profile, and collect the table rows.
+func RunOne(b *Benchmark, cfg Config) (*BenchResult, error) {
+	inputs := b.Inputs
+	if cfg.MaxRuns > 0 && len(inputs) > cfg.MaxRuns {
+		inputs = inputs[:cfg.MaxRuns]
+	}
+	p, err := b.Compile()
+	if err != nil {
+		return nil, err
+	}
+	before, err := p.ProfileInputs(inputs...)
+	if err != nil {
+		return nil, fmt.Errorf("%s: profiling original: %w", b.Name, err)
+	}
+
+	r := &BenchResult{
+		Name:       b.Name,
+		InputDesc:  b.InputDesc,
+		CLines:     b.CLines(),
+		Runs:       len(inputs),
+		AvgIL:      before.AvgIL(),
+		AvgControl: before.AvgControl(),
+	}
+
+	// Tables 2 and 3: classification of the original module's call sites.
+	g := p.CallGraph(before)
+	r.Classes = callgraph.Count(g.Classify(cfg.Classify))
+
+	// Table 4: expand, optionally clean up, and re-measure.
+	res, err := p.Inline(before, cfg.Inline)
+	if err != nil {
+		return nil, fmt.Errorf("%s: inline expansion: %w", b.Name, err)
+	}
+	if cfg.PostOptimize {
+		if err := p.Optimize(); err != nil {
+			return nil, fmt.Errorf("%s: post-inline optimize: %w", b.Name, err)
+		}
+	}
+	r.Result = res
+	r.Expansions = res.NumExpansions
+	r.CodeInc = float64(p.Module.TotalCodeSize()-res.OriginalSize) / float64(res.OriginalSize)
+
+	after, err := p.ProfileInputs(inputs...)
+	if err != nil {
+		return nil, fmt.Errorf("%s: profiling inlined: %w", b.Name, err)
+	}
+	if before.AvgCalls() > 0 {
+		r.CallDec = (before.AvgCalls() - after.AvgCalls()) / before.AvgCalls()
+	}
+	if after.AvgCalls() > 0 {
+		r.ILPerCall = after.AvgIL() / after.AvgCalls()
+		r.CTPerCall = after.AvgControl() / after.AvgCalls()
+	} else {
+		r.ILPerCall = after.AvgIL()
+		r.CTPerCall = after.AvgControl()
+	}
+
+	// Section 4.4: the class mix of the calls that remain after expansion.
+	ga := p.CallGraph(after)
+	cc := callgraph.Count(ga.Classify(cfg.Classify))
+	total := cc.TotalDynamic()
+	if total > 0 {
+		for i := 0; i < 4; i++ {
+			r.PostMix[i] = cc.Dynamic[i] / total
+		}
+	}
+	return r, nil
+}
+
+// RunAll runs every benchmark. progress, if non-nil, is called with each
+// benchmark name before it runs.
+func RunAll(cfg Config, progress func(string)) ([]*BenchResult, error) {
+	var out []*BenchResult
+	for _, b := range Suite() {
+		if progress != nil {
+			progress(b.Name)
+		}
+		r, err := RunOne(b, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Mean and SD over a column, as the paper's AVG/SD rows.
+func meanSD(vals []float64) (mean, sd float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	for _, v := range vals {
+		sd += (v - mean) * (v - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(vals)))
+	return mean, sd
+}

@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rng is a deterministic xorshift generator so every benchmark input is
+// reproducible across runs and machines.
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+func (r *rng) pick(words []string) string { return words[r.intn(len(words))] }
+
+var identWords = []string{
+	"count", "total", "index", "value", "buffer", "line", "token", "node",
+	"next", "head", "tail", "size", "limit", "offset", "state", "flags",
+	"input", "output", "temp", "result", "left", "right", "depth", "width",
+}
+
+var textWords = []string{
+	"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+	"compiler", "function", "inline", "expansion", "profile", "weight",
+	"graph", "node", "arc", "stack", "frame", "register", "branch",
+	"loop", "call", "return", "program", "section", "table", "figure",
+}
+
+// genIdent produces a C-ish identifier.
+func (r *rng) genIdent() string {
+	w := r.pick(identWords)
+	if r.intn(3) == 0 {
+		return w + fmt.Sprint(r.intn(100))
+	}
+	return w
+}
+
+// genCSource generates a small C-like source file of roughly the given
+// number of lines — the cccp benchmark's input class ("C programs,
+// 100-3000 lines" in the paper, scaled down for the interpreter).
+func genCSource(r *rng, lines int) string {
+	var sb strings.Builder
+	defines := r.intn(6) + 3
+	for i := 0; i < defines; i++ {
+		fmt.Fprintf(&sb, "#define %s %d\n", strings.ToUpper(r.genIdent())+fmt.Sprint(i), r.intn(1000))
+	}
+	sb.WriteString("#include <stdio.h>\n")
+	if r.intn(2) == 0 {
+		fmt.Fprintf(&sb, "#ifdef %s0\n", strings.ToUpper(r.pick(identWords)))
+		fmt.Fprintf(&sb, "int guarded_%s;\n", r.genIdent())
+		sb.WriteString("#endif\n")
+	}
+	if r.intn(3) == 0 {
+		fmt.Fprintf(&sb, "#undef %s1\n", strings.ToUpper(r.pick(identWords)))
+	}
+	emitted := defines + 1
+	for emitted < lines {
+		switch r.intn(5) {
+		case 0:
+			fmt.Fprintf(&sb, "int %s(int %s) {\n", r.genIdent(), r.genIdent())
+			fmt.Fprintf(&sb, "    return %s + %d; /* %s */\n", r.genIdent(), r.intn(50), r.pick(textWords))
+			sb.WriteString("}\n")
+			emitted += 3
+		case 1:
+			fmt.Fprintf(&sb, "/* %s %s %s */\n", r.pick(textWords), r.pick(textWords), r.pick(textWords))
+			emitted++
+		case 2:
+			fmt.Fprintf(&sb, "int %s = %d;\n", r.genIdent(), r.intn(1000))
+			emitted++
+		case 3:
+			fmt.Fprintf(&sb, "    if (%s > %d) %s = %s * 2;\n", r.genIdent(), r.intn(10), r.genIdent(), r.genIdent())
+			emitted++
+		default:
+			fmt.Fprintf(&sb, "    %s(%s, %d);\n", r.genIdent(), r.genIdent(), r.intn(9))
+			emitted++
+		}
+	}
+	return sb.String()
+}
+
+// genText generates prose-like text with the given approximate word count.
+func genText(r *rng, words int) string {
+	var sb strings.Builder
+	col := 0
+	for i := 0; i < words; i++ {
+		w := r.pick(textWords)
+		if col+len(w)+1 > 60 {
+			sb.WriteByte('\n')
+			col = 0
+		} else if col > 0 {
+			sb.WriteByte(' ')
+			col++
+		}
+		sb.WriteString(w)
+		col += len(w)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// genBinary generates length pseudo-random bytes (tar/cmp payloads).
+func genBinary(r *rng, length int) []byte {
+	out := make([]byte, length)
+	for i := range out {
+		out[i] = byte(r.next())
+	}
+	return out
+}
+
+// mutate flips a few bytes of data, returning a near-identical copy
+// (cmp's "similar/dissimilar text files" inputs).
+func mutate(r *rng, data []byte, flips int) []byte {
+	out := append([]byte(nil), data...)
+	for i := 0; i < flips && len(out) > 0; i++ {
+		out[r.intn(len(out))] ^= byte(1 + r.intn(254))
+	}
+	return out
+}
+
+// genEqnDoc generates a document with embedded .EQ/.EN equation blocks
+// (the eqn benchmark's "papers with .EQ options").
+func genEqnDoc(r *rng, blocks int) string {
+	var sb strings.Builder
+	ops := []string{"+", "-", "*", "/"}
+	for b := 0; b < blocks; b++ {
+		sb.WriteString(genText(r, 10+r.intn(20)))
+		sb.WriteString(".EQ\n")
+		terms := 2 + r.intn(4)
+		for t := 0; t < terms; t++ {
+			if t > 0 {
+				fmt.Fprintf(&sb, " %s ", ops[r.intn(len(ops))])
+			}
+			switch r.intn(4) {
+			case 0:
+				fmt.Fprintf(&sb, "x sub %d", r.intn(9))
+			case 1:
+				fmt.Fprintf(&sb, "y sup %d", r.intn(9))
+			case 2:
+				fmt.Fprintf(&sb, "%s over %s", r.pick([]string{"a", "b", "n"}), r.pick([]string{"c", "d", "m"}))
+			default:
+				fmt.Fprintf(&sb, "%d", r.intn(100))
+			}
+		}
+		sb.WriteString("\n.EN\n")
+	}
+	return sb.String()
+}
+
+// genTruthTable generates an espresso-style PLA: lines of input bits and
+// an output bit.
+func genTruthTable(r *rng, inputs, terms int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ".i %d\n.p %d\n", inputs, terms)
+	for t := 0; t < terms; t++ {
+		for i := 0; i < inputs; i++ {
+			sb.WriteByte(byte('0' + r.intn(2)))
+		}
+		sb.WriteByte(' ')
+		sb.WriteByte(byte('0' + r.intn(2)))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(".e\n")
+	return sb.String()
+}
+
+// genMakefile generates a dependency file in the mini-make syntax plus a
+// matching timestamp table.
+func genMakefile(r *rng, targets int) (string, string) {
+	var mk, ts strings.Builder
+	now := 1000
+	for i := 0; i < targets; i++ {
+		name := fmt.Sprintf("obj%d", i)
+		fmt.Fprintf(&mk, "%s:", name)
+		deps := r.intn(3)
+		for d := 0; d < deps && i > 0; d++ {
+			fmt.Fprintf(&mk, " obj%d", r.intn(i))
+		}
+		if r.intn(4) == 0 || i == 0 {
+			fmt.Fprintf(&mk, " src%d", i)
+			fmt.Fprintf(&ts, "src%d %d\n", i, now+r.intn(500))
+		}
+		mk.WriteByte('\n')
+		fmt.Fprintf(&ts, "%s %d\n", name, now+r.intn(500))
+	}
+	return mk.String(), ts.String()
+}
+
+// genGrammar generates a yacc-style grammar over single-letter
+// nonterminals and lowercase terminals, plus a sample sentence.
+func genGrammar(r *rng, rules int) (string, string) {
+	var g strings.Builder
+	// A fixed LL(1)-friendly skeleton with random embellishment: the
+	// driver benchmark parses expressions over +, *, (, ), n.
+	g.WriteString("E: T e\n")
+	g.WriteString("e: + T e\n")
+	g.WriteString("e: .\n")
+	g.WriteString("T: F t\n")
+	g.WriteString("t: * F t\n")
+	g.WriteString("t: .\n")
+	g.WriteString("F: ( E )\n")
+	g.WriteString("F: n\n")
+	// Sample sentence: a random arithmetic expression.
+	var expr func(depth int) string
+	expr = func(depth int) string {
+		if depth <= 0 || r.intn(3) == 0 {
+			return "n"
+		}
+		switch r.intn(3) {
+		case 0:
+			return expr(depth-1) + "+" + expr(depth-1)
+		case 1:
+			return expr(depth-1) + "*" + expr(depth-1)
+		default:
+			return "(" + expr(depth-1) + ")"
+		}
+	}
+	var sent strings.Builder
+	for i := 0; i < rules; i++ {
+		sent.WriteString(expr(3 + r.intn(3)))
+		sent.WriteByte('\n')
+	}
+	return g.String(), sent.String()
+}
+
+// genLexSpec generates token specifications for the mini-lex benchmark:
+// keyword and operator literals, one per line, followed by input text to
+// scan.
+func genLexSpec(r *rng) string {
+	kws := []string{"if", "else", "while", "for", "return", "break", "int", "char"}
+	var sb strings.Builder
+	for _, k := range kws {
+		fmt.Fprintf(&sb, "K %s\n", k)
+	}
+	for _, op := range []string{"==", "!=", "<=", ">=", "&&", "||", "++", "--"} {
+		fmt.Fprintf(&sb, "O %s\n", op)
+	}
+	sb.WriteString(".\n")
+	return sb.String()
+}

@@ -1,0 +1,585 @@
+/* cccp - a miniature C preprocessor in the spirit of the GNU cccp
+ * benchmark from the paper. It reads C source from stdin, strips
+ * comments, records #define NAME VALUE macros, expands macro uses in
+ * ordinary text, honors #undef / #ifdef / #ifndef / #endif, and drops
+ * other # directives. Directives dispatch through a function-pointer
+ * table (a call-through-pointer site for the call graph's ### node).
+ * Input is buffered through a user-level reader over read(), as real
+ * stdio's getc macro was, so external calls are syscall-shaped. The
+ * option file "opts" can predefine macros and toggle rarely-used flags,
+ * giving the program the cold regions real tools have. */
+
+extern int read(int fd, char *buf, int n);
+extern int open(char *path, int mode);
+extern int close(int fd);
+extern int putchar(int c);
+extern int printf(char *fmt, ...);
+extern void exit(int code);
+
+enum {
+    MAXMACROS = 128, MAXNAME = 32, MAXVALUE = 64, MAXLINE = 512,
+    INBUF = 2048, MAXCOND = 16
+};
+
+char macro_names[MAXMACROS][MAXNAME];
+char macro_values[MAXMACROS][MAXVALUE];
+int nmacros;
+
+int lines_in;
+int macros_expanded;
+int directives_seen;
+
+/* option flags (cold: set once from the opts file, rarely enabled) */
+int opt_count_only;   /* -c: suppress output, print only statistics */
+int opt_keep_hash;    /* -k: echo unknown # lines instead of dropping */
+int opt_trace;        /* -t: trace each directive */
+int opt_macro_stats;  /* -m: dump macro table statistics at exit */
+int opt_validate;     /* -V: validate the macro table at exit */
+
+/* per-directive counters for the -m report */
+int count_define;
+int count_undef;
+int count_include;
+int count_cond;
+
+/* conditional-compilation stack */
+int cond_stack[MAXCOND];
+int cond_depth;
+
+/* ---- buffered input (hot) ---- */
+
+char inbuf[INBUF];
+int inlen;
+int inpos;
+
+int fill_input() {
+    inlen = read(0, inbuf, INBUF);
+    inpos = 0;
+    return inlen > 0;
+}
+
+int in_byte() {
+    if (inpos >= inlen) {
+        if (!fill_input()) return -1;
+    }
+    return inbuf[inpos++];
+}
+
+/* ---- character classification (hot leaves) ---- */
+
+int is_space(int c) { return c == ' ' || c == '\t'; }
+
+int is_digit(int c) { return c >= '0' && c <= '9'; }
+
+int is_alpha(int c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+int is_ident_start(int c) { return is_alpha(c); }
+
+int is_ident_char(int c) { return is_alpha(c) || is_digit(c); }
+
+/* ---- string helpers ---- */
+
+int str_eq(char *a, char *b) {
+    while (*a && *b) {
+        if (*a != *b) return 0;
+        a++;
+        b++;
+    }
+    return *a == *b;
+}
+
+int str_len(char *s) {
+    int n;
+    n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+void str_copy(char *dst, char *src) {
+    while (*src) {
+        *dst = *src;
+        dst++;
+        src++;
+    }
+    *dst = '\0';
+}
+
+/* ---- cold diagnostics ---- */
+
+void warn(char *what, char *detail) {
+    printf("cccp: warning: %s %s\n", what, detail);
+}
+
+void fatal(char *what) {
+    printf("cccp: fatal: %s\n", what);
+    exit(2);
+}
+
+void usage() {
+    printf("usage: cccp [-c] [-k] [-t] [-Dname=value]\n");
+    printf("  -c  count only\n  -k  keep unknown directives\n  -t  trace\n");
+}
+
+/* ---- macro table ---- */
+
+int lookup_macro(char *name) {
+    int i;
+    for (i = 0; i < nmacros; i++) {
+        if (str_eq(macro_names[i], name)) return i;
+    }
+    return -1;
+}
+
+void define_macro(char *name, char *value) {
+    int slot;
+    slot = lookup_macro(name);
+    if (slot < 0) {
+        if (nmacros >= MAXMACROS) {
+            warn("macro table full, dropping", name);
+            return;
+        }
+        slot = nmacros++;
+    }
+    str_copy(macro_names[slot], name);
+    str_copy(macro_values[slot], value);
+}
+
+void undef_macro(char *name) {
+    int slot, last;
+    slot = lookup_macro(name);
+    if (slot < 0) {
+        warn("undef of unknown macro", name);
+        return;
+    }
+    last = nmacros - 1;
+    if (slot != last) {
+        str_copy(macro_names[slot], macro_names[last]);
+        str_copy(macro_values[slot], macro_values[last]);
+    }
+    nmacros = last;
+}
+
+/* ---- output ---- */
+
+int suppressed() {
+    int i;
+    for (i = 0; i < cond_depth; i++) {
+        if (!cond_stack[i]) return 1;
+    }
+    return 0;
+}
+
+void emit_char(int c) {
+    if (opt_count_only) return;
+    if (suppressed()) return;
+    putchar(c);
+}
+
+void emit_str(char *s) {
+    while (*s) {
+        emit_char(*s);
+        s++;
+    }
+}
+
+/* ---- line reading with comment stripping ---- */
+
+int read_line(char *buf, int max) {
+    int c, n, incomment;
+    n = 0;
+    incomment = 0;
+    for (;;) {
+        c = in_byte();
+        if (c == -1) {
+            if (n == 0) return -1;
+            break;
+        }
+        if (c == '\n') break;
+        if (incomment) {
+            if (c == '*') {
+                c = in_byte();
+                if (c == '/') { incomment = 0; }
+                else if (c == '\n') break;
+            }
+            continue;
+        }
+        if (c == '/') {
+            c = in_byte();
+            if (c == '*') { incomment = 1; continue; }
+            if (c == '/') {
+                while ((c = in_byte()) != -1 && c != '\n') ;
+                break;
+            }
+            if (n < max - 1) buf[n++] = '/';
+            if (c == -1 || c == '\n') break;
+        }
+        if (n < max - 1) buf[n++] = c;
+    }
+    buf[n] = '\0';
+    lines_in++;
+    return n;
+}
+
+/* ---- directive handlers, dispatched through a pointer table ---- */
+
+int skip_spaces(char *line, int i) {
+    while (is_space(line[i])) i++;
+    return i;
+}
+
+int read_word(char *line, int i, char *out, int max) {
+    int n;
+    n = 0;
+    while (is_ident_char(line[i]) && n < max - 1) {
+        out[n++] = line[i++];
+    }
+    out[n] = '\0';
+    return i;
+}
+
+void do_define(char *args) {
+    char name[MAXNAME], value[MAXVALUE];
+    int i, n;
+    i = skip_spaces(args, 0);
+    i = read_word(args, i, name, MAXNAME);
+    i = skip_spaces(args, i);
+    n = 0;
+    while (args[i] && n < MAXVALUE - 1) value[n++] = args[i++];
+    value[n] = '\0';
+    if (name[0]) define_macro(name, value);
+    else warn("define without a name", args);
+}
+
+void do_undef(char *args) {
+    char name[MAXNAME];
+    int i;
+    i = skip_spaces(args, 0);
+    read_word(args, i, name, MAXNAME);
+    if (name[0]) undef_macro(name);
+}
+
+void do_include(char *args) {
+    /* no search path in the benchmark environment: drop, but note it */
+    if (opt_trace) printf("cccp: include %s\n", args);
+}
+
+void do_ifdef(char *args) {
+    char name[MAXNAME];
+    int i;
+    i = skip_spaces(args, 0);
+    read_word(args, i, name, MAXNAME);
+    if (cond_depth < MAXCOND) {
+        cond_stack[cond_depth++] = lookup_macro(name) >= 0;
+    } else {
+        fatal("conditional nesting too deep");
+    }
+}
+
+void do_ifndef(char *args) {
+    char name[MAXNAME];
+    int i;
+    i = skip_spaces(args, 0);
+    read_word(args, i, name, MAXNAME);
+    if (cond_depth < MAXCOND) {
+        cond_stack[cond_depth++] = lookup_macro(name) < 0;
+    } else {
+        fatal("conditional nesting too deep");
+    }
+}
+
+void do_endif(char *args) {
+    if (cond_depth > 0) cond_depth--;
+    else warn("endif without matching ifdef", "");
+}
+
+struct Directive {
+    char *name;
+    void (*handler)(char *args);
+};
+
+struct Directive directives[6];
+
+void init_directives() {
+    directives[0].name = "define";
+    directives[0].handler = do_define;
+    directives[1].name = "undef";
+    directives[1].handler = do_undef;
+    directives[2].name = "include";
+    directives[2].handler = do_include;
+    directives[3].name = "ifdef";
+    directives[3].handler = do_ifdef;
+    directives[4].name = "ifndef";
+    directives[4].handler = do_ifndef;
+    directives[5].name = "endif";
+    directives[5].handler = do_endif;
+}
+
+void handle_directive(char *line) {
+    char kw[MAXNAME];
+    int i, d;
+    directives_seen++;
+    i = skip_spaces(line, 1);
+    i = read_word(line, i, kw, MAXNAME);
+    i = skip_spaces(line, i);
+    for (d = 0; d < 6; d++) {
+        if (str_eq(kw, directives[d].name)) {
+            if (opt_trace) printf("cccp: #%s\n", kw);
+            if (d == 0) count_define++;
+            else if (d == 1) count_undef++;
+            else if (d == 2) count_include++;
+            else count_cond++;
+            directives[d].handler(line + i);
+            return;
+        }
+    }
+    if (opt_keep_hash) {
+        emit_str(line);
+        emit_char('\n');
+    }
+}
+
+/* ---- macro expansion over one line ---- */
+
+void expand_line(char *line) {
+    char word[MAXNAME];
+    int i, j, slot;
+    i = 0;
+    while (line[i]) {
+        if (is_ident_start(line[i])) {
+            j = read_word(line, i, word, MAXNAME);
+            slot = lookup_macro(word);
+            if (slot >= 0) {
+                emit_str(macro_values[slot]);
+                macros_expanded++;
+            } else {
+                emit_str(word);
+            }
+            i = j;
+        } else if (line[i] == '"') {
+            emit_char(line[i]);
+            i++;
+            while (line[i] && line[i] != '"') {
+                if (line[i] == '\\' && line[i + 1]) {
+                    emit_char(line[i]);
+                    i++;
+                }
+                emit_char(line[i]);
+                i++;
+            }
+            if (line[i]) { emit_char(line[i]); i++; }
+        } else {
+            emit_char(line[i]);
+            i++;
+        }
+    }
+    emit_char('\n');
+}
+
+/* ---- cold option loading from the "opts" file ---- */
+
+void load_options() {
+    char line[MAXLINE];
+    int fd, c, n;
+    fd = open("opts", 0);
+    if (fd < 0) return; /* the common case: no options */
+    for (;;) {
+        n = 0;
+        for (;;) {
+            char ch[1];
+            if (read(fd, ch, 1) != 1) { c = -1; break; }
+            c = ch[0];
+            if (c == '\n') break;
+            if (n < MAXLINE - 1) line[n++] = c;
+        }
+        line[n] = '\0';
+        if (n == 0 && c == -1) break;
+        if (line[0] == '-') {
+            if (line[1] == 'c') opt_count_only = 1;
+            else if (line[1] == 'k') opt_keep_hash = 1;
+            else if (line[1] == 't') opt_trace = 1;
+            else if (line[1] == 'm') opt_macro_stats = 1;
+            else if (line[1] == 'V') opt_validate = 1;
+            else if (line[1] == 'D') {
+                char name[MAXNAME], value[MAXVALUE];
+                int i, j;
+                i = 2;
+                i = read_word(line, i, name, MAXNAME);
+                j = 0;
+                if (line[i] == '=') {
+                    i++;
+                    while (line[i] && j < MAXVALUE - 1) value[j++] = line[i++];
+                }
+                value[j] = '\0';
+                if (name[0]) define_macro(name, value);
+            } else if (line[1] == 'h') {
+                usage();
+            } else {
+                warn("unknown option", line);
+            }
+        }
+        if (c == -1) break;
+    }
+    close(fd);
+}
+
+/* ---- cold: macro table statistics, printed only under -m ---- */
+
+int value_length(int slot) { return str_len(macro_values[slot]); }
+
+int name_length(int slot) { return str_len(macro_names[slot]); }
+
+int longest_value() {
+    int i, best, len;
+    best = 0;
+    for (i = 0; i < nmacros; i++) {
+        len = value_length(i);
+        if (len > best) best = len;
+    }
+    return best;
+}
+
+int total_name_chars() {
+    int i, sum;
+    sum = 0;
+    for (i = 0; i < nmacros; i++) sum += name_length(i);
+    return sum;
+}
+
+void print_gauge(char *label, int value, int scale) {
+    int i, stars;
+    printf("  %-12s %4d ", label, value);
+    stars = value;
+    if (scale > 0) stars = value / scale;
+    if (stars > 40) stars = 40;
+    for (i = 0; i < stars; i++) putchar('*');
+    putchar('\n');
+}
+
+void macro_stats() {
+    int avg;
+    printf("cccp: macro table statistics\n");
+    print_gauge("macros", nmacros, 1);
+    print_gauge("longest", longest_value(), 1);
+    avg = 0;
+    if (nmacros > 0) avg = total_name_chars() / nmacros;
+    print_gauge("avg name", avg, 1);
+    print_gauge("expansions", macros_expanded, 8);
+    print_gauge("defines", count_define, 1);
+    print_gauge("undefs", count_undef, 1);
+    print_gauge("includes", count_include, 1);
+    print_gauge("conds", count_cond, 1);
+}
+
+/* ---- cold: macro table validation (-V), the kind of consistency pass
+ * a real preprocessor runs under a debug flag ---- */
+
+int name_well_formed(char *name) {
+    int i;
+    if (!is_ident_start(name[0])) return 0;
+    for (i = 1; name[i]; i++) {
+        if (!is_ident_char(name[i])) return 0;
+    }
+    return 1;
+}
+
+int value_balanced(char *v) {
+    int depth, i;
+    depth = 0;
+    for (i = 0; v[i]; i++) {
+        if (v[i] == '(') depth++;
+        if (v[i] == ')') depth--;
+        if (depth < 0) return 0;
+    }
+    return depth == 0;
+}
+
+int value_self_reference(int slot) {
+    char word[MAXNAME];
+    char *v;
+    int i, j;
+    v = macro_values[slot];
+    i = 0;
+    while (v[i]) {
+        if (is_ident_start(v[i])) {
+            j = 0;
+            while (is_ident_char(v[i]) && j < MAXNAME - 1) word[j++] = v[i++];
+            word[j] = '\0';
+            if (str_eq(word, macro_names[slot])) return 1;
+        } else {
+            i++;
+        }
+    }
+    return 0;
+}
+
+int find_shadowed_pair() {
+    int i, j;
+    for (i = 0; i < nmacros; i++) {
+        for (j = i + 1; j < nmacros; j++) {
+            if (str_eq(macro_names[i], macro_names[j])) return i;
+        }
+    }
+    return -1;
+}
+
+void validate_table() {
+    int i, bad;
+    bad = 0;
+    for (i = 0; i < nmacros; i++) {
+        if (!name_well_formed(macro_names[i])) {
+            warn("malformed macro name", macro_names[i]);
+            bad++;
+        }
+        if (!value_balanced(macro_values[i])) {
+            warn("unbalanced parens in value of", macro_names[i]);
+            bad++;
+        }
+        if (value_self_reference(i)) {
+            warn("self-referential macro", macro_names[i]);
+            bad++;
+        }
+    }
+    if (find_shadowed_pair() >= 0) {
+        warn("duplicate macro entries found", "");
+        bad++;
+    }
+    if (bad == 0) printf("cccp: macro table ok (%d entries)\n", nmacros);
+    else printf("cccp: %d macro table problem(s)\n", bad);
+}
+
+int main() {
+    char line[MAXLINE];
+    nmacros = 0;
+    lines_in = 0;
+    macros_expanded = 0;
+    directives_seen = 0;
+    cond_depth = 0;
+    opt_count_only = 0;
+    opt_keep_hash = 0;
+    opt_trace = 0;
+    opt_macro_stats = 0;
+    opt_validate = 0;
+    count_define = 0;
+    count_undef = 0;
+    count_include = 0;
+    count_cond = 0;
+    inlen = 0;
+    inpos = 0;
+    init_directives();
+    load_options();
+    while (read_line(line, MAXLINE) >= 0) {
+        if (line[0] == '#') {
+            handle_directive(line);
+        } else {
+            expand_line(line);
+        }
+    }
+    if (cond_depth != 0) warn("unterminated conditional", "");
+    if (opt_macro_stats) macro_stats();
+    if (opt_validate) validate_table();
+    printf("cccp: %d lines, %d macros, %d expansions, %d directives\n",
+           lines_in, nmacros, macros_expanded, directives_seen);
+    return 0;
+}

@@ -1,0 +1,264 @@
+/* cmp - compare two files byte by byte, after the UNIX cmp benchmark.
+ * Modes mirror the real tool: default prints the first difference,
+ * "-l" lists every differing byte, "-s" is silent (exit status only).
+ * The mode and file names come from a small command file on the
+ * simulated file system, so different runs exercise different options.
+ * Each file is read through its own user-level buffer over read(), so
+ * external calls are syscall-shaped; next_byte is the hot leaf. */
+
+extern int open(char *path, int mode);
+extern int close(int fd);
+extern int read(int fd, char *buf, int n);
+extern int getc(int fd);
+extern int printf(char *fmt, ...);
+extern void exit(int code);
+
+enum {
+    MODE_FIRST = 0, MODE_LIST = 1, MODE_SILENT = 2, MODE_HIST = 3,
+    MODE_POS = 4,
+    CMPBUF = 1024
+};
+
+int differences;
+int opt_max_list; /* -l stops after this many lines (cold option) */
+
+/* -h histogram state (cold mode) */
+int diff_hist[16];
+
+/* ---- buffered readers, one per input file ---- */
+
+char buf1[CMPBUF];
+int len1;
+int pos1;
+char buf2[CMPBUF];
+int len2;
+int pos2;
+int fda;
+int fdb;
+
+int fill1() {
+    len1 = read(fda, buf1, CMPBUF);
+    pos1 = 0;
+    return len1 > 0;
+}
+
+int fill2() {
+    len2 = read(fdb, buf2, CMPBUF);
+    pos2 = 0;
+    return len2 > 0;
+}
+
+int next_a() {
+    if (pos1 >= len1) {
+        if (!fill1()) return -1;
+    }
+    return buf1[pos1++];
+}
+
+int next_b() {
+    if (pos2 >= len2) {
+        if (!fill2()) return -1;
+    }
+    return buf2[pos2++];
+}
+
+/* ---- cold: -h bucketed histogram of difference magnitudes ---- */
+
+int bucket_of(int a, int b) {
+    int d;
+    d = a - b;
+    if (d < 0) d = -d;
+    d = d / 16;
+    if (d > 15) d = 15;
+    return d;
+}
+
+void note_difference(int a, int b) {
+    diff_hist[bucket_of(a, b)]++;
+}
+
+int hist_total() {
+    int i, sum;
+    sum = 0;
+    for (i = 0; i < 16; i++) sum += diff_hist[i];
+    return sum;
+}
+
+void print_row(int bucket, int count, int total) {
+    int i, stars;
+    stars = 0;
+    if (total > 0) stars = (count * 30) / total;
+    printf("%3d..%3d %6d ", bucket * 16, bucket * 16 + 15, count);
+    for (i = 0; i < stars; i++) printf("#");
+    printf("\n");
+}
+
+void print_histogram() {
+    int i, total;
+    total = hist_total();
+    printf("cmp: difference histogram (%d samples)\n", total);
+    for (i = 0; i < 16; i++) {
+        if (diff_hist[i] > 0) print_row(i, diff_hist[i], total);
+    }
+}
+
+/* ---- cold: 'p' mode tracks line/column positions of differences, the
+ * way cmp -l users eyeball text diffs ---- */
+
+int cur_line;
+int cur_col;
+int pos_reports;
+
+void advance_position(int c) {
+    if (c == '\n') {
+        cur_line++;
+        cur_col = 1;
+    } else {
+        cur_col++;
+    }
+}
+
+int printable(int c) {
+    return c >= 32 && c < 127;
+}
+
+void format_byte(int c) {
+    if (printable(c)) printf("'%c'", c);
+    else printf("\\%o", c);
+}
+
+void report_position(int a, int b) {
+    if (pos_reports >= 16) {
+        if (pos_reports == 16) printf("cmp: more differences follow\n");
+        pos_reports++;
+        return;
+    }
+    pos_reports++;
+    printf("line %d col %d: ", cur_line, cur_col);
+    format_byte(a);
+    printf(" != ");
+    format_byte(b);
+    printf("\n");
+}
+
+/* ---- cold reporting paths ---- */
+
+int report_first(int pos, int a, int b) {
+    printf("files differ: byte %d, %d != %d\n", pos, a, b);
+    return 1;
+}
+
+void report_list(int pos, int a, int b) {
+    printf("%d %o %o\n", pos, a, b);
+}
+
+void report_eof(int pos, int which) {
+    if (which == 1) printf("cmp: EOF on first file at byte %d\n", pos);
+    else printf("cmp: EOF on second file at byte %d\n", pos);
+}
+
+void usage() {
+    printf("usage: cmp [-l|-s] file1 file2\n");
+    exit(2);
+}
+
+void cannot_open(char *name) {
+    printf("cmp: cannot open %s\n", name);
+    exit(2);
+}
+
+/* ---- comparison loop ---- */
+
+int compare(int mode) {
+    int a, b, pos, listed;
+    pos = 0;
+    listed = 0;
+    for (;;) {
+        a = next_a();
+        b = next_b();
+        pos++;
+        if (a == -1 && b == -1) break;
+        if (a == -1 || b == -1) {
+            if (mode != MODE_SILENT) {
+                if (a == -1) report_eof(pos, 1);
+                else report_eof(pos, 2);
+            }
+            differences++;
+            return 1;
+        }
+        if (mode == MODE_POS) advance_position(a);
+        if (a != b) {
+            differences++;
+            if (mode == MODE_HIST) note_difference(a, b);
+            if (mode == MODE_POS) report_position(a, b);
+            if (mode == MODE_FIRST) return report_first(pos, a, b);
+            if (mode == MODE_LIST) {
+                listed++;
+                if (listed <= opt_max_list) report_list(pos, a, b);
+                else if (listed == opt_max_list + 1)
+                    printf("cmp: further differences suppressed\n");
+            }
+        }
+    }
+    return differences > 0;
+}
+
+/* ---- command file ---- */
+
+int read_mode(int cmdfd) {
+    int c;
+    c = getc(cmdfd);
+    if (c == 'l') return MODE_LIST;
+    if (c == 's') return MODE_SILENT;
+    if (c == 'f') return MODE_FIRST;
+    if (c == 'h') return MODE_HIST;
+    if (c == 'p') return MODE_POS;
+    if (c == -1) usage();
+    return MODE_FIRST;
+}
+
+int read_name(int cmdfd, char *out, int max) {
+    int c, n;
+    n = 0;
+    for (;;) {
+        c = getc(cmdfd);
+        if (c == -1) break;
+        if (c == ' ' || c == '\n') {
+            if (n > 0) break;
+            continue;
+        }
+        if (n < max - 1) out[n++] = c;
+    }
+    out[n] = '\0';
+    return n;
+}
+
+int main() {
+    char name1[64], name2[64];
+    int cmdfd, mode, rc;
+    differences = 0;
+    opt_max_list = 64;
+    cur_line = 1;
+    cur_col = 1;
+    pos_reports = 0;
+    len1 = 0;
+    pos1 = 0;
+    len2 = 0;
+    pos2 = 0;
+    cmdfd = open("cmp.cmd", 0);
+    if (cmdfd < 0) usage();
+    mode = read_mode(cmdfd);
+    if (read_name(cmdfd, name1, 64) == 0) usage();
+    if (read_name(cmdfd, name2, 64) == 0) usage();
+    close(cmdfd);
+    fda = open(name1, 0);
+    if (fda < 0) cannot_open(name1);
+    fdb = open(name2, 0);
+    if (fdb < 0) cannot_open(name2);
+    rc = compare(mode);
+    close(fda);
+    close(fdb);
+    if (mode == MODE_HIST) print_histogram();
+    if (mode != MODE_SILENT) printf("cmp: %d difference(s)\n", differences);
+    return rc;
+}

@@ -1,0 +1,426 @@
+/* compress - an LZW compressor modeled on the UNIX compress benchmark.
+ * Reads bytes from stdin through a user-level buffered reader (as
+ * stdio's getc macro was), emits 12-bit codes packed into bytes through
+ * a buffered writer, then prints a ratio summary. The dictionary is a
+ * hash table of (prefix code, suffix byte) pairs probed with open
+ * addressing; the hash, probe, and code-output helpers are the hot
+ * small functions. Cold regions mirror the real tool: an option file
+ * can force a smaller code width, request verbose statistics, or run a
+ * self-check decompression of the emitted stream. */
+
+extern int read(int fd, char *buf, int n);
+extern int write(int fd, char *buf, int n);
+extern int open(char *path, int mode);
+extern int close(int fd);
+extern int putc(int c, int fd);
+extern int printf(char *fmt, ...);
+
+enum {
+    MAXBITS = 12,
+    MAXCODES = 4096,     /* 1 << MAXBITS */
+    HASHSIZE = 5003,
+    FIRSTCODE = 256,
+    IOBUF = 2048
+};
+
+int hash_prefix[HASHSIZE];
+int hash_suffix[HASHSIZE];
+int hash_code[HASHSIZE];
+
+/* decoder table for the self-check pass (cold) */
+int dec_prefix[MAXCODES];
+int dec_suffix[MAXCODES];
+
+int code_bits;  /* current code width, default MAXBITS */
+int next_code;
+int in_bytes;
+int out_bytes;
+
+int opt_verbose;
+int opt_check;
+int opt_decode;
+int opt_blocks;   /* cold 'B': reset the dictionary every block */
+int block_resets;
+
+/* bit packing state */
+int bit_buffer;
+int bit_count;
+
+/* ---- buffered input ---- */
+
+char inbuf[IOBUF];
+int inlen;
+int inpos;
+
+int fill_input() {
+    inlen = read(0, inbuf, IOBUF);
+    inpos = 0;
+    return inlen > 0;
+}
+
+int get_byte() {
+    if (inpos >= inlen) {
+        if (!fill_input()) return -1;
+    }
+    in_bytes++;
+    return inbuf[inpos++];
+}
+
+/* ---- buffered output; the compressed stream is also retained in a
+ * window so the self-check can re-read what was written (cold) ---- */
+
+char outbuf[IOBUF];
+int outlen;
+
+enum { KEEPMAX = 65536 };
+char kept[KEEPMAX];
+int nkept;
+
+void flush_output() {
+    if (outlen > 0) write(1, outbuf, outlen);
+    outlen = 0;
+}
+
+void put_byte(int c) {
+    if (outlen >= IOBUF) flush_output();
+    outbuf[outlen++] = c;
+    if (nkept < KEEPMAX) kept[nkept++] = c;
+    out_bytes++;
+}
+
+/* ---- dictionary ---- */
+
+void table_init() {
+    int i;
+    for (i = 0; i < HASHSIZE; i++) hash_code[i] = -1;
+    next_code = FIRSTCODE;
+}
+
+int max_code() { return 1 << code_bits; }
+
+int hash_slot(int prefix, int suffix) {
+    int h;
+    h = (prefix << 4) ^ suffix;
+    h = h % HASHSIZE;
+    if (h < 0) h += HASHSIZE;
+    return h;
+}
+
+int probe_next(int slot) {
+    slot = slot + 1;
+    if (slot >= HASHSIZE) slot = 0;
+    return slot;
+}
+
+int table_find(int prefix, int suffix) {
+    int slot;
+    slot = hash_slot(prefix, suffix);
+    while (hash_code[slot] != -1) {
+        if (hash_prefix[slot] == prefix && hash_suffix[slot] == suffix)
+            return hash_code[slot];
+        slot = probe_next(slot);
+    }
+    return -1;
+}
+
+void table_add(int prefix, int suffix) {
+    int slot;
+    if (next_code >= max_code()) return;
+    slot = hash_slot(prefix, suffix);
+    while (hash_code[slot] != -1) slot = probe_next(slot);
+    hash_prefix[slot] = prefix;
+    hash_suffix[slot] = suffix;
+    hash_code[slot] = next_code;
+    dec_prefix[next_code] = prefix;
+    dec_suffix[next_code] = suffix;
+    next_code++;
+}
+
+/* ---- code stream ---- */
+
+void put_code(int code) {
+    bit_buffer = (bit_buffer << code_bits) | code;
+    bit_count += code_bits;
+    while (bit_count >= 8) {
+        put_byte((bit_buffer >> (bit_count - 8)) & 0xff);
+        bit_count -= 8;
+    }
+}
+
+void flush_bits() {
+    if (bit_count > 0) {
+        put_byte((bit_buffer << (8 - bit_count)) & 0xff);
+        bit_count = 0;
+    }
+}
+
+/* ---- compressor ---- */
+
+/* cold 'B': restart the dictionary when it degrades, as the real
+ * compress monitors its ratio and emits a CLEAR code */
+enum { BLOCKBYTES = 4096 };
+
+int should_reset(int consumed) {
+    if (!opt_blocks) return 0;
+    if (next_code < max_code()) return 0;
+    return consumed % BLOCKBYTES == 0;
+}
+
+void reset_dictionary() {
+    table_init();
+    block_resets++;
+}
+
+void compress_stream() {
+    int prefix, c, code;
+    prefix = get_byte();
+    if (prefix == -1) return;
+    for (;;) {
+        c = get_byte();
+        if (c == -1) break;
+        code = table_find(prefix, c);
+        if (code != -1) {
+            prefix = code;
+        } else {
+            put_code(prefix);
+            table_add(prefix, c);
+            prefix = c;
+        }
+        if (should_reset(in_bytes)) {
+            put_code(prefix);
+            reset_dictionary();
+            prefix = get_byte();
+            if (prefix == -1) { flush_bits(); return; }
+        }
+    }
+    put_code(prefix);
+    flush_bits();
+}
+
+/* ---- cold: full decompressor ('d' option) — decodes the retained
+ * stream back to the original bytes and writes them to the file
+ * "decoded" so a harness can compare round trips ---- */
+
+char stack_bytes[MAXCODES];
+int stack_top;
+
+void push_byte(int c) {
+    if (stack_top < MAXCODES) stack_bytes[stack_top++] = c;
+}
+
+int pop_byte() {
+    if (stack_top <= 0) return -1;
+    stack_top--;
+    return stack_bytes[stack_top];
+}
+
+/* expand one code onto the byte stack; returns its first byte */
+int unwind_code(int code) {
+    int first;
+    first = code;
+    while (code >= FIRSTCODE) {
+        push_byte(dec_suffix[code]);
+        code = dec_prefix[code];
+    }
+    push_byte(code);
+    first = code;
+    return first;
+}
+
+int dec_pos;
+int dec_bits;
+int dec_buf;
+
+int next_dec_code() {
+    int c;
+    while (dec_bits < code_bits) {
+        if (dec_pos >= nkept) return -1;
+        c = kept[dec_pos++];
+        dec_buf = (dec_buf << 8) | c;
+        dec_bits += 8;
+    }
+    dec_bits -= code_bits;
+    return (dec_buf >> dec_bits) & (max_code() - 1);
+}
+
+void decompress_stream(int outfd) {
+    int code, c, written;
+    dec_pos = 0;
+    dec_bits = 0;
+    dec_buf = 0;
+    stack_top = 0;
+    written = 0;
+    for (;;) {
+        code = next_dec_code();
+        if (code < 0) break;
+        if (code >= next_code) {
+            printf("compress: decode error: code %d\n", code);
+            return;
+        }
+        unwind_code(code);
+        while ((c = pop_byte()) != -1) {
+            putc(c, outfd);
+            written++;
+        }
+    }
+    printf("compress: decoded %d bytes\n", written);
+}
+
+void run_decompress() {
+    int fd;
+    fd = open("decoded", 1);
+    if (fd < 0) {
+        printf("compress: cannot create decoded output\n");
+        return;
+    }
+    decompress_stream(fd);
+    close(fd);
+}
+
+/* ---- cold: self-check decoder over the retained stream ---- */
+
+int check_pos;
+int check_bits;
+int check_buf;
+
+int next_check_code() {
+    int c;
+    while (check_bits < code_bits) {
+        if (check_pos >= nkept) return -1;
+        c = kept[check_pos++];
+        check_buf = (check_buf << 8) | c;
+        check_bits += 8;
+    }
+    check_bits -= code_bits;
+    return (check_buf >> check_bits) & (max_code() - 1);
+}
+
+/* expand one code, returning the number of original bytes it covers */
+int code_span(int code) {
+    int n;
+    n = 0;
+    while (code >= FIRSTCODE) {
+        code = dec_prefix[code];
+        n++;
+    }
+    return n + 1;
+}
+
+void self_check() {
+    int code, covered, codes;
+    check_pos = 0;
+    check_bits = 0;
+    check_buf = 0;
+    covered = 0;
+    codes = 0;
+    for (;;) {
+        code = next_check_code();
+        if (code < 0) break;
+        if (code >= next_code) {
+            printf("compress: self-check: bad code %d\n", code);
+            return;
+        }
+        covered += code_span(code);
+        codes++;
+    }
+    if (covered < in_bytes) {
+        printf("compress: self-check: covered %d of %d bytes (%d codes)\n",
+               covered, in_bytes, codes);
+    } else {
+        printf("compress: self-check ok (%d codes)\n", codes);
+    }
+}
+
+/* ---- cold: options ---- */
+
+void load_options() {
+    char buf[68]; /* two bytes of NUL slack for the look-ahead below */
+    int fd, n, i;
+    fd = open("opts", 0);
+    if (fd < 0) return;
+    n = read(fd, buf, 63);
+    close(fd);
+    if (n < 0) n = 0;
+    buf[n] = '\0';
+    for (i = 0; i < n; i++) {
+        if (buf[i] == 'v') opt_verbose = 1;
+        if (buf[i] == 'C') opt_check = 1;
+        if (buf[i] == 'd') opt_decode = 1;
+        if (buf[i] == 'B') opt_blocks = 1;
+        if (buf[i] == 'b') {
+            /* -b<digit>: reduce code width (9..12) */
+            if (buf[i + 1] >= '9' && buf[i + 1] <= '9') code_bits = 9;
+            if (buf[i + 1] == '1' && buf[i + 2] == '0') code_bits = 10;
+            if (buf[i + 1] == '1' && buf[i + 2] == '1') code_bits = 11;
+        }
+    }
+}
+
+/* chain depth of a dictionary code: how many prefix links to a byte */
+int chain_depth(int code) {
+    int d;
+    d = 0;
+    while (code >= FIRSTCODE) {
+        code = dec_prefix[code];
+        d++;
+    }
+    return d;
+}
+
+int deepest_chain() {
+    int c, best, d;
+    best = 0;
+    for (c = FIRSTCODE; c < next_code; c++) {
+        d = chain_depth(c);
+        if (d > best) best = d;
+    }
+    return best;
+}
+
+int occupancy_percent() {
+    int used, i;
+    used = 0;
+    for (i = 0; i < HASHSIZE; i++) {
+        if (hash_code[i] != -1) used++;
+    }
+    return (used * 100) / HASHSIZE;
+}
+
+void print_stats() {
+    int pct;
+    if (in_bytes == 0) return;
+    pct = (out_bytes * 100) / in_bytes;
+    printf("compress: table %d/%d entries, output %d%% of input\n",
+           next_code - FIRSTCODE, max_code() - FIRSTCODE, pct);
+    printf("compress: hash occupancy %d%%, deepest chain %d\n",
+           occupancy_percent(), deepest_chain());
+}
+
+int main() {
+    in_bytes = 0;
+    out_bytes = 0;
+    bit_buffer = 0;
+    bit_count = 0;
+    inlen = 0;
+    inpos = 0;
+    outlen = 0;
+    nkept = 0;
+    code_bits = MAXBITS;
+    opt_verbose = 0;
+    opt_check = 0;
+    opt_decode = 0;
+    opt_blocks = 0;
+    block_resets = 0;
+    load_options();
+    table_init();
+    compress_stream();
+    flush_output();
+    printf("\ncompress: %d -> %d bytes, %d codes\n",
+           in_bytes, out_bytes, next_code - FIRSTCODE);
+    if (opt_blocks && block_resets > 0)
+        printf("compress: %d dictionary reset(s)\n", block_resets);
+    if (opt_verbose) print_stats();
+    if (opt_check) self_check();
+    if (opt_decode) run_decompress();
+    return 0;
+}

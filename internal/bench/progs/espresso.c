@@ -1,0 +1,463 @@
+/* espresso - a miniature two-level logic minimizer, after the espresso
+ * benchmark (the original espresso-MV PLA inputs in the paper). Reads a
+ * PLA-style truth table (".i N", ".p T", rows of input bits + output
+ * bit, ".e"), keeps the ON-set as a list of cubes over {0,1,-}, and
+ * minimizes with Quine-McCluskey style passes: repeatedly merge
+ * distance-1 cubes, then delete cubes contained in others. The cube
+ * operations (literal compare, distance, containment, merge) are the
+ * hot leaf functions, as in the real program. */
+
+extern int getchar();
+extern int printf(char *fmt, ...);
+
+enum { MAXVARS = 16, MAXCUBES = 1024 };
+
+/* literal encoding per variable: 0, 1, or 2 for don't-care */
+enum { L0 = 0, L1 = 1, LX = 2 };
+
+char cubes[MAXCUBES][MAXVARS];
+int alive[MAXCUBES];
+int ncubes;
+int nvars;
+
+int merges;
+int covers_removed;
+
+/* ---- cube primitives ---- */
+
+int lit_get(int c, int v) { return cubes[c][v]; }
+
+void lit_set(int c, int v, int val) { cubes[c][v] = val; }
+
+/* distance: number of variables where the cubes differ incompatibly */
+int cube_distance(int a, int b) {
+    int v, d;
+    d = 0;
+    for (v = 0; v < nvars; v++) {
+        if (lit_get(a, v) != lit_get(b, v)) d++;
+    }
+    return d;
+}
+
+/* covers: does cube a cover cube b? (a's literals are all X or equal) */
+int cube_covers(int a, int b) {
+    int v, la;
+    for (v = 0; v < nvars; v++) {
+        la = lit_get(a, v);
+        if (la != LX && la != lit_get(b, v)) return 0;
+    }
+    return 1;
+}
+
+/* merge two distance-1 cubes into a new cube in slot out */
+void cube_merge(int a, int b, int out) {
+    int v;
+    for (v = 0; v < nvars; v++) {
+        if (lit_get(a, v) == lit_get(b, v)) {
+            lit_set(out, v, lit_get(a, v));
+        } else {
+            lit_set(out, v, LX);
+        }
+    }
+}
+
+int cube_equal(int a, int b) {
+    int v;
+    for (v = 0; v < nvars; v++) {
+        if (lit_get(a, v) != lit_get(b, v)) return 0;
+    }
+    return 1;
+}
+
+int find_duplicate(int c) {
+    int i;
+    for (i = 0; i < ncubes; i++) {
+        if (i != c && alive[i] && cube_equal(i, c)) return i;
+    }
+    return -1;
+}
+
+int new_cube() {
+    if (ncubes >= MAXCUBES) return -1;
+    alive[ncubes] = 1;
+    return ncubes++;
+}
+
+/* ---- minimization passes ---- */
+
+int merge_pass() {
+    int i, j, out, changed;
+    changed = 0;
+    for (i = 0; i < ncubes; i++) {
+        if (!alive[i]) continue;
+        for (j = i + 1; j < ncubes; j++) {
+            if (!alive[j]) continue;
+            if (cube_distance(i, j) == 1) {
+                out = new_cube();
+                if (out < 0) return changed;
+                cube_merge(i, j, out);
+                if (find_duplicate(out) >= 0) {
+                    alive[out] = 0;
+                    ncubes--;
+                } else {
+                    alive[i] = 0;
+                    alive[j] = 0;
+                    merges++;
+                    changed = 1;
+                }
+            }
+        }
+    }
+    return changed;
+}
+
+void containment_pass() {
+    int i, j;
+    for (i = 0; i < ncubes; i++) {
+        if (!alive[i]) continue;
+        for (j = 0; j < ncubes; j++) {
+            if (i == j || !alive[j]) continue;
+            if (cube_covers(i, j)) {
+                alive[j] = 0;
+                covers_removed++;
+            }
+        }
+    }
+}
+
+int count_alive() {
+    int i, n;
+    n = 0;
+    for (i = 0; i < ncubes; i++) {
+        if (alive[i]) n++;
+    }
+    return n;
+}
+
+/* ---- PLA reader ---- */
+
+int read_int() {
+    int c, v, seen;
+    v = 0;
+    seen = 0;
+    for (;;) {
+        c = getchar();
+        if (c >= '0' && c <= '9') {
+            v = v * 10 + (c - '0');
+            seen = 1;
+        } else if (seen || c == -1 || c == '\n') {
+            return v;
+        }
+    }
+}
+
+void skip_line() {
+    int c;
+    while ((c = getchar()) != -1 && c != '\n') ;
+}
+
+int read_pla() {
+    int c, v, cube, out;
+    nvars = 0;
+    ncubes = 0;
+    for (;;) {
+        c = getchar();
+        if (c == -1) return ncubes;
+        if (c == '.') {
+            c = getchar();
+            if (c == 'i') { nvars = read_int(); if (nvars > MAXVARS) nvars = MAXVARS; }
+            else if (c == 'e') { skip_line(); return ncubes; }
+            else skip_line();
+            continue;
+        }
+        if (c == '0' || c == '1') {
+            cube = new_cube();
+            if (cube < 0) return ncubes;
+            v = 0;
+            while (c == '0' || c == '1') {
+                if (v < nvars) lit_set(cube, v, c - '0');
+                v++;
+                c = getchar();
+            }
+            /* output bit after the blank */
+            while (c == ' ' || c == '\t') c = getchar();
+            out = c - '0';
+            skip_line();
+            if (out != 1) {
+                /* OFF-set row: not part of the cover */
+                alive[cube] = 0;
+                ncubes--;
+            }
+            continue;
+        }
+        if (c != '\n') skip_line();
+    }
+}
+
+/* ---- cold 'o': order the cover by literal count then lexicographically,
+ * the way espresso prints canonical output ---- */
+
+int literal_count(int c) {
+    int v, n;
+    n = 0;
+    for (v = 0; v < nvars; v++) {
+        if (lit_get(c, v) != LX) n++;
+    }
+    return n;
+}
+
+int cube_less(int a, int b) {
+    int la, lb, v;
+    la = literal_count(a);
+    lb = literal_count(b);
+    if (la != lb) return la < lb;
+    for (v = 0; v < nvars; v++) {
+        if (lit_get(a, v) != lit_get(b, v)) return lit_get(a, v) < lit_get(b, v);
+    }
+    return 0;
+}
+
+void cube_swap(int a, int b) {
+    int v, t;
+    for (v = 0; v < nvars; v++) {
+        t = lit_get(a, v);
+        lit_set(a, v, lit_get(b, v));
+        lit_set(b, v, t);
+    }
+    t = alive[a];
+    alive[a] = alive[b];
+    alive[b] = t;
+}
+
+void sort_cover() {
+    int i, j;
+    for (i = 0; i < ncubes; i++) {
+        for (j = i + 1; j < ncubes; j++) {
+            if (cube_less(j, i)) cube_swap(i, j);
+        }
+    }
+}
+
+/* ---- cold 'l': input validation — duplicate ON-set rows ---- */
+
+void lint_input() {
+    int i, j, dups;
+    dups = 0;
+    for (i = 0; i < ncubes; i++) {
+        if (!alive[i]) continue;
+        for (j = i + 1; j < ncubes; j++) {
+            if (alive[j] && cube_equal(i, j)) dups++;
+        }
+    }
+    if (dups > 0) printf("espresso: %d duplicate input row(s)\n", dups);
+    else printf("espresso: input rows distinct\n");
+}
+
+void print_cover() {
+    int i, v, l;
+    for (i = 0; i < ncubes; i++) {
+        if (!alive[i]) continue;
+        for (v = 0; v < nvars; v++) {
+            l = lit_get(i, v);
+            if (l == LX) printf("-");
+            else printf("%d", l);
+        }
+        printf("\n");
+    }
+}
+
+/* ---- cold: cover verification (-v) re-checks that every original
+ * minterm is still covered by the minimized result ---- */
+
+char saved[MAXCUBES][MAXVARS];
+int nsaved;
+
+void save_onset() {
+    int i, v;
+    nsaved = 0;
+    for (i = 0; i < ncubes; i++) {
+        if (!alive[i]) continue;
+        for (v = 0; v < nvars; v++) saved[nsaved][v] = cubes[i][v];
+        nsaved++;
+    }
+}
+
+int saved_covered(int s) {
+    int i, v, ok, la;
+    for (i = 0; i < ncubes; i++) {
+        if (!alive[i]) continue;
+        ok = 1;
+        for (v = 0; v < nvars; v++) {
+            la = lit_get(i, v);
+            if (la != LX && la != saved[s][v]) { ok = 0; break; }
+        }
+        if (ok) return 1;
+    }
+    return 0;
+}
+
+void verify_cover() {
+    int s, bad;
+    bad = 0;
+    for (s = 0; s < nsaved; s++) {
+        if (!saved_covered(s)) bad++;
+    }
+    if (bad) printf("espresso: VERIFY FAILED: %d minterms uncovered\n", bad);
+    else printf("espresso: verify ok (%d minterms)\n", nsaved);
+}
+
+/* ---- the minimization loop drives its passes through a function-
+ * pointer table, as the real espresso drives EXPAND / IRREDUNDANT /
+ * REDUCE ---- */
+
+int run_merge() { return merge_pass(); }
+
+int run_containment() {
+    containment_pass();
+    return 0;
+}
+
+int (*passes[2])();
+
+void init_passes() {
+    passes[0] = run_merge;
+    passes[1] = run_containment;
+}
+
+extern int open(char *path, int mode);
+extern int close(int fd);
+extern int read(int fd, char *buf, int n);
+
+int opt_verify;
+int opt_summary;
+int opt_expand;
+int opt_sort;       /* cold 'o': sort the cover before printing */
+int opt_lint;       /* cold 'l': validate the PLA input */
+int expansions_done;
+int dup_rows;
+
+void load_options() {
+    char buf[16];
+    int fd, n, i;
+    fd = open("opts", 0);
+    if (fd < 0) return;
+    n = read(fd, buf, 15);
+    close(fd);
+    for (i = 0; i < n; i++) {
+        if (buf[i] == 'v') opt_verify = 1;
+        if (buf[i] == 's') opt_summary = 1;
+        if (buf[i] == 'x') opt_expand = 1;
+        if (buf[i] == 'o') opt_sort = 1;
+        if (buf[i] == 'l') opt_lint = 1;
+    }
+}
+
+/* ---- cold: EXPAND pass ('x') — try widening each literal of each cube
+ * to don't-care, keeping the change only if the expanded cube still
+ * covers no saved OFF behaviour. Without an OFF-set in this simplified
+ * minimizer, the guard is that the expanded cube must not cover any
+ * minterm absent from the saved ON-set. ---- */
+
+int minterm_in_onset(char *bits) {
+    int s, v, ok;
+    for (s = 0; s < nsaved; s++) {
+        ok = 1;
+        for (v = 0; v < nvars; v++) {
+            if (saved[s][v] != bits[v]) { ok = 0; break; }
+        }
+        if (ok) return 1;
+    }
+    return 0;
+}
+
+/* enumerate the minterms of cube c; return 0 if any falls outside the
+ * saved ON-set */
+int cube_within_onset(int c) {
+    char bits[MAXVARS];
+    int free_vars[MAXVARS];
+    int nfree, v, mask, limit, k;
+    nfree = 0;
+    for (v = 0; v < nvars; v++) {
+        if (lit_get(c, v) == LX) free_vars[nfree++] = v;
+        else bits[v] = lit_get(c, v);
+    }
+    if (nfree > 10) return 0; /* too wide to check cheaply: refuse */
+    limit = 1 << nfree;
+    for (mask = 0; mask < limit; mask++) {
+        for (k = 0; k < nfree; k++) {
+            bits[free_vars[k]] = (mask >> k) & 1;
+        }
+        if (!minterm_in_onset(bits)) return 0;
+    }
+    return 1;
+}
+
+void expand_pass() {
+    int c, v, old;
+    for (c = 0; c < ncubes; c++) {
+        if (!alive[c]) continue;
+        for (v = 0; v < nvars; v++) {
+            old = lit_get(c, v);
+            if (old == LX) continue;
+            lit_set(c, v, LX);
+            if (cube_within_onset(c)) {
+                expansions_done++;
+            } else {
+                lit_set(c, v, old);
+            }
+        }
+    }
+}
+
+void print_summary(int before, int rounds) {
+    int i, lits, v;
+    lits = 0;
+    for (i = 0; i < ncubes; i++) {
+        if (!alive[i]) continue;
+        for (v = 0; v < nvars; v++) {
+            if (lit_get(i, v) != LX) lits++;
+        }
+    }
+    printf("espresso: summary: %d vars, %d literals, %d rounds, %d merges\n",
+           nvars, lits, rounds, merges);
+}
+
+int main() {
+    int before, rounds, changed, pi;
+    merges = 0;
+    covers_removed = 0;
+    opt_verify = 0;
+    opt_summary = 0;
+    opt_expand = 0;
+    opt_sort = 0;
+    opt_lint = 0;
+    expansions_done = 0;
+    dup_rows = 0;
+    init_passes();
+    load_options();
+    before = read_pla();
+    if (opt_lint) lint_input();
+    if (opt_verify || opt_expand) save_onset();
+    rounds = 0;
+    for (;;) {
+        changed = 0;
+        for (pi = 0; pi < 2; pi++) {
+            if (passes[pi]()) changed = 1;
+        }
+        rounds++;
+        if (!changed || rounds > 32) break;
+    }
+    if (opt_expand) {
+        expand_pass();
+        containment_pass();
+        printf("espresso: expand widened %d literal(s)\n", expansions_done);
+    }
+    containment_pass();
+    if (opt_sort) sort_cover();
+    print_cover();
+    printf("espresso: %d -> %d cubes (%d merges, %d covered, %d rounds)\n",
+           before, count_alive(), merges, covers_removed, rounds);
+    if (opt_verify) verify_cover();
+    if (opt_summary) print_summary(before, rounds);
+    return 0;
+}

@@ -1,0 +1,352 @@
+/* grep - pattern search over stdin, after the UNIX grep benchmark.
+ * Implements the classic K&R regular-expression matcher: literal
+ * characters, '.', '*' closure, '^' anchors, '$' end anchor, and
+ * [...] character classes. The pattern comes from the file "pattern".
+ * match/matchhere/matchstar/matchclass recurse per input character,
+ * giving the dense call profile the paper's grep shows (99% of dynamic
+ * calls eliminated after inlining). */
+
+extern int getchar();
+extern int open(char *path, int mode);
+extern int close(int fd);
+extern int getc(int fd);
+extern int read(int fd, char *buf, int n);
+extern int printf(char *fmt, ...);
+
+enum { MAXLINE = 512, MAXPAT = 128, GRBUF = 2048, MAXPATS = 16 };
+
+char pattern[MAXPAT];
+
+/* -f mode: several patterns, a line matches if any does (cold) */
+char patterns_buf[MAXPATS][MAXPAT];
+int npatterns;
+int pattern_hits[MAXPATS];
+int matched_lines;
+int total_lines;
+
+/* options (cold: read once from the opts file) */
+int opt_count_only; /* -c: print only the match count */
+int opt_invert;     /* -v: print non-matching lines */
+int opt_number;     /* -n: prefix line numbers */
+int opt_stats;      /* -s: line-length statistics (cold) */
+int opt_before;     /* -B: print one line of leading context (cold) */
+int opt_lint;       /* -L: validate the pattern before matching (cold) */
+
+int len_hist[8];    /* matched-line lengths, bucketed by 16 */
+
+/* one-line context ring for -B */
+char prev_line[MAXLINE];
+int have_prev;
+int prev_printed;
+
+/* ---- buffered stdin ---- */
+
+char grbuf[GRBUF];
+int grlen;
+int grpos;
+
+int in_byte() {
+    if (grpos >= grlen) {
+        grlen = read(0, grbuf, GRBUF);
+        grpos = 0;
+        if (grlen <= 0) return -1;
+    }
+    return grbuf[grpos++];
+}
+
+int matchhere(char *pat, char *text);
+
+/* matchclass: does c belong to the class starting at pat[0]=='['?
+ * Returns the index just past ']' via *advance, 1/0 match via result. */
+int class_end(char *pat) {
+    int i;
+    i = 1;
+    if (pat[i] == '^') i++;
+    if (pat[i] == ']') i++;
+    while (pat[i] && pat[i] != ']') i++;
+    return i;
+}
+
+int in_class(char *pat, int c) {
+    int i, negate, hit, end;
+    negate = 0;
+    i = 1;
+    if (pat[i] == '^') { negate = 1; i++; }
+    end = class_end(pat);
+    hit = 0;
+    while (i < end) {
+        if (pat[i + 1] == '-' && i + 2 < end) {
+            if (c >= pat[i] && c <= pat[i + 2]) hit = 1;
+            i += 3;
+        } else {
+            if (c == pat[i]) hit = 1;
+            i++;
+        }
+    }
+    if (negate) return !hit;
+    return hit;
+}
+
+/* single-element match: literal, '.', or class */
+int matchone(char *pat, int c) {
+    if (c == '\0') return 0;
+    if (pat[0] == '.') return 1;
+    if (pat[0] == '[') return in_class(pat, c);
+    return pat[0] == c;
+}
+
+/* length of one pattern element */
+int elemlen(char *pat) {
+    if (pat[0] == '[') return class_end(pat) + 1;
+    return 1;
+}
+
+/* matchstar: e* then rest of pattern */
+int matchstar(char *elem, char *rest, char *text) {
+    do {
+        if (matchhere(rest, text)) return 1;
+    } while (*text && matchone(elem, *text++));
+    return 0;
+}
+
+int matchhere(char *pat, char *text) {
+    int n;
+    if (pat[0] == '\0') return 1;
+    n = elemlen(pat);
+    if (pat[n] == '*') return matchstar(pat, pat + n + 1, text);
+    if (pat[0] == '$' && pat[1] == '\0') return *text == '\0';
+    if (matchone(pat, *text)) return matchhere(pat + n, text + 1);
+    return 0;
+}
+
+int match(char *pat, char *text) {
+    if (pat[0] == '^') return matchhere(pat + 1, text);
+    do {
+        if (matchhere(pat, text)) return 1;
+    } while (*text++);
+    return 0;
+}
+
+int read_line(char *buf, int max) {
+    int c, n;
+    n = 0;
+    for (;;) {
+        c = in_byte();
+        if (c == -1) {
+            if (n == 0) return -1;
+            break;
+        }
+        if (c == '\n') break;
+        if (n < max - 1) buf[n++] = c;
+    }
+    buf[n] = '\0';
+    return n;
+}
+
+void emit_line(char *s) {
+    if (opt_count_only) return;
+    if (opt_number) printf("%d:%s\n", total_lines, s);
+    else printf("%s\n", s);
+}
+
+void load_options() {
+    char buf[16];
+    int fd, n, i;
+    fd = open("opts", 0);
+    if (fd < 0) return;
+    n = read(fd, buf, 15);
+    close(fd);
+    for (i = 0; i < n; i++) {
+        if (buf[i] == 'c') opt_count_only = 1;
+        if (buf[i] == 'v') opt_invert = 1;
+        if (buf[i] == 'n') opt_number = 1;
+        if (buf[i] == 's') opt_stats = 1;
+        if (buf[i] == 'B') opt_before = 1;
+        if (buf[i] == 'L') opt_lint = 1;
+    }
+}
+
+/* ---- cold: -B leading-context support ---- */
+
+void remember_line(char *s) {
+    int i;
+    for (i = 0; s[i] && i < MAXLINE - 1; i++) prev_line[i] = s[i];
+    prev_line[i] = '\0';
+    have_prev = 1;
+    prev_printed = 0;
+}
+
+void emit_context() {
+    if (!have_prev || prev_printed) return;
+    printf("-%s\n", prev_line);
+    prev_printed = 1;
+}
+
+/* ---- cold: -L pattern lint — the validation a real grep does while
+ * compiling the expression ---- */
+
+int lint_class_ok(char *pat, int i) {
+    int j;
+    j = i + 1;
+    if (pat[j] == '^') j++;
+    if (pat[j] == ']') j++;
+    while (pat[j] && pat[j] != ']') j++;
+    return pat[j] == ']';
+}
+
+int lint_star_position(char *pat) {
+    if (pat[0] == '*') return 0;
+    return 1;
+}
+
+int lint_dollar_position(char *pat) {
+    int i;
+    for (i = 0; pat[i]; i++) {
+        if (pat[i] == '$' && pat[i + 1] != '\0') return 0;
+    }
+    return 1;
+}
+
+int lint_pattern(char *pat) {
+    int i, problems;
+    problems = 0;
+    if (!lint_star_position(pat)) {
+        printf("grep: pattern starts with *\n");
+        problems++;
+    }
+    if (!lint_dollar_position(pat)) {
+        printf("grep: $ in mid-pattern matches literally\n");
+    }
+    for (i = 0; pat[i]; i++) {
+        if (pat[i] == '[' && !lint_class_ok(pat, i)) {
+            printf("grep: unterminated class at %d\n", i);
+            problems++;
+        }
+        if (pat[i] == '*' && pat[i + 1] == '*') {
+            printf("grep: doubled * at %d\n", i);
+            problems++;
+        }
+    }
+    return problems == 0;
+}
+
+/* ---- cold: matched-line length statistics (-s) ---- */
+
+int line_length(char *s) {
+    int n;
+    n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+void note_match(char *s) {
+    int b;
+    b = line_length(s) / 16;
+    if (b > 7) b = 7;
+    len_hist[b]++;
+}
+
+void print_match_stats() {
+    int i;
+    printf("grep: matched-line lengths:\n");
+    for (i = 0; i < 8; i++) {
+        if (len_hist[i] > 0)
+            printf("  %3d..%3d: %d\n", i * 16, i * 16 + 15, len_hist[i]);
+    }
+}
+
+int load_pattern() {
+    int fd, c, n;
+    fd = open("pattern", 0);
+    if (fd < 0) return 0;
+    n = 0;
+    while ((c = getc(fd)) != -1 && c != '\n') {
+        if (n < MAXPAT - 1) pattern[n++] = c;
+    }
+    pattern[n] = '\0';
+    close(fd);
+    return n;
+}
+
+/* ---- cold: -f multi-pattern mode ---- */
+
+int load_pattern_file() {
+    int fd, c, n;
+    fd = open("patterns", 0);
+    if (fd < 0) return 0;
+    npatterns = 0;
+    n = 0;
+    for (;;) {
+        c = getc(fd);
+        if (c == -1 || c == '\n') {
+            if (n > 0 && npatterns < MAXPATS) {
+                patterns_buf[npatterns][n] = '\0';
+                npatterns++;
+            }
+            n = 0;
+            if (c == -1) break;
+            continue;
+        }
+        if (n < MAXPAT - 1 && npatterns < MAXPATS) {
+            patterns_buf[npatterns][n++] = c;
+        }
+    }
+    close(fd);
+    return npatterns;
+}
+
+int match_any(char *text) {
+    int k;
+    for (k = 0; k < npatterns; k++) {
+        if (match(patterns_buf[k], text)) {
+            pattern_hits[k]++;
+            return 1;
+        }
+    }
+    return 0;
+}
+
+void report_pattern_hits() {
+    int k;
+    for (k = 0; k < npatterns; k++) {
+        printf("  pattern %d (%s): %d\n", k, patterns_buf[k], pattern_hits[k]);
+    }
+}
+
+int main() {
+    char line[MAXLINE];
+    int hit;
+    matched_lines = 0;
+    total_lines = 0;
+    grlen = 0;
+    grpos = 0;
+    opt_count_only = 0;
+    opt_invert = 0;
+    opt_number = 0;
+    opt_stats = 0;
+    npatterns = 0;
+    have_prev = 0;
+    prev_printed = 0;
+    load_options();
+    load_pattern_file();
+    if (npatterns == 0 && load_pattern() == 0) { printf("grep: no pattern\n"); return 2; }
+    if (opt_lint && !lint_pattern(pattern)) return 2;
+    while (read_line(line, MAXLINE) >= 0) {
+        total_lines++;
+        if (npatterns > 0) hit = match_any(line);
+        else hit = match(pattern, line);
+        if (opt_invert) hit = !hit;
+        if (hit) {
+            matched_lines++;
+            if (opt_stats) note_match(line);
+            if (opt_before) emit_context();
+            emit_line(line);
+        }
+        if (opt_before) remember_line(line);
+    }
+    if (npatterns > 0) report_pattern_hits();
+    if (opt_stats) print_match_stats();
+    printf("grep: %d/%d lines matched\n", matched_lines, total_lines);
+    if (matched_lines == 0) return 1;
+    return 0;
+}

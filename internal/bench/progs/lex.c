@@ -1,0 +1,438 @@
+/* lex - a miniature lexical analyzer generator and driver, after the
+ * UNIX lex benchmark ("lexers for C, Lisp, awk, and pic" in the paper).
+ * The spec (file "lex.spec") lists keyword ("K word") and operator
+ * ("O symbol") tokens, terminated by ".". The program then scans stdin
+ * with longest-match against the spec plus built-in identifier, number,
+ * string, and whitespace rules, and prints a token census. Per-char
+ * classification and per-spec matching are the hot functions; lex ran
+ * only 4 inputs in the paper but each was large. */
+
+extern int getchar();
+extern int open(char *path, int mode);
+extern int close(int fd);
+extern int getc(int fd);
+extern int read(int fd, char *buf, int n);
+extern int printf(char *fmt, ...);
+
+enum { MAXSPECS = 64, MAXTOKLEN = 64, MAXLINE = 1024 };
+
+char spec_text[MAXSPECS][MAXTOKLEN];
+int spec_kind[MAXSPECS]; /* 'K' or 'O' */
+int nspecs;
+
+int count_keyword;
+int count_operator;
+int count_ident;
+int count_number;
+int count_string;
+int count_other;
+
+char linebuf[MAXLINE];
+int linelen;
+int linepos;
+
+int opt_hist;        /* cold: token length histogram */
+int ident_lens[16];
+
+/* cold 'T' mode: intern identifiers and report the most frequent */
+enum { SYMMAX = 256, SYMLEN = 24 };
+char sym_names[SYMMAX][SYMLEN];
+int sym_counts[SYMMAX];
+int nsyms;
+int opt_symtab;
+int opt_validate; /* cold 'V': validate the spec table */
+int lineno;       /* current input line, for cold diagnostics */
+
+/* ---- classification ---- */
+
+int is_digit(int c) { return c >= '0' && c <= '9'; }
+
+int is_alpha(int c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+int is_alnum(int c) { return is_alpha(c) || is_digit(c); }
+
+int is_space(int c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+
+/* ---- spec loading ---- */
+
+int load_specs() {
+    int fd, c, n, kind;
+    fd = open("lex.spec", 0);
+    if (fd < 0) return 0;
+    nspecs = 0;
+    for (;;) {
+        kind = getc(fd);
+        if (kind == -1 || kind == '.') break;
+        if (kind == '\n') continue;
+        /* skip the blank */
+        getc(fd);
+        n = 0;
+        while ((c = getc(fd)) != -1 && c != '\n') {
+            if (n < MAXTOKLEN - 1) spec_text[nspecs][n++] = c;
+        }
+        spec_text[nspecs][n] = '\0';
+        spec_kind[nspecs] = kind;
+        if (nspecs < MAXSPECS - 1) nspecs++;
+    }
+    close(fd);
+    return nspecs;
+}
+
+/* ---- line buffering ---- */
+
+char rawbuf[MAXLINE];
+int rawlen;
+int rawpos;
+
+int in_byte() {
+    if (rawpos >= rawlen) {
+        rawlen = read(0, rawbuf, MAXLINE);
+        rawpos = 0;
+        if (rawlen <= 0) return -1;
+    }
+    return rawbuf[rawpos++];
+}
+
+int fill_line() {
+    int c;
+    linelen = 0;
+    linepos = 0;
+    for (;;) {
+        c = in_byte();
+        if (c == -1) {
+            if (linelen == 0) return 0;
+            break;
+        }
+        if (linelen < MAXLINE - 1) linebuf[linelen++] = c;
+        if (c == '\n') break;
+    }
+    linebuf[linelen] = '\0';
+    return 1;
+}
+
+int peek_at(int off) {
+    if (linepos + off >= linelen) return -1;
+    return linebuf[linepos + off];
+}
+
+void advance(int n) { linepos += n; }
+
+/* ---- matching ---- */
+
+/* try one spec at the cursor; returns matched length or 0 */
+int try_spec(int s) {
+    int i, c;
+    for (i = 0; spec_text[s][i]; i++) {
+        c = peek_at(i);
+        if (c != spec_text[s][i]) return 0;
+    }
+    /* keywords must not be followed by an identifier character */
+    if (spec_kind[s] == 'K' && is_alnum(peek_at(i))) return 0;
+    return i;
+}
+
+/* longest spec match at cursor; index via *which */
+int best_spec(int *which) {
+    int s, len, best, bestlen;
+    best = -1;
+    bestlen = 0;
+    for (s = 0; s < nspecs; s++) {
+        len = try_spec(s);
+        if (len > bestlen) {
+            bestlen = len;
+            best = s;
+        }
+    }
+    *which = best;
+    return bestlen;
+}
+
+int scan_ident() {
+    int n;
+    n = 0;
+    while (is_alnum(peek_at(n))) n++;
+    return n;
+}
+
+int scan_number() {
+    int n;
+    n = 0;
+    while (is_digit(peek_at(n))) n++;
+    if (peek_at(n) == '.' && is_digit(peek_at(n + 1))) {
+        n++;
+        while (is_digit(peek_at(n))) n++;
+    }
+    return n;
+}
+
+int scan_string() {
+    int n, c;
+    n = 1;
+    for (;;) {
+        c = peek_at(n);
+        if (c == -1 || c == '\n') return n;
+        if (c == '\\') { n += 2; continue; }
+        n++;
+        if (c == '"') return n;
+    }
+}
+
+/* ---- per-class token actions, dispatched through a pointer table as
+ * generated lexers dispatch their rule actions ---- */
+
+enum { T_KEYWORD = 0, T_OPERATOR = 1, T_IDENT = 2, T_NUMBER = 3,
+       T_STRING = 4, T_OTHER = 5 };
+
+void act_keyword(int len) { count_keyword++; }
+void act_operator(int len) { count_operator++; }
+int sym_equal(int slot, char *s, int len) {
+    int i;
+    for (i = 0; i < len; i++) {
+        if (sym_names[slot][i] != s[i]) return 0;
+    }
+    return sym_names[slot][i] == '\0';
+}
+
+int sym_intern(char *s, int len) {
+    int i, j;
+    if (len >= SYMLEN) len = SYMLEN - 1;
+    for (i = 0; i < nsyms; i++) {
+        if (sym_equal(i, s, len)) return i;
+    }
+    if (nsyms >= SYMMAX) return SYMMAX - 1;
+    i = nsyms++;
+    for (j = 0; j < len; j++) sym_names[i][j] = s[j];
+    sym_names[i][j] = '\0';
+    return i;
+}
+
+void act_ident(int len) {
+    count_ident++;
+    if (opt_hist) {
+        int b;
+        b = len;
+        if (b > 15) b = 15;
+        ident_lens[b]++;
+    }
+    if (opt_symtab) {
+        sym_counts[sym_intern(linebuf + linepos, len)]++;
+    }
+}
+void act_number(int len) { count_number++; }
+void act_string(int len) { count_string++; }
+void act_other(int len) { count_other++; }
+
+void (*actions[6])(int len);
+
+void init_actions() {
+    actions[T_KEYWORD] = act_keyword;
+    actions[T_OPERATOR] = act_operator;
+    actions[T_IDENT] = act_ident;
+    actions[T_NUMBER] = act_number;
+    actions[T_STRING] = act_string;
+    actions[T_OTHER] = act_other;
+}
+
+void emit_token(int kind, int len) {
+    actions[kind](len);
+    advance(len);
+}
+
+/* ---- token loop ---- */
+
+void scan_line() {
+    int c, len, which;
+    for (;;) {
+        c = peek_at(0);
+        if (c == -1) return;
+        if (is_space(c)) { advance(1); continue; }
+        len = best_spec(&which);
+        if (len > 0) {
+            if (spec_kind[which] == 'K') emit_token(T_KEYWORD, len);
+            else emit_token(T_OPERATOR, len);
+            continue;
+        }
+        if (is_alpha(c)) {
+            emit_token(T_IDENT, scan_ident());
+            continue;
+        }
+        if (is_digit(c)) {
+            emit_token(T_NUMBER, scan_number());
+            continue;
+        }
+        if (c == '"') {
+            emit_token(T_STRING, scan_string());
+            continue;
+        }
+        emit_token(T_OTHER, 1);
+    }
+}
+
+/* ---- cold 'V': spec-table validation, as a generator would lint its
+ * rules: duplicates, keyword/operator confusion, and shadowing where an
+ * earlier spec is a strict prefix of a later one ---- */
+
+int spec_same(int a, int b) {
+    int i;
+    for (i = 0; spec_text[a][i] && spec_text[b][i]; i++) {
+        if (spec_text[a][i] != spec_text[b][i]) return 0;
+    }
+    return spec_text[a][i] == spec_text[b][i];
+}
+
+int spec_prefix_of(int a, int b) {
+    int i;
+    for (i = 0; spec_text[a][i]; i++) {
+        if (spec_text[a][i] != spec_text[b][i]) return 0;
+    }
+    return spec_text[b][i] != '\0';
+}
+
+int spec_is_wordlike(int s) {
+    int i, c;
+    for (i = 0; spec_text[s][i]; i++) {
+        c = spec_text[s][i];
+        if (!is_alnum(c)) return 0;
+    }
+    return i > 0;
+}
+
+void validate_specs() {
+    int a, b, problems;
+    problems = 0;
+    for (a = 0; a < nspecs; a++) {
+        if (spec_kind[a] == 'K' && !spec_is_wordlike(a)) {
+            printf("lex: keyword spec %d is not word-like\n", a);
+            problems++;
+        }
+        if (spec_kind[a] == 'O' && spec_is_wordlike(a)) {
+            printf("lex: operator spec %d looks like a word\n", a);
+            problems++;
+        }
+        for (b = a + 1; b < nspecs; b++) {
+            if (spec_same(a, b)) {
+                printf("lex: duplicate specs %d and %d\n", a, b);
+                problems++;
+            }
+        }
+    }
+    /* prefix shadowing is fine under longest match, but worth a note */
+    for (a = 0; a < nspecs; a++) {
+        for (b = 0; b < nspecs; b++) {
+            if (a != b && spec_prefix_of(a, b)) {
+                printf("lex: note: spec %d is a prefix of %d\n", a, b);
+            }
+        }
+    }
+    if (problems == 0) printf("lex: spec table ok (%d specs)\n", nspecs);
+}
+
+/* ---- cold: spec dump for debugging generated tables ---- */
+
+void dump_specs() {
+    int s;
+    printf("lex: %d specs\n", nspecs);
+    for (s = 0; s < nspecs; s++) {
+        printf("  %c %s\n", spec_kind[s], spec_text[s]);
+    }
+}
+
+/* ---- cold: identifier length census under the opts file ---- */
+
+extern int getchar();
+
+int hist_sum() {
+    int i, sum;
+    sum = 0;
+    for (i = 0; i < 16; i++) sum += ident_lens[i];
+    return sum;
+}
+
+int hist_mode() {
+    int i, best, bi;
+    best = -1;
+    bi = 0;
+    for (i = 0; i < 16; i++) {
+        if (ident_lens[i] > best) {
+            best = ident_lens[i];
+            bi = i;
+        }
+    }
+    return bi;
+}
+
+void print_hist() {
+    int i;
+    printf("lex: identifier lengths (%d idents, mode %d)\n",
+           hist_sum(), hist_mode());
+    for (i = 1; i < 16; i++) {
+        if (ident_lens[i] > 0) printf("  len %2d: %d\n", i, ident_lens[i]);
+    }
+}
+
+int busiest_symbol() {
+    int i, best, bi;
+    best = -1;
+    bi = 0;
+    for (i = 0; i < nsyms; i++) {
+        if (sym_counts[i] > best) {
+            best = sym_counts[i];
+            bi = i;
+        }
+    }
+    return bi;
+}
+
+void print_symtab() {
+    int i, shown;
+    printf("lex: %d distinct identifiers, busiest %s (%d)\n",
+           nsyms, sym_names[busiest_symbol()], sym_counts[busiest_symbol()]);
+    shown = 0;
+    for (i = 0; i < nsyms && shown < 10; i++) {
+        if (sym_counts[i] >= 5) {
+            printf("  %-16s %d\n", sym_names[i], sym_counts[i]);
+            shown++;
+        }
+    }
+}
+
+void load_options() {
+    int fd, c;
+    fd = open("opts", 0);
+    if (fd < 0) return;
+    while ((c = getc(fd)) != -1) {
+        if (c == 'h') opt_hist = 1;
+        if (c == 'T') opt_symtab = 1;
+        if (c == 'V') opt_validate = 1;
+        if (c == 'd') dump_specs();
+    }
+    close(fd);
+}
+
+int main() {
+    count_keyword = 0;
+    count_operator = 0;
+    count_ident = 0;
+    count_number = 0;
+    count_string = 0;
+    count_other = 0;
+    rawlen = 0;
+    rawpos = 0;
+    opt_hist = 0;
+    opt_symtab = 0;
+    nsyms = 0;
+    lineno = 0;
+    init_actions();
+    if (load_specs() == 0) { printf("lex: no spec\n"); return 2; }
+    load_options();
+    if (opt_validate) validate_specs();
+    while (fill_line()) { lineno++; scan_line(); }
+    if (opt_hist) print_hist();
+    if (opt_symtab) print_symtab();
+    printf("lex: kw=%d op=%d id=%d num=%d str=%d other=%d\n",
+           count_keyword, count_operator, count_ident,
+           count_number, count_string, count_other);
+    return 0;
+}

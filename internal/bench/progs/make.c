@@ -1,0 +1,388 @@
+/* make - a miniature dependency builder, after the UNIX make benchmark
+ * ("makefiles for cccp, compress, etc." in the paper). Reads rules of
+ * the form "target: dep dep ..." from the file "makefile" and modifica-
+ * tion times from "mtimes" ("name time" lines). A target is out of date
+ * if any dependency is newer or was itself rebuilt; building is
+ * simulated by printing and bumping the timestamp. build_target is
+ * genuinely recursive over the dependency graph, exercising the
+ * expander's recursion hazards. */
+
+extern int open(char *path, int mode);
+extern int close(int fd);
+extern int getc(int fd);
+extern int read(int fd, char *buf, int n);
+extern int printf(char *fmt, ...);
+
+enum { MAXTARGETS = 128, MAXDEPS = 8, MAXNAME = 32 };
+
+char names[MAXTARGETS][MAXNAME];
+int mtime[MAXTARGETS];
+int deps[MAXTARGETS][MAXDEPS];
+int ndeps[MAXTARGETS];
+int has_rule[MAXTARGETS];
+int built[MAXTARGETS];
+int nentries;
+
+int rebuilds;
+int visits;
+
+/* options (cold) */
+int opt_dryrun;  /* -n: print what would be built, do not bump mtimes */
+int opt_debug;   /* -d: trace dependency decisions */
+int opt_stats;   /* -s: dependency graph statistics */
+int opt_clean;   /* -c: list what a clean would remove */
+int opt_check;   /* -k: validate the makefile */
+
+/* cycle detection state */
+int onpath[MAXTARGETS];
+int cycles_found;
+
+/* ---- name table ---- */
+
+int str_same(char *a, char *b) {
+    while (*a && *b) {
+        if (*a != *b) return 0;
+        a++;
+        b++;
+    }
+    return *a == *b;
+}
+
+int find_entry(char *name) {
+    int i;
+    for (i = 0; i < nentries; i++) {
+        if (str_same(names[i], name)) return i;
+    }
+    return -1;
+}
+
+int intern(char *name) {
+    int i, j;
+    i = find_entry(name);
+    if (i >= 0) return i;
+    if (nentries >= MAXTARGETS) return MAXTARGETS - 1;
+    i = nentries++;
+    for (j = 0; name[j] && j < MAXNAME - 1; j++) names[i][j] = name[j];
+    names[i][j] = '\0';
+    mtime[i] = 0;
+    ndeps[i] = 0;
+    has_rule[i] = 0;
+    built[i] = 0;
+    return i;
+}
+
+/* ---- parsing ---- */
+
+int read_token(int fd, char *out, int max, int *sep) {
+    int c, n;
+    n = 0;
+    *sep = 0;
+    for (;;) {
+        c = getc(fd);
+        if (c == -1) break;
+        if (c == ':') {
+            if (n > 0) { *sep = 1; break; }
+            continue;
+        }
+        if (c == ' ' || c == '\t') {
+            if (n > 0) break;
+            continue;
+        }
+        if (c == '\n') {
+            if (n > 0) { *sep = 2; break; }
+            continue;
+        }
+        if (n < max - 1) out[n++] = c;
+    }
+    out[n] = '\0';
+    return n;
+}
+
+void load_makefile() {
+    char tok[MAXNAME];
+    int fd, sep, target, dep, atend;
+    fd = open("makefile", 0);
+    if (fd < 0) return;
+    for (;;) {
+        if (read_token(fd, tok, MAXNAME, &sep) == 0) break;
+        target = intern(tok);
+        has_rule[target] = 1;
+        atend = (sep == 2);
+        while (!atend) {
+            if (read_token(fd, tok, MAXNAME, &sep) == 0) break;
+            dep = intern(tok);
+            if (ndeps[target] < MAXDEPS) {
+                deps[target][ndeps[target]] = dep;
+                ndeps[target]++;
+            }
+            if (sep == 2) atend = 1;
+        }
+    }
+    close(fd);
+}
+
+int read_num(int fd, int *out) {
+    int c, v, seen;
+    v = 0;
+    seen = 0;
+    for (;;) {
+        c = getc(fd);
+        if (c >= '0' && c <= '9') {
+            v = v * 10 + (c - '0');
+            seen = 1;
+            continue;
+        }
+        if (seen) { *out = v; return 1; }
+        if (c == -1) return 0;
+    }
+}
+
+void load_mtimes() {
+    char tok[MAXNAME];
+    int fd, sep, t, e;
+    fd = open("mtimes", 0);
+    if (fd < 0) return;
+    for (;;) {
+        if (read_token(fd, tok, MAXNAME, &sep) == 0) break;
+        e = intern(tok);
+        if (!read_num(fd, &t)) break;
+        mtime[e] = t;
+    }
+    close(fd);
+}
+
+/* ---- build engine ---- */
+
+int is_newer(int a, int b) { return mtime[a] > mtime[b]; }
+
+int max_time(int a, int b) {
+    if (a > b) return a;
+    return b;
+}
+
+/* ---- simulated build actions, dispatched through a pointer table by
+ * target class (sources are copied, objects compiled, the rest linked),
+ * echoing make's suffix-rule dispatch ---- */
+
+void action_compile(int t) {
+    printf("cc -c %s\n", names[t]);
+}
+
+void action_link(int t) {
+    printf("ld -o %s\n", names[t]);
+}
+
+void action_copy(int t) {
+    printf("cp %s\n", names[t]);
+}
+
+void (*actions[3])(int t);
+
+void init_actions() {
+    actions[0] = action_compile;
+    actions[1] = action_link;
+    actions[2] = action_copy;
+}
+
+int classify_target(int t) {
+    char *n;
+    n = names[t];
+    if (n[0] == 'o' && n[1] == 'b' && n[2] == 'j') return 0;
+    if (n[0] == 's' && n[1] == 'r' && n[2] == 'c') return 2;
+    return 1;
+}
+
+void run_commands(int t) {
+    if (!opt_dryrun) actions[classify_target(t)](t);
+    else printf("would build %s\n", names[t]);
+    rebuilds++;
+}
+
+void report_cycle(int t) {
+    printf("make: dependency cycle through %s\n", names[t]);
+    cycles_found++;
+}
+
+/* returns the effective timestamp of the target after (re)building */
+int build_target(int t) {
+    int i, d, newest, rebuilt;
+    visits++;
+    if (built[t]) return mtime[t];
+    if (onpath[t]) {
+        report_cycle(t);
+        return mtime[t];
+    }
+    onpath[t] = 1;
+    built[t] = 1;
+    newest = 0;
+    rebuilt = 0;
+    for (i = 0; i < ndeps[t]; i++) {
+        d = deps[t][i];
+        if (opt_debug) printf("make: %s needs %s\n", names[t], names[d]);
+        newest = max_time(newest, build_target(d));
+    }
+    if (has_rule[t] && (ndeps[t] == 0 && mtime[t] == 0)) rebuilt = 1;
+    if (newest > mtime[t]) rebuilt = 1;
+    if (rebuilt && has_rule[t]) {
+        run_commands(t);
+        if (!opt_dryrun) mtime[t] = newest + 1;
+    }
+    onpath[t] = 0;
+    return mtime[t];
+}
+
+void load_options() {
+    char buf[16];
+    int fd, n, i;
+    fd = open("opts", 0);
+    if (fd < 0) return;
+    n = read(fd, buf, 15);
+    close(fd);
+    for (i = 0; i < n; i++) {
+        if (buf[i] == 'n') opt_dryrun = 1;
+        if (buf[i] == 'd') opt_debug = 1;
+        if (buf[i] == 's') opt_stats = 1;
+        if (buf[i] == 'c') opt_clean = 1;
+        if (buf[i] == 'k') opt_check = 1;
+    }
+}
+
+/* ---- cold: -c clean listing and -k makefile validation ---- */
+
+int is_product(int t) {
+    return has_rule[t] && ndeps[t] > 0;
+}
+
+void clean_one(int t) {
+    printf("rm %s\n", names[t]);
+}
+
+void clean_all() {
+    int i, removed;
+    removed = 0;
+    for (i = 0; i < nentries; i++) {
+        if (is_product(i)) {
+            clean_one(i);
+            removed++;
+        }
+    }
+    printf("make: clean would remove %d target(s)\n", removed);
+}
+
+int dep_missing(int t) {
+    int i, d;
+    for (i = 0; i < ndeps[t]; i++) {
+        d = deps[t][i];
+        if (!has_rule[d] && mtime[d] == 0) return d;
+    }
+    return -1;
+}
+
+int self_dep(int t) {
+    int i;
+    for (i = 0; i < ndeps[t]; i++) {
+        if (deps[t][i] == t) return 1;
+    }
+    return 0;
+}
+
+void check_makefile() {
+    int i, m, problems;
+    problems = 0;
+    for (i = 0; i < nentries; i++) {
+        if (!has_rule[i]) continue;
+        m = dep_missing(i);
+        if (m >= 0) {
+            printf("make: %s depends on %s, which has no rule or timestamp\n",
+                   names[i], names[m]);
+            problems++;
+        }
+        if (self_dep(i)) {
+            printf("make: %s depends on itself\n", names[i]);
+            problems++;
+        }
+    }
+    if (problems == 0) printf("make: makefile ok (%d rules)\n", nentries);
+}
+
+/* ---- cold: dependency graph statistics (-s) ---- */
+
+int fan_in(int t) {
+    int i, j, n;
+    n = 0;
+    for (i = 0; i < nentries; i++) {
+        for (j = 0; j < ndeps[i]; j++) {
+            if (deps[i][j] == t) n++;
+        }
+    }
+    return n;
+}
+
+int chain_depth(int t) {
+    int i, d, best;
+    best = 0;
+    for (i = 0; i < ndeps[t]; i++) {
+        d = chain_depth(deps[t][i]);
+        if (d > best) best = d;
+    }
+    return best + 1;
+}
+
+int busiest_target() {
+    int i, best, bi;
+    best = -1;
+    bi = 0;
+    for (i = 0; i < nentries; i++) {
+        if (fan_in(i) > best) {
+            best = fan_in(i);
+            bi = i;
+        }
+    }
+    return bi;
+}
+
+void graph_stats() {
+    int i, maxdepth, d, roots;
+    maxdepth = 0;
+    roots = 0;
+    for (i = 0; i < nentries; i++) {
+        if (fan_in(i) == 0) {
+            roots++;
+            d = chain_depth(i);
+            if (d > maxdepth) maxdepth = d;
+        }
+    }
+    printf("make: graph: %d roots, depth %d, busiest %s (fan-in %d)\n",
+           roots, maxdepth, names[busiest_target()], fan_in(busiest_target()));
+}
+
+int main() {
+    int i;
+    nentries = 0;
+    rebuilds = 0;
+    visits = 0;
+    cycles_found = 0;
+    opt_dryrun = 0;
+    opt_debug = 0;
+    opt_stats = 0;
+    opt_clean = 0;
+    opt_check = 0;
+    init_actions();
+    load_options();
+    load_makefile();
+    load_mtimes();
+    if (opt_check) check_makefile();
+    if (opt_clean) {
+        clean_all();
+        printf("make: %d entries\n", nentries);
+        return 0;
+    }
+    /* build every target with a rule, roots first */
+    for (i = 0; i < nentries; i++) {
+        if (has_rule[i]) build_target(i);
+    }
+    if (opt_stats) graph_stats();
+    printf("make: %d entries, %d rebuilt, %d visits\n",
+           nentries, rebuilds, visits);
+    return 0;
+}

@@ -1,0 +1,315 @@
+/* tar - a miniature archiver, after the UNIX tar benchmark
+ * ("save/extract files"). The command file "tar.cmd" holds either
+ * "c name name ..." (create archive "archive" from the named files) or
+ * "x" (extract the archive back into the file system). Headers carry
+ * name, size, and a checksum over the header bytes; data is copied byte
+ * by byte through small helpers, which dominate the dynamic call
+ * profile. */
+
+extern int open(char *path, int mode);
+extern int close(int fd);
+extern int getc(int fd);
+extern int putc(int c, int fd);
+extern int read(int fd, char *buf, int n);
+extern int write(int fd, char *buf, int n);
+extern int printf(char *fmt, ...);
+
+enum { NAMELEN = 32, HDRLEN = 48, TARBLK = 512 };
+
+int files_done;
+int bytes_copied;
+int opt_verbose;   /* cold: detailed listing */
+
+/* ---- blocked I/O, as tar's 512-byte tape blocks (hot) ---- */
+
+char rblock[TARBLK];
+int rlen;
+int rpos;
+int rfd;
+
+void read_bind(int fd) {
+    rfd = fd;
+    rlen = 0;
+    rpos = 0;
+}
+
+int read_byte(int fd) {
+    if (fd != rfd) return getc(fd); /* unblocked path for side files */
+    if (rpos >= rlen) {
+        rlen = read(rfd, rblock, TARBLK);
+        rpos = 0;
+        if (rlen <= 0) return -1;
+    }
+    return rblock[rpos++];
+}
+
+char wblock[TARBLK];
+int wlen;
+int wfd;
+
+void write_bind(int fd) {
+    wfd = fd;
+    wlen = 0;
+}
+
+void write_flush() {
+    if (wlen > 0) write(wfd, wblock, wlen);
+    wlen = 0;
+}
+
+void write_byte(int fd, int c) {
+    if (fd != wfd) {
+        putc(c, fd);
+        bytes_copied++;
+        return;
+    }
+    if (wlen >= TARBLK) write_flush();
+    wblock[wlen++] = c;
+    bytes_copied++;
+}
+
+void copy_bytes(int from, int to, int n) {
+    int i, c;
+    for (i = 0; i < n; i++) {
+        c = read_byte(from);
+        if (c == -1) break;
+        write_byte(to, c);
+    }
+}
+
+/* ---- header encoding: name[NAMELEN], size as 8 digits, checksum as 8
+ * digits, all bytes included in the sum with checksum field as spaces */
+
+int checksum_add(int sum, int c) { return (sum + c) & 0xffffff; }
+
+void put_num(char *buf, int off, int v) {
+    int i;
+    for (i = 7; i >= 0; i--) {
+        buf[off + i] = '0' + v % 10;
+        v = v / 10;
+    }
+}
+
+int get_num(char *buf, int off) {
+    int i, v;
+    v = 0;
+    for (i = 0; i < 8; i++) {
+        v = v * 10 + (buf[off + i] - '0');
+    }
+    return v;
+}
+
+int header_sum(char *hdr) {
+    int i, sum;
+    sum = 0;
+    for (i = 0; i < HDRLEN; i++) {
+        if (i >= NAMELEN + 8 && i < NAMELEN + 16) {
+            sum = checksum_add(sum, ' ');
+        } else {
+            sum = checksum_add(sum, hdr[i]);
+        }
+    }
+    return sum;
+}
+
+void write_header(int fd, char *name, int size) {
+    char hdr[HDRLEN];
+    int i;
+    for (i = 0; i < HDRLEN; i++) hdr[i] = 0;
+    for (i = 0; name[i] && i < NAMELEN - 1; i++) hdr[i] = name[i];
+    put_num(hdr, NAMELEN, size);
+    put_num(hdr, NAMELEN + 8, header_sum(hdr));
+    for (i = 0; i < HDRLEN; i++) write_byte(fd, hdr[i]);
+}
+
+/* returns size, or -1 at end of archive / bad checksum */
+int read_header(int fd, char *name) {
+    char hdr[HDRLEN];
+    int i, c, size, sum;
+    for (i = 0; i < HDRLEN; i++) {
+        c = read_byte(fd);
+        if (c == -1) return -1;
+        hdr[i] = c;
+    }
+    for (i = 0; i < NAMELEN - 1; i++) name[i] = hdr[i];
+    name[NAMELEN - 1] = '\0';
+    size = get_num(hdr, NAMELEN);
+    sum = get_num(hdr, NAMELEN + 8);
+    if (sum != header_sum(hdr)) {
+        printf("tar: bad checksum for %s\n", name);
+        return -1;
+    }
+    return size;
+}
+
+/* ---- size probe: read the file once to learn its length ---- */
+
+int file_size(char *name) {
+    int fd, n;
+    fd = open(name, 0);
+    if (fd < 0) return -1;
+    n = 0;
+    while (read_byte(fd) != -1) n++;
+    close(fd);
+    return n;
+}
+
+/* ---- create / extract ---- */
+
+void archive_file(int out, char *name) {
+    int in, size;
+    size = file_size(name);
+    if (size < 0) {
+        printf("tar: cannot open %s\n", name);
+        return;
+    }
+    write_header(out, name, size);
+    in = open(name, 0);
+    copy_bytes(in, out, size);
+    close(in);
+    files_done++;
+    printf("a %s %d\n", name, size);
+}
+
+void extract_all(int in) {
+    char name[NAMELEN];
+    int out, size;
+    for (;;) {
+        size = read_header(in, name);
+        if (size < 0) break;
+        out = open(name, 1);
+        write_bind(out);
+        copy_bytes(in, out, size);
+        write_flush();
+        write_bind(-1);
+        close(out);
+        files_done++;
+        printf("x %s %d\n", name, size);
+    }
+}
+
+/* ---- cold: 'V' verify mode re-walks the archive, recomputing header
+ * checksums and summing the data bytes per file ---- */
+
+int data_checksum(int in, int size) {
+    int i, c, sum;
+    sum = 0;
+    for (i = 0; i < size; i++) {
+        c = read_byte(in);
+        if (c == -1) return -1;
+        sum = checksum_add(sum, c);
+    }
+    return sum;
+}
+
+int name_sane(char *name) {
+    int i;
+    if (name[0] == '\0' || name[0] == '/') return 0;
+    for (i = 0; name[i]; i++) {
+        if (name[i] == '.' && name[i + 1] == '.') return 0;
+    }
+    return 1;
+}
+
+void verify_all(int in) {
+    char name[NAMELEN];
+    int size, sum, ok, bad;
+    ok = 0;
+    bad = 0;
+    for (;;) {
+        size = read_header(in, name);
+        if (size < 0) break;
+        if (!name_sane(name)) {
+            printf("tar: suspicious name %s\n", name);
+            bad++;
+        }
+        sum = data_checksum(in, size);
+        if (sum < 0) {
+            printf("tar: truncated data for %s\n", name);
+            bad++;
+            break;
+        }
+        printf("ok %s %d sum=%d\n", name, size, sum);
+        ok++;
+    }
+    printf("tar: verify: %d ok, %d bad\n", ok, bad);
+}
+
+/* cold: 't' listing mode walks headers and skips the data */
+void list_all(int in) {
+    char name[NAMELEN];
+    int size, i;
+    for (;;) {
+        size = read_header(in, name);
+        if (size < 0) break;
+        if (opt_verbose) printf("-rw-r--r-- %8d %s\n", size, name);
+        else printf("%s\n", name);
+        for (i = 0; i < size; i++) {
+            if (read_byte(in) == -1) return;
+        }
+        files_done++;
+    }
+}
+
+/* ---- command parsing ---- */
+
+int read_word(int fd, char *out, int max) {
+    int c, n;
+    n = 0;
+    for (;;) {
+        c = getc(fd);
+        if (c == -1) break;
+        if (c == ' ' || c == '\n') {
+            if (n > 0) break;
+            continue;
+        }
+        if (n < max - 1) out[n++] = c;
+    }
+    out[n] = '\0';
+    return n;
+}
+
+int main() {
+    char word[NAMELEN];
+    int cmdfd, arfd, mode;
+    files_done = 0;
+    bytes_copied = 0;
+    opt_verbose = 0;
+    rfd = -1;
+    wfd = -1;
+    cmdfd = open("tar.cmd", 0);
+    if (cmdfd < 0) { printf("tar: no command\n"); return 2; }
+    if (read_word(cmdfd, word, NAMELEN) == 0) { close(cmdfd); return 2; }
+    mode = word[0];
+    if (word[1] == 'v') opt_verbose = 1;
+    if (mode == 'c') {
+        arfd = open("archive", 1);
+        write_bind(arfd);
+        while (read_word(cmdfd, word, NAMELEN) > 0) {
+            archive_file(arfd, word);
+        }
+        write_flush();
+        close(arfd);
+    } else if (mode == 't') {
+        arfd = open("archive", 0);
+        if (arfd < 0) { printf("tar: no archive\n"); close(cmdfd); return 2; }
+        read_bind(arfd);
+        list_all(arfd);
+        close(arfd);
+    } else if (mode == 'V') {
+        arfd = open("archive", 0);
+        if (arfd < 0) { printf("tar: no archive\n"); close(cmdfd); return 2; }
+        read_bind(arfd);
+        verify_all(arfd);
+        close(arfd);
+    } else {
+        arfd = open("archive", 0);
+        if (arfd < 0) { printf("tar: no archive\n"); close(cmdfd); return 2; }
+        read_bind(arfd);
+        extract_all(arfd);
+        close(arfd);
+    }
+    close(cmdfd);
+    printf("tar: %d files, %d bytes\n", files_done, bytes_copied);
+    return 0;
+}

@@ -1,0 +1,415 @@
+/* yacc - a miniature LL(1) parser generator and driver, after the UNIX
+ * yacc benchmark ("grammar for a C compiler, etc."). The grammar file
+ * "grammar" holds rules "N: sym sym ...\n" where uppercase letters are
+ * nonterminals, "." is epsilon, and anything else is a terminal. The
+ * program computes NULLABLE, FIRST, and FOLLOW sets with iterative
+ * fixpoint passes (set operations are the hot functions), builds the
+ * LL(1) table, and then parses each line of stdin with a table-driven
+ * pushdown automaton, reporting accept/reject counts. */
+
+extern int getchar();
+extern int open(char *path, int mode);
+extern int close(int fd);
+extern int getc(int fd);
+extern int printf(char *fmt, ...);
+
+enum { MAXRULES = 64, MAXRHS = 8, MAXSYMS = 128, STACKMAX = 256 };
+
+/* rules[r][0] is the LHS nonterminal; rhs stored as chars, 0-terminated */
+char rule_lhs[MAXRULES];
+char rule_rhs[MAXRULES][MAXRHS];
+int rule_len[MAXRULES];
+int nrules;
+
+/* per-symbol facts, indexed by character code */
+int nullable[MAXSYMS];
+int first[MAXSYMS][MAXSYMS];   /* first[A][t] */
+int follow[MAXSYMS][MAXSYMS];  /* follow[A][t] */
+int ll_table[MAXSYMS][MAXSYMS]; /* ll_table[A][t] = rule index + 1, 0 = err */
+
+int accepted;
+int rejected;
+int steps;
+
+int opt_sets;      /* cold: dump FIRST/FOLLOW sets */
+int opt_conflicts; /* cold: report LL(1) table conflicts */
+int opt_derive;    /* cold: print the derivation of the first sentence */
+int table_conflicts;
+int derivation_shown;
+
+int is_nonterm(int s) { return s >= 'A' && s <= 'Z'; }
+
+int is_term(int s) { return s != 0 && !is_nonterm(s); }
+
+/* ---- set helpers (hot) ---- */
+
+int set_has(int *set, int x) { return set[x]; }
+
+int set_add(int *set, int x) {
+    if (set[x]) return 0;
+    set[x] = 1;
+    return 1;
+}
+
+/* add every member of src to dst; returns 1 if dst grew */
+int set_union(int *dst, int *src) {
+    int i, grew;
+    grew = 0;
+    for (i = 1; i < MAXSYMS; i++) {
+        if (src[i] && set_add(dst, i)) grew = 1;
+    }
+    return grew;
+}
+
+/* ---- grammar loading ---- */
+
+int load_grammar() {
+    int fd, c, r, n;
+    fd = open("grammar", 0);
+    if (fd < 0) return 0;
+    nrules = 0;
+    for (;;) {
+        /* LHS */
+        c = getc(fd);
+        while (c == '\n' || c == ' ') c = getc(fd);
+        if (c == -1) break;
+        r = nrules;
+        if (r >= MAXRULES) break;
+        rule_lhs[r] = c;
+        /* colon */
+        c = getc(fd);
+        while (c == ' ' || c == ':') c = getc(fd);
+        /* RHS symbols to end of line; '.' alone means epsilon */
+        n = 0;
+        while (c != -1 && c != '\n') {
+            if (c != ' ' && c != '.') {
+                if (n < MAXRHS - 1) rule_rhs[r][n++] = c;
+            }
+            c = getc(fd);
+        }
+        rule_rhs[r][n] = '\0';
+        rule_len[r] = n;
+        nrules++;
+    }
+    close(fd);
+    return nrules;
+}
+
+/* ---- NULLABLE ---- */
+
+void compute_nullable() {
+    int changed, r, i, allnull;
+    changed = 1;
+    while (changed) {
+        changed = 0;
+        for (r = 0; r < nrules; r++) {
+            if (nullable[rule_lhs[r]]) continue;
+            allnull = 1;
+            for (i = 0; i < rule_len[r]; i++) {
+                if (!nullable[rule_rhs[r][i]]) { allnull = 0; break; }
+            }
+            if (allnull) {
+                nullable[rule_lhs[r]] = 1;
+                changed = 1;
+            }
+        }
+    }
+}
+
+/* ---- FIRST ---- */
+
+void seed_first() {
+    int r, i, s;
+    for (r = 0; r < nrules; r++) {
+        for (i = 0; i < rule_len[r]; i++) {
+            s = rule_rhs[r][i];
+            if (is_term(s)) set_add(first[s], s);
+        }
+    }
+}
+
+void compute_first() {
+    int changed, r, i, s;
+    seed_first();
+    changed = 1;
+    while (changed) {
+        changed = 0;
+        for (r = 0; r < nrules; r++) {
+            for (i = 0; i < rule_len[r]; i++) {
+                s = rule_rhs[r][i];
+                if (set_union(first[rule_lhs[r]], first[s])) changed = 1;
+                if (!nullable[s]) break;
+            }
+        }
+    }
+}
+
+/* ---- FOLLOW ---- */
+
+void compute_follow() {
+    int changed, r, i, j, s, t, brk;
+    set_add(follow[rule_lhs[0]], '$');
+    changed = 1;
+    while (changed) {
+        changed = 0;
+        for (r = 0; r < nrules; r++) {
+            for (i = 0; i < rule_len[r]; i++) {
+                s = rule_rhs[r][i];
+                if (!is_nonterm(s)) continue;
+                /* everything in FIRST of the tail goes into FOLLOW(s) */
+                brk = 0;
+                for (j = i + 1; j < rule_len[r]; j++) {
+                    t = rule_rhs[r][j];
+                    if (set_union(follow[s], first[t])) changed = 1;
+                    if (!nullable[t]) { brk = 1; break; }
+                }
+                if (!brk) {
+                    if (set_union(follow[s], follow[rule_lhs[r]])) changed = 1;
+                }
+            }
+        }
+    }
+}
+
+/* ---- LL(1) table ---- */
+
+int rhs_first_has(int r, int t) {
+    int i, s;
+    for (i = 0; i < rule_len[r]; i++) {
+        s = rule_rhs[r][i];
+        if (set_has(first[s], t)) return 1;
+        if (!nullable[s]) return 0;
+    }
+    return 0;
+}
+
+int rhs_nullable(int r) {
+    int i;
+    for (i = 0; i < rule_len[r]; i++) {
+        if (!nullable[rule_rhs[r][i]]) return 0;
+    }
+    return 1;
+}
+
+void build_table() {
+    int r, t;
+    for (r = 0; r < nrules; r++) {
+        for (t = 1; t < MAXSYMS; t++) {
+            if (!is_term(t) && t != '$') continue;
+            if (rhs_first_has(r, t) ||
+                (rhs_nullable(r) && set_has(follow[rule_lhs[r]], t))) {
+                if (ll_table[rule_lhs[r]][t] == 0) {
+                    ll_table[rule_lhs[r]][t] = r + 1;
+                } else if (ll_table[rule_lhs[r]][t] != r + 1) {
+                    table_conflicts++;
+                }
+            }
+        }
+    }
+}
+
+/* ---- cold diagnostics: set dumps and conflict report ---- */
+
+int set_size(int *set) {
+    int i, n;
+    n = 0;
+    for (i = 1; i < MAXSYMS; i++) {
+        if (set[i]) n++;
+    }
+    return n;
+}
+
+void print_set(char *label, int nt, int *set) {
+    int i;
+    printf("%s(%c) = {", label, nt);
+    for (i = 1; i < MAXSYMS; i++) {
+        if (set[i]) printf(" %c", i);
+    }
+    printf(" } [%d]\n", set_size(set));
+}
+
+int seen_nt(int s, int upto) {
+    int r;
+    for (r = 0; r < upto; r++) {
+        if (rule_lhs[r] == s) return 1;
+    }
+    return 0;
+}
+
+void dump_sets() {
+    int r, s;
+    for (r = 0; r < nrules; r++) {
+        s = rule_lhs[r];
+        if (seen_nt(s, r)) continue;
+        if (nullable[s]) printf("nullable(%c)\n", s);
+        print_set("FIRST", s, first[s]);
+        print_set("FOLLOW", s, follow[s]);
+    }
+}
+
+void report_conflicts() {
+    if (table_conflicts > 0)
+        printf("yacc: %d LL(1) conflicts (first rule wins)\n", table_conflicts);
+    else
+        printf("yacc: grammar is LL(1)\n");
+}
+
+extern int read(int fd, char *buf, int n);
+
+void load_options() {
+    char buf[16];
+    int fd, n, i;
+    fd = open("opts", 0);
+    if (fd < 0) return;
+    n = read(fd, buf, 15);
+    close(fd);
+    for (i = 0; i < n; i++) {
+        if (buf[i] == 'S') opt_sets = 1;
+        if (buf[i] == 'c') opt_conflicts = 1;
+        if (buf[i] == 'p') opt_derive = 1;
+    }
+}
+
+/* ---- cold: leftmost-derivation printer ('p' option) re-parses one
+ * sentence, printing each rule application ---- */
+
+void print_rule(int r) {
+    int i;
+    printf("  %c ->", rule_lhs[r]);
+    if (rule_len[r] == 0) printf(" .");
+    for (i = 0; i < rule_len[r]; i++) printf(" %c", rule_rhs[r][i]);
+    printf("\n");
+}
+
+char dstack[STACKMAX];
+int dsp;
+
+void dpush(int s) {
+    if (dsp < STACKMAX) dstack[dsp++] = s;
+}
+
+int dpop() {
+    if (dsp == 0) return 0;
+    dsp--;
+    return dstack[dsp];
+}
+
+void show_derivation(char *text) {
+    int pos, top, t, r, i, steps_left;
+    printf("derivation of %s:\n", text);
+    dsp = 0;
+    dpush('$');
+    dpush(rule_lhs[0]);
+    pos = 0;
+    steps_left = 200;
+    for (;;) {
+        if (steps_left-- <= 0) { printf("  ...\n"); return; }
+        top = dpop();
+        t = text[pos];
+        if (t == '\0') t = '$';
+        if (top == '$' && t == '$') { printf("  accept\n"); return; }
+        if (is_nonterm(top)) {
+            r = ll_table[top][t];
+            if (r == 0) { printf("  reject at %c\n", t); return; }
+            r--;
+            print_rule(r);
+            for (i = rule_len[r] - 1; i >= 0; i--) dpush(rule_rhs[r][i]);
+            continue;
+        }
+        if (top != t) { printf("  reject: want %c saw %c\n", top, t); return; }
+        pos++;
+    }
+}
+
+/* ---- table-driven parser ---- */
+
+char stack[STACKMAX];
+int sp;
+
+void push(int s) {
+    if (sp < STACKMAX) stack[sp++] = s;
+}
+
+int pop() {
+    if (sp == 0) return 0;
+    sp--;
+    return stack[sp];
+}
+
+/* parse one NUL-terminated sentence; returns 1 on accept */
+int parse_line(char *text) {
+    int pos, top, t, r, i;
+    sp = 0;
+    push('$');
+    push(rule_lhs[0]);
+    pos = 0;
+    for (;;) {
+        steps++;
+        top = pop();
+        t = text[pos];
+        if (t == '\0') t = '$';
+        if (top == '$' && t == '$') return 1;
+        if (is_nonterm(top)) {
+            r = ll_table[top][t];
+            if (r == 0) return 0;
+            r--;
+            /* push RHS in reverse */
+            for (i = rule_len[r] - 1; i >= 0; i--) push(rule_rhs[r][i]);
+            continue;
+        }
+        if (top != t) return 0;
+        pos++;
+    }
+}
+
+int read_line(char *buf, int max) {
+    int c, n;
+    n = 0;
+    for (;;) {
+        c = getchar();
+        if (c == -1) {
+            if (n == 0) return -1;
+            break;
+        }
+        if (c == '\n') break;
+        if (n < max - 1) buf[n++] = c;
+    }
+    buf[n] = '\0';
+    return n;
+}
+
+int main() {
+    char line[256];
+    int n;
+    accepted = 0;
+    rejected = 0;
+    steps = 0;
+    opt_sets = 0;
+    opt_conflicts = 0;
+    opt_derive = 0;
+    derivation_shown = 0;
+    table_conflicts = 0;
+    load_options();
+    if (load_grammar() == 0) { printf("yacc: no grammar\n"); return 2; }
+    compute_nullable();
+    compute_first();
+    compute_follow();
+    build_table();
+    if (opt_sets) dump_sets();
+    if (opt_conflicts) report_conflicts();
+    for (;;) {
+        n = read_line(line, 256);
+        if (n < 0) break;
+        if (n == 0) continue;
+        if (parse_line(line)) {
+            accepted++;
+            if (opt_derive && !derivation_shown) {
+                derivation_shown = 1;
+                show_derivation(line);
+            }
+        } else rejected++;
+    }
+    printf("yacc: %d rules, %d accepted, %d rejected, %d steps\n",
+           nrules, accepted, rejected, steps);
+    return 0;
+}

@@ -1,0 +1,382 @@
+package bench
+
+import (
+	"fmt"
+
+	"inlinec"
+)
+
+// buildSuite constructs the twelve benchmarks with their deterministic
+// input sets. Run counts mirror the paper's Table 1 (cccp 20, cmp 16,
+// compress 20, eqn 20, espresso 20, grep 20, lex 4, make 20, tar 14,
+// tee 20, wc 20, yacc 8); input sizes are scaled to interpreter speed.
+func buildSuite() []*Benchmark {
+	return []*Benchmark{
+		cccpBench(), cmpBench(), compressBench(), eqnBench(),
+		espressoBench(), grepBench(), lexBench(), makeBench(),
+		tarBench(), teeBench(), wcBench(), yaccBench(),
+	}
+}
+
+func cccpBench() *Benchmark {
+	b := &Benchmark{
+		Name:      "cccp",
+		Source:    loadSource("cccp"),
+		InputDesc: "C programs (100-3000 lines)",
+	}
+	r := newRng(101)
+	for i := 0; i < 20; i++ {
+		lines := 100 + r.intn(400)
+		in := inlinec.Input{Stdin: []byte(genCSource(r, lines))}
+		// A few runs exercise the cold option paths, as the paper's
+		// methodology ("exercise as many program options as possible").
+		switch i % 7 {
+		case 2:
+			in.Files = map[string][]byte{"opts": []byte("-DEXTRA=42\n-k\n")}
+		case 5:
+			in.Files = map[string][]byte{"opts": []byte("-c\n")}
+		case 6:
+			in.Files = map[string][]byte{"opts": []byte("-m\n-V\n")}
+		}
+		b.Inputs = append(b.Inputs, in)
+	}
+	return b
+}
+
+func cmpBench() *Benchmark {
+	b := &Benchmark{
+		Name:      "cmp",
+		Source:    loadSource("cmp"),
+		InputDesc: "similar/dissimilar text files",
+	}
+	r := newRng(202)
+	modes := []string{"f", "l", "s"}
+	for i := 0; i < 16; i++ {
+		base := []byte(genText(r, 1500+r.intn(2000)))
+		var other []byte
+		if i%4 == 0 {
+			other = append([]byte(nil), base...) // identical
+		} else if i%4 == 1 {
+			other = mutate(r, base, 1+r.intn(3)) // similar
+		} else {
+			other = []byte(genText(r, 1500+r.intn(2000))) // dissimilar
+		}
+		mode := modes[i%3]
+		if mode == "l" && i%4 >= 2 {
+			mode = "f" // avoid pathological -l output on dissimilar files
+		}
+		if i == 9 {
+			mode = "p" // position-report mode, exercised once
+		}
+		if i == 13 {
+			mode = "h" // histogram mode, exercised once
+		}
+		cmd := fmt.Sprintf("%s a.txt b.txt\n", mode)
+		b.Inputs = append(b.Inputs, inlinec.Input{Files: map[string][]byte{
+			"cmp.cmd": []byte(cmd),
+			"a.txt":   base,
+			"b.txt":   other,
+		}})
+	}
+	return b
+}
+
+func compressBench() *Benchmark {
+	b := &Benchmark{
+		Name:      "compress",
+		Source:    loadSource("compress"),
+		InputDesc: "same as cccp",
+	}
+	r := newRng(303)
+	for i := 0; i < 20; i++ {
+		lines := 120 + r.intn(300)
+		in := inlinec.Input{Stdin: []byte(genCSource(r, lines))}
+		switch i % 6 {
+		case 1:
+			in.Files = map[string][]byte{"opts": []byte("v")}
+		case 4:
+			in.Files = map[string][]byte{"opts": []byte("vC")}
+		case 5:
+			in.Files = map[string][]byte{"opts": []byte("d")}
+		case 3:
+			in.Files = map[string][]byte{"opts": []byte("B")}
+		}
+		b.Inputs = append(b.Inputs, in)
+	}
+	return b
+}
+
+func eqnBench() *Benchmark {
+	b := &Benchmark{
+		Name:      "eqn",
+		Source:    loadSource("eqn"),
+		InputDesc: "papers with .EQ options",
+	}
+	r := newRng(404)
+	for i := 0; i < 20; i++ {
+		blocks := 30 + r.intn(60)
+		in := inlinec.Input{Stdin: []byte(genEqnDoc(r, blocks))}
+		if i%10 == 7 {
+			in.Files = map[string][]byte{"opts": []byte("d")}
+		}
+		if i%10 == 3 {
+			in.Files = map[string][]byte{"opts": []byte("cs")}
+		}
+		if i%10 == 9 {
+			in.Files = map[string][]byte{"opts": []byte("w")}
+		}
+		b.Inputs = append(b.Inputs, in)
+	}
+	return b
+}
+
+func espressoBench() *Benchmark {
+	b := &Benchmark{
+		Name:      "espresso",
+		Source:    loadSource("espresso"),
+		InputDesc: "original espresso benchmarks (synthetic PLAs)",
+	}
+	r := newRng(505)
+	for i := 0; i < 20; i++ {
+		inputs := 6 + r.intn(5)
+		terms := 40 + r.intn(120)
+		in := inlinec.Input{Stdin: []byte(genTruthTable(r, inputs, terms))}
+		switch i % 5 {
+		case 2:
+			in.Files = map[string][]byte{"opts": []byte("v")}
+		case 4:
+			in.Files = map[string][]byte{"opts": []byte("s")}
+		case 1:
+			in.Files = map[string][]byte{"opts": []byte("x")}
+		}
+		b.Inputs = append(b.Inputs, in)
+	}
+	return b
+}
+
+func grepBench() *Benchmark {
+	b := &Benchmark{
+		Name:      "grep",
+		Source:    loadSource("grep"),
+		InputDesc: "exercised .*^$ options",
+	}
+	r := newRng(606)
+	patterns := []string{
+		"the", "c.mpiler", "^the", "fox$", "in*line", "[gq]raph",
+		"pro.*le", "^[a-f]", "lo*p", "[^aeiou]all",
+	}
+	for i := 0; i < 20; i++ {
+		text := genText(r, 2500+r.intn(2500))
+		pat := patterns[i%len(patterns)]
+		files := map[string][]byte{"pattern": []byte(pat + "\n")}
+		switch i % 6 {
+		case 1:
+			files["opts"] = []byte("n")
+		case 3:
+			files["opts"] = []byte("c")
+		case 5:
+			files["opts"] = []byte("v")
+		}
+		if i == 8 {
+			files["patterns"] = []byte("the\nfox$\n[gq]raph\n")
+		}
+		if i == 14 {
+			files["opts"] = []byte("B")
+		}
+		if i == 16 {
+			files["opts"] = []byte("L")
+		}
+		b.Inputs = append(b.Inputs, inlinec.Input{
+			Stdin: []byte(text),
+			Files: files,
+		})
+	}
+	return b
+}
+
+func lexBench() *Benchmark {
+	b := &Benchmark{
+		Name:      "lex",
+		Source:    loadSource("lex"),
+		InputDesc: "lexers for C, Lisp, awk, and pic (token specs + sources)",
+	}
+	r := newRng(707)
+	for i := 0; i < 4; i++ {
+		// Few runs, large inputs, matching the paper's lex workload shape.
+		src := genCSource(r, 1200+r.intn(800))
+		files := map[string][]byte{"lex.spec": []byte(genLexSpec(r))}
+		if i == 3 {
+			files["opts"] = []byte("h")
+		}
+		if i == 1 {
+			files["opts"] = []byte("T")
+		}
+
+		b.Inputs = append(b.Inputs, inlinec.Input{
+			Stdin: []byte(src),
+			Files: files,
+		})
+	}
+	return b
+}
+
+func makeBench() *Benchmark {
+	b := &Benchmark{
+		Name:      "make",
+		Source:    loadSource("make"),
+		InputDesc: "makefiles for cccp, compress, etc.",
+	}
+	r := newRng(808)
+	for i := 0; i < 20; i++ {
+		mk, ts := genMakefile(r, 30+r.intn(60))
+		files := map[string][]byte{
+			"makefile": []byte(mk),
+			"mtimes":   []byte(ts),
+		}
+		switch i % 8 {
+		case 3:
+			files["opts"] = []byte("n")
+		case 6:
+			files["opts"] = []byte("d")
+		case 1:
+			files["opts"] = []byte("k")
+		case 5:
+			files["opts"] = []byte("c")
+		}
+		b.Inputs = append(b.Inputs, inlinec.Input{Files: files})
+	}
+	return b
+}
+
+// tarArchive builds archive bytes in the mini-tar on-disk format, so that
+// extraction runs do not depend on a prior creation run.
+func tarArchive(files map[string][]byte, names []string) []byte {
+	var out []byte
+	for _, name := range names {
+		data := files[name]
+		hdr := make([]byte, 48)
+		copy(hdr, name)
+		putNum := func(off, v int) {
+			for i := 7; i >= 0; i-- {
+				hdr[off+i] = byte('0' + v%10)
+				v /= 10
+			}
+		}
+		putNum(32, len(data))
+		sum := 0
+		for i := 0; i < 48; i++ {
+			c := int(hdr[i])
+			if i >= 40 && i < 48 {
+				c = ' '
+			}
+			sum = (sum + c) & 0xffffff
+		}
+		putNum(40, sum)
+		out = append(out, hdr...)
+		out = append(out, data...)
+	}
+	return out
+}
+
+func tarBench() *Benchmark {
+	b := &Benchmark{
+		Name:      "tar",
+		Source:    loadSource("tar"),
+		InputDesc: "save/extract files",
+	}
+	r := newRng(909)
+	for i := 0; i < 14; i++ {
+		nfiles := 3 + r.intn(4)
+		files := make(map[string][]byte)
+		var names []string
+		cmd := "c"
+		for f := 0; f < nfiles; f++ {
+			name := fmt.Sprintf("file%d.dat", f)
+			files[name] = genBinary(r, 800+r.intn(2500))
+			names = append(names, name)
+			cmd += " " + name
+		}
+		if i%7 == 6 {
+			// Listing run over a pre-built archive (cold mode).
+			archive := tarArchive(files, names)
+			for _, n := range names {
+				delete(files, n)
+			}
+			files["tar.cmd"] = []byte("tv\n")
+			files["archive"] = archive
+		} else if i == 4 {
+			// Verify run (cold checksum walk).
+			archive := tarArchive(files, names)
+			for _, n := range names {
+				delete(files, n)
+			}
+			files["tar.cmd"] = []byte("V\n")
+			files["archive"] = archive
+		} else if i%2 == 0 {
+			// Create run.
+			files["tar.cmd"] = []byte(cmd + "\n")
+		} else {
+			// Extract run over a pre-built archive.
+			archive := tarArchive(files, names)
+			for _, n := range names {
+				delete(files, n)
+			}
+			files["tar.cmd"] = []byte("x\n")
+			files["archive"] = archive
+		}
+		b.Inputs = append(b.Inputs, inlinec.Input{Files: files})
+	}
+	return b
+}
+
+func teeBench() *Benchmark {
+	b := &Benchmark{
+		Name:      "tee",
+		Source:    loadSource("tee"),
+		InputDesc: "same as cccp",
+	}
+	r := newRng(1010)
+	for i := 0; i < 20; i++ {
+		b.Inputs = append(b.Inputs, inlinec.Input{Stdin: []byte(genCSource(r, 60+r.intn(120)))})
+	}
+	return b
+}
+
+func wcBench() *Benchmark {
+	b := &Benchmark{
+		Name:      "wc",
+		Source:    loadSource("wc"),
+		InputDesc: "same as cccp",
+	}
+	r := newRng(1111)
+	for i := 0; i < 20; i++ {
+		b.Inputs = append(b.Inputs, inlinec.Input{Stdin: []byte(genCSource(r, 200+r.intn(500)))})
+	}
+	return b
+}
+
+func yaccBench() *Benchmark {
+	b := &Benchmark{
+		Name:      "yacc",
+		Source:    loadSource("yacc"),
+		InputDesc: "grammar for a C compiler, etc. (expression grammar + sentences)",
+	}
+	r := newRng(1212)
+	for i := 0; i < 8; i++ {
+		grammar, sentences := genGrammar(r, 400+r.intn(400))
+		files := map[string][]byte{"grammar": []byte(grammar)}
+		switch i {
+		case 2:
+			files["opts"] = []byte("c")
+		case 5:
+			files["opts"] = []byte("Sc")
+		case 7:
+			files["opts"] = []byte("p")
+		}
+		b.Inputs = append(b.Inputs, inlinec.Input{
+			Stdin: []byte(sentences),
+			Files: files,
+		})
+	}
+	return b
+}

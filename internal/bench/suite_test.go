@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"inlinec"
+)
+
+// TestSuiteCompilesAndRuns compiles every benchmark and executes its first
+// input, checking that the program terminates cleanly and produces its
+// summary line.
+func TestSuiteCompilesAndRuns(t *testing.T) {
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p, err := b.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if len(b.Inputs) == 0 {
+				t.Fatalf("benchmark has no inputs")
+			}
+			out, err := p.Run(b.Inputs[0])
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if b.Name != "tee" && b.Name != "wc" && !strings.Contains(out.Stdout, b.Name+":") {
+				t.Errorf("missing summary line in output (%d bytes):\n%.300s",
+					len(out.Stdout), out.Stdout)
+			}
+			if out.Stats.IL == 0 {
+				t.Errorf("no instructions executed")
+			}
+			t.Logf("%s: IL=%d CT=%d calls=%d (extern %d, ptr %d)",
+				b.Name, out.Stats.IL, out.Stats.Control, out.Stats.Calls,
+				out.Stats.ExternCalls, out.Stats.PtrCalls)
+		})
+	}
+}
+
+// TestSuiteDeterministicInputs checks that regenerating the suite yields
+// byte-identical inputs (the profiling methodology depends on it).
+func TestSuiteDeterministicInputs(t *testing.T) {
+	a := buildSuite()
+	b := buildSuite()
+	for i := range a {
+		if len(a[i].Inputs) != len(b[i].Inputs) {
+			t.Fatalf("%s: input count differs", a[i].Name)
+		}
+		for j := range a[i].Inputs {
+			if string(a[i].Inputs[j].Stdin) != string(b[i].Inputs[j].Stdin) {
+				t.Errorf("%s input %d: stdin differs", a[i].Name, j)
+			}
+		}
+	}
+}
+
+// TestSuiteInlinePreservesOutputs runs every benchmark's first two inputs
+// before and after inline expansion and requires identical observable
+// behaviour — the strongest end-to-end correctness check in the repo.
+func TestSuiteInlinePreservesOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long end-to-end check")
+	}
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			p, err := b.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			n := len(b.Inputs)
+			if n > 2 {
+				n = 2
+			}
+			prof, err := p.ProfileInputs(b.Inputs[:n]...)
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			if _, err := p.Inline(prof, inlinec.DefaultParams()); err != nil {
+				t.Fatalf("inline: %v", err)
+			}
+			for j := 0; j < n; j++ {
+				before, err := p.RunOriginal(b.Inputs[j])
+				if err != nil {
+					t.Fatalf("run original input %d: %v", j, err)
+				}
+				after, err := p.Run(b.Inputs[j])
+				if err != nil {
+					t.Fatalf("run inlined input %d: %v", j, err)
+				}
+				if before.Stdout != after.Stdout {
+					t.Errorf("input %d: stdout differs after inlining\nbefore: %.200q\nafter:  %.200q",
+						j, before.Stdout, after.Stdout)
+				}
+				if before.ExitCode != after.ExitCode {
+					t.Errorf("input %d: exit code %d -> %d", j, before.ExitCode, after.ExitCode)
+				}
+			}
+		})
+	}
+}

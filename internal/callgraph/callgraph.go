@@ -1,0 +1,567 @@
+// Package callgraph builds the weighted call graph G = (N, E, main) of
+// section 2.2 of the paper. Nodes are functions weighted by execution
+// count; arcs are static call sites weighted by invocation count. Two
+// special nodes summarize missing information exactly as the paper
+// prescribes: "$$$" stands for all external functions (bodies unavailable
+// — library routines and system calls) and "###" stands for the targets of
+// calls through pointers. Worst-case assumptions apply: an external
+// function may call any user function, and a call through a pointer may
+// reach any address-taken function (any function at all once the program
+// calls an external function).
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"inlinec/internal/ir"
+	"inlinec/internal/profile"
+)
+
+// Names of the special summary nodes.
+const (
+	ExternalNodeName = "$$$"
+	PointerNodeName  = "###"
+)
+
+// ArcStatus is the paper's per-arc status attribute.
+type ArcStatus int
+
+// Arc statuses.
+const (
+	StatusExpandable ArcStatus = iota
+	StatusNotExpandable
+	StatusToBeExpanded
+	StatusExpanded
+)
+
+// String returns the status name.
+func (s ArcStatus) String() string {
+	switch s {
+	case StatusExpandable:
+		return "expandable"
+	case StatusNotExpandable:
+		return "not_expandable"
+	case StatusToBeExpanded:
+		return "to_be_expanded"
+	case StatusExpanded:
+		return "expanded"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// SiteClass categorizes a static call site for Tables 2 and 3.
+type SiteClass int
+
+// Site classes, in the paper's column order.
+const (
+	ClassExternal SiteClass = iota // callee body unavailable (incl. syscalls)
+	ClassPointer                   // call through pointer
+	ClassUnsafe                    // recursion/stack hazard or weight below threshold
+	ClassSafe                      // considered for inline expansion
+)
+
+// String returns the class name.
+func (c SiteClass) String() string {
+	switch c {
+	case ClassExternal:
+		return "external"
+	case ClassPointer:
+		return "pointer"
+	case ClassUnsafe:
+		return "unsafe"
+	}
+	return "safe"
+}
+
+// Node is a call-graph node.
+type Node struct {
+	Name string
+	// Fn is nil for the special $$$ and ### nodes.
+	Fn *ir.Func
+	// Weight is the function's expected execution count.
+	Weight float64
+	Out    []*Arc
+	In     []*Arc
+	// scc is the strongly-connected-component id over user arcs only.
+	scc int
+	// sccConservative additionally follows $$$ and ### arcs.
+	sccConservative int
+	// height is the longest user-arc path to a leaf (0 for leaves; nodes
+	// sharing a cycle share a height). Used to put leaf-level functions at
+	// the front of the linearization when weights tie, per section 3.3.
+	height int
+}
+
+// Height returns the node's call-graph height: 0 for leaf functions,
+// 1 + max(callee heights) otherwise, computed over user arcs with cycles
+// collapsed.
+func (n *Node) Height() int { return n.height }
+
+// IsSpecial reports whether the node is $$$ or ###.
+func (n *Node) IsSpecial() bool { return n.Fn == nil }
+
+// Arc is a static call site (or a synthetic worst-case edge).
+type Arc struct {
+	// ID is the call-site id from the IL; synthetic arcs (out of $$$/###)
+	// have negative ids.
+	ID     int
+	Caller *Node
+	Callee *Node
+	Weight float64
+	Status ArcStatus
+	// ViaPointer marks a call-through-pointer site.
+	ViaPointer bool
+	// Synthetic marks worst-case edges added for $$$/### summarization.
+	Synthetic bool
+	// Instr locates the call instruction within Caller.Fn.Code
+	// (-1 for synthetic arcs).
+	Instr int
+}
+
+// Graph is the weighted call graph of one module.
+type Graph struct {
+	Mod      *ir.Module
+	Nodes    map[string]*Node
+	Main     *Node
+	External *Node // $$$
+	Pointer  *Node // ###
+	// Arcs lists real call-site arcs (synthetic arcs hang off nodes only).
+	Arcs []*Arc
+	// HasExternCalls records whether any user function calls $$$; if so the
+	// worst-case rules widen ###'s reach and defeat dead-code removal.
+	HasExternCalls bool
+}
+
+// Build constructs the call graph from a module and (optionally) a
+// profile. A nil profile yields zero weights — callers may attach weights
+// later with ApplyProfile.
+func Build(mod *ir.Module, prof *profile.Profile) *Graph {
+	g := &Graph{
+		Mod:      mod,
+		Nodes:    make(map[string]*Node),
+		External: &Node{Name: ExternalNodeName},
+		Pointer:  &Node{Name: PointerNodeName},
+	}
+	// Step 1: allocate a node for each function.
+	for _, f := range mod.Funcs {
+		g.Nodes[f.Name] = &Node{Name: f.Name, Fn: f}
+	}
+	g.Main = g.Nodes["main"]
+
+	addArc := func(a *Arc) {
+		a.Caller.Out = append(a.Caller.Out, a)
+		a.Callee.In = append(a.Callee.In, a)
+		if !a.Synthetic {
+			g.Arcs = append(g.Arcs, a)
+		}
+	}
+
+	// Step 2: connect nodes corresponding to the static calls.
+	for _, f := range mod.Funcs {
+		caller := g.Nodes[f.Name]
+		for i := range f.Code {
+			in := &f.Code[i]
+			switch in.Op {
+			case ir.OpCall:
+				if callee, ok := g.Nodes[in.Sym]; ok {
+					addArc(&Arc{ID: in.CallID, Caller: caller, Callee: callee, Instr: i})
+				} else {
+					// Step 3a: call to an external function -> one arc to $$$.
+					g.HasExternCalls = true
+					addArc(&Arc{ID: in.CallID, Caller: caller, Callee: g.External, Instr: i})
+				}
+			case ir.OpCallPtr:
+				// Step 3b: call through pointer -> one arc to ###.
+				addArc(&Arc{ID: in.CallID, Caller: caller, Callee: g.Pointer, Instr: i, ViaPointer: true})
+			}
+		}
+	}
+
+	// Worst case: $$$ may call any user function.
+	synthID := -1
+	if g.HasExternCalls {
+		for _, f := range mod.Funcs {
+			addArc(&Arc{ID: synthID, Caller: g.External, Callee: g.Nodes[f.Name], Synthetic: true, Instr: -1})
+			synthID--
+		}
+	}
+	// ### reaches every address-taken function; with external calls present
+	// the precise maximal set is unknowable, so it reaches everything.
+	for _, f := range mod.Funcs {
+		if g.HasExternCalls || mod.AddressTaken[f.Name] {
+			addArc(&Arc{ID: synthID, Caller: g.Pointer, Callee: g.Nodes[f.Name], Synthetic: true, Instr: -1})
+			synthID--
+		}
+	}
+
+	g.computeSCCs()
+	if prof != nil {
+		g.ApplyProfile(prof)
+	}
+	return g
+}
+
+// ApplyProfile installs node and arc weights from averaged profile data.
+func (g *Graph) ApplyProfile(prof *profile.Profile) {
+	for name, n := range g.Nodes {
+		n.Weight = prof.FuncWeight(name)
+	}
+	var extW, ptrW float64
+	for _, a := range g.Arcs {
+		a.Weight = prof.SiteWeight(a.ID)
+		if a.Callee == g.External {
+			extW += a.Weight
+		}
+		if a.Callee == g.Pointer {
+			ptrW += a.Weight
+		}
+	}
+	g.External.Weight = extW
+	g.Pointer.Weight = ptrW
+}
+
+// Arc returns the real arc with the call-site id, or nil.
+func (g *Graph) Arc(id int) *Arc {
+	for _, a := range g.Arcs {
+		if a.ID == id {
+			return a
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- recursion
+
+// computeSCCs runs Tarjan's algorithm twice: once over user arcs only
+// (strict recursion) and once including the $$$/### worst-case edges
+// (conservative recursion).
+func (g *Graph) computeSCCs() {
+	nodes := g.allNodes()
+	assign := func(useSynthetic bool, set func(n *Node, id int)) {
+		index := make(map[*Node]int)
+		low := make(map[*Node]int)
+		onStack := make(map[*Node]bool)
+		var stack []*Node
+		next, comp := 0, 0
+
+		var strongconnect func(v *Node)
+		strongconnect = func(v *Node) {
+			index[v] = next
+			low[v] = next
+			next++
+			stack = append(stack, v)
+			onStack[v] = true
+			for _, a := range v.Out {
+				if a.Synthetic && !useSynthetic {
+					continue
+				}
+				w := a.Callee
+				if _, seen := index[w]; !seen {
+					strongconnect(w)
+					if low[w] < low[v] {
+						low[v] = low[w]
+					}
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					set(w, comp)
+					if w == v {
+						break
+					}
+				}
+				comp++
+			}
+		}
+		for _, n := range nodes {
+			if _, seen := index[n]; !seen {
+				strongconnect(n)
+			}
+		}
+	}
+	assign(false, func(n *Node, id int) { n.scc = id })
+	assign(true, func(n *Node, id int) { n.sccConservative = id })
+	g.computeHeights()
+}
+
+// computeHeights assigns each user node its longest-path-to-leaf height
+// over the condensation of the user call graph (cycles share one height).
+func (g *Graph) computeHeights() {
+	// Group user nodes by SCC and build the condensation successor sets.
+	members := make(map[int][]*Node)
+	succ := make(map[int]map[int]bool)
+	for _, n := range g.Nodes {
+		members[n.scc] = append(members[n.scc], n)
+		if succ[n.scc] == nil {
+			succ[n.scc] = make(map[int]bool)
+		}
+		for _, a := range n.Out {
+			if a.Synthetic || a.Callee.IsSpecial() {
+				continue
+			}
+			if a.Callee.scc != n.scc {
+				succ[n.scc][a.Callee.scc] = true
+			}
+		}
+	}
+	memo := make(map[int]int)
+	var height func(c int) int
+	height = func(c int) int {
+		if h, ok := memo[c]; ok {
+			return h
+		}
+		memo[c] = 0 // breaks unexpected cycles defensively
+		h := 0
+		for s := range succ[c] {
+			if sh := height(s) + 1; sh > h {
+				h = sh
+			}
+		}
+		memo[c] = h
+		return h
+	}
+	for c, ns := range members {
+		h := height(c)
+		for _, n := range ns {
+			n.height = h
+		}
+	}
+}
+
+func (g *Graph) allNodes() []*Node {
+	names := make([]string, 0, len(g.Nodes))
+	for n := range g.Nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	nodes := make([]*Node, 0, len(names)+2)
+	for _, n := range names {
+		nodes = append(nodes, g.Nodes[n])
+	}
+	nodes = append(nodes, g.External, g.Pointer)
+	return nodes
+}
+
+// SelfRecursive reports whether the node has an arc to itself — the
+// paper's "simple recursion", which the expander does not handle.
+func (g *Graph) SelfRecursive(n *Node) bool {
+	for _, a := range n.Out {
+		if a.Callee == n && !a.Synthetic {
+			return true
+		}
+	}
+	return false
+}
+
+// Recursive reports whether the node lies on a user-level cycle (including
+// self loops). Detecting recursion is finding cycles in the call graph.
+func (g *Graph) Recursive(n *Node) bool {
+	if g.SelfRecursive(n) {
+		return true
+	}
+	for _, m := range g.Nodes {
+		if m != n && m.scc == n.scc {
+			return true
+		}
+	}
+	return false
+}
+
+// SameCycle reports whether two user nodes share a user-level cycle
+// (the same non-trivial strongly connected component).
+func (g *Graph) SameCycle(a, b *Node) bool {
+	if a == nil || b == nil || a == b {
+		return false
+	}
+	return a.scc == b.scc
+}
+
+// ConservativelyRecursive additionally follows the $$$/### worst-case
+// edges, as an incomplete call graph demands.
+func (g *Graph) ConservativelyRecursive(n *Node) bool {
+	if g.SelfRecursive(n) {
+		return true
+	}
+	for _, m := range g.allNodes() {
+		if m != n && m.sccConservative == n.sccConservative {
+			return true
+		}
+	}
+	return false
+}
+
+// --------------------------------------------------------------- reachability
+
+// Reachable returns the set of user functions reachable from main. When
+// conservative is true (or the graph has extern calls and conservative
+// dead-code rules apply), synthetic edges are followed, so any function
+// reachable via "an external function may call anything" counts.
+func (g *Graph) Reachable(conservative bool) map[string]bool {
+	seen := make(map[*Node]bool)
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, a := range n.Out {
+			if a.Synthetic && !conservative {
+				continue
+			}
+			visit(a.Callee)
+		}
+	}
+	visit(g.Main)
+	out := make(map[string]bool)
+	for n := range seen {
+		if !n.IsSpecial() {
+			out[n.Name] = true
+		}
+	}
+	return out
+}
+
+// UnreachableFunctions lists functions that can be removed: not reachable
+// from main under the conservative rules the paper mandates (synthetic
+// edges count whenever the module calls external functions; address-taken
+// functions are always kept because an asynchronous event or stored
+// pointer may invoke them).
+func (g *Graph) UnreachableFunctions() []string {
+	reach := g.Reachable(g.HasExternCalls)
+	var dead []string
+	for _, f := range g.Mod.Funcs {
+		if f.Name == "main" {
+			continue
+		}
+		if !reach[f.Name] && !g.Mod.AddressTaken[f.Name] {
+			dead = append(dead, f.Name)
+		}
+	}
+	sort.Strings(dead)
+	return dead
+}
+
+// ------------------------------------------------------------ classification
+
+// ClassifyParams are the thresholds of the paper's hazard analysis.
+type ClassifyParams struct {
+	// WeightThreshold marks sites with estimated execution count below it
+	// as unsafe (the paper uses 10).
+	WeightThreshold float64
+	// StackBound is the byte bound on callee frames expanded into a
+	// recursive path.
+	StackBound int
+}
+
+// DefaultClassifyParams mirrors the paper's settings.
+func DefaultClassifyParams() ClassifyParams {
+	return ClassifyParams{WeightThreshold: 10, StackBound: 4096}
+}
+
+// Classify assigns each real arc a SiteClass under the given thresholds.
+func (g *Graph) Classify(p ClassifyParams) map[*Arc]SiteClass {
+	out := make(map[*Arc]SiteClass, len(g.Arcs))
+	for _, a := range g.Arcs {
+		out[a] = g.classifyArc(a, p)
+	}
+	return out
+}
+
+func (g *Graph) classifyArc(a *Arc, p ClassifyParams) SiteClass {
+	switch {
+	case a.Callee == g.External:
+		return ClassExternal
+	case a.ViaPointer || a.Callee == g.Pointer:
+		return ClassPointer
+	}
+	// Hazards: simple recursion (never expanded), a callee on a recursive
+	// path whose frame exceeds the stack bound, or a cold site.
+	if a.Caller == a.Callee {
+		return ClassUnsafe
+	}
+	if g.Recursive(a.Callee) && a.Callee.Fn.FrameSize > p.StackBound {
+		return ClassUnsafe
+	}
+	if a.Weight < p.WeightThreshold {
+		return ClassUnsafe
+	}
+	return ClassSafe
+}
+
+// ClassCounts aggregates a classification into static counts and
+// dynamic (weight) totals per class.
+type ClassCounts struct {
+	Static  [4]int
+	Dynamic [4]float64
+}
+
+// Count tallies classification results.
+func Count(classes map[*Arc]SiteClass) ClassCounts {
+	var cc ClassCounts
+	for a, cl := range classes {
+		cc.Static[cl]++
+		cc.Dynamic[cl] += a.Weight
+	}
+	return cc
+}
+
+// TotalStatic is the total number of static call sites.
+func (cc ClassCounts) TotalStatic() int {
+	return cc.Static[0] + cc.Static[1] + cc.Static[2] + cc.Static[3]
+}
+
+// TotalDynamic is the total dynamic call count.
+func (cc ClassCounts) TotalDynamic() float64 {
+	return cc.Dynamic[0] + cc.Dynamic[1] + cc.Dynamic[2] + cc.Dynamic[3]
+}
+
+// ------------------------------------------------------------------ output
+
+// Dot renders the graph in Graphviz dot format (weights as labels;
+// synthetic arcs dashed).
+func (g *Graph) Dot() string {
+	var sb strings.Builder
+	sb.WriteString("digraph callgraph {\n  rankdir=LR;\n")
+	for _, n := range g.allNodes() {
+		shape := "box"
+		if n.IsSpecial() {
+			shape = "ellipse"
+		}
+		fmt.Fprintf(&sb, "  %q [shape=%s,label=\"%s\\n%.0f\"];\n", n.Name, shape, n.Name, n.Weight)
+	}
+	emit := func(a *Arc) {
+		style := ""
+		if a.Synthetic {
+			style = ",style=dashed"
+		}
+		fmt.Fprintf(&sb, "  %q -> %q [label=\"%.0f\"%s];\n", a.Caller.Name, a.Callee.Name, a.Weight, style)
+	}
+	for _, n := range g.allNodes() {
+		for _, a := range n.Out {
+			emit(a)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "call graph: %d functions, %d static call sites (extern calls: %v)\n",
+		len(g.Nodes), len(g.Arcs), g.HasExternCalls)
+	for _, n := range g.allNodes() {
+		if n.IsSpecial() {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-20s weight=%-10.0f arcs-out=%d\n", n.Name, n.Weight, len(n.Out))
+	}
+	return sb.String()
+}

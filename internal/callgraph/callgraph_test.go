@@ -1,0 +1,304 @@
+package callgraph
+
+import (
+	"strings"
+	"testing"
+
+	"inlinec/internal/interp"
+	"inlinec/internal/ir"
+	"inlinec/internal/irgen"
+	"inlinec/internal/parser"
+	"inlinec/internal/profile"
+	"inlinec/internal/sema"
+)
+
+func buildFrom(t *testing.T, src string, withProfile bool) (*Graph, *ir.Module) {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	mod, err := irgen.Generate(prog)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	var prof *profile.Profile
+	if withProfile {
+		m, err := interp.NewMachine(mod, interp.NewEnv(), interp.Options{})
+		if err != nil {
+			t.Fatalf("machine: %v", err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		prof = profile.NewProfile()
+		prof.Add(st)
+	}
+	return Build(mod, prof), mod
+}
+
+const anatomySrc = `
+extern int printf(char *fmt, ...);
+int leafA(int x) { return x + 1; }
+int leafB(int x) { return x * 2; }
+int mid(int x) { return leafA(x) + leafB(x); }
+int selfrec(int n) { if (n <= 0) return 0; return selfrec(n - 1) + 1; }
+int mutA(int n);
+int mutB(int n) { if (n <= 0) return 0; return mutA(n - 1); }
+int mutA(int n) { if (n <= 0) return 1; return mutB(n - 1); }
+int viaptr(int (*f)(int), int v) { return f(v); }
+int unreached(int x) { return x; }
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 30; i++) s += mid(i);
+    s += selfrec(5) + mutA(4);
+    s += viaptr(leafA, 3);
+    printf("%d\n", s);
+    return 0;
+}
+`
+
+func TestGraphStructure(t *testing.T) {
+	g, _ := buildFrom(t, anatomySrc, true)
+	if g.Main == nil || g.Main.Name != "main" {
+		t.Fatal("main node missing")
+	}
+	if !g.HasExternCalls {
+		t.Error("printf call should set HasExternCalls")
+	}
+	// Every real arc's callee must be a user node, $$$, or ###.
+	var sawExt, sawPtr bool
+	for _, a := range g.Arcs {
+		if a.Callee == g.External {
+			sawExt = true
+		}
+		if a.Callee == g.Pointer {
+			sawPtr = true
+		}
+		if a.Synthetic {
+			t.Error("synthetic arc in Arcs list")
+		}
+	}
+	if !sawExt || !sawPtr {
+		t.Errorf("extern arc=%v pointer arc=%v; want both", sawExt, sawPtr)
+	}
+	// $$$ must have synthetic out-arcs to every user function.
+	if len(g.External.Out) != len(g.Nodes) {
+		t.Errorf("$$$ out-degree = %d, want %d", len(g.External.Out), len(g.Nodes))
+	}
+}
+
+func TestRecursionDetection(t *testing.T) {
+	g, _ := buildFrom(t, anatomySrc, true)
+	cases := map[string]bool{
+		"selfrec": true,
+		"mutA":    true,
+		"mutB":    true,
+		"leafA":   false,
+		"mid":     false,
+		"main":    false,
+	}
+	for name, want := range cases {
+		if got := g.Recursive(g.Nodes[name]); got != want {
+			t.Errorf("Recursive(%s) = %v, want %v", name, got, want)
+		}
+	}
+	// Conservative recursion treats everything on a $$$ cycle as
+	// recursive; main calls printf, and $$$ may call main again.
+	if !g.ConservativelyRecursive(g.Nodes["main"]) {
+		t.Error("main must be conservatively recursive via $$$")
+	}
+}
+
+func TestSelfRecursiveArcDetected(t *testing.T) {
+	g, _ := buildFrom(t, anatomySrc, true)
+	if !g.SelfRecursive(g.Nodes["selfrec"]) {
+		t.Error("self loop not detected")
+	}
+	if g.SelfRecursive(g.Nodes["mutA"]) {
+		t.Error("mutual recursion is not a self loop")
+	}
+}
+
+func TestHeights(t *testing.T) {
+	g, _ := buildFrom(t, anatomySrc, true)
+	if h := g.Nodes["leafA"].Height(); h != 0 {
+		t.Errorf("leafA height = %d, want 0", h)
+	}
+	if h := g.Nodes["mid"].Height(); h != 1 {
+		t.Errorf("mid height = %d, want 1", h)
+	}
+	if g.Nodes["main"].Height() <= g.Nodes["mid"].Height() {
+		t.Errorf("main height %d must exceed mid height %d",
+			g.Nodes["main"].Height(), g.Nodes["mid"].Height())
+	}
+	// Cycle members share a height.
+	if g.Nodes["mutA"].Height() != g.Nodes["mutB"].Height() {
+		t.Errorf("cycle heights differ: %d vs %d",
+			g.Nodes["mutA"].Height(), g.Nodes["mutB"].Height())
+	}
+}
+
+func TestWeightsFromProfile(t *testing.T) {
+	g, _ := buildFrom(t, anatomySrc, true)
+	if w := g.Nodes["mid"].Weight; w != 30 {
+		t.Errorf("mid weight = %.0f, want 30", w)
+	}
+	if w := g.Nodes["leafA"].Weight; w != 31 { // 30 from mid + 1 via pointer
+		t.Errorf("leafA weight = %.0f, want 31", w)
+	}
+	if w := g.Nodes["unreached"].Weight; w != 0 {
+		t.Errorf("unreached weight = %.0f, want 0", w)
+	}
+	// Arc weights: find mid->leafB.
+	var found bool
+	for _, a := range g.Arcs {
+		if a.Caller.Name == "mid" && a.Callee.Name == "leafB" {
+			found = true
+			if a.Weight != 30 {
+				t.Errorf("mid->leafB weight = %.0f, want 30", a.Weight)
+			}
+		}
+	}
+	if !found {
+		t.Error("arc mid->leafB missing")
+	}
+}
+
+func TestReachabilityConservativeVsStrict(t *testing.T) {
+	g, _ := buildFrom(t, anatomySrc, true)
+	strict := g.Reachable(false)
+	if strict["unreached"] {
+		t.Error("unreached must not be strictly reachable")
+	}
+	if !strict["mid"] || !strict["selfrec"] {
+		t.Error("called functions must be strictly reachable")
+	}
+	conservative := g.Reachable(true)
+	if !conservative["unreached"] {
+		t.Error("with extern calls, everything is conservatively reachable")
+	}
+	// With extern calls present the paper keeps every function.
+	if dead := g.UnreachableFunctions(); len(dead) != 0 {
+		t.Errorf("conservative DCE removed %v", dead)
+	}
+}
+
+func TestReachabilityWithoutExterns(t *testing.T) {
+	g, _ := buildFrom(t, `
+int used(int x) { return x; }
+int dead1(int x) { return x; }
+int dead2(int x) { return dead1(x); }
+int main() { return used(1); }
+`, false)
+	if g.HasExternCalls {
+		t.Fatal("no extern calls expected")
+	}
+	dead := g.UnreachableFunctions()
+	if len(dead) != 2 || dead[0] != "dead1" || dead[1] != "dead2" {
+		t.Errorf("dead = %v, want [dead1 dead2]", dead)
+	}
+}
+
+func TestAddressTakenKeptAlive(t *testing.T) {
+	g, _ := buildFrom(t, `
+int cb(int x) { return x; }
+int (*fp)(int) = cb;
+int main() { return 0; }
+`, false)
+	for _, d := range g.UnreachableFunctions() {
+		if d == "cb" {
+			t.Error("address-taken function must never be removed")
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	g, _ := buildFrom(t, anatomySrc, true)
+	classes := g.Classify(DefaultClassifyParams())
+	byPair := func(caller, callee string) SiteClass {
+		for a, c := range classes {
+			if a.Caller.Name == caller && a.Callee.Name == callee {
+				return c
+			}
+		}
+		t.Fatalf("arc %s->%s not classified", caller, callee)
+		return 0
+	}
+	if c := byPair("main", "$$$"); c != ClassExternal {
+		t.Errorf("printf call = %v, want external", c)
+	}
+	if c := byPair("viaptr", "###"); c != ClassPointer {
+		t.Errorf("pointer call = %v, want pointer", c)
+	}
+	if c := byPair("selfrec", "selfrec"); c != ClassUnsafe {
+		t.Errorf("self recursion = %v, want unsafe", c)
+	}
+	if c := byPair("mid", "leafA"); c != ClassSafe {
+		t.Errorf("hot leaf call = %v, want safe", c)
+	}
+	// main->selfrec runs once per program: weight 1 < 10 -> unsafe.
+	if c := byPair("main", "selfrec"); c != ClassUnsafe {
+		t.Errorf("cold call = %v, want unsafe (weight below threshold)", c)
+	}
+	cc := Count(classes)
+	if cc.TotalStatic() != len(g.Arcs) {
+		t.Errorf("count covers %d of %d arcs", cc.TotalStatic(), len(g.Arcs))
+	}
+}
+
+func TestStackHazardClassification(t *testing.T) {
+	// A recursive function with a huge frame: arcs into it are unsafe even
+	// when hot.
+	g, _ := buildFrom(t, `
+int big(int n) {
+    int pad[1024]; /* 8 KiB frame, over the 4 KiB bound */
+    pad[0] = n;
+    if (n <= 0) return 0;
+    return big(n - 1) + pad[0];
+}
+int caller(int n) { return big(n); }
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 100; i++) s += caller(2);
+    return s & 1;
+}
+`, true)
+	classes := g.Classify(DefaultClassifyParams())
+	for a, c := range classes {
+		if a.Callee.Name == "big" && c != ClassUnsafe {
+			t.Errorf("arc %s->big = %v, want unsafe (stack hazard)", a.Caller.Name, c)
+		}
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	g, _ := buildFrom(t, anatomySrc, true)
+	dot := g.Dot()
+	for _, frag := range []string{"digraph", `"$$$"`, `"###"`, `"main"`, "style=dashed"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("dot output missing %q", frag)
+		}
+	}
+}
+
+func TestArcLookup(t *testing.T) {
+	g, _ := buildFrom(t, anatomySrc, true)
+	if len(g.Arcs) == 0 {
+		t.Fatal("no arcs")
+	}
+	a := g.Arcs[0]
+	if got := g.Arc(a.ID); got != a {
+		t.Errorf("Arc(%d) = %v, want %v", a.ID, got, a)
+	}
+	if g.Arc(-12345) != nil {
+		t.Error("bogus id must return nil")
+	}
+}

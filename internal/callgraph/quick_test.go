@@ -1,0 +1,164 @@
+package callgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"inlinec/internal/ir"
+)
+
+// randomModule builds a random module of n functions with random direct
+// calls (possibly cyclic), a main, and optionally an extern call.
+func randomModule(r *rand.Rand, n int, withExtern bool) *ir.Module {
+	mod := ir.NewModule("rand")
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("f%d", i)
+	}
+	names[0] = "main"
+	for i := 0; i < n; i++ {
+		f := &ir.Func{Name: names[i], ReturnsValue: true}
+		reg := f.NewReg()
+		f.Emit(ir.Instr{Op: ir.OpConst, Dst: reg, A: ir.C(int64(i))})
+		calls := r.Intn(3)
+		for c := 0; c < calls; c++ {
+			callee := names[r.Intn(n)]
+			d := f.NewReg()
+			f.Emit(ir.Instr{Op: ir.OpCall, Dst: d, Sym: callee, Args: nil})
+		}
+		if withExtern && r.Intn(3) == 0 {
+			f.Emit(ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Sym: "putchar", Args: []ir.Value{ir.R(reg)}})
+		}
+		f.Emit(ir.Instr{Op: ir.OpRet, A: ir.R(reg)})
+		mod.AddFunc(f)
+	}
+	if withExtern {
+		mod.AddExtern(ir.Extern{Name: "putchar", NumParams: 1})
+	}
+	mod.AssignCallIDs()
+	return mod
+}
+
+// TestQuickSameCycleIsEquivalence: SameCycle is symmetric and transitive
+// over random graphs, and irreflexive by definition.
+func TestQuickSameCycleIsEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Build(randomModule(r, 2+r.Intn(8), r.Intn(2) == 0), nil)
+		var nodes []*Node
+		for _, n := range g.Nodes {
+			nodes = append(nodes, n)
+		}
+		for _, a := range nodes {
+			if g.SameCycle(a, a) {
+				return false // irreflexive by definition
+			}
+			for _, b := range nodes {
+				if g.SameCycle(a, b) != g.SameCycle(b, a) {
+					return false
+				}
+				for _, c := range nodes {
+					if g.SameCycle(a, b) && g.SameCycle(b, c) && a != c && !g.SameCycle(a, c) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRecursiveIffOnCycle: a node is Recursive exactly when it has a
+// path back to itself over user arcs.
+func TestQuickRecursiveIffOnCycle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Build(randomModule(r, 2+r.Intn(8), false), nil)
+		// Reference check: DFS from each node over non-synthetic arcs.
+		reaches := func(from, to *Node) bool {
+			seen := make(map[*Node]bool)
+			var stack []*Node
+			stack = append(stack, from)
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, a := range n.Out {
+					if a.Synthetic || a.Callee.IsSpecial() {
+						continue
+					}
+					if a.Callee == to {
+						return true
+					}
+					if !seen[a.Callee] {
+						seen[a.Callee] = true
+						stack = append(stack, a.Callee)
+					}
+				}
+			}
+			return false
+		}
+		for _, n := range g.Nodes {
+			if g.Recursive(n) != reaches(n, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHeightsRespectArcs: every non-cycle user arc goes from a
+// higher (or equal, within a cycle) node to a lower one.
+func TestQuickHeightsRespectArcs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Build(randomModule(r, 2+r.Intn(8), false), nil)
+		for _, n := range g.Nodes {
+			for _, a := range n.Out {
+				if a.Synthetic || a.Callee.IsSpecial() {
+					continue
+				}
+				if g.SameCycle(n, a.Callee) || n == a.Callee {
+					if n.Height() != a.Callee.Height() {
+						return false // cycle members share a height
+					}
+					continue
+				}
+				if n.Height() <= a.Callee.Height() {
+					return false // caller must sit above its callee
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReachabilityMonotone: conservative reachability is a superset
+// of strict reachability.
+func TestQuickReachabilityMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Build(randomModule(r, 2+r.Intn(8), true), nil)
+		strict := g.Reachable(false)
+		conservative := g.Reachable(true)
+		for name := range strict {
+			if !conservative[name] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package inline
+
+import "inlinec/internal/ir"
+
+// CacheStats counts body-cache behaviour during physical expansion. The
+// paper caches "the definitions of the most frequently inlined functions
+// in memory to reduce the number of file reads" with a write-back policy;
+// here every body is in memory anyway, so the cache exists to account for
+// the I/O the paper's implementation would have performed: a miss models a
+// file read of the callee's definition.
+type CacheStats struct {
+	Lookups int
+	Hits    int
+	Misses  int
+	// Evictions counts write-backs of displaced definitions.
+	Evictions int
+}
+
+// HitRate returns the fraction of lookups served from the cache.
+func (s CacheStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// bodyCache is a tiny LRU over function definitions.
+type bodyCache struct {
+	cap   int
+	order []string // least recently used first
+	held  map[string]*ir.Func
+	Stats CacheStats
+}
+
+func newBodyCache(capacity int) *bodyCache {
+	if capacity <= 0 {
+		capacity = 8
+	}
+	return &bodyCache{cap: capacity, held: make(map[string]*ir.Func)}
+}
+
+// fetch returns the current definition of name, recording hit/miss and
+// maintaining LRU order. Because the linear expansion order finalizes a
+// body before any caller absorbs it, a cached definition never goes stale.
+func (c *bodyCache) fetch(mod *ir.Module, name string) *ir.Func {
+	c.Stats.Lookups++
+	if f, ok := c.held[name]; ok {
+		c.Stats.Hits++
+		c.touch(name)
+		return f
+	}
+	c.Stats.Misses++
+	f := mod.Func(name)
+	if f == nil {
+		return nil
+	}
+	if len(c.order) >= c.cap {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.held, victim)
+		c.Stats.Evictions++
+	}
+	c.held[name] = f
+	c.order = append(c.order, name)
+	return f
+}
+
+func (c *bodyCache) touch(name string) {
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), name)
+			return
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package inline
+
+import (
+	"fmt"
+
+	"inlinec/internal/callgraph"
+	"inlinec/internal/ir"
+)
+
+// expandAll is phase 3: physical expansion in linear order. Because every
+// callee precedes its callers in the sequence, each function body is final
+// by the time it is absorbed, so each to_be_expanded arc is spliced
+// exactly once and multi-level inlining falls out for free.
+func (il *Inliner) expandAll(res *Result) error {
+	// Group the accepted arcs by caller.
+	byCaller := make(map[string][]*callgraph.Arc)
+	for _, a := range il.graph.Arcs {
+		if a.Status == callgraph.StatusToBeExpanded {
+			byCaller[a.Caller.Name] = append(byCaller[a.Caller.Name], a)
+		}
+	}
+	cache := newBodyCache(il.params.CacheCapacity)
+
+	if il.params.NoLinearOrder {
+		return il.expandFixedPoint(res, byCaller, cache)
+	}
+
+	// Walk the linear sequence front to back; all expansions pertaining to
+	// a function are done before any later function absorbs it.
+	for _, name := range il.order {
+		arcs := byCaller[name]
+		if len(arcs) == 0 {
+			continue
+		}
+		fn := il.mod.Func(name)
+		if fn == nil {
+			continue
+		}
+		wanted := make(map[int]*callgraph.Arc, len(arcs))
+		for _, a := range arcs {
+			wanted[a.ID] = a
+		}
+		if err := il.expandSitesIn(fn, wanted, cache, res); err != nil {
+			return err
+		}
+	}
+	res.Cache = cache.Stats
+	return nil
+}
+
+// expandSitesIn splices the callee body at every call instruction of fn
+// whose CallID appears in wanted.
+func (il *Inliner) expandSitesIn(fn *ir.Func, wanted map[int]*callgraph.Arc, cache *bodyCache, res *Result) error {
+	// Iterate until no wanted site remains; splicing invalidates indices,
+	// so re-scan after each expansion.
+	for {
+		idx := -1
+		var arc *callgraph.Arc
+		for i := range fn.Code {
+			in := &fn.Code[i]
+			if in.Op == ir.OpCall {
+				if a, ok := wanted[in.CallID]; ok {
+					idx, arc = i, a
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			return nil
+		}
+		delete(wanted, arc.ID)
+		callee := cache.fetch(il.mod, arc.Callee.Name)
+		if callee == nil {
+			return fmt.Errorf("inline: callee %s not found for site %d", arc.Callee.Name, arc.ID)
+		}
+		if err := spliceCall(fn, idx, callee); err != nil {
+			return fmt.Errorf("inline: site %d (%s <- %s): %w", arc.ID, fn.Name, callee.Name, err)
+		}
+		arc.Status = callgraph.StatusExpanded
+		res.NumExpansions++
+	}
+}
+
+// expandFixedPoint is the NoLinearOrder ablation: expand accepted arcs
+// wherever they appear, repeating until no accepted site remains anywhere.
+// Without the order constraint a callee may be absorbed before its own
+// expansions are done, so its calls get re-expanded in every absorber —
+// the extra work the paper's linearization avoids.
+func (il *Inliner) expandFixedPoint(res *Result, byCaller map[string][]*callgraph.Arc, cache *bodyCache) error {
+	// Accepted callee set: arcs selected for expansion, by callee name.
+	accepted := make(map[string]map[string]bool) // caller -> callee set
+	for caller, arcs := range byCaller {
+		set := make(map[string]bool)
+		for _, a := range arcs {
+			set[a.Callee.Name] = true
+		}
+		accepted[caller] = set
+	}
+	const maxRounds = 64
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, fn := range il.mod.Funcs {
+			set := accepted[fn.Name]
+			if len(set) == 0 {
+				continue
+			}
+			for {
+				// The fixed point re-checks the global size cap on every
+				// splice: re-expansion without the linear order can blow
+				// past the selection-time estimates.
+				if il.mod.TotalCodeSize() > il.limit {
+					res.Cache = cache.Stats
+					return nil
+				}
+				idx := -1
+				var calleeName string
+				for i := range fn.Code {
+					in := &fn.Code[i]
+					if in.Op == ir.OpCall && set[in.Sym] && in.Sym != fn.Name {
+						idx, calleeName = i, in.Sym
+						break
+					}
+				}
+				if idx < 0 {
+					break
+				}
+				callee := cache.fetch(il.mod, calleeName)
+				if callee == nil {
+					break
+				}
+				if err := spliceCall(fn, idx, callee); err != nil {
+					return err
+				}
+				res.NumExpansions++
+				changed = true
+				if res.NumExpansions > 100000 {
+					return fmt.Errorf("inline: expansion did not converge (runaway without linear order)")
+				}
+			}
+		}
+		if !changed {
+			res.Cache = cache.Stats
+			return nil
+		}
+	}
+	res.Cache = cache.Stats
+	return nil
+}
+
+// spliceCall replaces the OpCall at index idx in fn with an inline copy of
+// callee. The transformation is the paper's section 2.4:
+//
+//   - duplication of the callee body;
+//   - variable renaming: callee locals and formals become fresh caller
+//     slots with path-qualified names ("callee.x"), callee virtual
+//     registers are shifted past the caller's, callee labels are re-issued
+//     from the caller's label space;
+//   - parameter buffering: actual argument values are stored into the new
+//     formal slots before the body (new local temporaries);
+//   - call/return replacement: every ret in the copy becomes a move of the
+//     return value into the call's destination register followed by an
+//     unconditional jump to a continuation label placed after the body.
+func spliceCall(fn *ir.Func, idx int, callee *ir.Func) error {
+	call := fn.Code[idx]
+	if call.Op != ir.OpCall {
+		return fmt.Errorf("instruction %d is %s, not a call", idx, call.Op)
+	}
+	if call.Sym != callee.Name {
+		return fmt.Errorf("call targets %s, not %s", call.Sym, callee.Name)
+	}
+	if len(call.Args) < callee.NumParams {
+		return fmt.Errorf("call has %d args, callee %s wants %d", len(call.Args), callee.Name, callee.NumParams)
+	}
+
+	// Renaming tables.
+	regBase := ir.Reg(fn.NumRegs)
+	fn.NumRegs += callee.NumRegs
+	slotMap := make([]int, len(callee.Slots))
+	for i, s := range callee.Slots {
+		slotMap[i] = fn.AddSlot(callee.Name+"."+s.Name, s.Size, s.Align, false)
+	}
+	labelMap := make(map[int]int)
+	for i := range callee.Code {
+		if callee.Code[i].Op == ir.OpLabel {
+			labelMap[callee.Code[i].Label] = fn.NewLabel()
+		}
+	}
+	contLabel := fn.NewLabel()
+
+	mapVal := func(v ir.Value) ir.Value {
+		if v.Kind == ir.VKReg {
+			v.Reg += regBase
+		}
+		return v
+	}
+
+	var body []ir.Instr
+	// Parameter buffering: store each actual into its formal's new slot.
+	for i := 0; i < callee.NumParams; i++ {
+		slot := fn.Slots[slotMap[i]]
+		addrReg := fn.NewReg()
+		body = append(body,
+			ir.Instr{Op: ir.OpAddrL, Dst: addrReg, A: ir.C(int64(slotMap[i])), Pos: call.Pos},
+			ir.Instr{Op: ir.OpStore, A: ir.R(addrReg), B: call.Args[i], Size: accessOf(slot.Size), Pos: call.Pos},
+		)
+	}
+	// Duplicate and rewrite the body.
+	for i := range callee.Code {
+		in := callee.Code[i] // copy
+		switch in.Op {
+		case ir.OpLabel:
+			in.Label = labelMap[in.Label]
+		case ir.OpJump, ir.OpBr:
+			in.Label = labelMap[in.Label]
+			in.A = mapVal(in.A)
+		case ir.OpAddrL:
+			in.A = ir.C(int64(slotMap[in.A.Imm]))
+		case ir.OpRet:
+			// Return becomes value delivery + jump to the continuation.
+			if call.Dst != ir.NoReg {
+				mv := ir.Instr{Op: ir.OpMov, Dst: call.Dst, Pos: in.Pos}
+				if in.A.Kind == ir.VKNone {
+					mv.A = ir.C(0)
+				} else {
+					mv.A = mapVal(in.A)
+				}
+				body = append(body, mv)
+			}
+			body = append(body, ir.Instr{Op: ir.OpJump, Label: contLabel, Pos: in.Pos})
+			continue
+		case ir.OpCall, ir.OpCallPtr:
+			// Duplicated interior call sites become distinct arcs; fresh
+			// ids are assigned by Module.AssignCallIDs afterwards.
+			in.CallID = 0
+			in.A = mapVal(in.A)
+			newArgs := make([]ir.Value, len(in.Args))
+			for k, a := range in.Args {
+				newArgs[k] = mapVal(a)
+			}
+			in.Args = newArgs
+		default:
+			in.A = mapVal(in.A)
+			in.B = mapVal(in.B)
+		}
+		if in.Dst != ir.NoReg {
+			in.Dst += regBase
+		}
+		body = append(body, in)
+	}
+	body = append(body, ir.Instr{Op: ir.OpLabel, Label: contLabel, Pos: call.Pos})
+	fn.Inlined = append(fn.Inlined, callee.Name)
+
+	// Splice: code[:idx] + body + code[idx+1:].
+	out := make([]ir.Instr, 0, len(fn.Code)-1+len(body))
+	out = append(out, fn.Code[:idx]...)
+	out = append(out, body...)
+	out = append(out, fn.Code[idx+1:]...)
+	fn.Code = out
+	return nil
+}
+
+func accessOf(slotSize int) int {
+	if slotSize == 1 {
+		return 1
+	}
+	return 8
+}

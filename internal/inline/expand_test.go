@@ -1,0 +1,194 @@
+package inline
+
+import (
+	"strings"
+	"testing"
+
+	"inlinec/internal/ir"
+)
+
+// expandEverything inlines with a permissive configuration.
+func expandEverything(t *testing.T, src string) (*ir.Module, *Result) {
+	t.Helper()
+	mod, g, prof := build(t, src)
+	res, err := Expand(mod, g, prof, Params{WeightThreshold: 1, SizeLimitFactor: 10.0})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	if err := mod.Verify(); err != nil {
+		t.Fatalf("verify after expand: %v", err)
+	}
+	return mod, res
+}
+
+func TestSpliceVoidCallee(t *testing.T) {
+	src := `
+extern int printf(char *fmt, ...);
+int total;
+void bump(int by) { total += by; }
+int main() {
+    int i;
+    for (i = 0; i < 40; i++) bump(i);
+    printf("%d\n", total);
+    return 0;
+}
+`
+	mod, res := expandEverything(t, src)
+	if len(res.Expanded) != 1 {
+		t.Fatalf("expanded = %v", res.Expanded)
+	}
+	out, _ := runModule(t, mod)
+	if out != "780\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestSpliceManyParamsAndCharParam(t *testing.T) {
+	src := `
+extern int printf(char *fmt, ...);
+int blend(int a, int b, int c, int d, char tag, int e) {
+    return a + b * 2 + c * 3 + d * 4 + tag + e * 5;
+}
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 30; i++) s += blend(i, i + 1, i + 2, i + 3, 'A', i + 4);
+    printf("%d\n", s);
+    return 0;
+}
+`
+	mod, res := expandEverything(t, src)
+	if len(res.Expanded) != 1 {
+		t.Fatalf("expanded = %v", res.Expanded)
+	}
+	// The char parameter's inlined slot must stay 1 byte: the splice's
+	// argument store must truncate like the call did.
+	mainFn := mod.Func("main")
+	var sawCharSlot bool
+	for _, s := range mainFn.Slots {
+		if strings.HasSuffix(s.Name, ".tag") && s.Size == 1 {
+			sawCharSlot = true
+		}
+	}
+	if !sawCharSlot {
+		t.Errorf("char param slot missing or resized: %+v", mainFn.Slots)
+	}
+	out, _ := runModule(t, mod)
+	want := "" // computed by the un-inlined original
+	orig, _, _ := build(t, src)
+	want, _ = runModule(t, orig)
+	if out != want {
+		t.Errorf("output %q != original %q", out, want)
+	}
+}
+
+func TestSpliceCalleeWithArrayLocal(t *testing.T) {
+	src := `
+extern int printf(char *fmt, ...);
+int window(int x) {
+    int buf[8];
+    int i; int s;
+    for (i = 0; i < 8; i++) buf[i] = x + i;
+    s = 0;
+    for (i = 0; i < 8; i++) s += buf[i];
+    return s;
+}
+int main() {
+    int i; int acc;
+    acc = 0;
+    for (i = 0; i < 25; i++) acc += window(i);
+    printf("%d\n", acc);
+    return 0;
+}
+`
+	mod, _ := expandEverything(t, src)
+	mainFn := mod.Func("main")
+	// The callee's 64-byte array must now live in main's frame.
+	if mainFn.FrameSize < 64 {
+		t.Errorf("caller frame %d too small to hold the inlined array", mainFn.FrameSize)
+	}
+	out, _ := runModule(t, mod)
+	if out != "3100\n" { // sum over x<25 of (8x + 28) = 2400 + 700
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestSpliceBodyWithPointerCall(t *testing.T) {
+	// Inlining a function that itself contains a call through a pointer:
+	// the interior callptr must survive with a fresh site id.
+	src := `
+extern int printf(char *fmt, ...);
+int double_(int x) { return x * 2; }
+int via(int (*f)(int), int v) { return f(v) + 1; }
+int hot(int v) { return via(double_, v); }
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 60; i++) s += hot(i);
+    printf("%d\n", s);
+    return 0;
+}
+`
+	mod, _ := expandEverything(t, src)
+	out, st := runModule(t, mod)
+	if out != "3600\n" { // sum(2i+1) for i<60 = 2*1770 + 60
+		t.Errorf("output = %q", out)
+	}
+	if st.PtrCalls == 0 {
+		t.Error("pointer calls vanished; they cannot be inlined")
+	}
+	// Call ids must still be unique module-wide.
+	if err := mod.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestSpliceConstantArguments(t *testing.T) {
+	// Call sites pass constants; after folding the call's argument may be
+	// a VKConst, and the splice must store it correctly.
+	src := `
+extern int printf(char *fmt, ...);
+int mulshift(int a, int b) { return (a * b) >> 1; }
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 20; i++) s += mulshift(6, 14);
+    printf("%d\n", s);
+    return 0;
+}
+`
+	mod, _ := expandEverything(t, src)
+	out, _ := runModule(t, mod)
+	if out != "840\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestSpliceErrorOnNonCall(t *testing.T) {
+	f := &ir.Func{Name: "x", ReturnsValue: true}
+	r := f.NewReg()
+	f.Emit(ir.Instr{Op: ir.OpConst, Dst: r, A: ir.C(1)})
+	f.Emit(ir.Instr{Op: ir.OpRet, A: ir.R(r)})
+	callee := &ir.Func{Name: "y"}
+	callee.Emit(ir.Instr{Op: ir.OpRet, A: ir.None})
+	if err := spliceCall(f, 0, callee); err == nil {
+		t.Error("splicing a non-call instruction must fail")
+	}
+}
+
+func TestSpliceArgumentCountMismatch(t *testing.T) {
+	caller := &ir.Func{Name: "c", ReturnsValue: true}
+	r := caller.NewReg()
+	caller.Emit(ir.Instr{Op: ir.OpCall, Dst: r, Sym: "callee", CallID: 1})
+	caller.Emit(ir.Instr{Op: ir.OpRet, A: ir.R(r)})
+	callee := &ir.Func{Name: "callee", ReturnsValue: true}
+	callee.AddSlot("p", 8, 8, true)
+	callee.NumParams = 1
+	rr := callee.NewReg()
+	callee.Emit(ir.Instr{Op: ir.OpConst, Dst: rr, A: ir.C(0)})
+	callee.Emit(ir.Instr{Op: ir.OpRet, A: ir.R(rr)})
+	if err := spliceCall(caller, 0, callee); err == nil ||
+		!strings.Contains(err.Error(), "args") {
+		t.Errorf("argument mismatch not detected: %v", err)
+	}
+}

@@ -1,0 +1,86 @@
+package inline
+
+// Heuristic selects how expansion sites are chosen. The paper's
+// contribution is the profile-guided policy; the two static policies are
+// the contemporaries it discusses in section 1.2 — the IBM PL.8 compiler
+// inline-expands all leaf-level procedures, and the MIPS C compiler
+// examines code structure (callee size) to choose sites. Section 4.2's
+// open question — "whether inline expansion decisions based on program
+// structure analysis without profile information are sufficient" — is
+// answered empirically by the ablation benchmarks that sweep this knob.
+type Heuristic int
+
+// Expansion-site selection policies.
+const (
+	// HeuristicProfile is the paper's policy: arcs chosen by profiled
+	// invocation counts with the weight threshold.
+	HeuristicProfile Heuristic = iota
+	// HeuristicLeaf inlines every call whose callee is a leaf function
+	// (no user calls inside), regardless of execution frequency — the
+	// PL.8 policy. The weight threshold is ignored; the size and stack
+	// hazards still apply.
+	HeuristicLeaf
+	// HeuristicSmall inlines every call whose callee's current body is at
+	// most SmallCalleeLimit IL instructions — a MIPS-style structural
+	// policy. The weight threshold is ignored; hazards still apply.
+	HeuristicSmall
+)
+
+// String names the heuristic.
+func (h Heuristic) String() string {
+	switch h {
+	case HeuristicLeaf:
+		return "leaf"
+	case HeuristicSmall:
+		return "small-callee"
+	}
+	return "profile"
+}
+
+// DefaultSmallCalleeLimit is the body-size bound for HeuristicSmall.
+const DefaultSmallCalleeLimit = 25
+
+// isLeaf reports whether the function makes no user-function calls (calls
+// to externals do not disqualify a leaf: PL.8's notion concerns the call
+// graph over compiled procedures).
+func (il *Inliner) isLeaf(name string) bool {
+	n := il.graph.Nodes[name]
+	if n == nil {
+		return false
+	}
+	for _, a := range n.Out {
+		if a.Synthetic {
+			continue
+		}
+		if !a.Callee.IsSpecial() {
+			return false
+		}
+	}
+	return true
+}
+
+// accepts reports whether the active heuristic wants this arc, before the
+// common hazard checks run.
+func (il *Inliner) accepts(callee string, weight float64) (bool, string) {
+	switch il.params.Heuristic {
+	case HeuristicLeaf:
+		if !il.isLeaf(callee) {
+			return false, "callee is not a leaf function"
+		}
+		return true, ""
+	case HeuristicSmall:
+		limit := il.params.SmallCalleeLimit
+		if limit <= 0 {
+			limit = DefaultSmallCalleeLimit
+		}
+		if il.estSize[callee] > limit {
+			return false, "callee larger than the structural size bound"
+		}
+		return true, ""
+	default:
+		if weight < il.params.WeightThreshold {
+			return false, "weight below threshold"
+		}
+		return true, ""
+	}
+}

@@ -1,0 +1,222 @@
+package interp
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// File-descriptor numbers for the standard streams.
+const (
+	FdStdin  = 0
+	FdStdout = 1
+	FdStderr = 2
+)
+
+// Open-mode constants understood by the open() external function.
+const (
+	OpenRead   = 0
+	OpenWrite  = 1
+	OpenAppend = 2
+)
+
+// Env is the simulated operating system a program runs against: an
+// in-memory file system, standard streams, and a deterministic random
+// number generator. It stands in for the UNIX environment of the paper's
+// benchmark runs while keeping every run reproducible.
+type Env struct {
+	// Files is the input file system: path -> contents. Files written by
+	// the program are stored back here.
+	Files map[string][]byte
+	// Stdin is the standard-input byte stream.
+	Stdin []byte
+	// Stdout and Stderr collect program output.
+	Stdout bytes.Buffer
+	Stderr bytes.Buffer
+
+	stdinPos  int
+	fds       []*openFile
+	randState uint64
+}
+
+type openFile struct {
+	path   string
+	data   []byte
+	pos    int
+	write  bool
+	closed bool
+}
+
+// NewEnv returns an environment with an empty file system.
+func NewEnv() *Env {
+	return &Env{Files: make(map[string][]byte), randState: 1}
+}
+
+// Reset rewinds the environment for another run, preserving the input
+// file set but discarding output and stream positions.
+func (e *Env) Reset() {
+	e.Stdout.Reset()
+	e.Stderr.Reset()
+	e.stdinPos = 0
+	e.fds = nil
+	e.randState = 1
+}
+
+// Getchar reads one byte from stdin, -1 at end of input.
+func (e *Env) Getchar() int64 {
+	if e.stdinPos >= len(e.Stdin) {
+		return -1
+	}
+	c := e.Stdin[e.stdinPos]
+	e.stdinPos++
+	return int64(c)
+}
+
+// Open opens path with the given mode and returns a descriptor, or -1.
+func (e *Env) Open(path string, mode int64) int64 {
+	f := &openFile{path: path}
+	switch mode {
+	case OpenRead:
+		data, ok := e.Files[path]
+		if !ok {
+			return -1
+		}
+		f.data = data
+	case OpenWrite:
+		f.write = true
+	case OpenAppend:
+		f.write = true
+		f.data = append([]byte(nil), e.Files[path]...)
+		f.pos = len(f.data)
+	default:
+		return -1
+	}
+	e.fds = append(e.fds, f)
+	return int64(len(e.fds) - 1 + 3) // first real fd is 3
+}
+
+func (e *Env) file(fd int64) *openFile {
+	idx := fd - 3
+	if idx < 0 || idx >= int64(len(e.fds)) {
+		return nil
+	}
+	f := e.fds[idx]
+	if f.closed {
+		return nil
+	}
+	return f
+}
+
+// Close closes a descriptor, flushing written data to the file system.
+func (e *Env) Close(fd int64) int64 {
+	f := e.file(fd)
+	if f == nil {
+		if fd == FdStdin || fd == FdStdout || fd == FdStderr {
+			return 0
+		}
+		return -1
+	}
+	if f.write {
+		e.Files[f.path] = f.data
+	}
+	f.closed = true
+	return 0
+}
+
+// Getc reads one byte from a descriptor (stdin allowed), -1 at EOF.
+func (e *Env) Getc(fd int64) int64 {
+	if fd == FdStdin {
+		return e.Getchar()
+	}
+	f := e.file(fd)
+	if f == nil || f.write || f.pos >= len(f.data) {
+		return -1
+	}
+	c := f.data[f.pos]
+	f.pos++
+	return int64(c)
+}
+
+// Putc writes one byte to a descriptor.
+func (e *Env) Putc(c byte, fd int64) int64 {
+	switch fd {
+	case FdStdout:
+		e.Stdout.WriteByte(c)
+		return int64(c)
+	case FdStderr:
+		e.Stderr.WriteByte(c)
+		return int64(c)
+	}
+	f := e.file(fd)
+	if f == nil || !f.write {
+		return -1
+	}
+	f.data = append(f.data, c)
+	f.pos = len(f.data)
+	return int64(c)
+}
+
+// WriteBytes writes a buffer to a descriptor, returning the byte count.
+func (e *Env) WriteBytes(fd int64, data []byte) int64 {
+	switch fd {
+	case FdStdout:
+		e.Stdout.Write(data)
+		return int64(len(data))
+	case FdStderr:
+		e.Stderr.Write(data)
+		return int64(len(data))
+	}
+	f := e.file(fd)
+	if f == nil || !f.write {
+		return -1
+	}
+	f.data = append(f.data, data...)
+	f.pos = len(f.data)
+	return int64(len(data))
+}
+
+// ReadBytes reads up to n bytes from a descriptor.
+func (e *Env) ReadBytes(fd int64, n int64) []byte {
+	if fd == FdStdin {
+		end := e.stdinPos + int(n)
+		if end > len(e.Stdin) {
+			end = len(e.Stdin)
+		}
+		out := e.Stdin[e.stdinPos:end]
+		e.stdinPos = end
+		return out
+	}
+	f := e.file(fd)
+	if f == nil || f.write {
+		return nil
+	}
+	end := f.pos + int(n)
+	if end > len(f.data) {
+		end = len(f.data)
+	}
+	out := f.data[f.pos:end]
+	f.pos = end
+	return out
+}
+
+// Srand seeds the deterministic generator.
+func (e *Env) Srand(seed int64) {
+	if seed == 0 {
+		seed = 1
+	}
+	e.randState = uint64(seed)
+}
+
+// Rand returns the next pseudo-random non-negative int (xorshift64*).
+func (e *Env) Rand() int64 {
+	x := e.randState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	e.randState = x
+	return int64((x * 0x2545F4914F6CDD1D) >> 33)
+}
+
+// exitError signals a call to exit(code).
+type exitError struct{ code int64 }
+
+func (e *exitError) Error() string { return fmt.Sprintf("exit(%d)", e.code) }

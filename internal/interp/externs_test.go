@@ -1,0 +1,253 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExternPrintfFormats(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+int main() {
+    printf("%d|%5d|%-5d|%05d|", 42, 42, 42, 42);
+    printf("%x|%o|%c|%s|%%|", 255, 8, 'Z', "str");
+    printf("%ld|", 7);
+    return 0;
+}
+`)
+	want := "42|   42|42   |00042|ff|10|Z|str|%|7|"
+	if out != want {
+		t.Errorf("printf output\n got %q\nwant %q", out, want)
+	}
+}
+
+func TestExternSprintf(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int sprintf(char *buf, char *fmt, ...);
+extern int puts(char *s);
+int main() {
+    char buf[64];
+    int n;
+    n = sprintf(buf, "<%d,%s>", 9, "x");
+    puts(buf);
+    return n;
+}
+`)
+	if out != "<9,x>\n" {
+		t.Errorf("sprintf -> %q", out)
+	}
+}
+
+func TestExternStringFamily(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+extern int strlen(char *s);
+extern int strcmp(char *a, char *b);
+extern int strncmp(char *a, char *b, int n);
+extern int strcpy(char *d, char *s);
+extern int strcat(char *d, char *s);
+extern int strchr(char *s, int c);
+int main() {
+    char buf[32];
+    int found;
+    strcpy(buf, "abc");
+    strcat(buf, "def");
+    found = strchr(buf, 'd') != 0;
+    printf("%d %d %d %d %d %s\n",
+        strlen(buf),
+        strcmp("a", "b") < 0,
+        strcmp("same", "same") == 0,
+        strncmp("abcX", "abcY", 3) == 0,
+        found,
+        buf);
+    return 0;
+}
+`)
+	if out != "6 1 1 1 1 abcdef\n" {
+		t.Errorf("string family -> %q", out)
+	}
+}
+
+func TestExternMemFamily(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+extern int malloc(int n);
+extern int calloc(int n, int sz);
+extern char *memcpy(char *d, char *s, int n);
+extern char *memset(char *d, int c, int n);
+extern int memcmp(char *a, char *b, int n);
+int main() {
+    char *p; char *q; int *z;
+    p = (char *)malloc(16);
+    memset(p, 'A', 15);
+    p[15] = 0;
+    q = (char *)malloc(16);
+    memcpy(q, p, 16);
+    z = (int *)calloc(4, 8);
+    printf("%d %d %d\n", memcmp(p, q, 16) == 0, strlenish(q), z[3]);
+    return 0;
+}
+int strlenish(char *s) { int n; n = 0; while (s[n]) n++; return n; }
+`)
+	if out != "1 15 0\n" {
+		t.Errorf("mem family -> %q", out)
+	}
+}
+
+func TestExternAtoiAbsRand(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+extern int atoi(char *s);
+extern int abs(int x);
+extern int rand();
+extern void srand(int seed);
+int main() {
+    int a; int b;
+    srand(12345);
+    a = rand();
+    srand(12345);
+    b = rand();
+    printf("%d %d %d %d %d\n",
+        atoi("  -42x"), atoi("123"), abs(-5), abs(5), a == b && a >= 0);
+    return 0;
+}
+`)
+	if out != "-42 123 5 5 1\n" {
+		t.Errorf("misc externs -> %q", out)
+	}
+}
+
+func TestExternFileRoundTrip(t *testing.T) {
+	m := compileSrc(t, `
+extern int open(char *path, int mode);
+extern int close(int fd);
+extern int write(int fd, char *buf, int n);
+extern int read(int fd, char *buf, int n);
+extern int printf(char *fmt, ...);
+int main() {
+    int fd; int n;
+    char buf[32];
+    fd = open("new.txt", 1);
+    write(fd, "payload", 7);
+    close(fd);
+    fd = open("new.txt", 0);
+    n = read(fd, buf, 32);
+    buf[n] = 0;
+    close(fd);
+    printf("%d %s\n", n, buf);
+    /* append mode */
+    fd = open("new.txt", 2);
+    write(fd, "++", 2);
+    close(fd);
+    fd = open("new.txt", 0);
+    n = read(fd, buf, 32);
+    buf[n] = 0;
+    printf("%s\n", buf);
+    return 0;
+}
+`)
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := m.Env.Stdout.String(); got != "7 payload\npayload++\n" {
+		t.Errorf("file round trip -> %q", got)
+	}
+}
+
+func TestExternOpenMissingFile(t *testing.T) {
+	out, code := runSrc(t, `
+extern int open(char *path, int mode);
+int main() { if (open("ghost", 0) < 0) return 7; return 0; }
+`)
+	_ = out
+	if code != 7 {
+		t.Errorf("open of missing file must return -1 (exit = %d)", code)
+	}
+}
+
+func TestRuntimeFaults(t *testing.T) {
+	cases := []struct {
+		name, src, fragment string
+	}{
+		{"null deref", `int main() { int *p; p = 0; return *p; }`, "memory fault"},
+		{"div zero", `int main() { int z; z = 0; return 1 / z; }`, "division by zero"},
+		{"bad fp", `int main() { int (*f)(int); f = (int (*)(int))12345; return f(1); }`, "invalid function pointer"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			file, err := parserParse(c.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			m, err := buildMachine(file)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			_, err = m.Run()
+			if err == nil || !strings.Contains(err.Error(), c.fragment) {
+				t.Errorf("error = %v, want mention of %q", err, c.fragment)
+			}
+		})
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	file, err := parserParse(`int main() { for (;;) ; return 0; }`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, mod := mustLower(t, file)
+	_ = prog
+	m, err := NewMachine(mod, NewEnv(), Options{MaxIL: 10000})
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	_, err = m.Run()
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("infinite loop not stopped by budget: %v", err)
+	}
+}
+
+func TestHeapExhaustionReturnsNull(t *testing.T) {
+	file, err := parserParse(`
+extern int malloc(int n);
+int main() {
+    int p;
+    p = malloc(1024 * 1024); /* larger than the 64 KiB heap below */
+    if (p == 0) return 42;
+    return 0;
+}
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, mod := mustLower(t, file)
+	m, err := NewMachine(mod, NewEnv(), Options{HeapSize: 64 << 10})
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if st.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42 (malloc returned NULL)", st.ExitCode)
+	}
+}
+
+func TestExternNamesSortedAndImplemented(t *testing.T) {
+	names := ExternNames()
+	if len(names) < 20 {
+		t.Errorf("only %d externs registered", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("extern names not sorted: %s >= %s", names[i-1], names[i])
+		}
+	}
+	for _, n := range names {
+		if Externs[n] == nil {
+			t.Errorf("extern %s registered without implementation", n)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package interp
+
+import "testing"
+
+func TestFeatureCommaAndNestedTernary(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+int main() {
+    int a, b, c;
+    a = (b = 3, b + 1);               /* comma yields the right operand */
+    c = a > 3 ? (b > 2 ? 10 : 20) : 30;
+    printf("%d %d %d\n", a, b, c);
+    return 0;
+}
+`)
+	if out != "4 3 10\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFeatureCharCompoundOps(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+char g;
+int main() {
+    char c;
+    c = 250;
+    c += 10;       /* wraps at a byte boundary: 260 & 0xff = 4 */
+    g = c;
+    g <<= 4;       /* 64 */
+    printf("%d %d\n", c, g);
+    return 0;
+}
+`)
+	if out != "4 64\n" {
+		t.Errorf("unsigned-char wrap: %q", out)
+	}
+}
+
+func TestFeatureStructArraysAndChains(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+struct Item { int id; char tag[4]; struct Item *next; };
+struct Item items[3];
+int main() {
+    int i; int sum;
+    for (i = 0; i < 3; i++) {
+        items[i].id = (i + 1) * 11;
+        items[i].tag[0] = 'a' + i;
+        items[i].tag[1] = 0;
+        if (i > 0) items[i - 1].next = &items[i];
+    }
+    items[2].next = 0;
+    sum = 0;
+    {
+        struct Item *p;
+        for (p = &items[0]; p; p = p->next) sum += p->id;
+    }
+    printf("%d %c %c %d\n", sum, items[0].tag[0], items[0].next->tag[0],
+           items[0].next->next->id);
+    return 0;
+}
+`)
+	if out != "66 a b 33\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFeatureGlobalAggregateInit(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+struct P { int x; int y; };
+struct P origin = { 3, 4 };
+int grid[2][3] = { {1, 2, 3}, {4, 5, 6} };
+char tags[4] = { 'a', 'b', 'c', 0 };
+int main() {
+    printf("%d %d %d %s\n", origin.x + origin.y, grid[0][2], grid[1][1], tags);
+    return 0;
+}
+`)
+	if out != "7 3 5 abc\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFeaturePointerDifferenceAndComparison(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+int arr[10];
+int main() {
+    int *p; int *q;
+    p = &arr[2];
+    q = &arr[7];
+    printf("%d %d %d %d\n", q - p, p < q, q - 3 == p + 2, p == q);
+    return 0;
+}
+`)
+	if out != "5 1 1 0\n" {
+		t.Errorf("pointer arithmetic: %q", out)
+	}
+}
+
+func TestFeatureNegativeDivRem(t *testing.T) {
+	// MiniC uses truncated division like C99.
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+int main() {
+    printf("%d %d %d %d\n", -7 / 2, -7 % 2, 7 / -2, 7 % -2);
+    return 0;
+}
+`)
+	if out != "-3 -1 -3 1\n" {
+		t.Errorf("truncated division: %q", out)
+	}
+}
+
+func TestFeatureDoWhileBreakContinue(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+int main() {
+    int i; int sum;
+    i = 0;
+    sum = 0;
+    do {
+        i++;
+        if (i == 3) continue;
+        if (i == 6) break;
+        sum += i;
+    } while (i < 10);
+    printf("%d %d\n", i, sum);
+    return 0;
+}
+`)
+	// sum = 1+2+4+5 = 12, exits at i == 6.
+	if out != "6 12\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFeatureShiftSemantics(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+int main() {
+    int neg;
+    neg = -16;
+    /* >> on a negative value is a logical shift in MiniC's 64-bit
+       model (documented divergence: the IL uses unsigned shifts) */
+    printf("%d %d %d\n", 1 << 10, 1024 >> 3, (neg >> 2) > 0);
+    return 0;
+}
+`)
+	if out != "1024 128 1\n" {
+		t.Errorf("shifts: %q", out)
+	}
+}
+
+func TestFeatureFunctionPointerParamAndReturnViaTable(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+int inc(int x) { return x + 1; }
+int dec(int x) { return x - 1; }
+typedef int (*Op)(int);
+Op ops[2] = { inc, dec };
+int twice(Op f, int v) { return f(f(v)); }
+int main() {
+    int r;
+    r = twice(ops[0], 10) + twice(ops[1], 10);
+    printf("%d\n", r);
+    return 0;
+}
+`)
+	if out != "20\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFeatureStringArrayGlobals(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+char *days[3] = { "mon", "tue", "wed" };
+int main() {
+    int i;
+    for (i = 0; i < 3; i++) printf("%s ", days[i]);
+    printf("\n");
+    return 0;
+}
+`)
+	if out != "mon tue wed \n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFeatureLocalArrayInitializers(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+struct V { int a; char b; };
+int main() {
+    int nums[4] = { 9, 8, 7 };     /* trailing element zeroed */
+    char word[] = "hi";
+    struct V v = { 5, 'x' };
+    printf("%d %d %d %s %d %c\n", nums[0], nums[2], nums[3], word, v.a, v.b);
+    return 0;
+}
+`)
+	if out != "9 7 0 hi 5 x\n" {
+		t.Errorf("output = %q", out)
+	}
+}

@@ -1,0 +1,190 @@
+package interp
+
+import "testing"
+
+func TestFeature2DArrays(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+int grid[3][4];
+int main() {
+    int i; int j; int sum;
+    for (i = 0; i < 3; i++)
+        for (j = 0; j < 4; j++)
+            grid[i][j] = i * 10 + j;
+    sum = 0;
+    for (i = 0; i < 3; i++) sum += grid[i][3];
+    printf("%d %d\n", grid[2][1], sum);
+    return 0;
+}
+`)
+	if out != "21 39\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFeatureEnumAndTypedef(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+enum { BUFSIZE = 64, MODE_A = 1, MODE_B };
+typedef struct Pair Pair;
+struct Pair { int a; int b; };
+typedef int (*BinOp)(int, int);
+int mul(int x, int y) { return x * y; }
+int main() {
+    Pair p;
+    BinOp f;
+    char buf[BUFSIZE];
+    p.a = MODE_A; p.b = MODE_B;
+    f = mul;
+    buf[0] = 'x';
+    printf("%d %d %d %c\n", p.a, p.b, f(6, 7), buf[0]);
+    return 0;
+}
+`)
+	if out != "1 2 42 x\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFeatureGotoAndLabels(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+int main() {
+    int i; int n;
+    i = 0; n = 0;
+again:
+    i++;
+    if (i > 10) goto done;
+    if (i % 2) goto again;
+    n += i;
+    goto again;
+done:
+    printf("%d\n", n);
+    return 0;
+}
+`)
+	if out != "30\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFeaturePointerWalk(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+int count(char *s, char c) {
+    int n;
+    n = 0;
+    while (*s) { if (*s == c) n++; s++; }
+    return n;
+}
+int main() {
+    char *msg;
+    msg = "abracadabra";
+    printf("%d %d\n", count(msg, 'a'), count(msg, 'z'));
+    return 0;
+}
+`)
+	if out != "5 0\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFeatureStructPointersAndLinkedList(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+extern int malloc(int n);
+struct Node { int val; struct Node *next; };
+int main() {
+    struct Node *head; struct Node *n; int i; int sum;
+    head = 0;
+    for (i = 1; i <= 5; i++) {
+        n = (struct Node *)malloc(sizeof(struct Node));
+        n->val = i * i;
+        n->next = head;
+        head = n;
+    }
+    sum = 0;
+    for (n = head; n; n = n->next) sum += n->val;
+    printf("%d\n", sum);
+    return 0;
+}
+`)
+	if out != "55\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFeatureCharArithmeticAndHexOctal(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+int main() {
+    char c;
+    int x;
+    c = 'A' + 2;
+    x = 0x1f + 010; // 31 + 8
+    printf("%c %d %d\n", c, x, (char)(300));
+    return 0;
+}
+`)
+	if out != "C 39 44\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFeatureFileIO(t *testing.T) {
+	m := compileSrc(t, `
+extern int open(char *path, int mode);
+extern int close(int fd);
+extern int getc(int fd);
+extern int putc(int c, int fd);
+extern int printf(char *fmt, ...);
+int main() {
+    int in; int out; int c; int n;
+    in = open("input.txt", 0);
+    out = open("copy.txt", 1);
+    if (in < 0 || out < 0) { printf("open failed\n"); return 1; }
+    n = 0;
+    while ((c = getc(in)) != -1) { putc(c, out); n++; }
+    close(in);
+    close(out);
+    printf("copied %d\n", n);
+    return 0;
+}
+`)
+	m.Env.Files["input.txt"] = []byte("hello file")
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := m.Env.Stdout.String(); got != "copied 10\n" {
+		t.Errorf("stdout = %q", got)
+	}
+	if got := string(m.Env.Files["copy.txt"]); got != "hello file" {
+		t.Errorf("copy.txt = %q", got)
+	}
+}
+
+func TestFeatureDeepRecursionStackOverflow(t *testing.T) {
+	file, err := parserParse(`
+int eat(int n) {
+    int pad[2048];
+    pad[0] = n;
+    if (n == 0) return 0;
+    return eat(n - 1) + pad[0];
+}
+int main() { return eat(1000000); }
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m, err := buildMachine(file)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	_, err = m.Run()
+	if err == nil {
+		t.Fatalf("expected control stack overflow")
+	}
+	if !containsStr(err.Error(), "control stack overflow") {
+		t.Errorf("error = %v, want control stack overflow", err)
+	}
+}

@@ -1,0 +1,50 @@
+package interp
+
+import (
+	"strings"
+
+	"inlinec/internal/ast"
+	"inlinec/internal/ir"
+	"inlinec/internal/irgen"
+	"inlinec/internal/parser"
+	"inlinec/internal/sema"
+)
+
+// parserParse and buildMachine are thin non-testing.T helpers for tests
+// that need to observe errors instead of failing fast.
+func parserParse(src string) (*ast.File, error) {
+	return parser.Parse("t.c", src)
+}
+
+func buildMachine(file *ast.File) (*Machine, error) {
+	prog, err := sema.Check(file)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := irgen.Generate(prog)
+	if err != nil {
+		return nil, err
+	}
+	return NewMachine(mod, NewEnv(), Options{})
+}
+
+func containsStr(s, sub string) bool { return strings.Contains(s, sub) }
+
+// mustLower checks and lowers a parsed file, for tests that need custom
+// machine options.
+func mustLower(t testingT, file *ast.File) (*sema.Program, *ir.Module) {
+	prog, err := sema.Check(file)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	mod, err := irgen.Generate(prog)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	return prog, mod
+}
+
+// testingT is the subset of *testing.T the helpers need.
+type testingT interface {
+	Fatalf(format string, args ...any)
+}

@@ -1,0 +1,424 @@
+package interp
+
+import (
+	"fmt"
+
+	"inlinec/internal/ir"
+	"inlinec/internal/profile"
+	"inlinec/internal/token"
+)
+
+// RuntimeError is an execution fault with the faulting location.
+type RuntimeError struct {
+	Func string
+	Pos  token.Pos
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("runtime error in %s at %s: %s", e.Func, e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("runtime error in %s: %s", e.Func, e.Msg)
+}
+
+// Options configures a Machine.
+type Options struct {
+	// StackSize bounds the control stack in bytes (0 = DefaultStackSize).
+	StackSize int
+	// HeapSize bounds the heap in bytes (0 = DefaultHeapSize).
+	HeapSize int
+	// MaxIL aborts the run after this many executed instructions
+	// (0 = 2^40, effectively unlimited for benchmarks).
+	MaxIL int64
+	// Trace, when non-nil, is invoked for every executed real instruction
+	// with the containing function and instruction index. Used by the
+	// instruction-cache simulator.
+	Trace func(f *ir.Func, pc int)
+}
+
+// compiledFunc caches per-function interpretation tables.
+type compiledFunc struct {
+	fn     *ir.Func
+	labels map[int]int
+	id     int // function table index; address = FuncBase + id*FuncStride
+}
+
+// Machine executes one IL module against an Env, producing RunStats.
+type Machine struct {
+	Mod *ir.Module
+	Env *Env
+
+	mem     *Memory
+	funcs   map[string]*compiledFunc
+	byAddr  map[int64]*compiledFunc
+	extAddr map[int64]string
+	opts    Options
+}
+
+// NewMachine loads the module. The same machine may Run multiple times
+// with fresh environments via SetEnv+Reset semantics; memory is re-created
+// on each Run.
+func NewMachine(mod *ir.Module, env *Env, opts Options) (*Machine, error) {
+	if opts.StackSize == 0 {
+		opts.StackSize = DefaultStackSize
+	}
+	if opts.HeapSize == 0 {
+		opts.HeapSize = DefaultHeapSize
+	}
+	if opts.MaxIL == 0 {
+		opts.MaxIL = 1 << 40
+	}
+	m := &Machine{
+		Mod:     mod,
+		Env:     env,
+		funcs:   make(map[string]*compiledFunc),
+		byAddr:  make(map[int64]*compiledFunc),
+		extAddr: make(map[int64]string),
+		opts:    opts,
+	}
+	id := 0
+	for _, f := range mod.Funcs {
+		cf := &compiledFunc{fn: f, labels: f.LabelIndex(), id: id}
+		m.funcs[f.Name] = cf
+		m.byAddr[FuncBase+int64(id)*FuncStride] = cf
+		id++
+	}
+	for _, e := range mod.Externs {
+		if _, ok := Externs[e.Name]; !ok {
+			return nil, fmt.Errorf("extern function %q has no implementation", e.Name)
+		}
+		m.extAddr[FuncBase+int64(id)*FuncStride] = e.Name
+		id++
+	}
+	return m, nil
+}
+
+// FuncAddr returns the runtime address of a function (defined or extern).
+func (m *Machine) FuncAddr(name string) (int64, bool) {
+	if cf, ok := m.funcs[name]; ok {
+		return FuncBase + int64(cf.id)*FuncStride, true
+	}
+	nid := len(m.funcs)
+	for _, e := range m.Mod.Externs {
+		if e.Name == name {
+			return FuncBase + int64(nid)*FuncStride, true
+		}
+		nid++
+	}
+	return 0, false
+}
+
+// Run executes main() and returns the collected statistics. A program
+// calling exit() terminates normally with that exit code.
+func (m *Machine) Run() (*profile.RunStats, error) {
+	mainFn, ok := m.funcs["main"]
+	if !ok {
+		return nil, fmt.Errorf("module %s has no main function", m.Mod.Name)
+	}
+	mem, err := NewMemory(m.Mod, m.opts.StackSize, m.opts.HeapSize, m.FuncAddr)
+	if err != nil {
+		return nil, err
+	}
+	m.mem = mem
+
+	st := profile.NewRunStats()
+	code, err := m.exec(mainFn, nil, st)
+	if err != nil {
+		if ex, isExit := err.(*exitError); isExit {
+			st.ExitCode = ex.code
+			return st, nil
+		}
+		return st, err
+	}
+	st.ExitCode = code
+	return st, nil
+}
+
+// frame is one activation record.
+type frame struct {
+	cf     *compiledFunc
+	base   int64 // address of the frame in the stack segment
+	regs   []int64
+	pc     int
+	retDst ir.Reg // caller register receiving the return value
+}
+
+// exec runs entry(args) to completion using an explicit frame stack so
+// that deep MiniC recursion cannot exhaust the Go stack.
+func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) (int64, error) {
+	var stack []*frame
+	var sp int64 // stack-segment high-water offset
+
+	push := func(cf *compiledFunc, callArgs []int64, retDst ir.Reg) error {
+		base := (sp + 15) &^ 15
+		if base+int64(cf.fn.FrameSize) > int64(m.mem.StackSize()) {
+			return fmt.Errorf("control stack overflow entering %s (frame %d bytes, used %d of %d)",
+				cf.fn.Name, cf.fn.FrameSize, base, m.mem.StackSize())
+		}
+		f := &frame{
+			cf:     cf,
+			base:   StackBase + base,
+			regs:   make([]int64, cf.fn.NumRegs),
+			retDst: retDst,
+		}
+		// Zero the frame (locals start zeroed for determinism) and store
+		// incoming arguments into the parameter slots.
+		buf, off, _ := m.mem.seg(f.base, int64(cf.fn.FrameSize))
+		for i := int64(0); i < int64(cf.fn.FrameSize); i++ {
+			buf[off+i] = 0
+		}
+		for i := 0; i < cf.fn.NumParams && i < len(callArgs); i++ {
+			slot := cf.fn.Slots[i]
+			if err := m.mem.Store(f.base+int64(slot.Offset), sizeToAccess(slot.Size), callArgs[i]); err != nil {
+				return err
+			}
+		}
+		sp = base + int64(cf.fn.FrameSize)
+		if sp > st.MaxStack {
+			st.MaxStack = sp
+		}
+		stack = append(stack, f)
+		st.FuncCounts[cf.fn.Name]++
+		return nil
+	}
+
+	if err := push(entry, args, ir.NoReg); err != nil {
+		return 0, err
+	}
+
+	var retVal int64
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		code := f.cf.fn.Code
+		if f.pc >= len(code) {
+			return 0, &RuntimeError{Func: f.cf.fn.Name, Msg: "fell off the end of the function"}
+		}
+		in := &code[f.pc]
+
+		if in.Op != ir.OpLabel {
+			st.IL++
+			if st.IL > m.opts.MaxIL {
+				return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos,
+					Msg: fmt.Sprintf("instruction budget exceeded (%d)", m.opts.MaxIL)}
+			}
+			if m.opts.Trace != nil {
+				m.opts.Trace(f.cf.fn, f.pc)
+			}
+		}
+
+		val := func(v ir.Value) int64 {
+			if v.Kind == ir.VKConst {
+				return v.Imm
+			}
+			return f.regs[v.Reg]
+		}
+
+		switch in.Op {
+		case ir.OpLabel, ir.OpNop:
+			f.pc++
+		case ir.OpConst:
+			f.regs[in.Dst] = in.A.Imm
+			f.pc++
+		case ir.OpMov:
+			f.regs[in.Dst] = val(in.A)
+			f.pc++
+		case ir.OpNeg:
+			f.regs[in.Dst] = -val(in.A)
+			f.pc++
+		case ir.OpNot:
+			f.regs[in.Dst] = ^val(in.A)
+			f.pc++
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+			ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+			ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+			a, b := val(in.A), val(in.B)
+			if (in.Op == ir.OpDiv || in.Op == ir.OpRem) && b == 0 {
+				return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: "division by zero"}
+			}
+			f.regs[in.Dst] = evalBinary(in.Op, a, b)
+			f.pc++
+		case ir.OpLoad:
+			v, err := m.mem.Load(val(in.A), in.Size)
+			if err != nil {
+				return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: err.Error()}
+			}
+			f.regs[in.Dst] = v
+			f.pc++
+		case ir.OpStore:
+			if err := m.mem.Store(val(in.A), in.Size, val(in.B)); err != nil {
+				return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: err.Error()}
+			}
+			f.pc++
+		case ir.OpAddrG:
+			a, ok := m.mem.GlobalAddr(in.Sym)
+			if !ok {
+				return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: "unknown global " + in.Sym}
+			}
+			f.regs[in.Dst] = a
+			f.pc++
+		case ir.OpAddrL:
+			slot := f.cf.fn.Slots[in.A.Imm]
+			f.regs[in.Dst] = f.base + int64(slot.Offset)
+			f.pc++
+		case ir.OpAddrF:
+			a, ok := m.FuncAddr(in.Sym)
+			if !ok {
+				return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: "unknown function " + in.Sym}
+			}
+			f.regs[in.Dst] = a
+			f.pc++
+		case ir.OpJump:
+			st.Control++
+			f.pc = f.cf.labels[in.Label]
+		case ir.OpBr:
+			st.Control++
+			if val(in.A) != 0 {
+				f.pc = f.cf.labels[in.Label]
+			} else {
+				f.pc++
+			}
+		case ir.OpCall:
+			st.Calls++
+			st.SiteCounts[in.CallID]++
+			callArgs := make([]int64, len(in.Args))
+			for i, a := range in.Args {
+				callArgs[i] = val(a)
+			}
+			if callee, isUser := m.funcs[in.Sym]; isUser {
+				f.pc++ // resume after the call on return
+				if err := push(callee, callArgs, in.Dst); err != nil {
+					return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: err.Error()}
+				}
+				continue
+			}
+			// External function.
+			st.ExternCalls++
+			st.FuncCounts[in.Sym]++
+			impl := Externs[in.Sym]
+			if impl == nil {
+				return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: "unimplemented extern " + in.Sym}
+			}
+			rv, err := impl(m, callArgs)
+			if err != nil {
+				if _, isExit := err.(*exitError); isExit {
+					return 0, err
+				}
+				return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: err.Error()}
+			}
+			st.Returns++
+			if in.Dst != ir.NoReg {
+				f.regs[in.Dst] = rv
+			}
+			f.pc++
+		case ir.OpCallPtr:
+			st.Calls++
+			st.PtrCalls++
+			st.SiteCounts[in.CallID]++
+			target := val(in.A)
+			callArgs := make([]int64, len(in.Args))
+			for i, a := range in.Args {
+				callArgs[i] = val(a)
+			}
+			if callee, isUser := m.byAddr[target]; isUser {
+				f.pc++
+				if err := push(callee, callArgs, in.Dst); err != nil {
+					return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: err.Error()}
+				}
+				continue
+			}
+			if name, isExt := m.extAddr[target]; isExt {
+				st.ExternCalls++
+				st.FuncCounts[name]++
+				rv, err := Externs[name](m, callArgs)
+				if err != nil {
+					if _, isExit := err.(*exitError); isExit {
+						return 0, err
+					}
+					return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: err.Error()}
+				}
+				st.Returns++
+				if in.Dst != ir.NoReg {
+					f.regs[in.Dst] = rv
+				}
+				f.pc++
+				continue
+			}
+			return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos,
+				Msg: fmt.Sprintf("call through invalid function pointer %#x", target)}
+		case ir.OpRet:
+			st.Returns++
+			if in.A.Kind != ir.VKNone {
+				retVal = val(in.A)
+			} else {
+				retVal = 0
+			}
+			// Pop the frame and deliver the value.
+			stack = stack[:len(stack)-1]
+			sp = 0
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				sp = top.base - StackBase + int64(top.cf.fn.FrameSize)
+				if f.retDst != ir.NoReg {
+					top.regs[f.retDst] = retVal
+				}
+			}
+		default:
+			return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos,
+				Msg: fmt.Sprintf("unhandled opcode %s", in.Op)}
+		}
+	}
+	return retVal, nil
+}
+
+func sizeToAccess(slotSize int) int {
+	if slotSize == 1 {
+		return 1
+	}
+	return 8
+}
+
+func evalBinary(op ir.Op, a, b int64) int64 {
+	switch op {
+	case ir.OpAdd:
+		return a + b
+	case ir.OpSub:
+		return a - b
+	case ir.OpMul:
+		return a * b
+	case ir.OpDiv:
+		return a / b
+	case ir.OpRem:
+		return a % b
+	case ir.OpAnd:
+		return a & b
+	case ir.OpOr:
+		return a | b
+	case ir.OpXor:
+		return a ^ b
+	case ir.OpShl:
+		return a << uint64(b&63)
+	case ir.OpShr:
+		return int64(uint64(a) >> uint64(b&63))
+	case ir.OpEq:
+		return b2i(a == b)
+	case ir.OpNe:
+		return b2i(a != b)
+	case ir.OpLt:
+		return b2i(a < b)
+	case ir.OpLe:
+		return b2i(a <= b)
+	case ir.OpGt:
+		return b2i(a > b)
+	case ir.OpGe:
+		return b2i(a >= b)
+	}
+	return 0
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

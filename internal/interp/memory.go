@@ -1,0 +1,201 @@
+// Package interp executes IL modules and collects the dynamic profiles
+// that drive inline expansion. It provides the substrate the paper ran
+// on natively: a byte-addressable memory (globals, control stack, heap),
+// a call stack with per-frame locals and virtual registers, and a library
+// of external functions (the paper's un-inlinable "$$$" callees) backed by
+// an in-memory file system.
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"inlinec/internal/ir"
+)
+
+// Address-space layout. Segments are disjoint so that stray pointers are
+// detected rather than silently corrupting another segment.
+const (
+	GlobalsBase int64 = 0x0001_0000
+	StackBase   int64 = 0x1000_0000
+	HeapBase    int64 = 0x4000_0000
+	FuncBase    int64 = 0x7000_0000
+
+	// FuncStride spaces function addresses so that off-by-small-offset
+	// pointer bugs don't alias another function.
+	FuncStride int64 = 16
+)
+
+// DefaultStackSize is the control-stack capacity in bytes. Exceeding it is
+// the paper's "control stack overflow" hazard.
+const DefaultStackSize = 4 << 20
+
+// DefaultHeapSize caps the bump allocator.
+const DefaultHeapSize = 64 << 20
+
+// MemError is a memory-access fault.
+type MemError struct {
+	Addr int64
+	Op   string
+}
+
+func (e *MemError) Error() string {
+	return fmt.Sprintf("memory fault: %s at address %#x", e.Op, e.Addr)
+}
+
+// Memory is the flat data memory of a running program.
+type Memory struct {
+	globals []byte
+	stack   []byte
+	heap    []byte
+	heapTop int64 // bump pointer (offset into heap)
+
+	globalAddr map[string]int64
+}
+
+// NewMemory lays out the module's globals (applying relocations) and
+// returns initialized memory. funcAddr resolves function names for
+// function-pointer relocations.
+func NewMemory(mod *ir.Module, stackSize, heapSize int, funcAddr func(string) (int64, bool)) (*Memory, error) {
+	for name := range mod.ExternGlobals {
+		if mod.Global(name) == nil {
+			return nil, fmt.Errorf("undefined symbol %q: extern variable never defined (link the defining unit)", name)
+		}
+	}
+	m := &Memory{
+		stack:      make([]byte, stackSize),
+		heap:       make([]byte, heapSize),
+		globalAddr: make(map[string]int64),
+	}
+	off := 0
+	for _, g := range mod.Globals {
+		a := g.Align
+		if a <= 0 {
+			a = 1
+		}
+		off = (off + a - 1) / a * a
+		m.globalAddr[g.Name] = GlobalsBase + int64(off)
+		off += g.Size
+	}
+	m.globals = make([]byte, off)
+	for _, g := range mod.Globals {
+		base := m.globalAddr[g.Name] - GlobalsBase
+		copy(m.globals[base:], g.Init)
+		for _, r := range g.Relocs {
+			var target int64
+			if r.IsFunc {
+				fa, ok := funcAddr(r.Sym)
+				if !ok {
+					return nil, fmt.Errorf("reloc in %s: unknown function %q", g.Name, r.Sym)
+				}
+				target = fa
+			} else {
+				ga, ok := m.globalAddr[r.Sym]
+				if !ok {
+					return nil, fmt.Errorf("reloc in %s: unknown global %q", g.Name, r.Sym)
+				}
+				target = ga
+			}
+			binary.LittleEndian.PutUint64(m.globals[base+int64(r.Offset):], uint64(target+r.Addend))
+		}
+	}
+	return m, nil
+}
+
+// GlobalAddr returns the load address of a global.
+func (m *Memory) GlobalAddr(name string) (int64, bool) {
+	a, ok := m.globalAddr[name]
+	return a, ok
+}
+
+// seg resolves an address to its backing slice and offset.
+func (m *Memory) seg(addr int64, n int64) ([]byte, int64, bool) {
+	switch {
+	case addr >= GlobalsBase && addr+n <= GlobalsBase+int64(len(m.globals)):
+		return m.globals, addr - GlobalsBase, true
+	case addr >= StackBase && addr+n <= StackBase+int64(len(m.stack)):
+		return m.stack, addr - StackBase, true
+	case addr >= HeapBase && addr+n <= HeapBase+int64(len(m.heap)):
+		return m.heap, addr - HeapBase, true
+	}
+	return nil, 0, false
+}
+
+// Load reads size bytes (1 or 8) at addr; byte loads zero-extend.
+func (m *Memory) Load(addr int64, size int) (int64, error) {
+	buf, off, ok := m.seg(addr, int64(size))
+	if !ok {
+		return 0, &MemError{Addr: addr, Op: fmt.Sprintf("load%d", size)}
+	}
+	if size == 1 {
+		return int64(buf[off]), nil
+	}
+	return int64(binary.LittleEndian.Uint64(buf[off:])), nil
+}
+
+// Store writes size bytes (1 or 8) at addr.
+func (m *Memory) Store(addr int64, size int, v int64) error {
+	buf, off, ok := m.seg(addr, int64(size))
+	if !ok {
+		return &MemError{Addr: addr, Op: fmt.Sprintf("store%d", size)}
+	}
+	if size == 1 {
+		buf[off] = byte(v)
+		return nil
+	}
+	binary.LittleEndian.PutUint64(buf[off:], uint64(v))
+	return nil
+}
+
+// Bytes returns n bytes starting at addr for direct inspection.
+func (m *Memory) Bytes(addr, n int64) ([]byte, error) {
+	buf, off, ok := m.seg(addr, n)
+	if !ok {
+		return nil, &MemError{Addr: addr, Op: fmt.Sprintf("access %d bytes", n)}
+	}
+	return buf[off : off+n], nil
+}
+
+// CString reads a NUL-terminated string at addr (capped at 1 MiB).
+func (m *Memory) CString(addr int64) (string, error) {
+	const maxLen = 1 << 20
+	var out []byte
+	for i := int64(0); i < maxLen; i++ {
+		b, err := m.Load(addr+i, 1)
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, byte(b))
+	}
+	return "", fmt.Errorf("unterminated string at %#x", addr)
+}
+
+// WriteBytes copies data into memory at addr.
+func (m *Memory) WriteBytes(addr int64, data []byte) error {
+	buf, off, ok := m.seg(addr, int64(len(data)))
+	if !ok {
+		return &MemError{Addr: addr, Op: fmt.Sprintf("write %d bytes", len(data))}
+	}
+	copy(buf[off:], data)
+	return nil
+}
+
+// Alloc carves n bytes from the heap (16-byte aligned); returns 0 when the
+// heap is exhausted, matching malloc's NULL convention.
+func (m *Memory) Alloc(n int64) int64 {
+	if n <= 0 {
+		n = 1
+	}
+	top := (m.heapTop + 15) &^ 15
+	if top+n > int64(len(m.heap)) {
+		return 0
+	}
+	m.heapTop = top + n
+	return HeapBase + top
+}
+
+// StackSize returns the stack capacity in bytes.
+func (m *Memory) StackSize() int { return len(m.stack) }

@@ -1,0 +1,213 @@
+package interp
+
+import (
+	"testing"
+
+	"inlinec/internal/irgen"
+	"inlinec/internal/parser"
+	"inlinec/internal/sema"
+)
+
+// compileSrc runs the full front end on a MiniC source string.
+func compileSrc(t *testing.T, src string) *Machine {
+	t.Helper()
+	file, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := sema.Check(file)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	mod, err := irgen.Generate(prog)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	m, err := NewMachine(mod, NewEnv(), Options{})
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	return m
+}
+
+func runSrc(t *testing.T, src string) (string, int64) {
+	t.Helper()
+	m := compileSrc(t, src)
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m.Env.Stdout.String(), st.ExitCode
+}
+
+func TestSmokeHello(t *testing.T) {
+	out, code := runSrc(t, `
+extern int printf(char *fmt, ...);
+int main() { printf("hello %d %s\n", 6*7, "world"); return 0; }
+`)
+	if out != "hello 42 world\n" {
+		t.Errorf("stdout = %q", out)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d", code)
+	}
+}
+
+func TestSmokeFibRecursion(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { printf("%d\n", fib(15)); return 0; }
+`)
+	if out != "610\n" {
+		t.Errorf("fib(15) output = %q, want 610", out)
+	}
+}
+
+func TestSmokeArraysPointersStructs(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+struct Point { int x; int y; char tag; };
+int sum(int *a, int n) {
+    int s; int i;
+    s = 0;
+    for (i = 0; i < n; i++) s += a[i];
+    return s;
+}
+int main() {
+    int a[5];
+    int i;
+    struct Point p;
+    struct Point q;
+    for (i = 0; i < 5; i++) a[i] = i * i;
+    p.x = 3; p.y = 4; p.tag = 'P';
+    q = p;
+    printf("%d %d %d %c\n", sum(a, 5), q.x + q.y, sizeof(struct Point), q.tag);
+    return 0;
+}
+`)
+	if out != "30 7 24 P\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestSmokeFunctionPointers(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int apply(int (*op)(int, int), int a, int b) { return op(a, b); }
+int (*table[2])(int, int) = { add, sub };
+int main() {
+    printf("%d %d %d\n", apply(add, 5, 3), apply(sub, 5, 3), table[1](10, 4));
+    return 0;
+}
+`)
+	if out != "8 2 6\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestSmokeStringsAndExit(t *testing.T) {
+	m := compileSrc(t, `
+extern int strlen(char *s);
+extern int strcmp(char *a, char *b);
+extern int printf(char *fmt, ...);
+extern void exit(int code);
+char msg[] = "minic";
+int main() {
+    if (strcmp(msg, "minic") == 0) printf("len=%d\n", strlen(msg));
+    exit(3);
+    printf("not reached\n");
+    return 0;
+}
+`)
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := m.Env.Stdout.String(); got != "len=5\n" {
+		t.Errorf("stdout = %q", got)
+	}
+	if st.ExitCode != 3 {
+		t.Errorf("exit code = %d, want 3", st.ExitCode)
+	}
+}
+
+func TestSmokeControlFlowAndSwitch(t *testing.T) {
+	out, _ := runSrc(t, `
+extern int printf(char *fmt, ...);
+int classify(int c) {
+    switch (c) {
+    case 0: return 100;
+    case 1: case 2: return 200;
+    default: return 300;
+    }
+}
+int main() {
+    int i; int total; int n;
+    total = 0;
+    for (i = 0; i < 6; i++) total += classify(i);
+    n = 0;
+    while (n < 3) { n++; if (n == 2) continue; total += n; }
+    do { total--; } while (total > 1700);
+    printf("%d\n", total);
+    return 0;
+}
+`)
+	// classify: 100 + 200 + 200 + 300*3 = 1400; loop adds 1+3 -> 1404;
+	// do-while decrements once (1404-1=1403 <= 1700 stops) -> 1403.
+	if out != "1403\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestSmokeStdinStdout(t *testing.T) {
+	m := compileSrc(t, `
+extern int getchar();
+extern int putchar(int c);
+int main() {
+    int c;
+    while ((c = getchar()) != -1) {
+        if (c >= 'a' && c <= 'z') c = c - 'a' + 'A';
+        putchar(c);
+    }
+    return 0;
+}
+`)
+	m.Env.Stdin = []byte("Hello, World 123\n")
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := m.Env.Stdout.String(); got != "HELLO, WORLD 123\n" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestSmokeProfileCounts(t *testing.T) {
+	m := compileSrc(t, `
+int twice(int x) { return x + x; }
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 10; i++) s = twice(s + 1);
+    return s & 0;
+}
+`)
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if st.FuncCounts["twice"] != 10 {
+		t.Errorf("twice entered %d times, want 10", st.FuncCounts["twice"])
+	}
+	if st.FuncCounts["main"] != 1 {
+		t.Errorf("main entered %d times, want 1", st.FuncCounts["main"])
+	}
+	if st.Calls != 10 {
+		t.Errorf("calls = %d, want 10", st.Calls)
+	}
+	if st.IL == 0 || st.Control == 0 {
+		t.Errorf("expected nonzero IL (%d) and control (%d)", st.IL, st.Control)
+	}
+}

@@ -1,0 +1,526 @@
+// Package ir defines the three-address intermediate language (IL) used by
+// this reproduction of the IMPACT-I inline expander. A function is a flat
+// list of instructions over virtual registers, with label pseudo-
+// instructions as branch targets — the representation the paper's
+// measurements are defined on: "IL's" are dynamic executed instructions,
+// "control transfers" are executed jumps and conditional branches (calls
+// and returns counted separately).
+//
+// Named local variables live in a byte-addressed stack frame (so that &x
+// works uniformly); virtual registers hold expression temporaries. Both
+// are per-function and are renamed when a function body is inlined into a
+// caller.
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"inlinec/internal/token"
+)
+
+// Reg is a virtual register index within a function. NoReg means "no
+// destination" (e.g. a void call).
+type Reg int
+
+// NoReg marks the absence of a destination register.
+const NoReg Reg = -1
+
+// Op is an IL opcode.
+type Op int
+
+// IL opcodes.
+const (
+	OpNop Op = iota
+	OpLabel
+	OpConst // Dst = A.Imm
+	OpMov   // Dst = A
+	OpAdd   // Dst = A + B
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpNeg // Dst = -A
+	OpNot // Dst = ^A
+	OpEq  // Dst = A == B
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpLoad    // Dst = mem[A], width Size
+	OpStore   // mem[A] = B, width Size
+	OpAddrG   // Dst = address of global A.Sym
+	OpAddrL   // Dst = frame address of local slot A.Imm
+	OpAddrF   // Dst = address of function A.Sym
+	OpJump    // goto Label
+	OpBr      // if A != 0 goto Label
+	OpCall    // Dst = Callee(Args...)
+	OpCallPtr // Dst = (*A)(Args...)
+	OpRet     // return A (or nothing if A.Kind == VKNone)
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpLabel: "label", OpConst: "const", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpNeg: "neg", OpNot: "not",
+	OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge",
+	OpLoad: "load", OpStore: "store",
+	OpAddrG: "addrg", OpAddrL: "addrl", OpAddrF: "addrf",
+	OpJump: "jump", OpBr: "br", OpCall: "call", OpCallPtr: "callptr",
+	OpRet: "ret",
+}
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsBinary reports whether the op is a two-operand arithmetic/compare op.
+func (o Op) IsBinary() bool {
+	switch o {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// ValueKind discriminates operand forms.
+type ValueKind int
+
+// Operand kinds.
+const (
+	VKNone  ValueKind = iota
+	VKReg             // virtual register
+	VKConst           // integer immediate
+)
+
+// Value is an instruction operand: a register or an immediate.
+type Value struct {
+	Kind ValueKind
+	Reg  Reg
+	Imm  int64
+}
+
+// R returns a register operand.
+func R(r Reg) Value { return Value{Kind: VKReg, Reg: r} }
+
+// C returns a constant operand.
+func C(v int64) Value { return Value{Kind: VKConst, Imm: v} }
+
+// None is the absent operand.
+var None = Value{Kind: VKNone}
+
+// String renders the operand.
+func (v Value) String() string {
+	switch v.Kind {
+	case VKReg:
+		return fmt.Sprintf("r%d", v.Reg)
+	case VKConst:
+		return fmt.Sprintf("#%d", v.Imm)
+	}
+	return "_"
+}
+
+// Instr is one IL instruction.
+type Instr struct {
+	Op   Op
+	Dst  Reg   // destination register, NoReg if none
+	A, B Value // operands
+	// Size is the access width in bytes for OpLoad/OpStore (1 or 8).
+	Size int
+	// Label is the label id for OpLabel/OpJump/OpBr.
+	Label int
+	// Sym is the global name (OpAddrG), or function name (OpAddrF, OpCall).
+	Sym string
+	// Args are call arguments for OpCall/OpCallPtr.
+	Args []Value
+	// CallID is the unique static call-site identifier for OpCall/OpCallPtr;
+	// assigned by Module.Finalize and kept unique across inlining.
+	CallID int
+	// Pos is the originating source position (best effort).
+	Pos token.Pos
+}
+
+// IsReal reports whether the instruction is counted in code size and in
+// dynamic IL counts (labels and nops are not).
+func (in *Instr) IsReal() bool { return in.Op != OpLabel && in.Op != OpNop }
+
+// String renders the instruction.
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpLabel:
+		return fmt.Sprintf("L%d:", in.Label)
+	case OpNop:
+		return "  nop"
+	case OpConst:
+		return fmt.Sprintf("  r%d = #%d", in.Dst, in.A.Imm)
+	case OpMov:
+		return fmt.Sprintf("  r%d = %s", in.Dst, in.A)
+	case OpNeg, OpNot:
+		return fmt.Sprintf("  r%d = %s %s", in.Dst, in.Op, in.A)
+	case OpLoad:
+		return fmt.Sprintf("  r%d = load%d [%s]", in.Dst, in.Size, in.A)
+	case OpStore:
+		return fmt.Sprintf("  store%d [%s] = %s", in.Size, in.A, in.B)
+	case OpAddrG:
+		return fmt.Sprintf("  r%d = &%s", in.Dst, in.Sym)
+	case OpAddrL:
+		return fmt.Sprintf("  r%d = &local[%d]", in.Dst, in.A.Imm)
+	case OpAddrF:
+		return fmt.Sprintf("  r%d = &fn:%s", in.Dst, in.Sym)
+	case OpJump:
+		return fmt.Sprintf("  jump L%d", in.Label)
+	case OpBr:
+		return fmt.Sprintf("  br %s, L%d", in.A, in.Label)
+	case OpCall:
+		return fmt.Sprintf("  %s call %s(%s) #site%d", dstStr(in.Dst), in.Sym, argStr(in.Args), in.CallID)
+	case OpCallPtr:
+		return fmt.Sprintf("  %s callptr %s(%s) #site%d", dstStr(in.Dst), in.A, argStr(in.Args), in.CallID)
+	case OpRet:
+		if in.A.Kind == VKNone {
+			return "  ret"
+		}
+		return fmt.Sprintf("  ret %s", in.A)
+	}
+	if in.Op.IsBinary() {
+		return fmt.Sprintf("  r%d = %s %s, %s", in.Dst, in.Op, in.A, in.B)
+	}
+	return fmt.Sprintf("  %s ?", in.Op)
+}
+
+func dstStr(d Reg) string {
+	if d == NoReg {
+		return "     "
+	}
+	return fmt.Sprintf("r%d =", d)
+}
+
+func argStr(args []Value) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Slot is a named local variable in a function's stack frame.
+type Slot struct {
+	Name   string // path-qualified after inlining, e.g. "callee.x"
+	Offset int    // byte offset within the frame
+	Size   int
+	Align  int
+	// IsParam marks parameter slots; the interpreter stores incoming
+	// arguments into them in order.
+	IsParam bool
+}
+
+// Func is an IL function.
+type Func struct {
+	Name string
+	// NumParams is the number of leading parameter slots.
+	NumParams int
+	Slots     []Slot
+	NumRegs   int
+	// FrameSize is the byte size of the frame (locals laid end to end,
+	// aligned); this is the paper's "control stack usage" estimate.
+	FrameSize int
+	Code      []Instr
+	// ReturnsValue records whether the function yields a value.
+	ReturnsValue bool
+	// SrcLines is the number of source lines spanned by the function body,
+	// used for Table 1's "C lines" accounting.
+	SrcLines int
+	// NextLabel is the first unused label id (labels are function-local).
+	NextLabel int
+	// Inlined names the call path when this body was produced by inline
+	// expansion (informational).
+	Inlined []string
+}
+
+// CodeSize returns the number of real instructions, the paper's
+// intermediate-code size metric.
+func (f *Func) CodeSize() int {
+	n := 0
+	for i := range f.Code {
+		if f.Code[i].IsReal() {
+			n++
+		}
+	}
+	return n
+}
+
+// NewReg allocates a fresh virtual register.
+func (f *Func) NewReg() Reg {
+	r := Reg(f.NumRegs)
+	f.NumRegs++
+	return r
+}
+
+// NewLabel allocates a fresh label id.
+func (f *Func) NewLabel() int {
+	l := f.NextLabel
+	f.NextLabel++
+	return l
+}
+
+// AddSlot appends a local slot with proper alignment and returns its index.
+func (f *Func) AddSlot(name string, size, align int, isParam bool) int {
+	off := alignUp(f.FrameSize, align)
+	f.Slots = append(f.Slots, Slot{Name: name, Offset: off, Size: size, Align: align, IsParam: isParam})
+	f.FrameSize = off + size
+	return len(f.Slots) - 1
+}
+
+func alignUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// Emit appends an instruction.
+func (f *Func) Emit(in Instr) {
+	f.Code = append(f.Code, in)
+}
+
+// LabelIndex builds a map from label id to instruction index.
+func (f *Func) LabelIndex() map[int]int {
+	m := make(map[int]int)
+	for i := range f.Code {
+		if f.Code[i].Op == OpLabel {
+			m[f.Code[i].Label] = i
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of the function.
+func (f *Func) Clone() *Func {
+	nf := *f
+	nf.Slots = append([]Slot(nil), f.Slots...)
+	nf.Code = make([]Instr, len(f.Code))
+	for i := range f.Code {
+		nf.Code[i] = f.Code[i]
+		if f.Code[i].Args != nil {
+			nf.Code[i].Args = append([]Value(nil), f.Code[i].Args...)
+		}
+	}
+	nf.Inlined = append([]string(nil), f.Inlined...)
+	return &nf
+}
+
+// Reloc records that a pointer-sized cell within a global's initial data
+// must be filled with the load-time address of a symbol: a global variable
+// (IsFunc false) or a function (IsFunc true).
+type Reloc struct {
+	Offset int
+	Sym    string
+	IsFunc bool
+	Addend int64
+}
+
+// Global is a module-level variable with optional initial bytes.
+type Global struct {
+	Name  string
+	Size  int
+	Align int
+	// Init holds initial data; shorter than Size means zero-filled tail.
+	Init []byte
+	// Relocs are applied by the loader over Init.
+	Relocs []Reloc
+}
+
+// Extern describes a function whose body is unavailable to the compiler
+// (library routines and system calls — the paper's "external functions").
+type Extern struct {
+	Name      string
+	NumParams int
+	Variadic  bool
+}
+
+// Module is a compiled translation unit.
+type Module struct {
+	Name    string
+	Funcs   []*Func
+	Globals []*Global
+	Externs []Extern
+
+	// AddressTaken lists functions whose addresses are used in
+	// computations: the maximal callee set for calls through pointers.
+	AddressTaken map[string]bool
+
+	// ExternGlobals names variables declared `extern` without storage in
+	// this unit; the linker must resolve each to a definition in another
+	// unit before the module can run.
+	ExternGlobals map[string]bool
+
+	funcIndex   map[string]*Func
+	globalIndex map[string]*Global
+	externIndex map[string]int
+	nextCallID  int
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:          name,
+		AddressTaken:  make(map[string]bool),
+		ExternGlobals: make(map[string]bool),
+		funcIndex:     make(map[string]*Func),
+		globalIndex:   make(map[string]*Global),
+		externIndex:   make(map[string]int),
+	}
+}
+
+// AddFunc appends a function to the module.
+func (m *Module) AddFunc(f *Func) {
+	m.Funcs = append(m.Funcs, f)
+	m.funcIndex[f.Name] = f
+}
+
+// RemoveFunc deletes a function (used by unreachable-function elimination).
+func (m *Module) RemoveFunc(name string) {
+	for i, f := range m.Funcs {
+		if f.Name == name {
+			m.Funcs = append(m.Funcs[:i], m.Funcs[i+1:]...)
+			delete(m.funcIndex, name)
+			return
+		}
+	}
+}
+
+// AddGlobal appends a global variable.
+func (m *Module) AddGlobal(g *Global) {
+	m.Globals = append(m.Globals, g)
+	m.globalIndex[g.Name] = g
+}
+
+// AddExtern registers an external function.
+func (m *Module) AddExtern(e Extern) {
+	if _, ok := m.externIndex[e.Name]; ok {
+		return
+	}
+	m.externIndex[e.Name] = len(m.Externs)
+	m.Externs = append(m.Externs, e)
+}
+
+// Func returns the function with the name, or nil.
+func (m *Module) Func(name string) *Func { return m.funcIndex[name] }
+
+// Global returns the global with the name, or nil.
+func (m *Module) Global(name string) *Global { return m.globalIndex[name] }
+
+// IsExtern reports whether name is an external function.
+func (m *Module) IsExtern(name string) bool {
+	_, ok := m.externIndex[name]
+	return ok
+}
+
+// HasExternCalls reports whether any function calls an external function.
+// Under the paper's worst-case rules this forces conservative reachability.
+func (m *Module) HasExternCalls() bool {
+	for _, f := range m.Funcs {
+		for i := range f.Code {
+			if f.Code[i].Op == OpCall && m.IsExtern(f.Code[i].Sym) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AssignCallIDs gives every call instruction in the module a unique id.
+// Ids already assigned (non-zero) are preserved; fresh ids continue from
+// the maximum. The inliner calls this after splicing bodies so that
+// duplicated call sites become distinct arcs.
+func (m *Module) AssignCallIDs() {
+	maxID := m.nextCallID
+	for _, f := range m.Funcs {
+		for i := range f.Code {
+			if id := f.Code[i].CallID; id > maxID {
+				maxID = id
+			}
+		}
+	}
+	next := maxID
+	for _, f := range m.Funcs {
+		for i := range f.Code {
+			in := &f.Code[i]
+			if (in.Op == OpCall || in.Op == OpCallPtr) && in.CallID == 0 {
+				next++
+				in.CallID = next
+			}
+		}
+	}
+	m.nextCallID = next
+}
+
+// TotalCodeSize is the sum of all function code sizes.
+func (m *Module) TotalCodeSize() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.CodeSize()
+	}
+	return n
+}
+
+// Clone deep-copies the module. The inline expander works on a clone so
+// the caller keeps the original for before/after comparison.
+func (m *Module) Clone() *Module {
+	nm := NewModule(m.Name)
+	for _, f := range m.Funcs {
+		nm.AddFunc(f.Clone())
+	}
+	for _, g := range m.Globals {
+		ng := *g
+		ng.Init = append([]byte(nil), g.Init...)
+		ng.Relocs = append([]Reloc(nil), g.Relocs...)
+		nm.AddGlobal(&ng)
+	}
+	for _, e := range m.Externs {
+		nm.AddExtern(e)
+	}
+	for k, v := range m.AddressTaken {
+		nm.AddressTaken[k] = v
+	}
+	for k, v := range m.ExternGlobals {
+		nm.ExternGlobals[k] = v
+	}
+	nm.nextCallID = m.nextCallID
+	return nm
+}
+
+// String renders the whole module as IL assembly.
+func (m *Module) String() string {
+	var sb strings.Builder
+	names := make([]string, 0, len(m.Globals))
+	for _, g := range m.Globals {
+		names = append(names, fmt.Sprintf("global %s[%d]", g.Name, g.Size))
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	for _, f := range m.Funcs {
+		fmt.Fprintf(&sb, "\nfunc %s (params=%d frame=%d regs=%d):\n",
+			f.Name, f.NumParams, f.FrameSize, f.NumRegs)
+		for i := range f.Code {
+			sb.WriteString(f.Code[i].String())
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

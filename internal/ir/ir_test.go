@@ -1,0 +1,227 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyFunc builds: f(x) { if (x) return x+1; return 0; } over slots/regs.
+func tinyFunc(name string) *Func {
+	f := &Func{Name: name, ReturnsValue: true}
+	f.AddSlot("x", 8, 8, true)
+	f.NumParams = 1
+	l := f.NewLabel()
+	r0, r1, r2, r3 := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	f.Emit(Instr{Op: OpAddrL, Dst: r0, A: C(0)})
+	f.Emit(Instr{Op: OpLoad, Dst: r1, A: R(r0), Size: 8})
+	f.Emit(Instr{Op: OpBr, A: R(r1), Label: l})
+	f.Emit(Instr{Op: OpConst, Dst: r2, A: C(0)})
+	f.Emit(Instr{Op: OpRet, A: R(r2)})
+	f.Emit(Instr{Op: OpLabel, Label: l})
+	f.Emit(Instr{Op: OpConst, Dst: r3, A: C(1)})
+	rsum := f.NewReg()
+	f.Emit(Instr{Op: OpAdd, Dst: rsum, A: R(r1), B: R(r3)})
+	f.Emit(Instr{Op: OpRet, A: R(rsum)})
+	return f
+}
+
+func tinyModule() *Module {
+	m := NewModule("tiny")
+	f := tinyFunc("f")
+	m.AddFunc(f)
+	mn := &Func{Name: "main", ReturnsValue: true}
+	r := mn.NewReg()
+	d := mn.NewReg()
+	mn.Emit(Instr{Op: OpConst, Dst: r, A: C(5)})
+	mn.Emit(Instr{Op: OpCall, Dst: d, Sym: "f", Args: []Value{R(r)}})
+	mn.Emit(Instr{Op: OpRet, A: R(d)})
+	m.AddFunc(mn)
+	m.AssignCallIDs()
+	return m
+}
+
+func TestCodeSizeExcludesLabels(t *testing.T) {
+	f := tinyFunc("f")
+	if got := f.CodeSize(); got != 8 {
+		t.Errorf("CodeSize = %d, want 8 (9 instrs minus 1 label)", got)
+	}
+}
+
+func TestSlotLayout(t *testing.T) {
+	f := &Func{Name: "g"}
+	a := f.AddSlot("c", 1, 1, false)
+	b := f.AddSlot("n", 8, 8, false)
+	c := f.AddSlot("d", 1, 1, false)
+	if f.Slots[a].Offset != 0 || f.Slots[b].Offset != 8 || f.Slots[c].Offset != 16 {
+		t.Errorf("offsets = %d,%d,%d; want 0,8,16",
+			f.Slots[a].Offset, f.Slots[b].Offset, f.Slots[c].Offset)
+	}
+	if f.FrameSize != 17 {
+		t.Errorf("frame = %d, want 17", f.FrameSize)
+	}
+}
+
+func TestVerifyAcceptsValidModule(t *testing.T) {
+	if err := tinyModule().Verify(); err != nil {
+		t.Fatalf("valid module rejected: %v", err)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	corrupt := []struct {
+		name  string
+		mut   func(m *Module)
+		fragz string
+	}{
+		{"undefined label", func(m *Module) {
+			f := m.Func("f")
+			f.Code[2].Label = 99
+		}, "undefined label"},
+		{"bad register", func(m *Module) {
+			f := m.Func("f")
+			f.Code[1].A = R(Reg(1000))
+		}, "out of range"},
+		{"unknown callee", func(m *Module) {
+			f := m.Func("main")
+			f.Code[1].Sym = "ghost"
+		}, "unknown function"},
+		{"missing call id", func(m *Module) {
+			f := m.Func("main")
+			f.Code[1].CallID = 0
+		}, "no id"},
+		{"bad access size", func(m *Module) {
+			f := m.Func("f")
+			f.Code[1].Size = 3
+		}, "invalid access size"},
+		{"bad slot", func(m *Module) {
+			f := m.Func("f")
+			f.Code[0].A = C(42)
+		}, "invalid slot"},
+		{"no return", func(m *Module) {
+			f := m.Func("main")
+			for i := range f.Code {
+				if f.Code[i].Op == OpRet {
+					f.Code[i] = Instr{Op: OpNop}
+				}
+			}
+		}, "no return"},
+	}
+	for _, c := range corrupt {
+		m := tinyModule()
+		c.mut(m)
+		err := m.Verify()
+		if err == nil {
+			t.Errorf("%s: corruption not detected", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.fragz) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.fragz)
+		}
+	}
+}
+
+func TestVerifyDuplicateCallIDs(t *testing.T) {
+	m := tinyModule()
+	mn := m.Func("main")
+	// Duplicate the call instruction with the same id.
+	dup := mn.Code[1]
+	dup.Args = append([]Value(nil), dup.Args...)
+	mn.Code = append(mn.Code[:2], append([]Instr{dup}, mn.Code[2:]...)...)
+	if err := m.Verify(); err == nil || !strings.Contains(err.Error(), "reused") {
+		t.Errorf("duplicate call id not detected: %v", err)
+	}
+}
+
+func TestAssignCallIDsFreshAndStable(t *testing.T) {
+	m := tinyModule()
+	mn := m.Func("main")
+	orig := mn.Code[1].CallID
+	// Add a new call with id 0; reassignment must not disturb orig.
+	dup := mn.Code[1]
+	dup.CallID = 0
+	dup.Args = append([]Value(nil), dup.Args...)
+	mn.Code = append(mn.Code, dup)
+	m.AssignCallIDs()
+	if mn.Code[1].CallID != orig {
+		t.Errorf("existing id changed: %d -> %d", orig, mn.Code[1].CallID)
+	}
+	newID := mn.Code[len(mn.Code)-1].CallID
+	if newID == 0 || newID == orig {
+		t.Errorf("new site id = %d, want fresh nonzero", newID)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := tinyModule()
+	m.AddGlobal(&Global{Name: "g", Size: 8, Align: 8, Init: []byte{1, 2, 3, 4, 5, 6, 7, 8}})
+	cl := m.Clone()
+
+	// Mutate the clone deeply.
+	cl.Func("f").Code[0].Op = OpNop
+	cl.Func("f").Slots[0].Name = "mutated"
+	cl.Global("g").Init[0] = 99
+	cl.AddressTaken["f"] = true
+
+	if m.Func("f").Code[0].Op == OpNop {
+		t.Error("clone shares code with original")
+	}
+	if m.Func("f").Slots[0].Name == "mutated" {
+		t.Error("clone shares slots with original")
+	}
+	if m.Global("g").Init[0] == 99 {
+		t.Error("clone shares global init data")
+	}
+	if m.AddressTaken["f"] {
+		t.Error("clone shares address-taken map")
+	}
+}
+
+func TestRemoveFunc(t *testing.T) {
+	m := tinyModule()
+	m.RemoveFunc("f")
+	if m.Func("f") != nil || len(m.Funcs) != 1 {
+		t.Error("RemoveFunc left the function behind")
+	}
+	// Verify should now fail: main calls the removed f.
+	if err := m.Verify(); err == nil {
+		t.Error("dangling call not detected after removal")
+	}
+}
+
+func TestLabelIndex(t *testing.T) {
+	f := tinyFunc("f")
+	idx := f.LabelIndex()
+	if len(idx) != 1 {
+		t.Fatalf("label index = %v", idx)
+	}
+	for l, i := range idx {
+		if f.Code[i].Op != OpLabel || f.Code[i].Label != l {
+			t.Errorf("index entry L%d -> %d is wrong", l, i)
+		}
+	}
+}
+
+func TestModuleStringAndInstrString(t *testing.T) {
+	m := tinyModule()
+	s := m.String()
+	for _, frag := range []string{"func f", "func main", "call f", "ret", "br"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("module dump missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestHasExternCalls(t *testing.T) {
+	m := tinyModule()
+	if m.HasExternCalls() {
+		t.Error("module without externs reports extern calls")
+	}
+	m.AddExtern(Extern{Name: "printf", NumParams: 1, Variadic: true})
+	mn := m.Func("main")
+	call := Instr{Op: OpCall, Dst: NoReg, Sym: "printf", Args: nil}
+	mn.Code = append([]Instr{call}, mn.Code...)
+	m.AssignCallIDs()
+	if !m.HasExternCalls() {
+		t.Error("extern call not detected")
+	}
+}

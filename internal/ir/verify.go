@@ -1,0 +1,123 @@
+package ir
+
+import "fmt"
+
+// Verify checks module-level structural invariants: every branch target
+// exists, registers and slots are in range, call targets resolve to a
+// defined function or a registered extern, every call site has a unique
+// id, and every function terminates with ret or an unconditional jump.
+// It returns the first violation found, or nil.
+func (m *Module) Verify() error {
+	seenCallIDs := make(map[int]string)
+	for _, f := range m.Funcs {
+		if err := m.verifyFunc(f, seenCallIDs); err != nil {
+			return fmt.Errorf("func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func (m *Module) verifyFunc(f *Func, seenCallIDs map[int]string) error {
+	labels := make(map[int]bool)
+	for i := range f.Code {
+		if f.Code[i].Op == OpLabel {
+			if labels[f.Code[i].Label] {
+				return fmt.Errorf("label L%d defined twice", f.Code[i].Label)
+			}
+			labels[f.Code[i].Label] = true
+		}
+	}
+	checkVal := func(v Value) error {
+		if v.Kind == VKReg && (v.Reg < 0 || int(v.Reg) >= f.NumRegs) {
+			return fmt.Errorf("register r%d out of range [0,%d)", v.Reg, f.NumRegs)
+		}
+		return nil
+	}
+	if f.NumParams > len(f.Slots) {
+		return fmt.Errorf("NumParams %d exceeds slot count %d", f.NumParams, len(f.Slots))
+	}
+	for i := range f.Slots {
+		s := &f.Slots[i]
+		if s.Offset < 0 || s.Offset+s.Size > f.FrameSize {
+			return fmt.Errorf("slot %s [%d,%d) outside frame of size %d", s.Name, s.Offset, s.Offset+s.Size, f.FrameSize)
+		}
+	}
+	sawRet := false
+	for i := range f.Code {
+		in := &f.Code[i]
+		switch in.Op {
+		case OpJump, OpBr:
+			if !labels[in.Label] {
+				return fmt.Errorf("instr %d: branch to undefined label L%d", i, in.Label)
+			}
+			if in.Op == OpBr {
+				if err := checkVal(in.A); err != nil {
+					return fmt.Errorf("instr %d: %w", i, err)
+				}
+			}
+		case OpCall:
+			if m.Func(in.Sym) == nil && !m.IsExtern(in.Sym) {
+				return fmt.Errorf("instr %d: call to unknown function %q", i, in.Sym)
+			}
+			if in.CallID == 0 {
+				return fmt.Errorf("instr %d: call site has no id (run AssignCallIDs)", i)
+			}
+			if prev, dup := seenCallIDs[in.CallID]; dup {
+				return fmt.Errorf("instr %d: call id %d reused (also in %s)", i, in.CallID, prev)
+			}
+			seenCallIDs[in.CallID] = f.Name
+		case OpCallPtr:
+			if err := checkVal(in.A); err != nil {
+				return fmt.Errorf("instr %d: %w", i, err)
+			}
+			if in.CallID == 0 {
+				return fmt.Errorf("instr %d: callptr site has no id", i)
+			}
+			if prev, dup := seenCallIDs[in.CallID]; dup {
+				return fmt.Errorf("instr %d: call id %d reused (also in %s)", i, in.CallID, prev)
+			}
+			seenCallIDs[in.CallID] = f.Name
+		case OpAddrG:
+			if m.Global(in.Sym) == nil && !m.ExternGlobals[in.Sym] {
+				return fmt.Errorf("instr %d: address of unknown global %q", i, in.Sym)
+			}
+		case OpAddrF:
+			if m.Func(in.Sym) == nil && !m.IsExtern(in.Sym) {
+				return fmt.Errorf("instr %d: address of unknown function %q", i, in.Sym)
+			}
+		case OpAddrL:
+			if in.A.Kind != VKConst || in.A.Imm < 0 || int(in.A.Imm) >= len(f.Slots) {
+				return fmt.Errorf("instr %d: addrl of invalid slot %s", i, in.A)
+			}
+		case OpLoad, OpStore:
+			if in.Size != 1 && in.Size != 8 {
+				return fmt.Errorf("instr %d: invalid access size %d", i, in.Size)
+			}
+		case OpRet:
+			sawRet = true
+		}
+		for _, v := range []Value{in.A, in.B} {
+			if in.Op == OpConst || in.Op == OpAddrL {
+				continue // immediates by construction
+			}
+			if err := checkVal(v); err != nil {
+				return fmt.Errorf("instr %d (%s): %w", i, in.Op, err)
+			}
+		}
+		for _, a := range in.Args {
+			if err := checkVal(a); err != nil {
+				return fmt.Errorf("instr %d (%s): %w", i, in.Op, err)
+			}
+		}
+		if in.Dst != NoReg && int(in.Dst) >= f.NumRegs {
+			return fmt.Errorf("instr %d: destination r%d out of range", i, in.Dst)
+		}
+	}
+	if len(f.Code) == 0 {
+		return fmt.Errorf("empty body")
+	}
+	if !sawRet {
+		return fmt.Errorf("no return instruction")
+	}
+	return nil
+}

@@ -1,0 +1,515 @@
+package irgen
+
+import (
+	"inlinec/internal/ast"
+	"inlinec/internal/ir"
+	"inlinec/internal/token"
+	"inlinec/internal/types"
+)
+
+// genExpr evaluates e for its side effects and returns its value (None for
+// void expressions).
+func (g *gen) genExpr(e ast.Expr) ir.Value { return g.rvalue(e) }
+
+// materialize forces v into a register.
+func (g *gen) materialize(v ir.Value, pos token.Pos) ir.Value {
+	if v.Kind == ir.VKReg {
+		return v
+	}
+	r := g.fn.NewReg()
+	g.emit(ir.Instr{Op: ir.OpConst, Dst: r, A: v, Pos: pos})
+	return ir.R(r)
+}
+
+// addOffset returns base + off, emitting an add only when off != 0.
+func (g *gen) addOffset(base ir.Value, off int64, pos token.Pos) ir.Value {
+	if off == 0 {
+		return base
+	}
+	c := g.fn.NewReg()
+	g.emit(ir.Instr{Op: ir.OpConst, Dst: c, A: ir.C(off), Pos: pos})
+	r := g.fn.NewReg()
+	g.emit(ir.Instr{Op: ir.OpAdd, Dst: r, A: g.materialize(base, pos), B: ir.R(c), Pos: pos})
+	return ir.R(r)
+}
+
+// isAggregate reports whether values of t are represented by their address.
+func isAggregate(t types.Type) bool {
+	k := t.Kind()
+	return k == types.Array || k == types.Struct
+}
+
+// lvalueAddr computes the address of an lvalue expression.
+func (g *gen) lvalueAddr(e ast.Expr) ir.Value {
+	switch ee := e.(type) {
+	case *ast.Ident:
+		switch d := ee.Ref.(type) {
+		case *ast.VarDecl:
+			if idx, ok := g.slotOf[d]; ok {
+				r := g.fn.NewReg()
+				g.emit(ir.Instr{Op: ir.OpAddrL, Dst: r, A: ir.C(int64(idx)), Pos: ee.Pos()})
+				return ir.R(r)
+			}
+			r := g.fn.NewReg()
+			g.emit(ir.Instr{Op: ir.OpAddrG, Dst: r, Sym: g.globalSym(d), Pos: ee.Pos()})
+			return ir.R(r)
+		case *ast.FuncDecl:
+			r := g.fn.NewReg()
+			g.emit(ir.Instr{Op: ir.OpAddrF, Dst: r, Sym: g.funcSym(d), Pos: ee.Pos()})
+			return ir.R(r)
+		}
+		g.failf(ee.Pos(), "cannot take address of %s", ee.Name)
+	case *ast.UnaryExpr:
+		if ee.Op == token.Star {
+			return g.materialize(g.rvalue(ee.X), ee.Pos())
+		}
+	case *ast.IndexExpr:
+		base := g.rvalue(ee.X) // pointer or decayed array: an address
+		idx := g.rvalue(ee.Index)
+		elem := elemType(ee.X.TypeOf())
+		return g.scaledAdd(base, idx, int64(sizeOf(elem)), ee.Pos())
+	case *ast.MemberExpr:
+		var base ir.Value
+		if ee.Arrow {
+			base = g.rvalue(ee.X)
+		} else {
+			base = g.lvalueAddr(ee.X)
+		}
+		return g.addOffset(base, int64(ee.Field.Offset), ee.Pos())
+	}
+	g.failf(e.Pos(), "expression is not an lvalue (%T)", e)
+	return ir.None
+}
+
+func elemType(t types.Type) types.Type {
+	switch tt := types.Decay(t).(type) {
+	case *types.Ptr:
+		return tt.Elem
+	}
+	return types.IntType
+}
+
+// scaledAdd returns base + idx*scale.
+func (g *gen) scaledAdd(base, idx ir.Value, scale int64, pos token.Pos) ir.Value {
+	if idx.Kind == ir.VKConst {
+		return g.addOffset(base, idx.Imm*scale, pos)
+	}
+	scaled := idx
+	if scale != 1 {
+		c := g.fn.NewReg()
+		g.emit(ir.Instr{Op: ir.OpConst, Dst: c, A: ir.C(scale), Pos: pos})
+		r := g.fn.NewReg()
+		g.emit(ir.Instr{Op: ir.OpMul, Dst: r, A: g.materialize(idx, pos), B: ir.R(c), Pos: pos})
+		scaled = ir.R(r)
+	}
+	r := g.fn.NewReg()
+	g.emit(ir.Instr{Op: ir.OpAdd, Dst: r, A: g.materialize(base, pos), B: g.materialize(scaled, pos), Pos: pos})
+	return ir.R(r)
+}
+
+// loadFrom loads a scalar of type t from the address.
+func (g *gen) loadFrom(addr ir.Value, t types.Type, pos token.Pos) ir.Value {
+	r := g.fn.NewReg()
+	g.emit(ir.Instr{Op: ir.OpLoad, Dst: r, A: g.materialize(addr, pos), Size: accessSize(t), Pos: pos})
+	return ir.R(r)
+}
+
+// globalSym returns the IL name of a global variable declaration.
+func (g *gen) globalSym(d *ast.VarDecl) string {
+	if name, ok := g.globals[d]; ok {
+		return name
+	}
+	return d.Name
+}
+
+// rvalue evaluates e and returns its value.
+func (g *gen) rvalue(e ast.Expr) ir.Value {
+	switch ee := e.(type) {
+	case *ast.IntLit:
+		return ir.C(ee.Value)
+	case *ast.StrLit:
+		name := g.internString(ee.Value)
+		r := g.fn.NewReg()
+		g.emit(ir.Instr{Op: ir.OpAddrG, Dst: r, Sym: name, Pos: ee.Pos()})
+		return ir.R(r)
+	case *ast.Ident:
+		switch d := ee.Ref.(type) {
+		case *ast.VarDecl:
+			addr := g.lvalueAddr(ee)
+			if isAggregate(d.Type) {
+				return addr // arrays and structs decay to their address
+			}
+			return g.loadFrom(addr, d.Type, ee.Pos())
+		case *ast.FuncDecl:
+			r := g.fn.NewReg()
+			g.emit(ir.Instr{Op: ir.OpAddrF, Dst: r, Sym: g.funcSym(d), Pos: ee.Pos()})
+			return ir.R(r)
+		}
+		g.failf(ee.Pos(), "unresolved identifier %s", ee.Name)
+	case *ast.UnaryExpr:
+		return g.genUnary(ee)
+	case *ast.PostfixExpr:
+		return g.genIncDec(ee.X, ee.Op, true, ee.Pos())
+	case *ast.BinaryExpr:
+		return g.genBinary(ee)
+	case *ast.AssignExpr:
+		return g.genAssign(ee)
+	case *ast.CondExpr:
+		return g.genCond(ee)
+	case *ast.CallExpr:
+		return g.genCall(ee)
+	case *ast.IndexExpr:
+		addr := g.lvalueAddr(ee)
+		if isAggregate(ee.TypeOf()) {
+			return addr
+		}
+		return g.loadFrom(addr, ee.TypeOf(), ee.Pos())
+	case *ast.MemberExpr:
+		addr := g.lvalueAddr(ee)
+		if isAggregate(ee.TypeOf()) {
+			return addr
+		}
+		return g.loadFrom(addr, ee.TypeOf(), ee.Pos())
+	case *ast.SizeofExpr:
+		if ee.ArgType != nil {
+			return ir.C(int64(ee.ArgType.Size()))
+		}
+		return ir.C(int64(sizeOf(ee.Arg.TypeOf())))
+	case *ast.CastExpr:
+		v := g.rvalue(ee.X)
+		if ee.To.Kind() == types.Char {
+			// Truncate to byte, keeping MiniC's unsigned-char model.
+			m := g.fn.NewReg()
+			g.emit(ir.Instr{Op: ir.OpConst, Dst: m, A: ir.C(0xff), Pos: ee.Pos()})
+			r := g.fn.NewReg()
+			g.emit(ir.Instr{Op: ir.OpAnd, Dst: r, A: g.materialize(v, ee.Pos()), B: ir.R(m), Pos: ee.Pos()})
+			return ir.R(r)
+		}
+		return v
+	case *ast.CommaExpr:
+		g.rvalue(ee.X)
+		return g.rvalue(ee.Y)
+	}
+	g.failf(e.Pos(), "unhandled expression %T", e)
+	return ir.None
+}
+
+func (g *gen) genUnary(ee *ast.UnaryExpr) ir.Value {
+	switch ee.Op {
+	case token.Minus:
+		v := g.rvalue(ee.X)
+		if v.Kind == ir.VKConst {
+			return ir.C(-v.Imm)
+		}
+		r := g.fn.NewReg()
+		g.emit(ir.Instr{Op: ir.OpNeg, Dst: r, A: v, Pos: ee.Pos()})
+		return ir.R(r)
+	case token.Tilde:
+		v := g.rvalue(ee.X)
+		if v.Kind == ir.VKConst {
+			return ir.C(^v.Imm)
+		}
+		r := g.fn.NewReg()
+		g.emit(ir.Instr{Op: ir.OpNot, Dst: r, A: v, Pos: ee.Pos()})
+		return ir.R(r)
+	case token.Bang:
+		v := g.rvalue(ee.X)
+		if v.Kind == ir.VKConst {
+			if v.Imm == 0 {
+				return ir.C(1)
+			}
+			return ir.C(0)
+		}
+		z := g.fn.NewReg()
+		g.emit(ir.Instr{Op: ir.OpConst, Dst: z, A: ir.C(0), Pos: ee.Pos()})
+		r := g.fn.NewReg()
+		g.emit(ir.Instr{Op: ir.OpEq, Dst: r, A: v, B: ir.R(z), Pos: ee.Pos()})
+		return ir.R(r)
+	case token.Star:
+		addr := g.rvalue(ee.X)
+		t := ee.TypeOf()
+		if t.Kind() == types.Pointer {
+			if _, isFn := t.(*types.Ptr).Elem.(*types.FuncType); isFn {
+				return addr // *fp is still the function pointer
+			}
+		}
+		if isAggregate(t) {
+			return g.materialize(addr, ee.Pos())
+		}
+		return g.loadFrom(addr, t, ee.Pos())
+	case token.Amp:
+		if id, ok := ee.X.(*ast.Ident); ok {
+			if fd, isFn := id.Ref.(*ast.FuncDecl); isFn {
+				r := g.fn.NewReg()
+				g.emit(ir.Instr{Op: ir.OpAddrF, Dst: r, Sym: g.funcSym(fd), Pos: ee.Pos()})
+				return ir.R(r)
+			}
+		}
+		return g.lvalueAddr(ee.X)
+	case token.PlusPlus, token.MinusMinus:
+		return g.genIncDec(ee.X, ee.Op, false, ee.Pos())
+	}
+	g.failf(ee.Pos(), "unhandled unary operator %s", ee.Op)
+	return ir.None
+}
+
+// genIncDec lowers ++/-- (postfix yields the old value).
+func (g *gen) genIncDec(x ast.Expr, op token.Kind, postfix bool, pos token.Pos) ir.Value {
+	addr := g.materialize(g.lvalueAddr(x), pos)
+	t := x.TypeOf()
+	old := g.loadFrom(addr, t, pos)
+	step := int64(1)
+	if pt, ok := types.Decay(t).(*types.Ptr); ok {
+		step = int64(sizeOf(pt.Elem))
+	}
+	c := g.fn.NewReg()
+	g.emit(ir.Instr{Op: ir.OpConst, Dst: c, A: ir.C(step), Pos: pos})
+	nw := g.fn.NewReg()
+	o := ir.OpAdd
+	if op == token.MinusMinus {
+		o = ir.OpSub
+	}
+	g.emit(ir.Instr{Op: o, Dst: nw, A: old, B: ir.R(c), Pos: pos})
+	g.emit(ir.Instr{Op: ir.OpStore, A: addr, B: ir.R(nw), Size: accessSize(t), Pos: pos})
+	if postfix {
+		return old
+	}
+	return ir.R(nw)
+}
+
+var binOps = map[token.Kind]ir.Op{
+	token.Plus:    ir.OpAdd,
+	token.Minus:   ir.OpSub,
+	token.Star:    ir.OpMul,
+	token.Slash:   ir.OpDiv,
+	token.Percent: ir.OpRem,
+	token.Amp:     ir.OpAnd,
+	token.Pipe:    ir.OpOr,
+	token.Caret:   ir.OpXor,
+	token.Shl:     ir.OpShl,
+	token.Shr:     ir.OpShr,
+	token.EqEq:    ir.OpEq,
+	token.NotEq:   ir.OpNe,
+	token.Lt:      ir.OpLt,
+	token.Le:      ir.OpLe,
+	token.Gt:      ir.OpGt,
+	token.Ge:      ir.OpGe,
+}
+
+func (g *gen) genBinary(ee *ast.BinaryExpr) ir.Value {
+	switch ee.Op {
+	case token.AndAnd, token.OrOr:
+		// Produce 0/1 via short-circuit control flow.
+		res := g.fn.NewReg()
+		falseL := g.fn.NewLabel()
+		endL := g.fn.NewLabel()
+		if ee.Op == token.AndAnd {
+			g.genCondBranch(ee.X, false, falseL)
+			g.genCondBranch(ee.Y, false, falseL)
+			g.emit(ir.Instr{Op: ir.OpConst, Dst: res, A: ir.C(1), Pos: ee.Pos()})
+			g.emit(ir.Instr{Op: ir.OpJump, Label: endL, Pos: ee.Pos()})
+			g.label(falseL, ee.Pos())
+			g.emit(ir.Instr{Op: ir.OpConst, Dst: res, A: ir.C(0), Pos: ee.Pos()})
+		} else {
+			trueL := falseL
+			g.genCondBranch(ee.X, true, trueL)
+			g.genCondBranch(ee.Y, true, trueL)
+			g.emit(ir.Instr{Op: ir.OpConst, Dst: res, A: ir.C(0), Pos: ee.Pos()})
+			g.emit(ir.Instr{Op: ir.OpJump, Label: endL, Pos: ee.Pos()})
+			g.label(trueL, ee.Pos())
+			g.emit(ir.Instr{Op: ir.OpConst, Dst: res, A: ir.C(1), Pos: ee.Pos()})
+		}
+		g.label(endL, ee.Pos())
+		return ir.R(res)
+	}
+
+	tx := types.Decay(ee.X.TypeOf())
+	ty := types.Decay(ee.Y.TypeOf())
+	x := g.rvalue(ee.X)
+	y := g.rvalue(ee.Y)
+
+	// Pointer arithmetic.
+	if ee.Op == token.Plus || ee.Op == token.Minus {
+		px, isPx := tx.(*types.Ptr)
+		py, isPy := ty.(*types.Ptr)
+		switch {
+		case isPx && !isPy:
+			if ee.Op == token.Minus {
+				return g.pointerOffset(x, y, int64(sizeOf(px.Elem)), true, ee.Pos())
+			}
+			return g.scaledAdd(x, y, int64(sizeOf(px.Elem)), ee.Pos())
+		case !isPx && isPy && ee.Op == token.Plus:
+			return g.scaledAdd(y, x, int64(sizeOf(py.Elem)), ee.Pos())
+		case isPx && isPy && ee.Op == token.Minus:
+			d := g.fn.NewReg()
+			g.emit(ir.Instr{Op: ir.OpSub, Dst: d, A: g.materialize(x, ee.Pos()), B: g.materialize(y, ee.Pos()), Pos: ee.Pos()})
+			es := int64(sizeOf(px.Elem))
+			if es == 1 {
+				return ir.R(d)
+			}
+			c := g.fn.NewReg()
+			g.emit(ir.Instr{Op: ir.OpConst, Dst: c, A: ir.C(es), Pos: ee.Pos()})
+			q := g.fn.NewReg()
+			g.emit(ir.Instr{Op: ir.OpDiv, Dst: q, A: ir.R(d), B: ir.R(c), Pos: ee.Pos()})
+			return ir.R(q)
+		}
+	}
+
+	op := binOps[ee.Op]
+	// Constant fold trivially when both sides are constants.
+	if x.Kind == ir.VKConst && y.Kind == ir.VKConst {
+		if v, ok := foldBinary(op, x.Imm, y.Imm); ok {
+			return ir.C(v)
+		}
+	}
+	r := g.fn.NewReg()
+	g.emit(ir.Instr{Op: op, Dst: r, A: g.materialize(x, ee.Pos()), B: g.materialize(y, ee.Pos()), Pos: ee.Pos()})
+	return ir.R(r)
+}
+
+// pointerOffset computes ptr - idx*scale (sub true) or ptr + idx*scale.
+func (g *gen) pointerOffset(base, idx ir.Value, scale int64, sub bool, pos token.Pos) ir.Value {
+	scaled := idx
+	if scale != 1 {
+		c := g.fn.NewReg()
+		g.emit(ir.Instr{Op: ir.OpConst, Dst: c, A: ir.C(scale), Pos: pos})
+		m := g.fn.NewReg()
+		g.emit(ir.Instr{Op: ir.OpMul, Dst: m, A: g.materialize(idx, pos), B: ir.R(c), Pos: pos})
+		scaled = ir.R(m)
+	}
+	r := g.fn.NewReg()
+	op := ir.OpAdd
+	if sub {
+		op = ir.OpSub
+	}
+	g.emit(ir.Instr{Op: op, Dst: r, A: g.materialize(base, pos), B: g.materialize(scaled, pos), Pos: pos})
+	return ir.R(r)
+}
+
+// foldBinary evaluates op on constants; division by zero is left to run
+// time so the interpreter reports it with position information.
+func foldBinary(op ir.Op, a, b int64) (int64, bool) {
+	switch op {
+	case ir.OpAdd:
+		return a + b, true
+	case ir.OpSub:
+		return a - b, true
+	case ir.OpMul:
+		return a * b, true
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case ir.OpRem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case ir.OpAnd:
+		return a & b, true
+	case ir.OpOr:
+		return a | b, true
+	case ir.OpXor:
+		return a ^ b, true
+	case ir.OpShl:
+		return a << uint64(b&63), true
+	case ir.OpShr:
+		return int64(uint64(a) >> uint64(b&63)), true
+	case ir.OpEq:
+		return b2i(a == b), true
+	case ir.OpNe:
+		return b2i(a != b), true
+	case ir.OpLt:
+		return b2i(a < b), true
+	case ir.OpLe:
+		return b2i(a <= b), true
+	case ir.OpGt:
+		return b2i(a > b), true
+	case ir.OpGe:
+		return b2i(a >= b), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (g *gen) genAssign(ee *ast.AssignExpr) ir.Value {
+	t := ee.X.TypeOf()
+	addr := g.materialize(g.lvalueAddr(ee.X), ee.Pos())
+
+	if ee.Op == token.Assign {
+		v := g.rvalue(ee.Y)
+		if st, ok := t.(*types.StructType); ok {
+			g.emitMemCopy(addr, g.materialize(v, ee.Pos()), st.Size(), ee.Pos())
+			return v
+		}
+		g.emit(ir.Instr{Op: ir.OpStore, A: addr, B: v, Size: accessSize(t), Pos: ee.Pos()})
+		return v
+	}
+
+	// Compound assignment: load, combine, store.
+	old := g.loadFrom(addr, t, ee.Pos())
+	y := g.rvalue(ee.Y)
+	base := ee.Op.BaseOp()
+	var nw ir.Value
+	if pt, ok := types.Decay(t).(*types.Ptr); ok && (base == token.Plus || base == token.Minus) {
+		nw = g.pointerOffset(old, y, int64(sizeOf(pt.Elem)), base == token.Minus, ee.Pos())
+	} else {
+		r := g.fn.NewReg()
+		g.emit(ir.Instr{Op: binOps[base], Dst: r, A: old, B: g.materialize(y, ee.Pos()), Pos: ee.Pos()})
+		nw = ir.R(r)
+	}
+	g.emit(ir.Instr{Op: ir.OpStore, A: addr, B: nw, Size: accessSize(t), Pos: ee.Pos()})
+	return nw
+}
+
+func (g *gen) genCond(ee *ast.CondExpr) ir.Value {
+	res := g.fn.NewReg()
+	elseL := g.fn.NewLabel()
+	endL := g.fn.NewLabel()
+	g.genCondBranch(ee.Cond, false, elseL)
+	v1 := g.rvalue(ee.Then)
+	g.emit(ir.Instr{Op: ir.OpMov, Dst: res, A: g.movOperand(v1, ee.Pos()), Pos: ee.Pos()})
+	g.emit(ir.Instr{Op: ir.OpJump, Label: endL, Pos: ee.Pos()})
+	g.label(elseL, ee.Pos())
+	v2 := g.rvalue(ee.Else)
+	g.emit(ir.Instr{Op: ir.OpMov, Dst: res, A: g.movOperand(v2, ee.Pos()), Pos: ee.Pos()})
+	g.label(endL, ee.Pos())
+	return ir.R(res)
+}
+
+// movOperand allows OpMov to take a constant directly.
+func (g *gen) movOperand(v ir.Value, pos token.Pos) ir.Value {
+	if v.Kind == ir.VKNone {
+		return ir.C(0) // void value used in a value context (tolerated)
+	}
+	return v
+}
+
+func (g *gen) genCall(ee *ast.CallExpr) ir.Value {
+	args := make([]ir.Value, len(ee.Args))
+	for i, a := range ee.Args {
+		args[i] = g.materialize(g.rvalue(a), a.Pos())
+	}
+	var dst ir.Reg = ir.NoReg
+	hasResult := ee.TypeOf() != nil && !types.IsVoid(ee.TypeOf())
+	if hasResult {
+		dst = g.fn.NewReg()
+	}
+	if ee.Direct != nil {
+		g.emit(ir.Instr{Op: ir.OpCall, Dst: dst, Sym: g.funcSym(ee.Direct), Args: args, Pos: ee.Pos()})
+	} else {
+		fp := g.materialize(g.rvalue(ee.Fun), ee.Pos())
+		g.emit(ir.Instr{Op: ir.OpCallPtr, Dst: dst, A: fp, Args: args, Pos: ee.Pos()})
+	}
+	if !hasResult {
+		return ir.None
+	}
+	return ir.R(dst)
+}

@@ -1,0 +1,307 @@
+package irgen
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"inlinec/internal/ir"
+	"inlinec/internal/parser"
+	"inlinec/internal/sema"
+)
+
+func lower(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	mod, err := Generate(prog)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	return mod
+}
+
+func ops(f *ir.Func, op ir.Op) []*ir.Instr {
+	var out []*ir.Instr
+	for i := range f.Code {
+		if f.Code[i].Op == op {
+			out = append(out, &f.Code[i])
+		}
+	}
+	return out
+}
+
+func TestLowerModuleShape(t *testing.T) {
+	mod := lower(t, `
+extern int printf(char *fmt, ...);
+int g;
+int f(int x) { return x; }
+int main() { g = f(2); printf("%d", g); return 0; }
+`)
+	if mod.Func("f") == nil || mod.Func("main") == nil {
+		t.Fatal("functions missing")
+	}
+	if mod.Global("g") == nil {
+		t.Fatal("global missing")
+	}
+	if !mod.IsExtern("printf") {
+		t.Fatal("extern missing")
+	}
+	if err := mod.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestLowerParamsBecomeSlots(t *testing.T) {
+	mod := lower(t, "int f(int a, char c, int *p) { return a; }")
+	f := mod.Func("f")
+	if f.NumParams != 3 {
+		t.Fatalf("NumParams = %d", f.NumParams)
+	}
+	if !f.Slots[0].IsParam || !f.Slots[2].IsParam {
+		t.Error("parameter slots not marked")
+	}
+	if f.Slots[0].Name != "a" || f.Slots[1].Name != "c" || f.Slots[2].Name != "p" {
+		t.Errorf("slot names = %v", f.Slots)
+	}
+	if f.Slots[1].Size != 1 {
+		t.Errorf("char param slot size = %d, want 1", f.Slots[1].Size)
+	}
+}
+
+func TestLowerFrameSizeEstimatesStack(t *testing.T) {
+	mod := lower(t, `
+int small(int x) { return x; }
+int big(int x) { int buf[512]; buf[0] = x; return buf[0]; }
+`)
+	small := mod.Func("small").FrameSize
+	big := mod.Func("big").FrameSize
+	if big < 4096 {
+		t.Errorf("big frame = %d, want >= 4096 (512 ints)", big)
+	}
+	if small >= big {
+		t.Errorf("small frame %d should be below big %d", small, big)
+	}
+}
+
+func TestLowerCharAccessSizes(t *testing.T) {
+	mod := lower(t, `
+char g;
+int f(char *p) { g = *p; return g; }
+`)
+	f := mod.Func("f")
+	var saw1Load, saw1Store bool
+	for _, in := range ops(f, ir.OpLoad) {
+		if in.Size == 1 {
+			saw1Load = true
+		}
+	}
+	for _, in := range ops(f, ir.OpStore) {
+		if in.Size == 1 {
+			saw1Store = true
+		}
+	}
+	if !saw1Load || !saw1Store {
+		t.Errorf("char accesses not 1 byte: load=%v store=%v", saw1Load, saw1Store)
+	}
+}
+
+func TestLowerPointerArithScaling(t *testing.T) {
+	// p + i over int* must scale i by 8; the scale appears as a constant.
+	mod := lower(t, "int f(int *p, int i) { return *(p + i); }")
+	f := mod.Func("f")
+	var sawScale bool
+	for _, in := range ops(f, ir.OpConst) {
+		if in.A.Imm == 8 {
+			sawScale = true
+		}
+	}
+	if !sawScale {
+		t.Error("no 8-byte scaling constant for int pointer arithmetic")
+	}
+	// char* needs no scaling multiply.
+	mod2 := lower(t, "int g(char *p, int i) { return *(p + i); }")
+	g := mod2.Func("g")
+	if n := len(ops(g, ir.OpMul)); n != 0 {
+		t.Errorf("char pointer arithmetic has %d multiplies, want 0", n)
+	}
+}
+
+func TestLowerDirectVsPointerCalls(t *testing.T) {
+	mod := lower(t, `
+int h(int x) { return x; }
+int call_direct(int v) { return h(v); }
+int call_ptr(int (*f)(int), int v) { return f(v); }
+`)
+	if n := len(ops(mod.Func("call_direct"), ir.OpCall)); n != 1 {
+		t.Errorf("direct calls = %d", n)
+	}
+	if n := len(ops(mod.Func("call_direct"), ir.OpCallPtr)); n != 0 {
+		t.Errorf("direct function lowered to pointer call")
+	}
+	if n := len(ops(mod.Func("call_ptr"), ir.OpCallPtr)); n != 1 {
+		t.Errorf("pointer calls = %d", n)
+	}
+}
+
+func TestLowerCallIDsUniqueAndDense(t *testing.T) {
+	mod := lower(t, `
+int h(int x) { return x; }
+int f() { return h(1) + h(2) + h(3); }
+int main() { return f(); }
+`)
+	seen := make(map[int]bool)
+	count := 0
+	for _, fn := range mod.Funcs {
+		for i := range fn.Code {
+			in := &fn.Code[i]
+			if in.Op == ir.OpCall || in.Op == ir.OpCallPtr {
+				count++
+				if in.CallID == 0 || seen[in.CallID] {
+					t.Errorf("call id %d invalid or duplicated", in.CallID)
+				}
+				seen[in.CallID] = true
+			}
+		}
+	}
+	if count != 4 {
+		t.Errorf("call sites = %d, want 4", count)
+	}
+}
+
+func TestLowerGlobalInitializers(t *testing.T) {
+	mod := lower(t, `
+int a = 42;
+int neg = -7;
+char c = 'x';
+char msg[8] = "hi";
+int tab[3] = {1, 2, 3};
+char *s = "shared";
+int fn(int v) { return v; }
+int (*fp)(int) = fn;
+`)
+	g := mod.Global("a")
+	if binary.LittleEndian.Uint64(g.Init) != 42 {
+		t.Errorf("a init = %v", g.Init)
+	}
+	if int64(binary.LittleEndian.Uint64(mod.Global("neg").Init)) != -7 {
+		t.Errorf("neg init wrong")
+	}
+	if mod.Global("c").Init[0] != 'x' {
+		t.Errorf("char init wrong")
+	}
+	msg := mod.Global("msg")
+	if string(msg.Init[:2]) != "hi" || msg.Init[2] != 0 {
+		t.Errorf("msg init = %v", msg.Init)
+	}
+	tab := mod.Global("tab")
+	if binary.LittleEndian.Uint64(tab.Init[8:]) != 2 {
+		t.Errorf("tab[1] init wrong: %v", tab.Init)
+	}
+	// Pointer and function-pointer initializers become relocations.
+	if len(mod.Global("s").Relocs) != 1 || mod.Global("s").Relocs[0].IsFunc {
+		t.Errorf("s relocs = %+v", mod.Global("s").Relocs)
+	}
+	fp := mod.Global("fp")
+	if len(fp.Relocs) != 1 || !fp.Relocs[0].IsFunc || fp.Relocs[0].Sym != "fn" {
+		t.Errorf("fp relocs = %+v", fp.Relocs)
+	}
+}
+
+func TestLowerStringInterning(t *testing.T) {
+	mod := lower(t, `
+char *a = "same";
+char *b = "same";
+char *c = "different";
+`)
+	strGlobals := 0
+	for _, g := range mod.Globals {
+		if len(g.Name) > 4 && g.Name[:4] == ".str" {
+			strGlobals++
+		}
+	}
+	if strGlobals != 2 {
+		t.Errorf("interned strings = %d, want 2 (duplicates shared)", strGlobals)
+	}
+}
+
+func TestLowerAddressTaken(t *testing.T) {
+	mod := lower(t, `
+int cb(int x) { return x; }
+int direct(int x) { return x; }
+int use(int (*f)(int)) { return f(0); }
+int main() { return use(cb) + direct(1); }
+`)
+	if !mod.AddressTaken["cb"] {
+		t.Error("cb must be address-taken")
+	}
+	if mod.AddressTaken["direct"] {
+		t.Error("direct must not be address-taken")
+	}
+}
+
+func TestLowerShortCircuitNoCalls(t *testing.T) {
+	// "b != 0 && a/b > 2" must evaluate a/b only when b != 0, i.e. the
+	// division instruction sits behind a branch.
+	mod := lower(t, `
+int f(int a, int b) {
+    if (b != 0 && a / b > 2) return 1;
+    return 0;
+}
+`)
+	f := mod.Func("f")
+	divIdx, brIdx := -1, -1
+	for i := range f.Code {
+		if f.Code[i].Op == ir.OpDiv && divIdx < 0 {
+			divIdx = i
+		}
+		if f.Code[i].Op == ir.OpBr && brIdx < 0 {
+			brIdx = i
+		}
+	}
+	if divIdx < 0 || brIdx < 0 || brIdx > divIdx {
+		t.Errorf("short-circuit shape wrong: first br at %d, div at %d", brIdx, divIdx)
+	}
+}
+
+func TestLowerSrcLines(t *testing.T) {
+	mod := lower(t, `int f(int x) {
+    int y;
+    y = x + 1;
+    return y;
+}
+`)
+	if got := mod.Func("f").SrcLines; got < 4 || got > 6 {
+		t.Errorf("SrcLines = %d, want about 5", got)
+	}
+}
+
+func TestLowerVerifiesOwnOutput(t *testing.T) {
+	// Generate runs the verifier itself; a representative feature soup
+	// must come out verified.
+	mod := lower(t, `
+extern int printf(char *fmt, ...);
+struct P { int x; char t; struct P *n; };
+typedef struct P P;
+enum { LIM = 4 };
+int rec(P *p, int d) {
+    if (!p || d > LIM) return 0;
+    return p->x + rec(p->n, d + 1);
+}
+int main() {
+    P a, b;
+    a.x = 1; a.t = 'a'; a.n = &b;
+    b.x = 2; b.t = 'b'; b.n = 0;
+    printf("%d\n", rec(&a, 0));
+    return 0;
+}
+`)
+	if err := mod.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}

@@ -1,0 +1,206 @@
+package lexer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"inlinec/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, errs := ScanAll("t.c", src)
+	if len(errs) > 0 {
+		t.Fatalf("unexpected lexical errors: %v", errs[0])
+	}
+	out := make([]token.Kind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := map[string]token.Kind{
+		"+": token.Plus, "-": token.Minus, "*": token.Star, "/": token.Slash,
+		"%": token.Percent, "&": token.Amp, "|": token.Pipe, "^": token.Caret,
+		"~": token.Tilde, "!": token.Bang, "<<": token.Shl, ">>": token.Shr,
+		"<": token.Lt, ">": token.Gt, "<=": token.Le, ">=": token.Ge,
+		"==": token.EqEq, "!=": token.NotEq, "&&": token.AndAnd, "||": token.OrOr,
+		"++": token.PlusPlus, "--": token.MinusMinus, "->": token.Arrow,
+		".": token.Dot, "...": token.Ellipsis,
+		"+=": token.PlusEq, "-=": token.MinusEq, "*=": token.StarEq,
+		"/=": token.SlashEq, "%=": token.PercentEq, "&=": token.AmpEq,
+		"|=": token.PipeEq, "^=": token.CaretEq, "<<=": token.ShlEq,
+		">>=": token.ShrEq, "=": token.Assign,
+		"(": token.LParen, ")": token.RParen, "{": token.LBrace,
+		"}": token.RBrace, "[": token.LBracket, "]": token.RBracket,
+		",": token.Comma, ";": token.Semi, ":": token.Colon, "?": token.Question,
+	}
+	for src, want := range cases {
+		ks := kinds(t, src)
+		if len(ks) != 2 || ks[0] != want || ks[1] != token.EOF {
+			t.Errorf("lex(%q) = %v, want [%v EOF]", src, ks, want)
+		}
+	}
+}
+
+func TestLexMaximalMunch(t *testing.T) {
+	// ">>=" must lex as one token, "a+++b" as a ++ + b (C's munch rule).
+	ks := kinds(t, "x >>= 1; a+++b;")
+	want := []token.Kind{
+		token.Ident, token.ShrEq, token.Int, token.Semi,
+		token.Ident, token.PlusPlus, token.Plus, token.Ident, token.Semi,
+		token.EOF,
+	}
+	if len(ks) != len(want) {
+		t.Fatalf("got %v, want %v", ks, want)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v (all: %v)", i, ks[i], want[i], ks)
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, _ := ScanAll("t.c", "int intx returnval while whiles")
+	want := []token.Kind{token.KwInt, token.Ident, token.Ident, token.KwWhile, token.Ident, token.EOF}
+	for i, w := range want {
+		if toks[i].Kind != w {
+			t.Errorf("token %d (%q): got %v, want %v", i, toks[i].Text, toks[i].Kind, w)
+		}
+	}
+}
+
+func TestLexIntegerLiterals(t *testing.T) {
+	cases := map[string]int64{
+		"0": 0, "42": 42, "0x2a": 42, "0X2A": 42, "010": 8, "0xff": 255,
+		"'a'": 97, "'\\n'": 10, "'\\0'": 0, "'\\\\'": 92, "'\\x41'": 65,
+		"100L": 100, "7u": 7,
+	}
+	for src, want := range cases {
+		toks, errs := ScanAll("t.c", src)
+		if len(errs) > 0 {
+			t.Errorf("lex(%q): %v", src, errs[0])
+			continue
+		}
+		if toks[0].Kind != token.Int || toks[0].Val != want {
+			t.Errorf("lex(%q) = %v val %d, want Int %d", src, toks[0].Kind, toks[0].Val, want)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	// Note \x consumes every following hex digit, as in C, so the third
+	// literal stops the escape with a non-hex character.
+	toks, errs := ScanAll("t.c", `"a\tb\n" "q\"q" "\x41G"`)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs[0])
+	}
+	want := []string{"a\tb\n", `q"q`, "AG"}
+	for i, w := range want {
+		if toks[i].Kind != token.String || toks[i].Str != w {
+			t.Errorf("string %d = %q, want %q", i, toks[i].Str, w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	ks := kinds(t, "a /* block \n comment */ b // line\nc\n# pragma line\nd")
+	want := []token.Kind{token.Ident, token.Ident, token.Ident, token.Ident, token.EOF}
+	if len(ks) != len(want) {
+		t.Fatalf("got %v, want 4 idents", ks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, _ := ScanAll("f.c", "a\n  bb\n\tc")
+	type pos struct{ line, col int }
+	want := []pos{{1, 1}, {2, 3}, {3, 2}}
+	for i, w := range want {
+		if toks[i].Pos.Line != w.line || toks[i].Pos.Col != w.col {
+			t.Errorf("token %d at %d:%d, want %d:%d",
+				i, toks[i].Pos.Line, toks[i].Pos.Col, w.line, w.col)
+		}
+	}
+	if toks[0].Pos.File != "f.c" {
+		t.Errorf("file = %q", toks[0].Pos.File)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		"`",               // illegal character
+		`"unterminated`,   // unterminated string
+		"'",               // unterminated char
+		"/* never closed", // unterminated comment
+		"089",             // bad octal digit
+	}
+	for _, src := range cases {
+		_, errs := ScanAll("t.c", src)
+		if len(errs) == 0 {
+			t.Errorf("lex(%q): expected an error", src)
+		}
+	}
+}
+
+// TestLexQuickIdentifiers: any generated identifier-shaped string lexes to
+// exactly one Ident (or keyword) token plus EOF, with the original text.
+func TestLexQuickIdentifiers(t *testing.T) {
+	f := func(raw uint64, length uint8) bool {
+		const chars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_0123456789"
+		n := int(length%20) + 1
+		buf := make([]byte, n)
+		x := raw
+		for i := range buf {
+			idx := int(x % 53) // letters and '_' only for the first char rule
+			buf[i] = chars[idx]
+			x = x*6364136223846793005 + 1442695040888963407
+		}
+		toks, errs := ScanAll("q.c", string(buf))
+		if len(errs) > 0 || len(toks) != 2 {
+			return false
+		}
+		k := toks[0].Kind
+		if k == token.Ident {
+			return toks[0].Text == string(buf)
+		}
+		_, isKw := token.Keywords[string(buf)]
+		return isKw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexQuickIntRoundTrip: any non-negative int64 formatted as decimal
+// lexes back to the same value.
+func TestLexQuickIntRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		if v < 0 {
+			v = -v
+		}
+		if v < 0 { // MinInt64
+			v = 0
+		}
+		src := formatInt(v)
+		toks, errs := ScanAll("q.c", src)
+		return len(errs) == 0 && toks[0].Kind == token.Int && toks[0].Val == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func formatInt(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf []byte
+	for v > 0 {
+		buf = append([]byte{byte('0' + v%10)}, buf...)
+		v /= 10
+	}
+	return string(buf)
+}

@@ -1,0 +1,168 @@
+// Package link merges separately compiled IL modules into one program,
+// the prerequisite for the paper's link-time inline expansion (section
+// 2.1: "because all functions are available at the link time, inline
+// expansion can naturally be performed without sacrificing separate
+// compilation"). The linker resolves cross-unit function and variable
+// references, keeps unit-private (static) symbols distinct — the front
+// end qualifies them with a unit tag — renumbers interned string
+// literals, and reassigns globally unique call-site identifiers.
+package link
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"inlinec/internal/ir"
+)
+
+// Error is a link failure (duplicate or undefined symbols).
+type Error struct{ Msg string }
+
+func (e *Error) Error() string { return "link: " + e.Msg }
+
+func errorf(format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Link merges the units into a single runnable module named name.
+// The inputs are not modified.
+func Link(name string, units ...*ir.Module) (*ir.Module, error) {
+	if len(units) == 0 {
+		return nil, errorf("no input units")
+	}
+	out := ir.NewModule(name)
+
+	// Pass 1: collect definitions and check for duplicates.
+	funcDef := make(map[string]string)   // function -> defining unit
+	globalDef := make(map[string]string) // global -> defining unit
+	for _, u := range units {
+		for _, f := range u.Funcs {
+			if prev, dup := funcDef[f.Name]; dup {
+				return nil, errorf("duplicate function %q (defined in %s and %s)", f.Name, prev, u.Name)
+			}
+			funcDef[f.Name] = u.Name
+		}
+		for _, g := range u.Globals {
+			if isStringLit(g.Name) {
+				continue // interned literals are renumbered, never conflict
+			}
+			if prev, dup := globalDef[g.Name]; dup {
+				return nil, errorf("duplicate variable %q (defined in %s and %s)", g.Name, prev, u.Name)
+			}
+			globalDef[g.Name] = u.Name
+		}
+	}
+
+	// Pass 2: copy units into the output, renaming string literals to a
+	// fresh global numbering and deduplicating identical contents.
+	strByContent := make(map[string]string)
+	nextStr := 0
+	for _, u := range units {
+		cl := u.Clone() // unit copies are mutated freely below
+		renames := make(map[string]string)
+		for _, g := range cl.Globals {
+			if !isStringLit(g.Name) {
+				continue
+			}
+			content := string(g.Init)
+			if existing, ok := strByContent[content]; ok {
+				renames[g.Name] = existing
+				continue
+			}
+			fresh := fmt.Sprintf(".str%d", nextStr)
+			nextStr++
+			strByContent[content] = fresh
+			renames[g.Name] = fresh
+		}
+		// Rewrite this unit's references to its renamed literals first —
+		// old and new names share the ".strN" namespace, so rewriting must
+		// not touch globals that already carry their final names.
+		for _, f := range cl.Funcs {
+			for i := range f.Code {
+				in := &f.Code[i]
+				if in.Op == ir.OpAddrG {
+					if nn, ok := renames[in.Sym]; ok {
+						in.Sym = nn
+					}
+				}
+			}
+		}
+		for _, g := range cl.Globals {
+			for ri := range g.Relocs {
+				if nn, ok := renames[g.Relocs[ri].Sym]; ok && !g.Relocs[ri].IsFunc {
+					g.Relocs[ri].Sym = nn
+				}
+			}
+		}
+		for _, g := range cl.Globals {
+			if isStringLit(g.Name) {
+				target := renames[g.Name]
+				if out.Global(target) != nil {
+					continue // deduplicated against an earlier unit
+				}
+				ng := *g
+				ng.Name = target
+				out.AddGlobal(&ng)
+				continue
+			}
+			out.AddGlobal(g)
+		}
+		for _, f := range cl.Funcs {
+			out.AddFunc(f)
+		}
+		for name := range cl.AddressTaken {
+			out.AddressTaken[name] = true
+		}
+		for name := range cl.ExternGlobals {
+			out.ExternGlobals[name] = true
+		}
+	}
+
+	// Pass 3: resolve externs. A function declared extern in one unit and
+	// defined in another resolves silently: OpCall instructions refer by
+	// name, so nothing to rewrite — only the extern table shrinks to the
+	// names no unit defines (the true library externs).
+	for _, u := range units {
+		for _, e := range u.Externs {
+			if out.Func(e.Name) == nil {
+				out.AddExtern(e)
+			}
+		}
+	}
+	// Extern variables must be defined by exactly one unit.
+	var undefined []string
+	for name := range out.ExternGlobals {
+		if out.Global(name) == nil {
+			undefined = append(undefined, name)
+		}
+	}
+	if len(undefined) > 0 {
+		sort.Strings(undefined)
+		return nil, errorf("undefined variable(s): %s", strings.Join(undefined, ", "))
+	}
+
+	if out.Func("main") == nil {
+		return nil, errorf("no unit defines main")
+	}
+
+	// Fresh, globally unique call-site ids.
+	for _, f := range out.Funcs {
+		for i := range f.Code {
+			if f.Code[i].Op == ir.OpCall || f.Code[i].Op == ir.OpCallPtr {
+				f.Code[i].CallID = 0
+			}
+		}
+	}
+	out.AssignCallIDs()
+	if err := out.Verify(); err != nil {
+		return nil, errorf("linked module invalid: %v", err)
+	}
+	return out, nil
+}
+
+// isStringLit reports whether the global is an interned string literal
+// (front-end naming convention ".strN").
+func isStringLit(name string) bool {
+	return strings.HasPrefix(name, ".str")
+}

@@ -1,0 +1,210 @@
+package link
+
+import (
+	"strings"
+	"testing"
+
+	"inlinec/internal/interp"
+	"inlinec/internal/ir"
+	"inlinec/internal/irgen"
+	"inlinec/internal/parser"
+	"inlinec/internal/sema"
+)
+
+func unit(t *testing.T, name, src string) *ir.Module {
+	t.Helper()
+	f, err := parser.Parse(name, src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	prog, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("check %s: %v", name, err)
+	}
+	mod, err := irgen.Generate(prog)
+	if err != nil {
+		t.Fatalf("lower %s: %v", name, err)
+	}
+	return mod
+}
+
+func runLinked(t *testing.T, mod *ir.Module) string {
+	t.Helper()
+	m, err := interp.NewMachine(mod, interp.NewEnv(), interp.Options{})
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m.Env.Stdout.String()
+}
+
+func TestLinkTwoUnits(t *testing.T) {
+	mathUnit := unit(t, "math.c", `
+int counter;
+int square(int x) { counter++; return x * x; }
+int cube(int x) { return square(x) * x; }
+`)
+	mainUnit := unit(t, "main.c", `
+extern int printf(char *fmt, ...);
+extern int square(int x);
+extern int cube(int x);
+extern int counter;
+int main() {
+    printf("%d %d %d\n", square(4), cube(3), counter);
+    return 0;
+}
+`)
+	linked, err := Link("prog", mathUnit, mainUnit)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	// square and cube resolved from the library unit; printf stays extern.
+	if linked.Func("square") == nil || linked.Func("cube") == nil {
+		t.Fatal("cross-unit functions not merged")
+	}
+	if linked.IsExtern("square") {
+		t.Error("square still in the extern table after resolution")
+	}
+	if !linked.IsExtern("printf") {
+		t.Error("printf lost from the extern table")
+	}
+	if out := runLinked(t, linked); out != "16 27 2\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLinkStringLiteralDedup(t *testing.T) {
+	u1 := unit(t, "one.c", `
+extern int puts(char *s);
+void hello1() { puts("shared"); puts("only-one"); }
+`)
+	u2 := unit(t, "two.c", `
+extern int puts(char *s);
+extern void hello1();
+int main() { hello1(); puts("shared"); puts("only-two"); return 0; }
+`)
+	linked, err := Link("prog", u1, u2)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	lits := 0
+	for _, g := range linked.Globals {
+		if strings.HasPrefix(g.Name, ".str") {
+			lits++
+		}
+	}
+	if lits != 3 {
+		t.Errorf("string literals after dedup = %d, want 3 (shared, only-one, only-two)", lits)
+	}
+	if out := runLinked(t, linked); out != "shared\nonly-one\nshared\nonly-two\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLinkStaticSymbolsStayPrivate(t *testing.T) {
+	// Both units define a static helper with the same name; both must
+	// survive and each unit must call its own.
+	u1 := unit(t, "alpha.c", `
+static int tag() { return 100; }
+int alpha() { return tag() + 1; }
+`)
+	u2 := unit(t, "beta.c", `
+extern int printf(char *fmt, ...);
+extern int alpha();
+static int tag() { return 200; }
+int main() { printf("%d %d\n", alpha(), tag() + 2); return 0; }
+`)
+	linked, err := Link("prog", u1, u2)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	if linked.Func("alpha$tag") == nil || linked.Func("beta$tag") == nil {
+		names := []string{}
+		for _, f := range linked.Funcs {
+			names = append(names, f.Name)
+		}
+		t.Fatalf("qualified statics missing; have %v", names)
+	}
+	if out := runLinked(t, linked); out != "101 202\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLinkDuplicateFunction(t *testing.T) {
+	u1 := unit(t, "a.c", "int f(int x) { return x; }")
+	u2 := unit(t, "b.c", "int f(int x) { return x + 1; } int main() { return f(0); }")
+	_, err := Link("prog", u1, u2)
+	if err == nil || !strings.Contains(err.Error(), "duplicate function") {
+		t.Errorf("duplicate function not rejected: %v", err)
+	}
+}
+
+func TestLinkDuplicateGlobal(t *testing.T) {
+	u1 := unit(t, "a.c", "int shared = 1;")
+	u2 := unit(t, "b.c", "int shared = 2; int main() { return shared; }")
+	_, err := Link("prog", u1, u2)
+	if err == nil || !strings.Contains(err.Error(), "duplicate variable") {
+		t.Errorf("duplicate global not rejected: %v", err)
+	}
+}
+
+func TestLinkUndefinedExternVariable(t *testing.T) {
+	u := unit(t, "a.c", "extern int ghost; int main() { return ghost; }")
+	_, err := Link("prog", u)
+	if err == nil || !strings.Contains(err.Error(), "undefined variable") {
+		t.Errorf("undefined extern variable not rejected: %v", err)
+	}
+}
+
+func TestLinkMissingMain(t *testing.T) {
+	u := unit(t, "a.c", "int f() { return 1; }")
+	_, err := Link("prog", u)
+	if err == nil || !strings.Contains(err.Error(), "main") {
+		t.Errorf("missing main not rejected: %v", err)
+	}
+}
+
+func TestLinkCallIDsUnique(t *testing.T) {
+	u1 := unit(t, "a.c", `
+int h(int x) { return x; }
+int f() { return h(1) + h(2); }
+`)
+	u2 := unit(t, "b.c", `
+extern int f();
+int g() { return f() + f(); }
+int main() { return g(); }
+`)
+	linked, err := Link("prog", u1, u2)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	seen := make(map[int]bool)
+	for _, f := range linked.Funcs {
+		for i := range f.Code {
+			in := &f.Code[i]
+			if in.Op == ir.OpCall || in.Op == ir.OpCallPtr {
+				if in.CallID == 0 || seen[in.CallID] {
+					t.Fatalf("call id %d invalid or duplicated after link", in.CallID)
+				}
+				seen[in.CallID] = true
+			}
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("call sites = %d, want 5", len(seen))
+	}
+}
+
+func TestLinkInputsUntouched(t *testing.T) {
+	u1 := unit(t, "a.c", `extern int puts(char *s); void say() { puts("x"); }`)
+	before := u1.String()
+	u2 := unit(t, "b.c", `extern void say(); int main() { say(); return 0; }`)
+	if _, err := Link("prog", u1, u2); err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	if u1.String() != before {
+		t.Error("linking mutated an input unit")
+	}
+}

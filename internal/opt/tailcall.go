@@ -1,0 +1,107 @@
+package opt
+
+import "inlinec/internal/ir"
+
+// TailCallEliminate rewrites self tail calls into parameter stores plus a
+// jump back to the function entry. Section 2.2 of the paper notes "there
+// are standard ways of removing tail recursion and expanding simple
+// recursive functions" as the complement to its decision not to inline
+// simple recursion; this pass is that standard way. It returns the number
+// of rewritten call sites.
+//
+// A self tail call is the pattern
+//
+//	rN = call f(args...)   ; inside f
+//	ret rN
+//
+// with no instruction between them (labels permitted after lowering only
+// before the ret via jump optimization; this pass requires adjacency,
+// which the lowering produces for `return f(...)`).
+func TailCallEliminate(mod *ir.Module) int {
+	total := 0
+	for _, f := range mod.Funcs {
+		total += tailCallFunc(f)
+	}
+	if total > 0 {
+		mod.AssignCallIDs()
+	}
+	return total
+}
+
+func tailCallFunc(f *ir.Func) int {
+	// Find the rewrite opportunities first.
+	type site struct{ callIdx, retIdx int }
+	var sites []site
+	for i := 0; i+1 < len(f.Code); i++ {
+		call := &f.Code[i]
+		if call.Op != ir.OpCall || call.Sym != f.Name {
+			continue
+		}
+		ret := &f.Code[i+1]
+		if ret.Op != ir.OpRet {
+			continue
+		}
+		// The returned value must be exactly the call result (or the call
+		// result unused and the function void-returning).
+		if call.Dst != ir.NoReg {
+			if ret.A.Kind != ir.VKReg || ret.A.Reg != call.Dst {
+				continue
+			}
+		} else if ret.A.Kind != ir.VKNone {
+			continue
+		}
+		if len(call.Args) < f.NumParams {
+			continue
+		}
+		sites = append(sites, site{i, i + 1})
+	}
+	if len(sites) == 0 {
+		return 0
+	}
+
+	// Install an entry label as the loop target.
+	entry := f.NewLabel()
+	rewritten := make([]ir.Instr, 0, len(f.Code)+1+4*len(sites))
+	rewritten = append(rewritten, ir.Instr{Op: ir.OpLabel, Label: entry})
+	isSite := make(map[int]bool, len(sites))
+	for _, s := range sites {
+		isSite[s.callIdx] = true
+	}
+	for i := 0; i < len(f.Code); i++ {
+		if !isSite[i] {
+			rewritten = append(rewritten, f.Code[i])
+			continue
+		}
+		call := f.Code[i]
+		// The incoming arguments may read the current parameter slots, so
+		// buffer every argument in a fresh register before storing any of
+		// them back (the classic parallel-assignment guard).
+		tmps := make([]ir.Reg, f.NumParams)
+		for p := 0; p < f.NumParams; p++ {
+			tmps[p] = f.NewReg()
+			rewritten = append(rewritten, ir.Instr{
+				Op: ir.OpMov, Dst: tmps[p], A: call.Args[p], Pos: call.Pos,
+			})
+		}
+		for p := 0; p < f.NumParams; p++ {
+			slot := f.Slots[p]
+			addr := f.NewReg()
+			rewritten = append(rewritten,
+				ir.Instr{Op: ir.OpAddrL, Dst: addr, A: ir.C(int64(p)), Pos: call.Pos},
+				ir.Instr{Op: ir.OpStore, A: ir.R(addr), B: ir.R(tmps[p]),
+					Size: accessOfSlot(slot.Size), Pos: call.Pos},
+			)
+		}
+		rewritten = append(rewritten, ir.Instr{Op: ir.OpJump, Label: entry, Pos: call.Pos})
+		i++ // skip the ret that followed the call
+	}
+	f.Code = rewritten
+	return len(sites)
+}
+
+func accessOfSlot(size int) int {
+	if size == 1 {
+		return 1
+	}
+	return 8
+}

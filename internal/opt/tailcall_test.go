@@ -1,0 +1,151 @@
+package opt
+
+import (
+	"testing"
+
+	"inlinec/internal/interp"
+	"inlinec/internal/ir"
+)
+
+func runStats(t *testing.T, mod *ir.Module) (string, *interp.Machine, int64, int64) {
+	t.Helper()
+	m, err := interp.NewMachine(mod, interp.NewEnv(), interp.Options{})
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m.Env.Stdout.String(), m, st.Calls, st.MaxStack
+}
+
+func TestTailCallEliminateCountdown(t *testing.T) {
+	src := `
+extern int printf(char *fmt, ...);
+int countdown(int n, int acc) {
+    if (n <= 0) return acc;
+    return countdown(n - 1, acc + n);
+}
+int main() {
+    printf("%d\n", countdown(1000, 0));
+    return 0;
+}
+`
+	mod := compile(t, src)
+	wantOut, _, callsBefore, stackBefore := runStats(t, mod)
+
+	n := TailCallEliminate(mod)
+	if n != 1 {
+		t.Fatalf("rewrote %d sites, want 1", n)
+	}
+	if err := mod.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	gotOut, _, callsAfter, stackAfter := runStats(t, mod)
+	if gotOut != wantOut {
+		t.Fatalf("output changed: %q -> %q", wantOut, gotOut)
+	}
+	if callsAfter >= callsBefore {
+		t.Errorf("calls %d -> %d; recursion not flattened", callsBefore, callsAfter)
+	}
+	if stackAfter >= stackBefore {
+		t.Errorf("max stack %d -> %d; frames not reused", stackBefore, stackAfter)
+	}
+	// 1000 recursive calls collapse to the single outer call.
+	if callsAfter > callsBefore/100 {
+		t.Errorf("too many calls remain: %d", callsAfter)
+	}
+}
+
+func TestTailCallArgumentsBufferedInParallel(t *testing.T) {
+	// The classic swap hazard: gcd(b, a % b) reads both current params
+	// while computing the new ones.
+	src := `
+extern int printf(char *fmt, ...);
+int gcd(int a, int b) {
+    if (b == 0) return a;
+    return gcd(b, a % b);
+}
+int main() {
+    printf("%d %d %d\n", gcd(48, 18), gcd(17, 5), gcd(100000, 99999));
+    return 0;
+}
+`
+	mod := compile(t, src)
+	want, _, _, _ := runStats(t, mod)
+	if n := TailCallEliminate(mod); n != 1 {
+		t.Fatalf("rewrote %d sites, want 1", n)
+	}
+	got, _, _, _ := runStats(t, mod)
+	if got != want {
+		t.Fatalf("parallel-assignment hazard: %q -> %q", want, got)
+	}
+	if want != "6 1 1\n" {
+		t.Fatalf("baseline wrong: %q", want)
+	}
+}
+
+func TestTailCallLeavesNonTailRecursionAlone(t *testing.T) {
+	src := `
+extern int printf(char *fmt, ...);
+int fact(int n) {
+    if (n <= 1) return 1;
+    return n * fact(n - 1); /* NOT a tail call: multiply afterwards */
+}
+int main() { printf("%d\n", fact(10)); return 0; }
+`
+	mod := compile(t, src)
+	want, _, callsBefore, _ := runStats(t, mod)
+	if n := TailCallEliminate(mod); n != 0 {
+		t.Fatalf("rewrote %d sites in non-tail recursion", n)
+	}
+	got, _, callsAfter, _ := runStats(t, mod)
+	if got != want || callsAfter != callsBefore {
+		t.Fatalf("non-tail function disturbed")
+	}
+}
+
+func TestTailCallDeepRecursionNoOverflow(t *testing.T) {
+	// Without the rewrite this depth overflows a small stack; with it the
+	// function runs in constant space.
+	src := `
+extern int printf(char *fmt, ...);
+int burn(int n, int acc) {
+    int pad[64];
+    pad[0] = n;
+    if (n <= 0) return acc;
+    return burn(n - 1, acc + pad[0]);
+}
+int main() { printf("%d\n", burn(100000, 0)); return 0; }
+`
+	mod := compile(t, src)
+	TailCallEliminate(mod)
+	if err := mod.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	m, err := interp.NewMachine(mod, interp.NewEnv(), interp.Options{StackSize: 64 << 10})
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run with 64 KiB stack: %v", err)
+	}
+	if got := m.Env.Stdout.String(); got != "5000050000\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestTailCallMutualRecursionUntouched(t *testing.T) {
+	// Only self tail calls are rewritten; mutual recursion is left as is.
+	src := `
+int odd(int n);
+int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+int main() { return even(10); }
+`
+	mod := compile(t, src)
+	if n := TailCallEliminate(mod); n != 0 {
+		t.Errorf("mutual recursion rewritten (%d sites)", n)
+	}
+}

@@ -1,0 +1,41 @@
+package parser
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that arbitrary input never panics the front end —
+// errors are the only acceptable failure mode. The seed corpus covers
+// every syntactic construct; `go test` runs the seeds, `go test -fuzz`
+// explores.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"int main() { return 0; }",
+		"int f(int a, int b) { return a ? b : a; }",
+		"struct S { int x; struct S *n; }; typedef struct S S;",
+		"enum { A, B = 5 }; int g = A + B;",
+		"int (*fp)(int); int (*tab[3])(char *);",
+		"int f() { for (;;) { break; } while (0) ; do ; while (1); }",
+		"int f(int x) { switch (x) { case 1: return 1; default: return 0; } }",
+		"char *s = \"esc \\n \\x41 \\\\\"; char c = 'q';",
+		"int f() { goto l; l: return 0; }",
+		"extern int printf(char *fmt, ...);",
+		"int a[3][4]; int *p = a;",
+		"static int s; extern int e;",
+		"int f() { int x; x = sizeof(int) + sizeof x; return (char)x; }",
+		"int f() { return 0x7fffffffffffffff + 010 + 'a'; }",
+		"/* unterminated", "int f( {", "\"open", "'", "#only a pragma\n",
+		"int f() { x ||= 3; }", "}}}}", "((((", "int int int;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip()
+		}
+		// Must not panic; the error result is unconstrained.
+		_, _ = Parse("fuzz.c", src)
+	})
+}

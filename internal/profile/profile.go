@@ -1,0 +1,138 @@
+// Package profile defines the execution-profile data the IMPACT-style
+// pipeline collects: per-run dynamic counts and the averaged weights that
+// become node and arc weights on the call graph. The paper's profiler
+// "accumulates the average run-time statistics over many runs"; Merge does
+// exactly that.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RunStats holds the dynamic counts from one execution of a program.
+type RunStats struct {
+	// IL is the number of executed intermediate instructions (labels are
+	// not instructions).
+	IL int64
+	// Control is the number of executed control transfers other than
+	// call/return: unconditional jumps and conditional branches.
+	Control int64
+	// Calls is the total number of dynamic calls, including calls to
+	// external functions and calls through pointers.
+	Calls int64
+	// Returns counts function returns (equals Calls for programs that run
+	// to completion, modulo exit()).
+	Returns int64
+	// SiteCounts maps a static call-site id to its dynamic invocation
+	// count (arc weights).
+	SiteCounts map[int]int64
+	// FuncCounts maps a function name to its entry count (node weights).
+	FuncCounts map[string]int64
+	// ExternCalls counts dynamic calls whose callee body is unavailable.
+	ExternCalls int64
+	// PtrCalls counts dynamic calls made through pointers.
+	PtrCalls int64
+	// MaxStack is the high-water control-stack usage in bytes.
+	MaxStack int64
+	// ExitCode is the program's exit status.
+	ExitCode int64
+}
+
+// NewRunStats returns an empty, initialized RunStats.
+func NewRunStats() *RunStats {
+	return &RunStats{
+		SiteCounts: make(map[int]int64),
+		FuncCounts: make(map[string]int64),
+	}
+}
+
+// Profile is the average of one or more runs: the weighted-call-graph
+// inputs for inline expansion.
+type Profile struct {
+	Runs int
+	// Totals across all runs; use the Avg* accessors for per-run values.
+	TotalIL      int64
+	TotalControl int64
+	TotalCalls   int64
+	TotalReturns int64
+	TotalExtern  int64
+	TotalPtr     int64
+	SiteCounts   map[int]int64
+	FuncCounts   map[string]int64
+	MaxStack     int64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{
+		SiteCounts: make(map[int]int64),
+		FuncCounts: make(map[string]int64),
+	}
+}
+
+// Add accumulates one run into the profile.
+func (p *Profile) Add(rs *RunStats) {
+	p.Runs++
+	p.TotalIL += rs.IL
+	p.TotalControl += rs.Control
+	p.TotalCalls += rs.Calls
+	p.TotalReturns += rs.Returns
+	p.TotalExtern += rs.ExternCalls
+	p.TotalPtr += rs.PtrCalls
+	for id, n := range rs.SiteCounts {
+		p.SiteCounts[id] += n
+	}
+	for f, n := range rs.FuncCounts {
+		p.FuncCounts[f] += n
+	}
+	if rs.MaxStack > p.MaxStack {
+		p.MaxStack = rs.MaxStack
+	}
+}
+
+func (p *Profile) avg(total int64) float64 {
+	if p.Runs == 0 {
+		return 0
+	}
+	return float64(total) / float64(p.Runs)
+}
+
+// AvgIL is the average dynamic IL count per run.
+func (p *Profile) AvgIL() float64 { return p.avg(p.TotalIL) }
+
+// AvgControl is the average dynamic control-transfer count per run.
+func (p *Profile) AvgControl() float64 { return p.avg(p.TotalControl) }
+
+// AvgCalls is the average dynamic call count per run.
+func (p *Profile) AvgCalls() float64 { return p.avg(p.TotalCalls) }
+
+// SiteWeight returns the averaged invocation count of a call site — the
+// arc weight used by the inline expander.
+func (p *Profile) SiteWeight(id int) float64 { return p.avg(p.SiteCounts[id]) }
+
+// FuncWeight returns the averaged entry count of a function — the node
+// weight used for linearization.
+func (p *Profile) FuncWeight(name string) float64 { return p.avg(p.FuncCounts[name]) }
+
+// String renders a compact summary.
+func (p *Profile) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "profile: %d run(s), avg IL=%.0f, avg CT=%.0f, avg calls=%.0f (extern %.0f, ptr %.0f)\n",
+		p.Runs, p.AvgIL(), p.AvgControl(), p.AvgCalls(), p.avg(p.TotalExtern), p.avg(p.TotalPtr))
+	names := make([]string, 0, len(p.FuncCounts))
+	for n := range p.FuncCounts {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if p.FuncCounts[names[i]] != p.FuncCounts[names[j]] {
+			return p.FuncCounts[names[i]] > p.FuncCounts[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		fmt.Fprintf(&sb, "  %-24s %12.1f\n", n, p.FuncWeight(n))
+	}
+	return sb.String()
+}

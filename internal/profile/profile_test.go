@@ -1,0 +1,105 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample(il, calls int64, sites map[int]int64, funcs map[string]int64) *RunStats {
+	rs := NewRunStats()
+	rs.IL = il
+	rs.Control = il / 10
+	rs.Calls = calls
+	rs.Returns = calls
+	for k, v := range sites {
+		rs.SiteCounts[k] = v
+	}
+	for k, v := range funcs {
+		rs.FuncCounts[k] = v
+	}
+	return rs
+}
+
+func TestProfileAveraging(t *testing.T) {
+	p := NewProfile()
+	p.Add(sample(1000, 40, map[int]int64{1: 30, 2: 10}, map[string]int64{"f": 30, "main": 1}))
+	p.Add(sample(3000, 60, map[int]int64{1: 50, 3: 10}, map[string]int64{"f": 50, "main": 1}))
+
+	if p.Runs != 2 {
+		t.Fatalf("runs = %d", p.Runs)
+	}
+	if got := p.AvgIL(); got != 2000 {
+		t.Errorf("AvgIL = %v, want 2000", got)
+	}
+	if got := p.AvgCalls(); got != 50 {
+		t.Errorf("AvgCalls = %v, want 50", got)
+	}
+	if got := p.SiteWeight(1); got != 40 {
+		t.Errorf("site 1 weight = %v, want 40", got)
+	}
+	if got := p.SiteWeight(2); got != 5 {
+		t.Errorf("site 2 weight = %v, want 5 (present in one of two runs)", got)
+	}
+	if got := p.SiteWeight(999); got != 0 {
+		t.Errorf("unknown site weight = %v, want 0", got)
+	}
+	if got := p.FuncWeight("f"); got != 40 {
+		t.Errorf("func f weight = %v, want 40", got)
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	p := NewProfile()
+	if p.AvgIL() != 0 || p.AvgCalls() != 0 || p.SiteWeight(1) != 0 {
+		t.Error("empty profile must average to zero")
+	}
+}
+
+func TestMaxStackIsHighWater(t *testing.T) {
+	p := NewProfile()
+	a := NewRunStats()
+	a.MaxStack = 100
+	b := NewRunStats()
+	b.MaxStack = 50
+	p.Add(a)
+	p.Add(b)
+	if p.MaxStack != 100 {
+		t.Errorf("MaxStack = %d, want high-water 100", p.MaxStack)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	p := NewProfile()
+	p.Add(sample(500, 20, nil, map[string]int64{"hot": 15, "cold": 1}))
+	s := p.String()
+	if !strings.Contains(s, "hot") || !strings.Contains(s, "cold") {
+		t.Errorf("summary missing functions:\n%s", s)
+	}
+	// Hot functions print before cold ones.
+	if strings.Index(s, "hot") > strings.Index(s, "cold") {
+		t.Errorf("functions not sorted by weight:\n%s", s)
+	}
+}
+
+// TestQuickAveragingLinear: averaging N identical runs yields the run's
+// own counts, for arbitrary counts.
+func TestQuickAveragingLinear(t *testing.T) {
+	f := func(il int64, calls int64, n uint8) bool {
+		// Keep counts small enough that runs×count cannot overflow and
+		// the float average is exact.
+		il &= (1 << 40) - 1
+		calls &= (1 << 30) - 1
+		runs := int(n%7) + 1
+		p := NewProfile()
+		for i := 0; i < runs; i++ {
+			p.Add(sample(il, calls, map[int]int64{7: calls}, nil))
+		}
+		return p.AvgIL() == float64(il) &&
+			p.AvgCalls() == float64(calls) &&
+			p.SiteWeight(7) == float64(calls)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The on-disk profile format is a line-oriented text file, in the spirit
+// of the IMPACT-I "Profiler to C Compiler interface" that let profile
+// information flow between tool invocations:
+//
+//	ILPROF 1
+//	runs 20
+//	il 123456
+//	control 2345
+//	calls 678
+//	returns 678
+//	extern 90
+//	ptr 2
+//	maxstack 4096
+//	func <name> <total-count>
+//	site <id> <total-count>
+//
+// Counts are totals across runs (averages are recomputed on load).
+
+const profileMagic = "ILPROF 1"
+
+// WriteTo serializes the profile.
+func (p *Profile) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	fmt.Fprintln(&sb, profileMagic)
+	fmt.Fprintf(&sb, "runs %d\n", p.Runs)
+	fmt.Fprintf(&sb, "il %d\n", p.TotalIL)
+	fmt.Fprintf(&sb, "control %d\n", p.TotalControl)
+	fmt.Fprintf(&sb, "calls %d\n", p.TotalCalls)
+	fmt.Fprintf(&sb, "returns %d\n", p.TotalReturns)
+	fmt.Fprintf(&sb, "extern %d\n", p.TotalExtern)
+	fmt.Fprintf(&sb, "ptr %d\n", p.TotalPtr)
+	fmt.Fprintf(&sb, "maxstack %d\n", p.MaxStack)
+
+	names := make([]string, 0, len(p.FuncCounts))
+	for n := range p.FuncCounts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "func %s %d\n", n, p.FuncCounts[n])
+	}
+	ids := make([]int, 0, len(p.SiteCounts))
+	for id := range p.SiteCounts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "site %d %d\n", id, p.SiteCounts[id])
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// ReadProfile parses a serialized profile.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("profile: empty input")
+	}
+	if sc.Text() != profileMagic {
+		return nil, fmt.Errorf("profile: bad magic %q", sc.Text())
+	}
+	p := NewProfile()
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func() error {
+			return fmt.Errorf("profile: line %d: malformed %q", lineNo, line)
+		}
+		num := func(s string) (int64, error) {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return 0, bad()
+			}
+			return v, nil
+		}
+		switch fields[0] {
+		case "runs", "il", "control", "calls", "returns", "extern", "ptr", "maxstack":
+			if len(fields) != 2 {
+				return nil, bad()
+			}
+			v, err := num(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			switch fields[0] {
+			case "runs":
+				p.Runs = int(v)
+			case "il":
+				p.TotalIL = v
+			case "control":
+				p.TotalControl = v
+			case "calls":
+				p.TotalCalls = v
+			case "returns":
+				p.TotalReturns = v
+			case "extern":
+				p.TotalExtern = v
+			case "ptr":
+				p.TotalPtr = v
+			case "maxstack":
+				p.MaxStack = v
+			}
+		case "func":
+			if len(fields) != 3 {
+				return nil, bad()
+			}
+			v, err := num(fields[2])
+			if err != nil {
+				return nil, err
+			}
+			p.FuncCounts[fields[1]] = v
+		case "site":
+			if len(fields) != 3 {
+				return nil, bad()
+			}
+			id, err := num(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			v, err := num(fields[2])
+			if err != nil {
+				return nil, err
+			}
+			p.SiteCounts[int(id)] = v
+		default:
+			return nil, fmt.Errorf("profile: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p.Runs <= 0 {
+		return nil, fmt.Errorf("profile: missing or non-positive runs count")
+	}
+	return p, nil
+}

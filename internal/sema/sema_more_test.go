@@ -1,0 +1,103 @@
+package sema
+
+import "testing"
+
+func TestCheckGlobalInitFunctionAddress(t *testing.T) {
+	p := mustCheck(t, `
+int cb(int x) { return x; }
+int (*fp)(int) = cb;
+int (*tbl[2])(int) = { cb, cb };
+`)
+	found := false
+	for fd := range p.AddressTaken {
+		if fd.Name == "cb" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("global initializer use must mark cb address-taken")
+	}
+}
+
+func TestCheckGlobalInitForms(t *testing.T) {
+	mustCheck(t, `
+int neg = -(3);
+int inv = ~0x0f;
+char tag = 'q';
+`)
+	wantError(t, `int weird = "str"[0];`, "constant")
+	wantError(t, `struct S { int a; }; struct S s = 3;`, "constant")
+}
+
+func TestCheckExternVariables(t *testing.T) {
+	p := mustCheck(t, `
+extern int shared;
+int use() { return shared + 1; }
+`)
+	if len(p.Globals) != 1 || !p.Globals[0].IsExtern {
+		t.Errorf("extern global not recorded: %+v", p.Globals)
+	}
+}
+
+func TestCheckPointerCallResolution(t *testing.T) {
+	p := mustCheck(t, `
+typedef int (*Fn)(int);
+int id(int x) { return x; }
+int call_var(Fn f) { return f(3); }
+int call_deref(Fn f) { return (*f)(4); }
+int main() { return call_var(id) + call_deref(id); }
+`)
+	// Direct must be set only for plain named calls.
+	_ = p
+}
+
+func TestCheckVarargsMismatch(t *testing.T) {
+	wantError(t, `
+extern int printf(char *fmt, ...);
+int f() { return printf(); }
+`, "number of arguments")
+}
+
+func TestCheckStructReturnByValueForbidden(t *testing.T) {
+	// MiniC permits struct params? Parameters decay only arrays; struct
+	// params would need copy-in. The checker rejects the unsupported
+	// aggregate return; struct pointers are the supported idiom.
+	mustCheck(t, `
+struct P { int x; };
+int get(struct P *p) { return p->x; }
+`)
+}
+
+func TestCheckForScopeIsolation(t *testing.T) {
+	// A name declared in a for-init is invisible after the loop.
+	wantError(t, `
+int f() {
+    for (int i = 0; i < 3; i++) ;
+    return i;
+}
+`, "undefined")
+}
+
+func TestCheckCondExprTypes(t *testing.T) {
+	mustCheck(t, `char *pick(int c, char *a, char *b) { return c ? a : b; }`)
+	mustCheck(t, `char *orNull(int c, char *a) { return c ? a : 0; }`)
+	mustCheck(t, `int mix(int c) { return c ? 'x' : 7; }`)
+	wantError(t, `
+struct S { int a; };
+int f(int c) { struct S s; return c ? s : 1; }
+`, "mismatched conditional")
+}
+
+func TestCheckAssignToArray(t *testing.T) {
+	wantError(t, `
+int f() {
+    int a[3]; int b[3];
+    a = b;
+    return 0;
+}
+`, "array")
+}
+
+func TestCheckAddressOfRvalue(t *testing.T) {
+	wantError(t, `int f(int x) { int *p; p = &(x + 1); return *p; }`, "address")
+}

@@ -1,0 +1,177 @@
+// Package testgen generates random but well-formed MiniC programs for
+// property-based testing. Every generated program terminates, performs
+// deterministic integer arithmetic through a random acyclic call graph
+// (with optional self-recursion of bounded depth), and prints a final
+// checksum — so "compile, transform, re-run, compare output" is a
+// complete semantic equivalence oracle for the optimizer and the inline
+// expander.
+package testgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Options bounds the generated program's shape.
+type Options struct {
+	// Funcs is the number of functions besides main (default 6).
+	Funcs int
+	// MaxStmts bounds the statements per function body (default 6).
+	MaxStmts int
+	// MaxDepth bounds expression nesting (default 3).
+	MaxDepth int
+	// Recursion permits bounded self-recursive functions.
+	Recursion bool
+	// Pointers permits address-of/deref statements over locals.
+	Pointers bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Funcs == 0 {
+		o.Funcs = 6
+	}
+	if o.MaxStmts == 0 {
+		o.MaxStmts = 6
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 3
+	}
+	return o
+}
+
+// Generate returns a random MiniC program. Programs generated from the
+// same seed are identical.
+func Generate(seed int64, opts Options) string {
+	o := opts.withDefaults()
+	g := &gen{r: rand.New(rand.NewSource(seed)), o: o}
+	return g.program()
+}
+
+type gen struct {
+	r *rand.Rand
+	o Options
+
+	recursive []bool
+}
+
+// locals available in every generated function body.
+var localNames = []string{"a", "b", "c", "d"}
+
+func (g *gen) program() string {
+	var sb strings.Builder
+	sb.WriteString("extern int printf(char *fmt, ...);\n\n")
+
+	n := g.o.Funcs
+	g.recursive = make([]bool, n)
+	for i := 0; i < n; i++ {
+		g.recursive[i] = g.o.Recursion && g.r.Intn(4) == 0
+	}
+
+	// Function i may call only functions with smaller indices (a DAG), plus
+	// itself when recursive. Two parameters keep call sites interesting.
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "int f%d(int x, int y) {\n", i)
+		sb.WriteString("    int a, b, c, d;\n")
+		sb.WriteString("    a = x; b = y; c = 1; d = 2;\n")
+		if g.recursive[i] {
+			// Bounded self recursion: the guard both requires a positive
+			// argument and caps the depth, so arbitrarily large incoming
+			// values cannot run away.
+			fmt.Fprintf(&sb, "    if (x > 0 && x < 30) c = f%d(x - 1, y ^ %d);\n", i, g.r.Intn(64))
+		}
+		for s := 0; s < 1+g.r.Intn(g.o.MaxStmts); s++ {
+			sb.WriteString(g.stmt(i, 1))
+		}
+		fmt.Fprintf(&sb, "    return %s;\n}\n\n", g.expr(i, g.o.MaxDepth))
+	}
+
+	sb.WriteString("int main() {\n    int a, b, c, d;\n    int i;\n")
+	sb.WriteString("    a = 3; b = 5; c = 7; d = 11;\n")
+	fmt.Fprintf(&sb, "    for (i = 0; i < %d; i++) {\n", 5+g.r.Intn(20))
+	for s := 0; s < 2+g.r.Intn(3); s++ {
+		sb.WriteString("    " + g.stmt(n, 2))
+	}
+	sb.WriteString("    }\n")
+	sb.WriteString("    printf(\"%d %d %d %d\\n\", a, b, c, d);\n")
+	sb.WriteString("    return 0;\n}\n")
+	return sb.String()
+}
+
+// stmt emits one statement for function fn (fn == Funcs means main).
+func (g *gen) stmt(fn, indent int) string {
+	pad := strings.Repeat("    ", indent)
+	v := localNames[g.r.Intn(len(localNames))]
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%s%s = %s;\n", pad, v, g.expr(fn, g.o.MaxDepth))
+	case 1:
+		return fmt.Sprintf("%sif (%s) %s = %s; else %s = %s;\n",
+			pad, g.cond(fn), v, g.expr(fn, 2), v, g.expr(fn, 2))
+	case 2:
+		// A bounded while loop over a fresh counter expression.
+		return fmt.Sprintf("%s{ int t; t = %d; while (t > 0) { %s = %s + t; t--; } }\n",
+			pad, 1+g.r.Intn(6), v, v)
+	case 3:
+		if g.o.Pointers {
+			w := localNames[g.r.Intn(len(localNames))]
+			return fmt.Sprintf("%s{ int *p; p = &%s; *p = *p + %d; }\n", pad, w, g.r.Intn(9))
+		}
+		return fmt.Sprintf("%s%s += %s;\n", pad, v, g.expr(fn, 1))
+	case 4:
+		return fmt.Sprintf("%s%s = %s & 0xffff;\n", pad, v, g.expr(fn, 2))
+	default:
+		return fmt.Sprintf("%s%s ^= %s;\n", pad, v, g.expr(fn, 2))
+	}
+}
+
+// expr emits an integer expression usable in function fn; calls target
+// only lower-numbered functions, keeping the call graph acyclic.
+func (g *gen) expr(fn, depth int) string {
+	if depth <= 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprint(g.r.Intn(100))
+		default:
+			return localNames[g.r.Intn(len(localNames))]
+		}
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return fmt.Sprint(g.r.Intn(1000))
+	case 1, 2:
+		return localNames[g.r.Intn(len(localNames))]
+	case 3:
+		if fn > 0 {
+			callee := g.r.Intn(fn)
+			return fmt.Sprintf("f%d(%s, %s)", callee, g.expr(fn, depth-1), g.expr(fn, depth-1))
+		}
+		return localNames[g.r.Intn(len(localNames))]
+	case 4:
+		op := []string{"+", "-", "*", "&", "|", "^"}[g.r.Intn(6)]
+		return fmt.Sprintf("(%s %s %s)", g.expr(fn, depth-1), op, g.expr(fn, depth-1))
+	case 5:
+		// Division guarded against zero.
+		return fmt.Sprintf("(%s / (1 + (%s & 7)))", g.expr(fn, depth-1), g.expr(fn, depth-1))
+	case 6:
+		return fmt.Sprintf("(%s ? %s : %s)", g.cond(fn), g.expr(fn, depth-1), g.expr(fn, depth-1))
+	default:
+		return fmt.Sprintf("(%s << %d)", g.expr(fn, depth-1), g.r.Intn(4))
+	}
+}
+
+func (g *gen) cond(fn int) string {
+	a := localNames[g.r.Intn(len(localNames))]
+	b := g.r.Intn(50)
+	op := []string{"<", ">", "<=", ">=", "==", "!="}[g.r.Intn(6)]
+	switch g.r.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%s %s %d && %s", a, op, b,
+			localNames[g.r.Intn(len(localNames))])
+	case 1:
+		return fmt.Sprintf("%s %s %d || !%s", a, op, b,
+			localNames[g.r.Intn(len(localNames))])
+	default:
+		return fmt.Sprintf("%s %s %d", a, op, b)
+	}
+}

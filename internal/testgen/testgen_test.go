@@ -1,0 +1,52 @@
+package testgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		a := Generate(seed, Options{})
+		b := Generate(seed, Options{})
+		if a != b {
+			t.Fatalf("seed %d: generation not deterministic", seed)
+		}
+	}
+	if Generate(1, Options{}) == Generate(2, Options{}) {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	src := Generate(42, Options{Funcs: 5, Recursion: true, Pointers: true})
+	for _, frag := range []string{"int f0(", "int f4(", "int main()", "printf"} {
+		if !strings.Contains(src, frag) {
+			t.Errorf("generated program missing %q:\n%s", frag, src)
+		}
+	}
+	// The call DAG constraint: f0 must not call any other generated
+	// function (no lower-numbered callee exists).
+	f0 := src[strings.Index(src, "int f0("):strings.Index(src, "int f1(")]
+	for i := 1; i <= 4; i++ {
+		if strings.Contains(f0, "f"+string(rune('0'+i))+"(") {
+			t.Errorf("f0 calls f%d, breaking the DAG:\n%s", i, f0)
+		}
+	}
+}
+
+func TestGenerateRecursionGuarded(t *testing.T) {
+	// Every recursive call the generator emits must sit behind the
+	// depth-capping guard.
+	for seed := int64(0); seed < 30; seed++ {
+		src := Generate(seed, Options{Funcs: 8, Recursion: true})
+		for _, line := range strings.Split(src, "\n") {
+			for i := 0; i < 8; i++ {
+				self := "c = f" + string(rune('0'+i)) + "(x - 1"
+				if strings.Contains(line, self) && !strings.Contains(line, "x < 30") {
+					t.Fatalf("seed %d: unguarded recursion: %s", seed, line)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package token defines the lexical tokens of MiniC, the C subset compiled
+// by this reproduction of the IMPACT-I inline function expander, along with
+// source positions used for diagnostics throughout the front end.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. The set mirrors the C constructs MiniC supports: the usual
+// operators, a small keyword set, and the literal forms needed by the
+// benchmark programs (decimal/hex/char/string).
+const (
+	EOF Kind = iota
+	Illegal
+
+	// Literals and identifiers.
+	Ident  // main
+	Int    // 42, 0x2a, 'a'
+	String // "abc"
+
+	// Punctuation.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Comma    // ,
+	Semi     // ;
+	Colon    // :
+	Question // ?
+	Ellipsis // ...
+
+	// Operators.
+	Assign     // =
+	Plus       // +
+	Minus      // -
+	Star       // *
+	Slash      // /
+	Percent    // %
+	Amp        // &
+	Pipe       // |
+	Caret      // ^
+	Tilde      // ~
+	Bang       // !
+	Shl        // <<
+	Shr        // >>
+	Lt         // <
+	Gt         // >
+	Le         // <=
+	Ge         // >=
+	EqEq       // ==
+	NotEq      // !=
+	AndAnd     // &&
+	OrOr       // ||
+	PlusPlus   // ++
+	MinusMinus // --
+	Arrow      // ->
+	Dot        // .
+	PlusEq     // +=
+	MinusEq    // -=
+	StarEq     // *=
+	SlashEq    // /=
+	PercentEq  // %=
+	AmpEq      // &=
+	PipeEq     // |=
+	CaretEq    // ^=
+	ShlEq      // <<=
+	ShrEq      // >>=
+
+	// Keywords.
+	KwInt
+	KwChar
+	KwLong
+	KwVoid
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwReturn
+	KwBreak
+	KwContinue
+	KwStruct
+	KwSwitch
+	KwCase
+	KwDefault
+	KwGoto
+	KwSizeof
+	KwExtern
+	KwStatic
+	KwTypedef
+	KwEnum
+	KwConst
+	KwUnsigned
+)
+
+var kindNames = map[Kind]string{
+	EOF:        "EOF",
+	Illegal:    "ILLEGAL",
+	Ident:      "identifier",
+	Int:        "integer",
+	String:     "string",
+	LParen:     "(",
+	RParen:     ")",
+	LBrace:     "{",
+	RBrace:     "}",
+	LBracket:   "[",
+	RBracket:   "]",
+	Comma:      ",",
+	Semi:       ";",
+	Colon:      ":",
+	Question:   "?",
+	Ellipsis:   "...",
+	Assign:     "=",
+	Plus:       "+",
+	Minus:      "-",
+	Star:       "*",
+	Slash:      "/",
+	Percent:    "%",
+	Amp:        "&",
+	Pipe:       "|",
+	Caret:      "^",
+	Tilde:      "~",
+	Bang:       "!",
+	Shl:        "<<",
+	Shr:        ">>",
+	Lt:         "<",
+	Gt:         ">",
+	Le:         "<=",
+	Ge:         ">=",
+	EqEq:       "==",
+	NotEq:      "!=",
+	AndAnd:     "&&",
+	OrOr:       "||",
+	PlusPlus:   "++",
+	MinusMinus: "--",
+	Arrow:      "->",
+	Dot:        ".",
+	PlusEq:     "+=",
+	MinusEq:    "-=",
+	StarEq:     "*=",
+	SlashEq:    "/=",
+	PercentEq:  "%=",
+	AmpEq:      "&=",
+	PipeEq:     "|=",
+	CaretEq:    "^=",
+	ShlEq:      "<<=",
+	ShrEq:      ">>=",
+	KwInt:      "int",
+	KwChar:     "char",
+	KwLong:     "long",
+	KwVoid:     "void",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwWhile:    "while",
+	KwFor:      "for",
+	KwDo:       "do",
+	KwReturn:   "return",
+	KwBreak:    "break",
+	KwContinue: "continue",
+	KwStruct:   "struct",
+	KwSwitch:   "switch",
+	KwCase:     "case",
+	KwDefault:  "default",
+	KwGoto:     "goto",
+	KwSizeof:   "sizeof",
+	KwExtern:   "extern",
+	KwStatic:   "static",
+	KwTypedef:  "typedef",
+	KwEnum:     "enum",
+	KwConst:    "const",
+	KwUnsigned: "unsigned",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their kinds. The lexer consults it
+// after scanning an identifier.
+var Keywords = map[string]Kind{
+	"int":      KwInt,
+	"char":     KwChar,
+	"long":     KwLong,
+	"void":     KwVoid,
+	"if":       KwIf,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"for":      KwFor,
+	"do":       KwDo,
+	"return":   KwReturn,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"struct":   KwStruct,
+	"switch":   KwSwitch,
+	"case":     KwCase,
+	"default":  KwDefault,
+	"goto":     KwGoto,
+	"sizeof":   KwSizeof,
+	"extern":   KwExtern,
+	"static":   KwStatic,
+	"typedef":  KwTypedef,
+	"enum":     KwEnum,
+	"const":    KwConst,
+	"unsigned": KwUnsigned,
+}
+
+// Pos is a source position: 1-based line and column within a named file.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String formats the position as file:line:col.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token with its source text and position.
+// Val carries the decoded integer value for Int tokens; Str carries the
+// decoded body for String tokens.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+	Val  int64
+	Str  string
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Int, String:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsAssignOp reports whether the kind is an assignment operator
+// (= += -= *= /= %= &= |= ^= <<= >>=).
+func (k Kind) IsAssignOp() bool {
+	switch k {
+	case Assign, PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
+		AmpEq, PipeEq, CaretEq, ShlEq, ShrEq:
+		return true
+	}
+	return false
+}
+
+// BaseOp returns the underlying binary operator for a compound assignment
+// kind, e.g. PlusEq → Plus. It returns Illegal for plain Assign and for
+// kinds that are not assignment operators.
+func (k Kind) BaseOp() Kind {
+	switch k {
+	case PlusEq:
+		return Plus
+	case MinusEq:
+		return Minus
+	case StarEq:
+		return Star
+	case SlashEq:
+		return Slash
+	case PercentEq:
+		return Percent
+	case AmpEq:
+		return Amp
+	case PipeEq:
+		return Pipe
+	case CaretEq:
+		return Caret
+	case ShlEq:
+		return Shl
+	case ShrEq:
+		return Shr
+	}
+	return Illegal
+}

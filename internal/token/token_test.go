@@ -1,0 +1,101 @@
+package token
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		EOF:      "EOF",
+		Ident:    "identifier",
+		Int:      "integer",
+		Plus:     "+",
+		ShrEq:    ">>=",
+		KwWhile:  "while",
+		Ellipsis: "...",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if s := Kind(9999).String(); !strings.Contains(s, "9999") {
+		t.Errorf("unknown kind string = %q", s)
+	}
+}
+
+func TestEveryKindHasAName(t *testing.T) {
+	for k := EOF; k <= KwUnsigned; k++ {
+		if s := k.String(); strings.HasPrefix(s, "Kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+}
+
+func TestKeywordsTable(t *testing.T) {
+	if Keywords["while"] != KwWhile || Keywords["sizeof"] != KwSizeof {
+		t.Error("keyword table wrong")
+	}
+	if _, ok := Keywords["whileloop"]; ok {
+		t.Error("non-keyword present")
+	}
+	// Every Kw* kind must be reachable from the table.
+	reached := make(map[Kind]bool)
+	for _, k := range Keywords {
+		reached[k] = true
+	}
+	for k := KwInt; k <= KwUnsigned; k++ {
+		if !reached[k] {
+			t.Errorf("keyword kind %v missing from Keywords", k)
+		}
+	}
+}
+
+func TestIsAssignOpAndBaseOp(t *testing.T) {
+	base := map[Kind]Kind{
+		Assign: Illegal, PlusEq: Plus, MinusEq: Minus, StarEq: Star,
+		SlashEq: Slash, PercentEq: Percent, AmpEq: Amp, PipeEq: Pipe,
+		CaretEq: Caret, ShlEq: Shl, ShrEq: Shr,
+	}
+	for k, want := range base {
+		if !k.IsAssignOp() {
+			t.Errorf("%v.IsAssignOp() = false", k)
+		}
+		if got := k.BaseOp(); got != want {
+			t.Errorf("%v.BaseOp() = %v, want %v", k, got, want)
+		}
+	}
+	for _, k := range []Kind{Plus, EqEq, Lt, Ident, KwIf} {
+		if k.IsAssignOp() {
+			t.Errorf("%v.IsAssignOp() = true", k)
+		}
+		if k.BaseOp() != Illegal {
+			t.Errorf("%v.BaseOp() should be Illegal", k)
+		}
+	}
+}
+
+func TestPos(t *testing.T) {
+	p := Pos{File: "x.c", Line: 3, Col: 7}
+	if p.String() != "x.c:3:7" {
+		t.Errorf("pos = %q", p)
+	}
+	if (Pos{Line: 2, Col: 1}).String() != "2:1" {
+		t.Error("file-less pos format wrong")
+	}
+	if !p.IsValid() || (Pos{}).IsValid() {
+		t.Error("IsValid wrong")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	id := Token{Kind: Ident, Text: "foo"}
+	if got := id.String(); !strings.Contains(got, "foo") {
+		t.Errorf("ident token string = %q", got)
+	}
+	op := Token{Kind: Shl}
+	if op.String() != "<<" {
+		t.Errorf("op token string = %q", op.String())
+	}
+}

@@ -1,0 +1,217 @@
+package inlinec
+
+import (
+	"strings"
+	"testing"
+)
+
+// testProgram is a call-heavy MiniC program exercising every hazard class:
+// hot safe calls, external calls, a call through a pointer, recursion, and
+// a cold call.
+const testProgram = `
+extern int printf(char *fmt, ...);
+extern int putchar(int c);
+
+int square(int x) { return x * x; }
+int twice(int x) { return x + x; }
+int combine(int a, int b) { return square(a) + twice(b); }
+
+int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+
+int coldpath(int x) { return x ^ 0x5a; }
+
+int apply(int (*f)(int), int v) { return f(v); }
+
+int main() {
+    int i; int sum;
+    sum = 0;
+    for (i = 0; i < 100; i++) {
+        sum += combine(i, i + 1);
+    }
+    sum += fact(5);
+    sum += apply(square, 7);
+    if (sum == 123456789) sum += coldpath(sum);
+    printf("%d\n", sum);
+    return 0;
+}
+`
+
+func compileTestProgram(t *testing.T) *Program {
+	t.Helper()
+	p, err := Compile("hazards.c", testProgram)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func TestPipelineInlinePreservesSemantics(t *testing.T) {
+	p := compileTestProgram(t)
+	before, err := p.Run(Input{})
+	if err != nil {
+		t.Fatalf("run before: %v", err)
+	}
+	prof, err := p.ProfileInputs(Input{})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	// A loose size cap: this test checks the mechanism, not the
+	// paper-calibrated growth budget.
+	params := DefaultParams()
+	params.SizeLimitFactor = 3.0
+	res, err := p.Inline(prof, params)
+	if err != nil {
+		t.Fatalf("inline: %v", err)
+	}
+	after, err := p.Run(Input{})
+	if err != nil {
+		t.Fatalf("run after: %v", err)
+	}
+	if before.Stdout != after.Stdout {
+		t.Errorf("output changed by inlining: %q -> %q", before.Stdout, after.Stdout)
+	}
+	if len(res.Expanded) == 0 {
+		t.Fatalf("expected some arcs to be expanded, got none:\n%s", res)
+	}
+	// The hot arcs main->combine, combine->square, combine->twice should
+	// all be selected (weights 100 each, threshold 10).
+	want := map[string]bool{"combine": false, "square": false, "twice": false}
+	for _, d := range res.Expanded {
+		if _, ok := want[d.Callee]; ok {
+			want[d.Callee] = true
+		}
+	}
+	for callee, saw := range want {
+		if !saw {
+			t.Errorf("hot callee %s was not inlined; expanded: %+v", callee, res.Expanded)
+		}
+	}
+}
+
+func TestPipelineInlineReducesDynamicCalls(t *testing.T) {
+	p := compileTestProgram(t)
+	beforeProf, err := p.ProfileOriginal(Input{})
+	if err != nil {
+		t.Fatalf("profile before: %v", err)
+	}
+	prof, _ := p.ProfileInputs(Input{})
+	loose := DefaultParams()
+	loose.SizeLimitFactor = 3.0
+	if _, err := p.Inline(prof, loose); err != nil {
+		t.Fatalf("inline: %v", err)
+	}
+	afterProf, err := p.ProfileInputs(Input{})
+	if err != nil {
+		t.Fatalf("profile after: %v", err)
+	}
+	if afterProf.AvgCalls() >= beforeProf.AvgCalls() {
+		t.Errorf("dynamic calls did not decrease: before %.0f, after %.0f",
+			beforeProf.AvgCalls(), afterProf.AvgCalls())
+	}
+	// square/twice/combine accounted for ~300 of the calls; most should be
+	// gone. fact recursion and the pointer call must remain.
+	if afterProf.AvgCalls() > beforeProf.AvgCalls()/2 {
+		t.Errorf("expected >50%% call elimination: before %.0f, after %.0f",
+			beforeProf.AvgCalls(), afterProf.AvgCalls())
+	}
+}
+
+func TestPipelineHazardsNotInlined(t *testing.T) {
+	p := compileTestProgram(t)
+	prof, _ := p.ProfileInputs(Input{})
+	res, err := p.Inline(prof, DefaultParams())
+	if err != nil {
+		t.Fatalf("inline: %v", err)
+	}
+	for _, d := range res.Expanded {
+		if d.Callee == "fact" && d.Caller == "fact" {
+			t.Errorf("simple recursion fact->fact must not be expanded")
+		}
+		if d.Callee == "coldpath" {
+			t.Errorf("cold call site (weight 0) must not be expanded")
+		}
+	}
+	// The pointer call apply(square, 7) goes through ###; the call inside
+	// apply cannot be expanded.
+	for _, d := range res.Expanded {
+		if d.Caller == "apply" {
+			t.Errorf("apply's indirect call must not be expanded, got %+v", d)
+		}
+	}
+}
+
+func TestPipelineCodeGrowthBounded(t *testing.T) {
+	p := compileTestProgram(t)
+	prof, _ := p.ProfileInputs(Input{})
+	params := DefaultParams()
+	params.SizeLimitFactor = 1.1 // very tight cap
+	res, err := p.Inline(prof, params)
+	if err != nil {
+		t.Fatalf("inline: %v", err)
+	}
+	if res.FinalSize > int(1.1*float64(res.OriginalSize))+1 {
+		t.Errorf("size limit violated: %d -> %d with factor 1.1", res.OriginalSize, res.FinalSize)
+	}
+}
+
+func TestPipelinePostInlineOptimize(t *testing.T) {
+	p := compileTestProgram(t)
+	prof, _ := p.ProfileInputs(Input{})
+	if _, err := p.Inline(prof, DefaultParams()); err != nil {
+		t.Fatalf("inline: %v", err)
+	}
+	sizeBefore := p.Module.TotalCodeSize()
+	out1, err := p.Run(Input{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := p.Optimize(); err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	out2, err := p.Run(Input{})
+	if err != nil {
+		t.Fatalf("run after optimize: %v", err)
+	}
+	if out1.Stdout != out2.Stdout {
+		t.Errorf("post-inline optimization changed output: %q -> %q", out1.Stdout, out2.Stdout)
+	}
+	if p.Module.TotalCodeSize() > sizeBefore {
+		t.Errorf("post-inline optimization grew code: %d -> %d", sizeBefore, p.Module.TotalCodeSize())
+	}
+}
+
+func TestPipelineClassification(t *testing.T) {
+	p := compileTestProgram(t)
+	prof, _ := p.ProfileInputs(Input{})
+	g := p.CallGraph(prof)
+	classes := g.Classify(DefaultClassifyParams())
+	var extern, pointer, unsafe, safe int
+	for a, c := range classes {
+		switch c.String() {
+		case "external":
+			extern++
+		case "pointer":
+			pointer++
+		case "unsafe":
+			unsafe++
+		case "safe":
+			safe++
+		}
+		_ = a
+	}
+	if extern == 0 {
+		t.Errorf("expected external call sites (printf)")
+	}
+	if pointer == 0 {
+		t.Errorf("expected a pointer call site (apply's f(v))")
+	}
+	if unsafe == 0 {
+		t.Errorf("expected unsafe call sites (fact recursion, coldpath)")
+	}
+	if safe == 0 {
+		t.Errorf("expected safe call sites (combine/square/twice)")
+	}
+	if !strings.Contains(g.Dot(), "$$$") {
+		t.Errorf("dot output must include the $$$ node")
+	}
+}
