@@ -7,6 +7,8 @@
 //	ilbench -threshold 100 -sizelimit 1.5 -postopt   # parameter overrides
 //	ilbench -ablation    # design-choice studies (threshold/size/heuristic/order)
 //	ilbench -icache      # instruction-cache sweep (conclusion's extension)
+//	ilbench -parallel 1  # serial run (default 0 uses every core; same tables)
+//	ilbench -json        # machine-readable results (see BENCH_baseline.json)
 package main
 
 import (
@@ -31,6 +33,8 @@ func run(args []string, stdout, stderrW io.Writer) int {
 	stackBound := fs.Int("stackbound", 4096, "stack bound in bytes for recursion hazard")
 	sizeLimit := fs.Float64("sizelimit", 1.25, "program size limit factor")
 	maxRuns := fs.Int("runs", 0, "cap profiling runs per benchmark (0 = all)")
+	parallel := fs.Int("parallel", 0, "worker count for benchmarks and profiling runs (0 = all cores, 1 = serial); any value yields identical tables")
+	jsonOut := fs.Bool("json", false, "emit machine-readable per-benchmark results instead of the tables")
 	postOpt := fs.Bool("postopt", false, "apply post-inline cleanup passes before measuring")
 	ablation := fs.Bool("ablation", false, "run the design-choice ablation studies instead of the tables")
 	icache := fs.Bool("icache", false, "run the instruction-cache sweep instead of the tables")
@@ -47,6 +51,7 @@ func run(args []string, stdout, stderrW io.Writer) int {
 	cfg.Classify.StackBound = *stackBound
 	cfg.MaxRuns = *maxRuns
 	cfg.PostOptimize = *postOpt
+	cfg.Parallelism = *parallel
 
 	if *ablation {
 		report, err := bench.AblationReport(cfg)
@@ -94,6 +99,16 @@ func run(args []string, stdout, stderrW io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderrW, "ilbench: %v\n", err)
 		return 1
+	}
+
+	if *jsonOut {
+		data, err := bench.MarshalResults(results, cfg.Parallelism)
+		if err != nil {
+			fmt.Fprintf(stderrW, "ilbench: %v\n", err)
+			return 1
+		}
+		stdout.Write(data)
+		return 0
 	}
 
 	switch *table {

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"inlinec/internal/bench"
 )
 
 func runBench(t *testing.T, args ...string) (int, string, string) {
@@ -36,6 +39,32 @@ func TestBenchAllTablesOneBenchmark(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Errorf("missing %q", frag)
 		}
+	}
+}
+
+func TestBenchJSONOutput(t *testing.T) {
+	code, out, errb := runBench(t, "-bench", "wc", "-runs", "1", "-json")
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errb)
+	}
+	var rep bench.JSONReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "wc" {
+		t.Fatalf("results = %+v", rep.Results)
+	}
+	r := rep.Results[0]
+	if r.Runs != 1 || r.AvgILBefore <= 0 || r.AvgILAfter <= 0 || r.Seconds <= 0 {
+		t.Errorf("implausible record: %+v", r)
+	}
+}
+
+func TestBenchParallelMatchesSerial(t *testing.T) {
+	_, serial, _ := runBench(t, "-bench", "grep", "-runs", "2", "-parallel", "1", "-table", "4")
+	_, parallel, _ := runBench(t, "-bench", "grep", "-runs", "2", "-parallel", "4", "-table", "4")
+	if serial != parallel {
+		t.Errorf("-parallel changed the tables:\n%s\nvs\n%s", serial, parallel)
 	}
 }
 

@@ -38,6 +38,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	sites := fs.Bool("sites", false, "print per-call-site arc weights")
 	outPath := fs.String("o", "", "write the profile to this file (ilcc -profile consumes it)")
+	parallel := fs.Int("parallel", 0, "profiling worker count (0 = all cores, 1 = serial); any value yields an identical profile")
 	var ins inputList
 	fs.Var(&ins, "in", "host file used as one profiling run's stdin (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -58,6 +59,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ilprof: %v\n", err)
 		return 1
 	}
+	prog.Parallelism = *parallel
 
 	var inputs []inlinec.Input
 	if len(ins) == 0 {

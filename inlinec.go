@@ -21,6 +21,9 @@ package inlinec
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"inlinec/internal/callgraph"
 	"inlinec/internal/icache"
@@ -94,6 +97,13 @@ type Program struct {
 	// Original is the module as compiled (after the paper's pre-inline
 	// constant folding and jump optimization), untouched by Inline.
 	Original *ir.Module
+
+	// Parallelism bounds the worker pool ProfileInputs fans profiling
+	// runs out over: 0 uses every core, 1 runs serially, N uses N
+	// workers. Each run builds an independent Machine and Env, and runs
+	// merge into the profile in input order, so any setting produces
+	// bit-identical profiles.
+	Parallelism int
 
 	name string
 }
@@ -215,27 +225,65 @@ func runModule(mod *ir.Module, in Input) (*RunOutput, error) {
 
 // ProfileInputs runs the working module once per input and averages the
 // statistics — the paper's "average run-time statistics over many runs of
-// a program" with representative inputs.
+// a program" with representative inputs. Runs execute concurrently on up
+// to Parallelism workers; see that field for the determinism contract.
 func (p *Program) ProfileInputs(inputs ...Input) (*Profile, error) {
-	return profileModule(p.Module, inputs)
+	return profileModule(p.Module, inputs, p.Parallelism)
 }
 
 // ProfileOriginal profiles the pristine pre-inline module.
 func (p *Program) ProfileOriginal(inputs ...Input) (*Profile, error) {
-	return profileModule(p.Original, inputs)
+	return profileModule(p.Original, inputs, p.Parallelism)
 }
 
-func profileModule(mod *ir.Module, inputs []Input) (*Profile, error) {
+// profileModule fans the profiling runs out over a bounded worker pool.
+// Every run builds its own Machine and Memory, so runs are independent;
+// Profile.Add is sums-and-max, so merging in input order makes the
+// result bit-identical to a serial pass regardless of worker count.
+func profileModule(mod *ir.Module, inputs []Input, par int) (*Profile, error) {
 	if len(inputs) == 0 {
 		inputs = []Input{{}}
 	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(inputs) {
+		par = len(inputs)
+	}
 	prof := profile.NewProfile()
-	for i, in := range inputs {
-		out, err := runModule(mod, in)
-		if err != nil {
-			return nil, fmt.Errorf("profiling run %d: %w", i+1, err)
+	if par <= 1 {
+		for i, in := range inputs {
+			out, err := runModule(mod, in)
+			if err != nil {
+				return nil, fmt.Errorf("profiling run %d: %w", i+1, err)
+			}
+			prof.Add(out.Stats)
 		}
-		prof.Add(out.Stats)
+		return prof, nil
+	}
+	outs := make([]*RunOutput, len(inputs))
+	errs := make([]error, len(inputs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(inputs) {
+					return
+				}
+				outs[i], errs[i] = runModule(mod, inputs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range inputs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("profiling run %d: %w", i+1, errs[i])
+		}
+		prof.Add(outs[i].Stats)
 	}
 	return prof, nil
 }

@@ -3,6 +3,10 @@ package bench
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"inlinec"
 	"inlinec/internal/callgraph"
@@ -21,6 +25,12 @@ type Config struct {
 	// the final measurement (the paper did not; this is the ablation its
 	// section 4.4 sketches).
 	PostOptimize bool
+	// Parallelism bounds the worker pools: RunAll runs up to this many
+	// benchmarks concurrently, and each benchmark's profiling runs fan out
+	// over the same number of workers (0 = all cores, 1 = serial). Results
+	// are merged in suite and input order, so every setting produces the
+	// same tables.
+	Parallelism int
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -41,6 +51,10 @@ type BenchResult struct {
 	Runs       int
 	AvgIL      float64 // dynamic IL count per typical run (pre-inline)
 	AvgControl float64 // dynamic control transfers per run (pre-inline)
+	AvgILAfter float64 // dynamic IL count per run after inline expansion
+	// Seconds is the wall-clock cost of the whole methodology for this
+	// benchmark (compile, two profiling passes, expansion, classification).
+	Seconds float64
 
 	// Table 2/3: static and dynamic call-site characteristics.
 	Classes callgraph.ClassCounts
@@ -59,6 +73,7 @@ type BenchResult struct {
 // original, classify its call sites, inline with profile guidance,
 // re-profile, and collect the table rows.
 func RunOne(b *Benchmark, cfg Config) (*BenchResult, error) {
+	start := time.Now()
 	inputs := b.Inputs
 	if cfg.MaxRuns > 0 && len(inputs) > cfg.MaxRuns {
 		inputs = inputs[:cfg.MaxRuns]
@@ -67,6 +82,7 @@ func RunOne(b *Benchmark, cfg Config) (*BenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.Parallelism = cfg.Parallelism
 	before, err := p.ProfileInputs(inputs...)
 	if err != nil {
 		return nil, fmt.Errorf("%s: profiling original: %w", b.Name, err)
@@ -103,6 +119,7 @@ func RunOne(b *Benchmark, cfg Config) (*BenchResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: profiling inlined: %w", b.Name, err)
 	}
+	r.AvgILAfter = after.AvgIL()
 	if before.AvgCalls() > 0 {
 		r.CallDec = (before.AvgCalls() - after.AvgCalls()) / before.AvgCalls()
 	}
@@ -123,22 +140,68 @@ func RunOne(b *Benchmark, cfg Config) (*BenchResult, error) {
 			r.PostMix[i] = cc.Dynamic[i] / total
 		}
 	}
+	r.Seconds = time.Since(start).Seconds()
 	return r, nil
 }
 
-// RunAll runs every benchmark. progress, if non-nil, is called with each
-// benchmark name before it runs.
+// RunAll runs every benchmark, fanning the suite out over up to
+// cfg.Parallelism workers (0 = all cores). Results come back in suite
+// order — identical to a serial pass — and progress, if non-nil, is
+// called with each benchmark name before it runs.
 func RunAll(cfg Config, progress func(string)) ([]*BenchResult, error) {
+	suite := Suite()
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(suite) {
+		par = len(suite)
+	}
+	if par <= 1 {
+		var out []*BenchResult
+		for _, b := range suite {
+			if progress != nil {
+				progress(b.Name)
+			}
+			r, err := RunOne(b, cfg)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+
+	results := make([]*BenchResult, len(suite))
+	errs := make([]error, len(suite))
+	var mu sync.Mutex // serializes the progress callback
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(suite) {
+					return
+				}
+				if progress != nil {
+					mu.Lock()
+					progress(suite[i].Name)
+					mu.Unlock()
+				}
+				results[i], errs[i] = RunOne(suite[i], cfg)
+			}
+		}()
+	}
+	wg.Wait()
 	var out []*BenchResult
-	for _, b := range Suite() {
-		if progress != nil {
-			progress(b.Name)
+	for i := range suite {
+		if errs[i] != nil {
+			return out, errs[i]
 		}
-		r, err := RunOne(b, cfg)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, r)
+		out = append(out, results[i])
 	}
 	return out, nil
 }

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+)
+
+// JSONResult is the machine-readable per-benchmark record `ilbench -json`
+// emits, giving future changes a perf trajectory to compare against
+// (see BENCH_baseline.json at the repository root).
+type JSONResult struct {
+	Name        string  `json:"name"`
+	CLines      int     `json:"c_lines"`
+	Runs        int     `json:"runs"`
+	AvgILBefore float64 `json:"avg_il_before"`
+	AvgILAfter  float64 `json:"avg_il_after"`
+	Expansions  int     `json:"expansions"`
+	CodeIncPct  float64 `json:"code_inc_pct"`
+	CallDecPct  float64 `json:"call_dec_pct"`
+	// Seconds is wall-clock and therefore machine- and load-dependent;
+	// compare trends, not digits.
+	Seconds float64 `json:"seconds"`
+}
+
+// JSONReport is the top-level -json document: the per-benchmark rows plus
+// enough run context to interpret the wall-clock column.
+type JSONReport struct {
+	Parallelism int          `json:"parallelism"`
+	NumCPU      int          `json:"num_cpu"`
+	Results     []JSONResult `json:"results"`
+}
+
+// MarshalResults renders benchmark results as indented JSON. parallelism
+// is the effective Config.Parallelism the results were produced with.
+func MarshalResults(results []*BenchResult, parallelism int) ([]byte, error) {
+	rep := JSONReport{
+		Parallelism: parallelism,
+		NumCPU:      runtime.NumCPU(),
+		Results:     make([]JSONResult, 0, len(results)),
+	}
+	for _, r := range results {
+		rep.Results = append(rep.Results, JSONResult{
+			Name:        r.Name,
+			CLines:      r.CLines,
+			Runs:        r.Runs,
+			AvgILBefore: r.AvgIL,
+			AvgILAfter:  r.AvgILAfter,
+			Expansions:  r.Expansions,
+			CodeIncPct:  100 * r.CodeInc,
+			CallDecPct:  100 * r.CallDec,
+			Seconds:     r.Seconds,
+		})
+	}
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -37,23 +37,60 @@ type Options struct {
 	Trace func(f *ir.Func, pc int)
 }
 
-// compiledFunc caches per-function interpretation tables.
+// compiledFunc caches per-function interpretation tables. All name and
+// label resolution happens once at load time so that the dispatch loop
+// never consults a map: branch targets become pc indices, and static
+// call sites become direct callee pointers.
 type compiledFunc struct {
-	fn     *ir.Func
-	labels map[int]int
-	id     int // function table index; address = FuncBase + id*FuncStride
+	fn *ir.Func
+	id int // function table index; address = FuncBase + id*FuncStride
+	// branchPC[pc] is the resolved jump target for an OpJump/OpBr at pc.
+	branchPC []int32
+	// callees[pc] is the resolved callee for an OpCall at pc.
+	callees []callTarget
+}
+
+// callTarget is a load-time-resolved static callee: either a user
+// function (user != nil) or an external implementation.
+type callTarget struct {
+	user *compiledFunc
+	ext  ExternImpl
+	id   int // dense function id (extern ids follow user function ids)
+}
+
+// externTarget describes one extern for pointer-call resolution.
+type externTarget struct {
+	name string
+	impl ExternImpl
+	id   int
 }
 
 // Machine executes one IL module against an Env, producing RunStats.
+// A Machine is not safe for concurrent use; run one Machine per
+// goroutine (profiling builds an independent Machine per run).
 type Machine struct {
 	Mod *ir.Module
 	Env *Env
 
-	mem     *Memory
-	funcs   map[string]*compiledFunc
-	byAddr  map[int64]*compiledFunc
-	extAddr map[int64]string
-	opts    Options
+	mem        *Memory
+	funcs      map[string]*compiledFunc
+	byAddr     map[int64]*compiledFunc
+	extByAddr  map[int64]*externTarget
+	addrByName map[string]int64
+
+	// funcNames maps a dense function id (user functions first, then
+	// externs) to its name; funcCounts and siteCounts are the per-run
+	// dense counters folded into RunStats at Run exit.
+	funcNames  []string
+	funcCounts []int64
+	siteCounts []int64
+
+	// frames is the pooled activation-record stack, reused across calls
+	// and runs so the hot loop performs no per-call allocation.
+	frames []frame
+	argBuf []int64
+
+	opts Options
 }
 
 // NewMachine loads the module. The same machine may Run multiple times
@@ -70,43 +107,90 @@ func NewMachine(mod *ir.Module, env *Env, opts Options) (*Machine, error) {
 		opts.MaxIL = 1 << 40
 	}
 	m := &Machine{
-		Mod:     mod,
-		Env:     env,
-		funcs:   make(map[string]*compiledFunc),
-		byAddr:  make(map[int64]*compiledFunc),
-		extAddr: make(map[int64]string),
-		opts:    opts,
+		Mod:        mod,
+		Env:        env,
+		funcs:      make(map[string]*compiledFunc, len(mod.Funcs)),
+		byAddr:     make(map[int64]*compiledFunc, len(mod.Funcs)),
+		extByAddr:  make(map[int64]*externTarget, len(mod.Externs)),
+		addrByName: make(map[string]int64, len(mod.Funcs)+len(mod.Externs)),
+		opts:       opts,
 	}
 	id := 0
+	cfs := make([]*compiledFunc, 0, len(mod.Funcs))
 	for _, f := range mod.Funcs {
-		cf := &compiledFunc{fn: f, labels: f.LabelIndex(), id: id}
+		cf := &compiledFunc{fn: f, id: id}
 		m.funcs[f.Name] = cf
 		m.byAddr[FuncBase+int64(id)*FuncStride] = cf
+		m.addrByName[f.Name] = FuncBase + int64(id)*FuncStride
+		m.funcNames = append(m.funcNames, f.Name)
+		cfs = append(cfs, cf)
 		id++
 	}
 	for _, e := range mod.Externs {
-		if _, ok := Externs[e.Name]; !ok {
+		impl, ok := Externs[e.Name]
+		if !ok {
 			return nil, fmt.Errorf("extern function %q has no implementation", e.Name)
 		}
-		m.extAddr[FuncBase+int64(id)*FuncStride] = e.Name
+		addr := FuncBase + int64(id)*FuncStride
+		m.extByAddr[addr] = &externTarget{name: e.Name, impl: impl, id: id}
+		if _, shadowed := m.addrByName[e.Name]; !shadowed {
+			m.addrByName[e.Name] = addr
+		}
+		m.funcNames = append(m.funcNames, e.Name)
 		id++
 	}
+	m.funcCounts = make([]int64, id)
+
+	// Second pass: with every function known, resolve branch labels to pc
+	// indices and call symbols to callee pointers, and size the dense
+	// call-site counter table from the largest static site id.
+	maxCallID := 0
+	extraExterns := make(map[string]int)
+	for _, cf := range cfs {
+		code := cf.fn.Code
+		labels := cf.fn.LabelIndex()
+		cf.branchPC = make([]int32, len(code))
+		cf.callees = make([]callTarget, len(code))
+		for pc := range code {
+			in := &code[pc]
+			switch in.Op {
+			case ir.OpJump, ir.OpBr:
+				cf.branchPC[pc] = int32(labels[in.Label])
+			case ir.OpCall:
+				if callee, isUser := m.funcs[in.Sym]; isUser {
+					cf.callees[pc] = callTarget{user: callee}
+				} else if addr, declared := m.addrByName[in.Sym]; declared {
+					et := m.extByAddr[addr]
+					cf.callees[pc] = callTarget{ext: et.impl, id: et.id}
+				} else if impl, known := Externs[in.Sym]; known {
+					// Called but never declared: resolvable by name only —
+					// it gets a dense counter slot but no runtime address,
+					// matching the map-based resolution this replaces.
+					if slot, seen := extraExterns[in.Sym]; seen {
+						cf.callees[pc] = callTarget{ext: impl, id: slot}
+					} else {
+						m.funcNames = append(m.funcNames, in.Sym)
+						m.funcCounts = append(m.funcCounts, 0)
+						extraExterns[in.Sym] = id
+						cf.callees[pc] = callTarget{ext: impl, id: id}
+						id++
+					}
+				}
+			}
+			if (in.Op == ir.OpCall || in.Op == ir.OpCallPtr) && in.CallID > maxCallID {
+				maxCallID = in.CallID
+			}
+		}
+	}
+	m.siteCounts = make([]int64, maxCallID+1)
 	return m, nil
 }
 
-// FuncAddr returns the runtime address of a function (defined or extern).
+// FuncAddr returns the runtime address of a function (defined or extern),
+// via the name table precomputed at load time.
 func (m *Machine) FuncAddr(name string) (int64, bool) {
-	if cf, ok := m.funcs[name]; ok {
-		return FuncBase + int64(cf.id)*FuncStride, true
-	}
-	nid := len(m.funcs)
-	for _, e := range m.Mod.Externs {
-		if e.Name == name {
-			return FuncBase + int64(nid)*FuncStride, true
-		}
-		nid++
-	}
-	return 0, false
+	a, ok := m.addrByName[name]
+	return a, ok
 }
 
 // Run executes main() and returns the collected statistics. A program
@@ -121,9 +205,16 @@ func (m *Machine) Run() (*profile.RunStats, error) {
 		return nil, err
 	}
 	m.mem = mem
+	for i := range m.funcCounts {
+		m.funcCounts[i] = 0
+	}
+	for i := range m.siteCounts {
+		m.siteCounts[i] = 0
+	}
 
 	st := profile.NewRunStats()
 	code, err := m.exec(mainFn, nil, st)
+	m.foldCounts(st)
 	if err != nil {
 		if ex, isExit := err.(*exitError); isExit {
 			st.ExitCode = ex.code
@@ -135,7 +226,23 @@ func (m *Machine) Run() (*profile.RunStats, error) {
 	return st, nil
 }
 
-// frame is one activation record.
+// foldCounts folds the dense per-run counters back into the map-shaped
+// RunStats the profile package exposes.
+func (m *Machine) foldCounts(st *profile.RunStats) {
+	for id, n := range m.funcCounts {
+		if n != 0 {
+			st.FuncCounts[m.funcNames[id]] += n
+		}
+	}
+	for sid, n := range m.siteCounts {
+		if n != 0 {
+			st.SiteCounts[sid] += n
+		}
+	}
+}
+
+// frame is one activation record. Frames live in the machine's pooled
+// stack; regs slices are recycled between activations at the same depth.
 type frame struct {
 	cf     *compiledFunc
 	base   int64 // address of the frame in the stack segment
@@ -144,52 +251,75 @@ type frame struct {
 	retDst ir.Reg // caller register receiving the return value
 }
 
+// val resolves an operand against the frame's register file.
+func (f *frame) val(v ir.Value) int64 {
+	if v.Kind == ir.VKConst {
+		return v.Imm
+	}
+	return f.regs[v.Reg]
+}
+
+// push activates cf at depth, reusing pooled frame storage. It returns
+// the new top-of-stack frame.
+func (m *Machine) push(depth int, cf *compiledFunc, callArgs []int64, retDst ir.Reg, sp *int64, st *profile.RunStats) (*frame, error) {
+	base := (*sp + 15) &^ 15
+	if base+int64(cf.fn.FrameSize) > int64(m.mem.StackSize()) {
+		return nil, fmt.Errorf("control stack overflow entering %s (frame %d bytes, used %d of %d)",
+			cf.fn.Name, cf.fn.FrameSize, base, m.mem.StackSize())
+	}
+	if depth == len(m.frames) {
+		m.frames = append(m.frames, frame{})
+	}
+	f := &m.frames[depth]
+	f.cf = cf
+	f.base = StackBase + base
+	f.pc = 0
+	f.retDst = retDst
+	if cap(f.regs) >= cf.fn.NumRegs {
+		f.regs = f.regs[:cf.fn.NumRegs]
+		for i := range f.regs {
+			f.regs[i] = 0
+		}
+	} else {
+		f.regs = make([]int64, cf.fn.NumRegs)
+	}
+	// Zero the frame (locals start zeroed for determinism) and store
+	// incoming arguments into the parameter slots.
+	buf, off, _ := m.mem.seg(f.base, int64(cf.fn.FrameSize))
+	for i := int64(0); i < int64(cf.fn.FrameSize); i++ {
+		buf[off+i] = 0
+	}
+	for i := 0; i < cf.fn.NumParams && i < len(callArgs); i++ {
+		slot := cf.fn.Slots[i]
+		if err := m.mem.Store(f.base+int64(slot.Offset), sizeToAccess(slot.Size), callArgs[i]); err != nil {
+			return nil, err
+		}
+	}
+	*sp = base + int64(cf.fn.FrameSize)
+	if *sp > st.MaxStack {
+		st.MaxStack = *sp
+	}
+	m.funcCounts[cf.id]++
+	return f, nil
+}
+
 // exec runs entry(args) to completion using an explicit frame stack so
 // that deep MiniC recursion cannot exhaust the Go stack.
 func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) (int64, error) {
-	var stack []*frame
 	var sp int64 // stack-segment high-water offset
+	depth := 0
 
-	push := func(cf *compiledFunc, callArgs []int64, retDst ir.Reg) error {
-		base := (sp + 15) &^ 15
-		if base+int64(cf.fn.FrameSize) > int64(m.mem.StackSize()) {
-			return fmt.Errorf("control stack overflow entering %s (frame %d bytes, used %d of %d)",
-				cf.fn.Name, cf.fn.FrameSize, base, m.mem.StackSize())
-		}
-		f := &frame{
-			cf:     cf,
-			base:   StackBase + base,
-			regs:   make([]int64, cf.fn.NumRegs),
-			retDst: retDst,
-		}
-		// Zero the frame (locals start zeroed for determinism) and store
-		// incoming arguments into the parameter slots.
-		buf, off, _ := m.mem.seg(f.base, int64(cf.fn.FrameSize))
-		for i := int64(0); i < int64(cf.fn.FrameSize); i++ {
-			buf[off+i] = 0
-		}
-		for i := 0; i < cf.fn.NumParams && i < len(callArgs); i++ {
-			slot := cf.fn.Slots[i]
-			if err := m.mem.Store(f.base+int64(slot.Offset), sizeToAccess(slot.Size), callArgs[i]); err != nil {
-				return err
-			}
-		}
-		sp = base + int64(cf.fn.FrameSize)
-		if sp > st.MaxStack {
-			st.MaxStack = sp
-		}
-		stack = append(stack, f)
-		st.FuncCounts[cf.fn.Name]++
-		return nil
-	}
-
-	if err := push(entry, args, ir.NoReg); err != nil {
+	f, err := m.push(depth, entry, args, ir.NoReg, &sp, st)
+	if err != nil {
 		return 0, err
 	}
+	depth++
+
+	maxIL := m.opts.MaxIL
+	trace := m.opts.Trace
 
 	var retVal int64
-	for len(stack) > 0 {
-		f := stack[len(stack)-1]
+	for depth > 0 {
 		code := f.cf.fn.Code
 		if f.pc >= len(code) {
 			return 0, &RuntimeError{Func: f.cf.fn.Name, Msg: "fell off the end of the function"}
@@ -198,20 +328,13 @@ func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) 
 
 		if in.Op != ir.OpLabel {
 			st.IL++
-			if st.IL > m.opts.MaxIL {
+			if st.IL > maxIL {
 				return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos,
-					Msg: fmt.Sprintf("instruction budget exceeded (%d)", m.opts.MaxIL)}
+					Msg: fmt.Sprintf("instruction budget exceeded (%d)", maxIL)}
 			}
-			if m.opts.Trace != nil {
-				m.opts.Trace(f.cf.fn, f.pc)
+			if trace != nil {
+				trace(f.cf.fn, f.pc)
 			}
-		}
-
-		val := func(v ir.Value) int64 {
-			if v.Kind == ir.VKConst {
-				return v.Imm
-			}
-			return f.regs[v.Reg]
 		}
 
 		switch in.Op {
@@ -221,32 +344,32 @@ func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) 
 			f.regs[in.Dst] = in.A.Imm
 			f.pc++
 		case ir.OpMov:
-			f.regs[in.Dst] = val(in.A)
+			f.regs[in.Dst] = f.val(in.A)
 			f.pc++
 		case ir.OpNeg:
-			f.regs[in.Dst] = -val(in.A)
+			f.regs[in.Dst] = -f.val(in.A)
 			f.pc++
 		case ir.OpNot:
-			f.regs[in.Dst] = ^val(in.A)
+			f.regs[in.Dst] = ^f.val(in.A)
 			f.pc++
 		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
 			ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
 			ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
-			a, b := val(in.A), val(in.B)
+			a, b := f.val(in.A), f.val(in.B)
 			if (in.Op == ir.OpDiv || in.Op == ir.OpRem) && b == 0 {
 				return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: "division by zero"}
 			}
 			f.regs[in.Dst] = evalBinary(in.Op, a, b)
 			f.pc++
 		case ir.OpLoad:
-			v, err := m.mem.Load(val(in.A), in.Size)
+			v, err := m.mem.Load(f.val(in.A), in.Size)
 			if err != nil {
 				return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: err.Error()}
 			}
 			f.regs[in.Dst] = v
 			f.pc++
 		case ir.OpStore:
-			if err := m.mem.Store(val(in.A), in.Size, val(in.B)); err != nil {
+			if err := m.mem.Store(f.val(in.A), in.Size, f.val(in.B)); err != nil {
 				return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: err.Error()}
 			}
 			f.pc++
@@ -262,7 +385,7 @@ func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) 
 			f.regs[in.Dst] = f.base + int64(slot.Offset)
 			f.pc++
 		case ir.OpAddrF:
-			a, ok := m.FuncAddr(in.Sym)
+			a, ok := m.addrByName[in.Sym]
 			if !ok {
 				return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: "unknown function " + in.Sym}
 			}
@@ -270,36 +393,39 @@ func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) 
 			f.pc++
 		case ir.OpJump:
 			st.Control++
-			f.pc = f.cf.labels[in.Label]
+			f.pc = int(f.cf.branchPC[f.pc])
 		case ir.OpBr:
 			st.Control++
-			if val(in.A) != 0 {
-				f.pc = f.cf.labels[in.Label]
+			if f.val(in.A) != 0 {
+				f.pc = int(f.cf.branchPC[f.pc])
 			} else {
 				f.pc++
 			}
 		case ir.OpCall:
 			st.Calls++
-			st.SiteCounts[in.CallID]++
-			callArgs := make([]int64, len(in.Args))
+			m.siteCounts[in.CallID]++
+			callArgs := m.scratchArgs(len(in.Args))
 			for i, a := range in.Args {
-				callArgs[i] = val(a)
+				callArgs[i] = f.val(a)
 			}
-			if callee, isUser := m.funcs[in.Sym]; isUser {
+			ct := &f.cf.callees[f.pc]
+			if ct.user != nil {
 				f.pc++ // resume after the call on return
-				if err := push(callee, callArgs, in.Dst); err != nil {
+				nf, err := m.push(depth, ct.user, callArgs, in.Dst, &sp, st)
+				if err != nil {
 					return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: err.Error()}
 				}
+				f = nf
+				depth++
 				continue
 			}
 			// External function.
-			st.ExternCalls++
-			st.FuncCounts[in.Sym]++
-			impl := Externs[in.Sym]
-			if impl == nil {
+			if ct.ext == nil {
 				return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: "unimplemented extern " + in.Sym}
 			}
-			rv, err := impl(m, callArgs)
+			st.ExternCalls++
+			m.funcCounts[ct.id]++
+			rv, err := ct.ext(m, callArgs)
 			if err != nil {
 				if _, isExit := err.(*exitError); isExit {
 					return 0, err
@@ -314,23 +440,26 @@ func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) 
 		case ir.OpCallPtr:
 			st.Calls++
 			st.PtrCalls++
-			st.SiteCounts[in.CallID]++
-			target := val(in.A)
-			callArgs := make([]int64, len(in.Args))
+			m.siteCounts[in.CallID]++
+			target := f.val(in.A)
+			callArgs := m.scratchArgs(len(in.Args))
 			for i, a := range in.Args {
-				callArgs[i] = val(a)
+				callArgs[i] = f.val(a)
 			}
 			if callee, isUser := m.byAddr[target]; isUser {
 				f.pc++
-				if err := push(callee, callArgs, in.Dst); err != nil {
+				nf, err := m.push(depth, callee, callArgs, in.Dst, &sp, st)
+				if err != nil {
 					return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: err.Error()}
 				}
+				f = nf
+				depth++
 				continue
 			}
-			if name, isExt := m.extAddr[target]; isExt {
+			if et, isExt := m.extByAddr[target]; isExt {
 				st.ExternCalls++
-				st.FuncCounts[name]++
-				rv, err := Externs[name](m, callArgs)
+				m.funcCounts[et.id]++
+				rv, err := et.impl(m, callArgs)
 				if err != nil {
 					if _, isExit := err.(*exitError); isExit {
 						return 0, err
@@ -349,18 +478,19 @@ func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) 
 		case ir.OpRet:
 			st.Returns++
 			if in.A.Kind != ir.VKNone {
-				retVal = val(in.A)
+				retVal = f.val(in.A)
 			} else {
 				retVal = 0
 			}
 			// Pop the frame and deliver the value.
-			stack = stack[:len(stack)-1]
+			depth--
 			sp = 0
-			if len(stack) > 0 {
-				top := stack[len(stack)-1]
-				sp = top.base - StackBase + int64(top.cf.fn.FrameSize)
-				if f.retDst != ir.NoReg {
-					top.regs[f.retDst] = retVal
+			if depth > 0 {
+				retDst := f.retDst
+				f = &m.frames[depth-1]
+				sp = f.base - StackBase + int64(f.cf.fn.FrameSize)
+				if retDst != ir.NoReg {
+					f.regs[retDst] = retVal
 				}
 			}
 		default:
@@ -369,6 +499,17 @@ func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) 
 		}
 	}
 	return retVal, nil
+}
+
+// scratchArgs returns the reused argument buffer, grown to n. Arguments
+// are consumed before the next call evaluates its own (push stores them
+// into parameter slots; externs only read during the call), so a single
+// buffer serves every call site.
+func (m *Machine) scratchArgs(n int) []int64 {
+	if cap(m.argBuf) < n {
+		m.argBuf = make([]int64, n, n+8)
+	}
+	return m.argBuf[:n]
 }
 
 func sizeToAccess(slotSize int) int {

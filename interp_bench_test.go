@@ -1,0 +1,59 @@
+// Interpreter and profiling-pipeline microbenchmarks. These track the
+// hot-loop dispatch cost (ns and allocations per run) and the end-to-end
+// profiling throughput that every table regeneration pays, so interpreter
+// regressions show up in the bench trajectory alongside the paper's
+// result-shape metrics.
+package inlinec_test
+
+import (
+	"fmt"
+	"testing"
+
+	"inlinec/internal/bench"
+)
+
+// BenchmarkInterpDispatch measures the raw interpreter hot loop on the
+// espresso benchmark — the suite's most dispatch-heavy program (tight
+// cube-cover loops, high dynamic IL per call). ReportAllocs makes the
+// per-call frame/argument allocation behaviour part of the metric.
+func BenchmarkInterpDispatch(b *testing.B) {
+	bm := bench.Get("espresso")
+	p, err := bm.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var il int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := p.Run(bm.Inputs[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		il = out.Stats.IL
+	}
+	b.ReportMetric(float64(il)*float64(b.N)/b.Elapsed().Seconds(), "IL/s")
+}
+
+// BenchmarkProfileSuite measures the multi-run profiling pipeline (the
+// paper's "average run-time statistics over many runs") on one benchmark
+// at several parallelism levels.
+func BenchmarkProfileSuite(b *testing.B) {
+	bm := bench.Get("wc")
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			p, err := bm.Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Parallelism = par
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.ProfileInputs(bm.Inputs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

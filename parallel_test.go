@@ -1,0 +1,99 @@
+// Tests for the parallel profiling pipeline: fanning runs out over a
+// worker pool must be an implementation detail, invisible in every
+// observable result.
+package inlinec_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"inlinec"
+	"inlinec/internal/bench"
+)
+
+// serializeProfile renders a profile through the on-disk format, the
+// strictest equality available (it covers every count the profile holds).
+func serializeProfile(t *testing.T, p *inlinec.Profile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelProfilingDeterminism: the worker pool produces byte-identical
+// serialized profiles to a serial run, across suite benchmarks and worker
+// counts (including more workers than inputs).
+func TestParallelProfilingDeterminism(t *testing.T) {
+	for _, name := range []string{"wc", "tee"} {
+		bm := bench.Get(name)
+		if bm == nil {
+			t.Fatalf("missing suite benchmark %s", name)
+		}
+		inputs := bm.Inputs
+		if testing.Short() && len(inputs) > 6 {
+			inputs = inputs[:6]
+		}
+		p, err := bm.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Parallelism = 1
+		serial, err := p.ProfileInputs(inputs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := serializeProfile(t, serial)
+		for _, par := range []int{0, 2, 4, len(inputs) + 3} {
+			p.Parallelism = par
+			prof, err := p.ProfileInputs(inputs...)
+			if err != nil {
+				t.Fatalf("%s parallelism %d: %v", name, par, err)
+			}
+			if got := serializeProfile(t, prof); !bytes.Equal(got, want) {
+				t.Errorf("%s: parallelism %d profile differs from serial run:\n--- serial ---\n%s--- parallel ---\n%s",
+					name, par, want, got)
+			}
+		}
+	}
+}
+
+// TestParallelRunAllDeterminism: RunAll with a worker pool returns results
+// in suite order with the same measurements a serial pass produces. Uses a
+// single capped run per benchmark to keep the suite fast.
+func TestParallelRunAllDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite comparison is not short")
+	}
+	cfg := bench.DefaultConfig()
+	cfg.MaxRuns = 1
+	cfg.Parallelism = 1
+	serial, err := bench.RunAll(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = runtime.GOMAXPROCS(0)
+	parallel, err := bench.RunAll(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Name != p.Name {
+			t.Fatalf("result %d out of order: %s vs %s", i, s.Name, p.Name)
+		}
+		if s.AvgIL != p.AvgIL || s.AvgILAfter != p.AvgILAfter ||
+			s.Expansions != p.Expansions || s.CallDec != p.CallDec || s.CodeInc != p.CodeInc {
+			t.Errorf("%s: parallel measurements differ from serial: %+v vs %+v", s.Name, s, p)
+		}
+	}
+	// The rendered tables — what ilbench prints — must match byte for byte.
+	if st, pt := bench.AllTables(serial), bench.AllTables(parallel); st != pt {
+		t.Errorf("tables differ between serial and parallel runs:\n%s\nvs\n%s", st, pt)
+	}
+}
