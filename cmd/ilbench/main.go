@@ -9,6 +9,8 @@
 //	ilbench -icache      # instruction-cache sweep (conclusion's extension)
 //	ilbench -parallel 1  # serial run (default 0 uses every core; same tables)
 //	ilbench -json        # machine-readable results (see BENCH_baseline.json)
+//	ilbench -bench espresso -baseline BENCH_baseline.json  # perf gate
+//	ilbench -cpuprofile cpu.pprof -memprofile mem.pprof    # hot-path profiling
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"inlinec/internal/bench"
 )
@@ -39,8 +43,43 @@ func run(args []string, stdout, stderrW io.Writer) int {
 	ablation := fs.Bool("ablation", false, "run the design-choice ablation studies instead of the tables")
 	icache := fs.Bool("icache", false, "run the instruction-cache sweep instead of the tables")
 	verbose := fs.Bool("v", false, "print per-benchmark progress and expansion details")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	baselinePath := fs.String("baseline", "", "compare per-run wall time against this -json report and fail on regression")
+	maxRegress := fs.Float64("maxregress", 2.0, "allowed wall-time factor over -baseline before failing")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderrW, "ilbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderrW, "ilbench: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderrW, "ilbench: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderrW, "ilbench: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	cfg := bench.DefaultConfig()
@@ -99,6 +138,19 @@ func run(args []string, stdout, stderrW io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderrW, "ilbench: %v\n", err)
 		return 1
+	}
+
+	if *baselinePath != "" {
+		base, err := bench.ReadReport(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderrW, "ilbench: %v\n", err)
+			return 1
+		}
+		if err := bench.CheckRegression(results, base, *maxRegress); err != nil {
+			fmt.Fprintf(stderrW, "ilbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderrW, "ilbench: wall time within %.1fx of %s\n", *maxRegress, *baselinePath)
 	}
 
 	if *jsonOut {

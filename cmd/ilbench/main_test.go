@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -65,6 +67,32 @@ func TestBenchParallelMatchesSerial(t *testing.T) {
 	_, parallel, _ := runBench(t, "-bench", "grep", "-runs", "2", "-parallel", "4", "-table", "4")
 	if serial != parallel {
 		t.Errorf("-parallel changed the tables:\n%s\nvs\n%s", serial, parallel)
+	}
+}
+
+func TestBenchBaselineGate(t *testing.T) {
+	// Record a baseline from a real run, then gate against it: the same
+	// workload must pass a generous factor and fail an absurdly strict one.
+	code, out, errb := runBench(t, "-bench", "wc", "-runs", "1", "-json")
+	if code != 0 {
+		t.Fatalf("baseline run exit = %d (%s)", code, errb)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb = runBench(t, "-bench", "wc", "-runs", "1", "-baseline", path, "-maxregress", "1000")
+	if code != 0 {
+		t.Errorf("generous gate failed: exit %d (%s)", code, errb)
+	} else if !strings.Contains(errb, "wall time within") {
+		t.Errorf("passing gate should report success: %q", errb)
+	}
+	code, _, errb = runBench(t, "-bench", "wc", "-runs", "1", "-baseline", path, "-maxregress", "0.000001")
+	if code == 0 || !strings.Contains(errb, "regression") {
+		t.Errorf("impossible gate passed: exit %d (%s)", code, errb)
+	}
+	if code, _, errb = runBench(t, "-bench", "wc", "-runs", "1", "-baseline", "no-such-file.json"); code == 0 {
+		t.Errorf("missing baseline file accepted: %s", errb)
 	}
 }
 

@@ -52,6 +52,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	sizeLimit := fs.Float64("sizelimit", 1.25, "program size limit factor")
 	stats := fs.Bool("stats", false, "print dynamic statistics after -run")
 	profilePath := fs.String("profile", "", "use a saved profile (from ilprof -o) for -inline")
+	parallel := fs.Int("parallel", 0, "worker count for multi-unit compilation, profiling, and expansion (0 = all cores, 1 = serial); any value yields identical output")
 	var files fileList
 	fs.Var(&files, "file", "seed the simulated FS: guestpath=hostpath (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -81,25 +82,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	} else {
 		// Separate compilation + linking (section 2.1 of the paper):
-		// compile each unit independently, then link.
-		var units []*inlinec.Unit
+		// units compile concurrently on the -parallel worker pool, then
+		// link. Diagnostics come back in command-line order regardless of
+		// which worker found them.
+		sources := make([]inlinec.UnitSource, 0, fs.NArg())
 		for _, path := range fs.Args() {
 			src, err := os.ReadFile(path)
 			if err != nil {
 				return fail(err)
 			}
-			u, err := inlinec.CompileUnit(path, string(src))
-			if err != nil {
-				return fail(err)
-			}
-			units = append(units, u)
+			sources = append(sources, inlinec.UnitSource{Name: path, Src: string(src)})
 		}
 		var err error
-		prog, err = inlinec.LinkUnits("a.out", units...)
+		prog, err = inlinec.CompileAndLink("a.out", *parallel, sources...)
 		if err != nil {
 			return fail(err)
 		}
 	}
+	prog.Parallelism = *parallel
 
 	if *tco {
 		n, err := prog.EliminateTailCalls()

@@ -8,6 +8,7 @@
 //	ilprof -in a.txt -in b.txt prog.c  # one run per -in file
 //	ilprof -sites prog.c < input       # include per-site arc weights
 //	ilprof -o prog.prof prog.c < input # write the profile to a file
+//	ilprof -cpuprofile cpu.pprof ...   # pprof the profiler itself
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -39,10 +42,42 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	sites := fs.Bool("sites", false, "print per-call-site arc weights")
 	outPath := fs.String("o", "", "write the profile to this file (ilcc -profile consumes it)")
 	parallel := fs.Int("parallel", 0, "profiling worker count (0 = all cores, 1 = serial); any value yields an identical profile")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the profiler itself to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	var ins inputList
 	fs.Var(&ins, "in", "host file used as one profiling run's stdin (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "ilprof: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "ilprof: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "ilprof: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "ilprof: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: ilprof [flags] prog.c")

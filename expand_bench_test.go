@@ -1,0 +1,124 @@
+// Microbenchmarks for the parallel table-regeneration passes: wave-
+// scheduled physical expansion and the concurrent per-function cleanup
+// pipelines. The workload is synthetic — many same-shaped callers
+// absorbing a pool of leaf functions — so the expansion DAG has one wide
+// wave and the worker pool actually has work to spread.
+package inlinec_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"inlinec"
+	"inlinec/internal/callgraph"
+	"inlinec/internal/inline"
+	"inlinec/internal/opt"
+)
+
+// expandWorkloadSrc builds a MiniC program with nLeaf leaf functions and
+// nCaller callers that each call callsPer leaves. Leaves are sized to
+// pass the per-callee limit below and callers to fail it, so expansion
+// splices every caller<-leaf arc but never folds callers into main.
+func expandWorkloadSrc(nLeaf, nCaller, callsPer int) string {
+	var sb strings.Builder
+	sb.WriteString("extern int printf(char *fmt, ...);\n")
+	for l := 0; l < nLeaf; l++ {
+		fmt.Fprintf(&sb, "int leaf%d(int x) {\n    int a; int b;\n    a = x + %d; b = x ^ %d;\n", l, l, l*3+1)
+		for s := 0; s < 30; s++ {
+			fmt.Fprintf(&sb, "    a = a * 3 + b + %d; b = (b ^ a) + %d;\n", s, s*7+l)
+		}
+		sb.WriteString("    return a + b;\n}\n")
+	}
+	for c := 0; c < nCaller; c++ {
+		fmt.Fprintf(&sb, "int caller%d(int x) {\n    int s; int t;\n    s = x; t = x + %d;\n", c, c)
+		for s := 0; s < 60; s++ {
+			fmt.Fprintf(&sb, "    s = s * 5 + t + %d; t = (t ^ s) - %d;\n", s, s+c)
+		}
+		for k := 0; k < callsPer; k++ {
+			fmt.Fprintf(&sb, "    s += leaf%d(s + %d);\n", (c+k)%nLeaf, k)
+		}
+		sb.WriteString("    return s + t;\n}\n")
+	}
+	sb.WriteString("int main() {\n    int s;\n    s = 0;\n")
+	for c := 0; c < nCaller; c++ {
+		fmt.Fprintf(&sb, "    s += caller%d(%d);\n", c, c)
+	}
+	sb.WriteString("    printf(\"%d\\n\", s);\n    return 0;\n}\n")
+	return sb.String()
+}
+
+const (
+	benchLeaves         = 12
+	benchCallers        = 64
+	benchCallsPerCaller = 10
+)
+
+func expandWorkloadParams() inlinec.Params {
+	p := inlinec.DefaultParams()
+	p.WeightThreshold = 1
+	p.SizeLimitFactor = 12
+	p.MaxCalleeSize = 700 // above the ~620-instr leaves, below the ~1300-instr callers
+	return p
+}
+
+// workloadProgram compiles and profiles the workload once.
+func workloadProgram(b *testing.B) (*inlinec.Program, *inlinec.Profile) {
+	b.Helper()
+	p := inlinec.MustCompile("workload.c", expandWorkloadSrc(benchLeaves, benchCallers, benchCallsPerCaller))
+	prof, err := p.ProfileInputs(inlinec.Input{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, prof
+}
+
+// BenchmarkInlineExpand times the full expansion procedure (linearize,
+// select, wave-scheduled splice, verify) at several worker counts on a
+// pristine clone each iteration. The selection and verification phases
+// are serial, so the speedup is bounded below the splice-phase scaling.
+func BenchmarkInlineExpand(b *testing.B) {
+	base, prof := workloadProgram(b)
+	for _, par := range []int{1, 2, 4, 8} {
+		params := expandWorkloadParams()
+		params.Parallelism = par
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mod := base.Original.Clone()
+				g := callgraph.Build(mod, prof)
+				b.StartTimer()
+				res, err := inline.Expand(mod, g, prof, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want := benchCallers * benchCallsPerCaller; res.NumExpansions != want {
+					b.Fatalf("workload shape drifted: %d expansions, want %d", res.NumExpansions, want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimize times the post-inline cleanup pipelines over the
+// fully expanded workload module at several worker counts. The passes
+// are function-local, so this is the pure scaling of the concurrent
+// optimizer.
+func BenchmarkOptimize(b *testing.B) {
+	base, prof := workloadProgram(b)
+	params := expandWorkloadParams()
+	params.Parallelism = 1
+	if _, err := base.Inline(prof, params); err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mod := base.Module.Clone()
+				b.StartTimer()
+				opt.PostInlineParallel(mod, par)
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@
 package inlinec
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -98,14 +99,25 @@ type Program struct {
 	// constant folding and jump optimization), untouched by Inline.
 	Original *ir.Module
 
-	// Parallelism bounds the worker pool ProfileInputs fans profiling
-	// runs out over: 0 uses every core, 1 runs serially, N uses N
-	// workers. Each run builds an independent Machine and Env, and runs
-	// merge into the profile in input order, so any setting produces
-	// bit-identical profiles.
+	// Parallelism bounds the worker pools the whole table-regeneration
+	// pipeline fans out over: 0 uses every core, 1 runs serially, N uses
+	// N workers. ProfileInputs distributes profiling runs (independent
+	// Machine and Env per run, merged in input order, so any setting
+	// produces bit-identical profiles); Inline schedules physical
+	// expansion's dependency waves over the same bound; Optimize runs the
+	// per-function cleanup pipelines concurrently. Every setting produces
+	// byte-identical modules, decision lists, and tables.
 	Parallelism int
 
 	name string
+}
+
+// workers maps the Parallelism field onto an effective worker count.
+func (p *Program) workers() int {
+	if p.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Parallelism
 }
 
 // Compile parses, checks, lowers, and pre-optimizes a MiniC source file.
@@ -160,6 +172,67 @@ func CompileUnit(name, src string) (*Unit, error) {
 		return nil, fmt.Errorf("pre-inline optimization broke %s: %w", name, err)
 	}
 	return &Unit{Name: name, Module: mod}, nil
+}
+
+// UnitSource names one translation unit's source text for CompileUnits.
+type UnitSource struct {
+	Name string
+	Src  string
+}
+
+// CompileUnits compiles several translation units concurrently: each
+// unit's lex/parse/sema/irgen/pre-optimize pipeline runs in its own
+// worker, bounded by par (0 = all cores, 1 = serial). Units come back in
+// input order and the diagnostics of every failing unit are merged in
+// input order, so any worker count produces identical results and
+// identical error text.
+func CompileUnits(par int, sources ...UnitSource) ([]*Unit, error) {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(sources) {
+		par = len(sources)
+	}
+	units := make([]*Unit, len(sources))
+	errs := make([]error, len(sources))
+	if par <= 1 {
+		for i, s := range sources {
+			units[i], errs[i] = CompileUnit(s.Name, s.Src)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(sources) {
+						return
+					}
+					units[i], errs[i] = CompileUnit(sources[i].Name, sources[i].Src)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return units, nil
+}
+
+// CompileAndLink is the parallel multi-unit front end: it compiles the
+// units concurrently on up to par workers (0 = all cores) and links them
+// into a runnable Program, producing the same module as compiling each
+// unit serially and calling LinkUnits.
+func CompileAndLink(name string, par int, sources ...UnitSource) (*Program, error) {
+	units, err := CompileUnits(par, sources...)
+	if err != nil {
+		return nil, err
+	}
+	return LinkUnits(name, units...)
 }
 
 // LinkUnits merges separately compiled units into a runnable Program —
@@ -296,8 +369,14 @@ func (p *Program) CallGraph(prof *Profile) *Graph {
 
 // Inline runs profile-guided inline expansion over the working module in
 // place and returns the expansion report. The pristine module remains in
-// Original.
+// Original. Unless params.Parallelism is set explicitly, physical
+// expansion inherits the Program's Parallelism: its dependency waves are
+// scheduled over that many workers, with byte-identical results at any
+// count.
 func (p *Program) Inline(prof *Profile, params Params) (*Result, error) {
+	if params.Parallelism == 0 {
+		params.Parallelism = p.workers()
+	}
 	g := callgraph.Build(p.Module, prof)
 	return inline.Expand(p.Module, g, prof, params)
 }
@@ -305,9 +384,11 @@ func (p *Program) Inline(prof *Profile, params Params) (*Result, error) {
 // Optimize applies the post-inline cleanup passes (copy propagation,
 // constant folding, dead code elimination, jump optimization) to the
 // working module — the "comprehensive code optimizations after inline
-// expansion" the paper deferred.
+// expansion" the paper deferred. The per-function pass pipelines run
+// concurrently on up to Parallelism workers; they are function-local, so
+// the resulting module is identical at any worker count.
 func (p *Program) Optimize() error {
-	opt.PostInline(p.Module)
+	opt.PostInlineParallel(p.Module, p.workers())
 	return p.Module.Verify()
 }
 

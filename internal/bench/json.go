@@ -2,7 +2,10 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
+	"os"
 	"runtime"
+	"strings"
 )
 
 // JSONResult is the machine-readable per-benchmark record `ilbench -json`
@@ -56,4 +59,49 @@ func MarshalResults(results []*BenchResult, parallelism int) ([]byte, error) {
 		return nil, err
 	}
 	return append(out, '\n'), nil
+}
+
+// ReadReport loads a report previously written by `ilbench -json` (e.g.
+// BENCH_baseline.json), for wall-time regression checks.
+func ReadReport(path string) (*JSONReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// CheckRegression compares per-run wall time against a baseline report
+// and returns an error naming every benchmark that ran more than factor
+// times slower than its baseline entry. Comparing per run (Seconds/Runs)
+// keeps a -runs-capped smoke check comparable to a full baseline;
+// benchmarks absent from the baseline are skipped. Wall clock is noisy
+// and machine-dependent, so factor should be generous (the CI gate
+// uses 2).
+func CheckRegression(results []*BenchResult, baseline *JSONReport, factor float64) error {
+	base := make(map[string]JSONResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var slow []string
+	for _, r := range results {
+		b, ok := base[r.Name]
+		if !ok || b.Runs <= 0 || r.Runs <= 0 || b.Seconds <= 0 {
+			continue
+		}
+		got := r.Seconds / float64(r.Runs)
+		want := b.Seconds / float64(b.Runs)
+		if got > factor*want {
+			slow = append(slow, fmt.Sprintf("%s: %.3fs/run vs baseline %.3fs/run (%.1fx > %.1fx)",
+				r.Name, got, want, got/want, factor))
+		}
+	}
+	if len(slow) > 0 {
+		return fmt.Errorf("wall-time regression vs baseline:\n  %s", strings.Join(slow, "\n  "))
+	}
+	return nil
 }

@@ -24,19 +24,41 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Lookups)
 }
 
-// bodyCache is a tiny LRU over function definitions.
+// add accumulates another cache's counters. Wave-scheduled expansion
+// keeps one cache per worker and merges them in worker order, so the
+// combined stats are reproducible for a given worker count (locality —
+// and hence the hit/miss split — legitimately varies with the count;
+// Lookups always equals the number of splices performed).
+func (s *CacheStats) add(o CacheStats) {
+	s.Lookups += o.Lookups
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+}
+
+// cacheNode is one resident definition on the recency list.
+type cacheNode struct {
+	name       string
+	fn         *ir.Func
+	prev, next *cacheNode
+}
+
+// bodyCache is an LRU over function definitions: a name-indexed map of
+// nodes threaded on a doubly-linked recency list (head = least recently
+// used, tail = most recently used), so lookup, touch, and eviction are
+// all O(1) regardless of capacity.
 type bodyCache struct {
-	cap   int
-	order []string // least recently used first
-	held  map[string]*ir.Func
-	Stats CacheStats
+	cap        int
+	nodes      map[string]*cacheNode
+	head, tail *cacheNode
+	Stats      CacheStats
 }
 
 func newBodyCache(capacity int) *bodyCache {
 	if capacity <= 0 {
 		capacity = 8
 	}
-	return &bodyCache{cap: capacity, held: make(map[string]*ir.Func)}
+	return &bodyCache{cap: capacity, nodes: make(map[string]*cacheNode)}
 }
 
 // fetch returns the current definition of name, recording hit/miss and
@@ -44,32 +66,58 @@ func newBodyCache(capacity int) *bodyCache {
 // body before any caller absorbs it, a cached definition never goes stale.
 func (c *bodyCache) fetch(mod *ir.Module, name string) *ir.Func {
 	c.Stats.Lookups++
-	if f, ok := c.held[name]; ok {
+	if n, ok := c.nodes[name]; ok {
 		c.Stats.Hits++
-		c.touch(name)
-		return f
+		c.touch(n)
+		return n.fn
 	}
 	c.Stats.Misses++
 	f := mod.Func(name)
 	if f == nil {
 		return nil
 	}
-	if len(c.order) >= c.cap {
-		victim := c.order[0]
-		c.order = c.order[1:]
-		delete(c.held, victim)
+	if len(c.nodes) >= c.cap {
+		victim := c.head
+		c.unlink(victim)
+		delete(c.nodes, victim.name)
 		c.Stats.Evictions++
 	}
-	c.held[name] = f
-	c.order = append(c.order, name)
+	n := &cacheNode{name: name, fn: f}
+	c.nodes[name] = n
+	c.pushBack(n)
 	return f
 }
 
-func (c *bodyCache) touch(name string) {
-	for i, n := range c.order {
-		if n == name {
-			c.order = append(append(c.order[:i:i], c.order[i+1:]...), name)
-			return
-		}
+// touch moves a resident node to the most-recently-used position.
+func (c *bodyCache) touch(n *cacheNode) {
+	if c.tail == n {
+		return
 	}
+	c.unlink(n)
+	c.pushBack(n)
+}
+
+func (c *bodyCache) unlink(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *bodyCache) pushBack(n *cacheNode) {
+	n.prev = c.tail
+	n.next = nil
+	if c.tail != nil {
+		c.tail.next = n
+	} else {
+		c.head = n
+	}
+	c.tail = n
 }

@@ -1,0 +1,116 @@
+package inline
+
+import (
+	"reflect"
+	"testing"
+
+	"inlinec/internal/ir"
+)
+
+func cacheModule(names ...string) *ir.Module {
+	mod := ir.NewModule("cache")
+	for _, n := range names {
+		mod.AddFunc(&ir.Func{Name: n})
+	}
+	return mod
+}
+
+// lruOrder walks the recency list, least recently used first.
+func lruOrder(c *bodyCache) []string {
+	var out []string
+	for n := c.head; n != nil; n = n.next {
+		out = append(out, n.name)
+	}
+	return out
+}
+
+func TestBodyCacheEvictsLRU(t *testing.T) {
+	mod := cacheModule("a", "b", "c")
+	c := newBodyCache(2)
+
+	c.fetch(mod, "a")
+	c.fetch(mod, "b")
+	if got := lruOrder(c); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("after a,b: order %v", got)
+	}
+	// A hit must move the entry to the MRU end, so b becomes the victim.
+	c.fetch(mod, "a")
+	c.fetch(mod, "c")
+	if got := lruOrder(c); !reflect.DeepEqual(got, []string{"a", "c"}) {
+		t.Fatalf("after touching a and inserting c: order %v (b should be evicted)", got)
+	}
+	if _, held := c.nodes["b"]; held {
+		t.Error("b still resident after eviction")
+	}
+	c.fetch(mod, "b")
+	if got := lruOrder(c); !reflect.DeepEqual(got, []string{"c", "b"}) {
+		t.Fatalf("after re-fetching b: order %v (a should be evicted)", got)
+	}
+
+	want := CacheStats{Lookups: 5, Hits: 1, Misses: 4, Evictions: 2}
+	if c.Stats != want {
+		t.Errorf("stats %+v, want %+v", c.Stats, want)
+	}
+}
+
+func TestBodyCacheAccountingUnderPressure(t *testing.T) {
+	names := []string{"f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9"}
+	mod := cacheModule(names...)
+	c := newBodyCache(3)
+
+	// Ten distinct fetches through a capacity-3 cache: every lookup
+	// misses (a modeled file read) and each insert past the third writes
+	// back a displaced definition.
+	for _, n := range names {
+		if c.fetch(mod, n) == nil {
+			t.Fatalf("fetch %s returned nil", n)
+		}
+	}
+	want := CacheStats{Lookups: 10, Hits: 0, Misses: 10, Evictions: 7}
+	if c.Stats != want {
+		t.Fatalf("cold pass stats %+v, want %+v", c.Stats, want)
+	}
+	if got := lruOrder(c); !reflect.DeepEqual(got, []string{"f7", "f8", "f9"}) {
+		t.Fatalf("resident set %v, want the last three fetched", got)
+	}
+
+	// Re-fetching the resident tail hits without evicting.
+	for _, n := range []string{"f7", "f8", "f9"} {
+		c.fetch(mod, n)
+	}
+	want = CacheStats{Lookups: 13, Hits: 3, Misses: 10, Evictions: 7}
+	if c.Stats != want {
+		t.Errorf("warm pass stats %+v, want %+v", c.Stats, want)
+	}
+	if c.Stats.Hits+c.Stats.Misses != c.Stats.Lookups {
+		t.Errorf("hits+misses != lookups: %+v", c.Stats)
+	}
+}
+
+func TestBodyCacheMissingFunctionNotInserted(t *testing.T) {
+	mod := cacheModule("a")
+	c := newBodyCache(1)
+	c.fetch(mod, "a")
+	if f := c.fetch(mod, "ghost"); f != nil {
+		t.Fatalf("fetch of undefined function returned %v", f)
+	}
+	// The failed lookup counts as a miss but must neither insert a node
+	// nor displace the resident definition.
+	want := CacheStats{Lookups: 2, Hits: 0, Misses: 2, Evictions: 0}
+	if c.Stats != want {
+		t.Errorf("stats %+v, want %+v", c.Stats, want)
+	}
+	if got := lruOrder(c); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("resident set %v, want [a]", got)
+	}
+}
+
+func TestCacheStatsMerge(t *testing.T) {
+	var total CacheStats
+	total.add(CacheStats{Lookups: 5, Hits: 2, Misses: 3, Evictions: 1})
+	total.add(CacheStats{Lookups: 7, Hits: 6, Misses: 1})
+	want := CacheStats{Lookups: 12, Hits: 8, Misses: 4, Evictions: 1}
+	if total != want {
+		t.Errorf("merged stats %+v, want %+v", total, want)
+	}
+}

@@ -2,6 +2,7 @@ package inline
 
 import (
 	"fmt"
+	"sync"
 
 	"inlinec/internal/callgraph"
 	"inlinec/internal/ir"
@@ -11,6 +12,13 @@ import (
 // callee precedes its callers in the sequence, each function body is final
 // by the time it is absorbed, so each to_be_expanded arc is spliced
 // exactly once and multi-level inlining falls out for free.
+//
+// The linear order also exposes pass-level parallelism: caller Y only
+// needs to wait for the selected callees that precede it, so the accepted
+// arcs induce a dependency DAG that can be expanded in waves. With
+// Params.Parallelism > 1, expandWaves schedules those waves over a
+// bounded worker pool; the function-local renaming makes every splice
+// byte-identical to the serial walk regardless of worker count.
 func (il *Inliner) expandAll(res *Result) error {
 	// Group the accepted arcs by caller.
 	byCaller := make(map[string][]*callgraph.Arc)
@@ -19,40 +27,133 @@ func (il *Inliner) expandAll(res *Result) error {
 			byCaller[a.Caller.Name] = append(byCaller[a.Caller.Name], a)
 		}
 	}
-	cache := newBodyCache(il.params.CacheCapacity)
 
 	if il.params.NoLinearOrder {
-		return il.expandFixedPoint(res, byCaller, cache)
+		// The ablation has no dependency DAG to schedule: without the
+		// order constraint a body absorbed early may be re-expanded later,
+		// so the fixed point stays on the serial path.
+		return il.expandFixedPoint(res, byCaller, newBodyCache(il.params.CacheCapacity))
+	}
+	if par := il.params.Parallelism; par > 1 && len(byCaller) > 1 {
+		return il.expandWaves(res, byCaller, par)
 	}
 
 	// Walk the linear sequence front to back; all expansions pertaining to
 	// a function are done before any later function absorbs it.
+	cache := newBodyCache(il.params.CacheCapacity)
 	for _, name := range il.order {
-		arcs := byCaller[name]
-		if len(arcs) == 0 {
+		if len(byCaller[name]) == 0 {
 			continue
 		}
-		fn := il.mod.Func(name)
-		if fn == nil {
-			continue
-		}
-		wanted := make(map[int]*callgraph.Arc, len(arcs))
-		for _, a := range arcs {
-			wanted[a.ID] = a
-		}
-		if err := il.expandSitesIn(fn, wanted, cache, res); err != nil {
+		n, err := il.expandCaller(name, byCaller[name], cache)
+		if err != nil {
 			return err
 		}
+		res.NumExpansions += n
 	}
 	res.Cache = cache.Stats
 	return nil
 }
 
+// planWaves derives the expansion dependency DAG from the linear order
+// plus the selected arcs and flattens it into waves: caller Y depends on
+// selected callee X only if X has selected expansions of its own (its
+// body is not yet final), and selection guarantees X precedes Y in the
+// linear order, so a single front-to-back walk computes every caller's
+// dependency depth. Wave k holds the callers whose longest chain of
+// pending callees has length k; functions within a wave never read each
+// other's bodies, so they can expand concurrently.
+func (il *Inliner) planWaves(byCaller map[string][]*callgraph.Arc) [][]string {
+	depth := make(map[string]int, len(byCaller))
+	var waves [][]string
+	for _, name := range il.order {
+		arcs := byCaller[name]
+		if len(arcs) == 0 {
+			continue
+		}
+		d := 0
+		for _, a := range arcs {
+			if _, pending := byCaller[a.Callee.Name]; pending {
+				if dd := depth[a.Callee.Name] + 1; dd > d {
+					d = dd
+				}
+			}
+		}
+		depth[name] = d
+		for len(waves) <= d {
+			waves = append(waves, nil)
+		}
+		waves[d] = append(waves[d], name)
+	}
+	return waves
+}
+
+// expandWaves runs physical expansion wave by wave over a bounded worker
+// pool. Within a wave, callers are assigned to workers by a fixed stride
+// and each worker keeps its own body cache across waves, so for a given
+// worker count the merged CacheStats are reproducible; the module bytes,
+// decision list, and expansion count are identical to the serial walk at
+// any worker count.
+func (il *Inliner) expandWaves(res *Result, byCaller map[string][]*callgraph.Arc, par int) error {
+	if par > len(byCaller) {
+		par = len(byCaller)
+	}
+	caches := make([]*bodyCache, par)
+	for i := range caches {
+		caches[i] = newBodyCache(il.params.CacheCapacity)
+	}
+	for _, wave := range il.planWaves(byCaller) {
+		workers := par
+		if workers > len(wave) {
+			workers = len(wave)
+		}
+		counts := make([]int, len(wave))
+		errs := make([]error, len(wave))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(wave); i += workers {
+					counts[i], errs[i] = il.expandCaller(wave[i], byCaller[wave[i]], caches[w])
+				}
+			}(w)
+		}
+		wg.Wait()
+		for i := range wave {
+			if errs[i] != nil {
+				return errs[i]
+			}
+			res.NumExpansions += counts[i]
+		}
+	}
+	for _, c := range caches {
+		res.Cache.add(c.Stats)
+	}
+	return nil
+}
+
+// expandCaller splices every selected arc of one caller, fetching callee
+// bodies through the given cache, and returns the number of splices.
+func (il *Inliner) expandCaller(name string, arcs []*callgraph.Arc, cache *bodyCache) (int, error) {
+	fn := il.mod.Func(name)
+	if fn == nil {
+		return 0, nil
+	}
+	wanted := make(map[int]*callgraph.Arc, len(arcs))
+	for _, a := range arcs {
+		wanted[a.ID] = a
+	}
+	return il.expandSitesIn(fn, wanted, cache)
+}
+
 // expandSitesIn splices the callee body at every call instruction of fn
-// whose CallID appears in wanted.
-func (il *Inliner) expandSitesIn(fn *ir.Func, wanted map[int]*callgraph.Arc, cache *bodyCache, res *Result) error {
+// whose CallID appears in wanted. It touches only fn, the per-task arcs,
+// and its own cache, which is what makes intra-wave concurrency safe.
+func (il *Inliner) expandSitesIn(fn *ir.Func, wanted map[int]*callgraph.Arc, cache *bodyCache) (int, error) {
 	// Iterate until no wanted site remains; splicing invalidates indices,
 	// so re-scan after each expansion.
+	expanded := 0
 	for {
 		idx := -1
 		var arc *callgraph.Arc
@@ -66,18 +167,18 @@ func (il *Inliner) expandSitesIn(fn *ir.Func, wanted map[int]*callgraph.Arc, cac
 			}
 		}
 		if idx < 0 {
-			return nil
+			return expanded, nil
 		}
 		delete(wanted, arc.ID)
 		callee := cache.fetch(il.mod, arc.Callee.Name)
 		if callee == nil {
-			return fmt.Errorf("inline: callee %s not found for site %d", arc.Callee.Name, arc.ID)
+			return expanded, fmt.Errorf("inline: callee %s not found for site %d", arc.Callee.Name, arc.ID)
 		}
 		if err := spliceCall(fn, idx, callee); err != nil {
-			return fmt.Errorf("inline: site %d (%s <- %s): %w", arc.ID, fn.Name, callee.Name, err)
+			return expanded, fmt.Errorf("inline: site %d (%s <- %s): %w", arc.ID, fn.Name, callee.Name, err)
 		}
 		arc.Status = callgraph.StatusExpanded
-		res.NumExpansions++
+		expanded++
 	}
 }
 

@@ -71,6 +71,13 @@ type Params struct {
 	// function; this option is the ablation for when it does not — a
 	// greedy knapsack by benefit density under the program-size budget.
 	OrderByDensity bool
+	// Parallelism bounds the worker pool physical expansion schedules its
+	// dependency waves over: 0 or 1 runs the serial linear walk, N > 1
+	// uses up to N workers. Any setting produces byte-identical modules
+	// and decision lists; only the body-cache hit/miss split varies with
+	// the worker count (each worker keeps its own cache). Ignored under
+	// NoLinearOrder, whose fixed point has no dependency DAG to schedule.
+	Parallelism int
 }
 
 // DefaultParams returns the paper-mirroring configuration.
@@ -126,7 +133,10 @@ type Result struct {
 	FinalSize    int
 	// EliminatedFuncs lists functions removed as unreachable afterwards.
 	EliminatedFuncs []string
-	// Cache reports body-cache behaviour during physical expansion.
+	// Cache reports body-cache behaviour during physical expansion. With
+	// Params.Parallelism > 1 it is the deterministic worker-order merge
+	// of the per-worker caches; the hit/miss split depends on the worker
+	// count (Lookups always equals the number of splices).
 	Cache CacheStats
 }
 

@@ -1,0 +1,111 @@
+package inline
+
+import (
+	"testing"
+
+	"inlinec/internal/callgraph"
+)
+
+// selectedByCaller runs phases 1 and 2 and groups the accepted arcs by
+// caller, mirroring what expandAll does before scheduling.
+func selectedByCaller(t *testing.T, il *Inliner) map[string][]*callgraph.Arc {
+	t.Helper()
+	res := &Result{OriginalSize: il.mod.TotalCodeSize()}
+	il.linearize(res)
+	il.selectSites(res)
+	byCaller := make(map[string][]*callgraph.Arc)
+	for _, a := range il.graph.Arcs {
+		if a.Status == callgraph.StatusToBeExpanded {
+			byCaller[a.Caller.Name] = append(byCaller[a.Caller.Name], a)
+		}
+	}
+	return byCaller
+}
+
+// TestPlanWavesChain: on the three-level chain, the dependency DAG must
+// schedule middle before top before main, and in general every caller
+// must come strictly after all of its still-pending callees.
+func TestPlanWavesChain(t *testing.T) {
+	mod, g, prof := build(t, chainSrc)
+	il := New(mod, g, prof, Params{WeightThreshold: 1, SizeLimitFactor: 4.0})
+	byCaller := selectedByCaller(t, il)
+	if len(byCaller) < 2 {
+		t.Fatalf("chain selection too small to schedule: %d callers", len(byCaller))
+	}
+	waves := il.planWaves(byCaller)
+
+	waveOf := make(map[string]int)
+	total := 0
+	for k, wave := range waves {
+		for _, name := range wave {
+			waveOf[name] = k
+			total++
+		}
+	}
+	if total != len(byCaller) {
+		t.Fatalf("waves hold %d callers, selection produced %d", total, len(byCaller))
+	}
+	for caller, arcs := range byCaller {
+		for _, a := range arcs {
+			if _, pending := byCaller[a.Callee.Name]; pending && waveOf[a.Callee.Name] >= waveOf[caller] {
+				t.Errorf("caller %s (wave %d) scheduled no later than pending callee %s (wave %d)",
+					caller, waveOf[caller], a.Callee.Name, waveOf[a.Callee.Name])
+			}
+		}
+	}
+	if len(waves) < 2 {
+		t.Errorf("chain program should need multiple waves, got %d", len(waves))
+	}
+}
+
+// TestParallelExpandMatchesSerial: wave scheduling is invisible — the
+// module bytes, expansion count, and program behaviour match the serial
+// walk at every worker count, including more workers than callers.
+func TestParallelExpandMatchesSerial(t *testing.T) {
+	for _, src := range []string{chainSrc, diamondSrc} {
+		expand := func(par int) (string, int, string) {
+			mod, g, prof := build(t, src)
+			res, err := Expand(mod, g, prof, Params{
+				WeightThreshold: 1, SizeLimitFactor: 4.0, Parallelism: par,
+			})
+			if err != nil {
+				t.Fatalf("expand (par %d): %v", par, err)
+			}
+			out, _ := runModule(t, mod)
+			return mod.String(), res.NumExpansions, out
+		}
+		wantMod, wantN, wantOut := expand(1)
+		if wantN == 0 {
+			t.Fatal("workload selected nothing to expand")
+		}
+		for _, par := range []int{2, 8, 64} {
+			gotMod, gotN, gotOut := expand(par)
+			if gotMod != wantMod {
+				t.Errorf("par %d: module differs from serial expansion", par)
+			}
+			if gotN != wantN {
+				t.Errorf("par %d: %d expansions, serial did %d", par, gotN, wantN)
+			}
+			if gotOut != wantOut {
+				t.Errorf("par %d: program output %q, serial %q", par, gotOut, wantOut)
+			}
+		}
+	}
+}
+
+// diamondSrc gives wave 0 more than one caller, so parallel workers
+// genuinely run concurrently within a wave.
+const diamondSrc = `
+extern int printf(char *fmt, ...);
+int base(int x) { return x * 3 + 1; }
+int left(int x) { return base(x) + base(x + 1); }
+int right(int x) { return base(x) ^ 7; }
+int join(int x) { return left(x) + right(x); }
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 80; i++) s += join(i);
+    printf("%d\n", s);
+    return 0;
+}
+`

@@ -8,39 +8,96 @@
 package opt
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"inlinec/internal/callgraph"
 	"inlinec/internal/ir"
 )
 
-// PreInline runs the paper's pre-expansion pipeline on every function:
-// constant folding then jump optimization, to a local fixed point.
-func PreInline(mod *ir.Module) {
-	for _, f := range mod.Funcs {
-		for i := 0; i < 4; i++ {
-			changed := ConstFold(f)
-			changed = JumpOptimize(f) || changed
-			if !changed {
-				break
-			}
+// PreInline runs the paper's pre-expansion pipeline on every function,
+// fanning the functions out over every core (see PreInlineParallel).
+func PreInline(mod *ir.Module) { PreInlineParallel(mod, 0) }
+
+// PreInlineParallel runs the pre-expansion pipeline — constant folding
+// then jump optimization, to a local fixed point — on up to par workers
+// (0 = all cores, 1 = serial). Each pass reads and writes one function
+// only, so any worker count produces an identical module.
+func PreInlineParallel(mod *ir.Module, par int) {
+	forEachFunc(mod, par, preInlineFunc)
+}
+
+func preInlineFunc(f *ir.Func) {
+	for i := 0; i < 4; i++ {
+		changed := ConstFold(f)
+		changed = JumpOptimize(f) || changed
+		if !changed {
+			break
 		}
 	}
 }
 
-// PostInline runs the heavier cleanup the paper left to future
-// measurements: copy propagation, constant folding, dead code elimination,
-// and jump optimization, iterated to a fixed point per function.
-func PostInline(mod *ir.Module) {
-	for _, f := range mod.Funcs {
-		for i := 0; i < 8; i++ {
-			changed := CopyPropagate(f)
-			changed = ConstFold(f) || changed
-			changed = DeadCodeEliminate(f) || changed
-			changed = JumpOptimize(f) || changed
-			if !changed {
-				break
-			}
+// PostInline runs the heavier post-expansion cleanup on every function,
+// fanning the functions out over every core (see PostInlineParallel).
+func PostInline(mod *ir.Module) { PostInlineParallel(mod, 0) }
+
+// PostInlineParallel runs the cleanup the paper left to future
+// measurements — copy propagation, constant folding, dead code
+// elimination, and jump optimization, iterated to a fixed point per
+// function — on up to par workers (0 = all cores, 1 = serial). The
+// passes are function-local, so any worker count produces an identical
+// module.
+func PostInlineParallel(mod *ir.Module, par int) {
+	forEachFunc(mod, par, postInlineFunc)
+}
+
+func postInlineFunc(f *ir.Func) {
+	for i := 0; i < 8; i++ {
+		changed := CopyPropagate(f)
+		changed = ConstFold(f) || changed
+		changed = DeadCodeEliminate(f) || changed
+		changed = JumpOptimize(f) || changed
+		if !changed {
+			break
 		}
 	}
+}
+
+// forEachFunc applies pass to every function of mod over a bounded
+// worker pool (par <= 0 uses every core). Work is handed out through an
+// atomic cursor — the passes never read other functions, so scheduling
+// order cannot affect the result.
+func forEachFunc(mod *ir.Module, par int, pass func(*ir.Func)) {
+	funcs := mod.Funcs
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(funcs) {
+		par = len(funcs)
+	}
+	if par <= 1 {
+		for _, f := range funcs {
+			pass(f)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(funcs) {
+					return
+				}
+				pass(funcs[i])
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // ----------------------------------------------------------- const folding
