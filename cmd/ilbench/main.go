@@ -10,6 +10,7 @@
 //	ilbench -parallel 1  # serial run (default 0 uses every core; same tables)
 //	ilbench -json        # machine-readable results (see BENCH_baseline.json)
 //	ilbench -bench espresso -baseline BENCH_baseline.json  # perf gate
+//	ilbench -bench espresso -profdb 32   # profile-database ingest/merge benchmark
 //	ilbench -cpuprofile cpu.pprof -memprofile mem.pprof    # hot-path profiling
 package main
 
@@ -40,6 +41,7 @@ func run(args []string, stdout, stderrW io.Writer) int {
 	parallel := fs.Int("parallel", 0, "worker count for benchmarks and profiling runs (0 = all cores, 1 = serial); any value yields identical tables")
 	jsonOut := fs.Bool("json", false, "emit machine-readable per-benchmark results instead of the tables")
 	postOpt := fs.Bool("postopt", false, "apply post-inline cleanup passes before measuring")
+	profdbSnaps := fs.Int("profdb", 0, "also run the profile-database pipeline benchmark with this many snapshots (0 = off)")
 	ablation := fs.Bool("ablation", false, "run the design-choice ablation studies instead of the tables")
 	icache := fs.Bool("icache", false, "run the instruction-cache sweep instead of the tables")
 	verbose := fs.Bool("v", false, "print per-benchmark progress and expansion details")
@@ -153,8 +155,24 @@ func run(args []string, stdout, stderrW io.Writer) int {
 		fmt.Fprintf(stderrW, "ilbench: wall time within %.1fx of %s\n", *maxRegress, *baselinePath)
 	}
 
+	var pdbResults []*bench.ProfDBResult
+	if *profdbSnaps > 0 {
+		names := []string{"espresso"}
+		if *benchName != "" {
+			names = []string{*benchName}
+		}
+		for _, name := range names {
+			r, err := bench.RunProfDB(name, *profdbSnaps, cfg)
+			if err != nil {
+				fmt.Fprintf(stderrW, "ilbench: %v\n", err)
+				return 1
+			}
+			pdbResults = append(pdbResults, r)
+		}
+	}
+
 	if *jsonOut {
-		data, err := bench.MarshalResults(results, cfg.Parallelism)
+		data, err := bench.MarshalResultsProfDB(results, cfg.Parallelism, pdbResults)
 		if err != nil {
 			fmt.Fprintf(stderrW, "ilbench: %v\n", err)
 			return 1
@@ -176,6 +194,9 @@ func run(args []string, stdout, stderrW io.Writer) int {
 		fmt.Fprint(stdout, bench.Table4x(results))
 	default:
 		fmt.Fprint(stdout, bench.AllTables(results))
+	}
+	for _, r := range pdbResults {
+		fmt.Fprintf(stdout, "\n%s", r)
 	}
 	if *verbose {
 		for _, r := range results {

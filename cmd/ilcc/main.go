@@ -11,6 +11,8 @@
 //	ilcc -inline -run a.c b.c c.c    # separate compilation + link-time inlining
 //	ilcc -tco -run prog.c            # remove self tail recursion first
 //	ilcc -inline -profile p.prof ... # use a profile saved by ilprof -o
+//	ilcc -inline -profdb p.profdb .. # merged profile from a database file
+//	ilcc -inline -profdb http://host:7411 ...  # ... or from a running ilprofd
 //
 // The simulated file system is populated with -file guest=host pairs.
 package main
@@ -19,11 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 
 	"inlinec"
 	"inlinec/internal/inline"
+	"inlinec/internal/profdb"
 )
 
 func main() {
@@ -52,6 +56,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	sizeLimit := fs.Float64("sizelimit", 1.25, "program size limit factor")
 	stats := fs.Bool("stats", false, "print dynamic statistics after -run")
 	profilePath := fs.String("profile", "", "use a saved profile (from ilprof -o) for -inline")
+	profdbSrc := fs.String("profdb", "", "use a merged database profile for -inline: a .profdb file or an ilprofd base URL")
 	parallel := fs.Int("parallel", 0, "worker count for multi-unit compilation, profiling, and expansion (0 = all cores, 1 = serial); any value yields identical output")
 	var files fileList
 	fs.Var(&files, "file", "seed the simulated FS: guestpath=hostpath (repeatable)")
@@ -131,7 +136,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	if *doInline {
 		var prof *inlinec.Profile
-		if *profilePath != "" {
+		switch {
+		case *profdbSrc != "" && *profilePath != "":
+			return fail(fmt.Errorf("-profile and -profdb are mutually exclusive"))
+		case *profdbSrc != "":
+			var err error
+			prof, err = profileFromDB(prog, *profdbSrc, stderr)
+			if err != nil {
+				return fail(err)
+			}
+		case *profilePath != "":
 			f, err := os.Open(*profilePath)
 			if err != nil {
 				return fail(err)
@@ -141,7 +155,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			if err != nil {
 				return fail(err)
 			}
-		} else {
+		default:
 			var err error
 			prof, err = prog.ProfileInputs(input)
 			if err != nil {
@@ -199,4 +213,50 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			srcPath, len(prog.Module.Funcs), prog.Module.TotalCodeSize())
 	}
 	return 0
+}
+
+// profileFromDB obtains the merged database profile for the compiled
+// program — from a local .profdb file, or over HTTP from a running
+// ilprofd when src is a base URL. Either way the stable-key snapshot is
+// resolved against the current module and any staleness is reported to
+// stderr before the weights feed the call graph.
+func profileFromDB(prog *inlinec.Program, src string, stderr io.Writer) (*inlinec.Profile, error) {
+	if !strings.HasPrefix(src, "http://") && !strings.HasPrefix(src, "https://") {
+		db, err := profdb.ReadDBFile(src, "")
+		if err != nil {
+			return nil, err
+		}
+		prof, report := prog.ProfileFromDB(db, profdb.DefaultMergeParams())
+		if prof.Runs == 0 {
+			return nil, fmt.Errorf("%s holds no usable data for fingerprint %s", src, prog.Fingerprint())
+		}
+		if !report.Clean() {
+			fmt.Fprintf(stderr, "%s\n", report)
+		}
+		return prof, nil
+	}
+
+	url := strings.TrimRight(src, "/") + "/profile?fingerprint=" + prog.Fingerprint()
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	_, rec, err := profdb.ReadSnapshot(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", url, err)
+	}
+	prof, stats := rec.Resolve(profdb.ModuleKeys(prog.Module))
+	if prof.Runs == 0 {
+		return nil, fmt.Errorf("%s served an empty profile", url)
+	}
+	if stats.MovedSites > 0 || stats.DroppedSites > 0 || stats.DroppedFuncs > 0 {
+		report := &profdb.Report{Resolve: *stats}
+		fmt.Fprintf(stderr, "%s\n", report)
+	}
+	return prof, nil
 }

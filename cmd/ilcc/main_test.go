@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"inlinec"
+	"inlinec/internal/profdb"
 )
 
 // writeFile drops MiniC source (or any content) into a temp dir.
@@ -161,6 +166,130 @@ func TestCLIErrors(t *testing.T) {
 		{bad},
 		{"-inline", "-heuristic", "bogus", bad},
 		{"-run", "-file", "malformed", bad},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(t, args, ""); code == 0 {
+			t.Errorf("args %v: expected nonzero exit", args)
+		}
+	}
+}
+
+// seedDB profiles the program in-process and stores one snapshot in a
+// fresh database file, returning the database path.
+func seedDB(t *testing.T, dir, srcPath string) string {
+	t.Helper()
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := inlinec.Compile(srcPath, string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := p.ProfileInputs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := p.Snapshot(prof, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := profdb.NewDB(filepath.Base(srcPath))
+	if err := db.Ingest(rec); err != nil {
+		t.Fatal(err)
+	}
+	dbPath := filepath.Join(dir, "p.profdb")
+	if err := profdb.WriteDBFile(dbPath, db); err != nil {
+		t.Fatal(err)
+	}
+	return dbPath
+}
+
+// TestCLIInlineFromProfDBFile: -inline -profdb with a database file must
+// inline exactly like in-process profiling (the profile came from the
+// same program, so nothing is stale).
+func TestCLIInlineFromProfDBFile(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "p.c", prog)
+	dbPath := seedDB(t, dir, p)
+	code, out, errb := runCLI(t, []string{"-inline", "-run", "-profdb", dbPath, p}, "")
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errb)
+	}
+	if out != "3675\n" {
+		t.Errorf("stdout = %q", out)
+	}
+	if !strings.Contains(errb, "expanded site") {
+		t.Errorf("expansion report missing: %q", errb)
+	}
+	if strings.Contains(errb, "profdb:") {
+		t.Errorf("clean database consumption must not print a staleness report: %q", errb)
+	}
+}
+
+// TestCLIInlineFromProfDBHTTP: the same flow with -profdb pointing at an
+// ilprofd-compatible HTTP endpoint.
+func TestCLIInlineFromProfDBHTTP(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "p.c", prog)
+	dbPath := seedDB(t, dir, p)
+	db, err := profdb.ReadDBFile(dbPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fp := r.URL.Query().Get("fingerprint")
+		merged, stats := db.Merge(fp, profdb.DefaultMergeParams())
+		if stats.Records == 0 {
+			http.Error(w, "no data", http.StatusNotFound)
+			return
+		}
+		profdb.WriteSnapshot(w, db.Program, merged)
+	}))
+	defer ts.Close()
+
+	code, out, errb := runCLI(t, []string{"-inline", "-run", "-profdb", ts.URL, p}, "")
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errb)
+	}
+	if out != "3675\n" {
+		t.Errorf("stdout = %q", out)
+	}
+	if !strings.Contains(errb, "expanded site") {
+		t.Errorf("expansion report missing: %q", errb)
+	}
+}
+
+// TestCLIInlineFromStaleProfDB: a database built from an edited program
+// version must still inline what resolves and report what doesn't.
+func TestCLIInlineFromStaleProfDB(t *testing.T) {
+	dir := t.TempDir()
+	v1 := writeFile(t, dir, "p.c", prog)
+	dbPath := seedDB(t, dir, v1)
+	// Same path, edited source: an extra helper shifts every call-site id.
+	v2 := writeFile(t, dir, "p.c", strings.Replace(prog,
+		"int triple(int x) { return x * 3; }",
+		"int pad(int x) { return x; }\nint triple(int x) { return x * 3; }", 1))
+	code, _, errb := runCLI(t, []string{"-inline", "-run", "-profdb", dbPath, v2}, "")
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errb)
+	}
+	if !strings.Contains(errb, "profdb:") || !strings.Contains(errb, "stale") {
+		t.Errorf("stale database consumption must print a report: %q", errb)
+	}
+	if !strings.Contains(errb, "expanded site") {
+		t.Errorf("surviving weights must still drive inlining: %q", errb)
+	}
+}
+
+func TestCLIProfDBErrors(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "p.c", prog)
+	dbPath := seedDB(t, dir, p)
+	cases := [][]string{
+		{"-inline", "-profile", "x.prof", "-profdb", dbPath, p},         // mutually exclusive
+		{"-inline", "-profdb", filepath.Join(dir, "missing.profdb"), p}, // empty database
+		{"-inline", "-profdb", "http://127.0.0.1:1/", p},                // unreachable daemon
 	}
 	for _, args := range cases {
 		if code, _, _ := runCLI(t, args, ""); code == 0 {

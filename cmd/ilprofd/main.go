@@ -1,0 +1,360 @@
+// Command ilprofd is the fleet profile-ingestion service: a long-running
+// HTTP daemon that accepts profdb snapshots from any number of profiling
+// machines, batches them into one persistent profile database through a
+// single writer, and serves deterministic weighted merges back to
+// compiler invocations.
+//
+//	ilprofd -db espresso.profdb -addr 127.0.0.1:7411
+//
+// API:
+//
+//	POST /ingest            body: ILPROFSNAP payload (ilprof -post emits these)
+//	GET  /profile?fingerprint=<fp>[&halflife=N][&stale=W]
+//	                        merged ILPROFSNAP for that program version
+//	GET  /stats             ingest/merge/staleness counters as JSON
+//
+// Responses to /ingest are sent only after the snapshot is committed to
+// the in-memory store, so a client that ingests and immediately fetches
+// /profile observes its own write. The database file is rewritten
+// atomically every -flush-every commits and once more on shutdown
+// (SIGINT/SIGTERM), so killing the daemon never loses acknowledged data
+// beyond the final flush.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"inlinec/internal/profdb"
+)
+
+func main() {
+	shutdown := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(shutdown)
+	}()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, shutdown))
+}
+
+// ingestReq is one parsed snapshot waiting for the writer, with the
+// channel its HTTP handler blocks on until commit.
+type ingestReq struct {
+	program string
+	rec     *profdb.Record
+	done    chan error
+}
+
+// server owns the database. All mutation flows through the writer
+// goroutine (serve loop over ingestCh); readers take the RLock.
+type server struct {
+	mu         sync.RWMutex
+	db         *profdb.DB
+	dbPath     string
+	flushEvery int
+
+	ingestCh chan ingestReq
+	writerWG sync.WaitGroup
+
+	ingested     atomic.Int64 // snapshots committed
+	ingestErrors atomic.Int64 // rejected payloads (parse/program mismatch)
+	runsIngested atomic.Int64
+	merges       atomic.Int64 // /profile responses served
+	staleMerged  atomic.Int64 // stale records folded into served merges
+	flushes      atomic.Int64
+	sinceFlush   int // writer-goroutine private
+}
+
+func newServer(db *profdb.DB, dbPath string, flushEvery int) *server {
+	if flushEvery <= 0 {
+		flushEvery = 16
+	}
+	return &server{
+		db:         db,
+		dbPath:     dbPath,
+		flushEvery: flushEvery,
+		ingestCh:   make(chan ingestReq, 64),
+	}
+}
+
+// start launches the single writer goroutine.
+func (s *server) start() {
+	s.writerWG.Add(1)
+	go func() {
+		defer s.writerWG.Done()
+		for {
+			req, ok := <-s.ingestCh
+			if !ok {
+				return
+			}
+			// Batch: take everything already queued behind this request so
+			// one lock acquisition and at most one flush cover the burst.
+			batch := []ingestReq{req}
+			closed := false
+		drain:
+			for len(batch) < 64 {
+				select {
+				case r, more := <-s.ingestCh:
+					if !more {
+						closed = true
+						break drain
+					}
+					batch = append(batch, r)
+				default:
+					break drain
+				}
+			}
+			s.commit(batch)
+			if closed {
+				return
+			}
+		}
+	}()
+}
+
+// commit applies one batch under the write lock and flushes if due.
+func (s *server) commit(batch []ingestReq) {
+	s.mu.Lock()
+	for _, r := range batch {
+		err := s.ingestLocked(r.program, r.rec)
+		if err == nil {
+			s.ingested.Add(1)
+			s.runsIngested.Add(int64(r.rec.Runs))
+			s.sinceFlush++
+		} else {
+			s.ingestErrors.Add(1)
+		}
+		r.done <- err
+	}
+	flush := s.dbPath != "" && s.sinceFlush >= s.flushEvery
+	if flush {
+		s.sinceFlush = 0
+	}
+	s.mu.Unlock()
+	if flush {
+		s.flush()
+	}
+}
+
+func (s *server) ingestLocked(program string, rec *profdb.Record) error {
+	if s.db.Program == "" {
+		s.db.Program = program
+	} else if program != "" && program != s.db.Program {
+		return fmt.Errorf("snapshot is for program %q, store holds %q", program, s.db.Program)
+	}
+	return s.db.Ingest(rec)
+}
+
+// flush rewrites the database file atomically.
+func (s *server) flush() error {
+	if s.dbPath == "" {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := profdb.WriteDBFile(s.dbPath, s.db); err != nil {
+		return err
+	}
+	s.flushes.Add(1)
+	return nil
+}
+
+// stop closes the ingest path, waits for the writer to drain, and runs
+// the final flush.
+func (s *server) stop() error {
+	close(s.ingestCh)
+	s.writerWG.Wait()
+	return s.flush()
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/profile", s.handleProfile)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	program, rec, err := profdb.ReadSnapshot(body)
+	if err != nil {
+		s.ingestErrors.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	done := make(chan error, 1)
+	s.ingestCh <- ingestReq{program: program, rec: rec, done: done}
+	if err := <-done; err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "ok: %d run(s) ingested for %s gen %d\n", rec.Runs, rec.Fingerprint, rec.Gen)
+}
+
+func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	fp := r.URL.Query().Get("fingerprint")
+	if fp == "" {
+		http.Error(w, "missing fingerprint parameter", http.StatusBadRequest)
+		return
+	}
+	params := profdb.DefaultMergeParams()
+	if v := r.URL.Query().Get("halflife"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad halflife parameter", http.StatusBadRequest)
+			return
+		}
+		params.HalfLifeGens = n
+	}
+	if v := r.URL.Query().Get("stale"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f > 1 {
+			http.Error(w, "bad stale parameter (want 0..1)", http.StatusBadRequest)
+			return
+		}
+		params.StaleWeight = f
+	}
+	s.mu.RLock()
+	merged, stats := s.db.Merge(fp, params)
+	program := s.db.Program
+	s.mu.RUnlock()
+	s.merges.Add(1)
+	s.staleMerged.Add(int64(stats.StaleRecords + stats.DroppedRecords))
+	if stats.Records == 0 || merged.Runs == 0 {
+		http.Error(w, fmt.Sprintf("no profile data for fingerprint %s", fp), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Profdb-Exact-Records", strconv.Itoa(stats.ExactRecords))
+	w.Header().Set("X-Profdb-Stale-Records", strconv.Itoa(stats.StaleRecords))
+	w.Header().Set("X-Profdb-Dropped-Records", strconv.Itoa(stats.DroppedRecords))
+	profdb.WriteSnapshot(w, program, merged)
+}
+
+// statsJSON is the GET /stats document.
+type statsJSON struct {
+	Program         string `json:"program"`
+	Records         int    `json:"records"`
+	TotalRuns       int    `json:"total_runs"`
+	MaxGen          int    `json:"max_gen"`
+	IngestedSnaps   int64  `json:"ingested_snapshots"`
+	IngestedRuns    int64  `json:"ingested_runs"`
+	IngestErrors    int64  `json:"ingest_errors"`
+	MergesServed    int64  `json:"merges_served"`
+	StaleRecsMerged int64  `json:"stale_records_merged"`
+	Flushes         int64  `json:"flushes"`
+	UptimeSeconds   int64  `json:"uptime_seconds"`
+}
+
+var startedAt = time.Now()
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.RLock()
+	doc := statsJSON{
+		Program:   s.db.Program,
+		Records:   len(s.db.Records),
+		TotalRuns: s.db.TotalRuns(),
+		MaxGen:    s.db.MaxGen(),
+	}
+	s.mu.RUnlock()
+	doc.IngestedSnaps = s.ingested.Load()
+	doc.IngestedRuns = s.runsIngested.Load()
+	doc.IngestErrors = s.ingestErrors.Load()
+	doc.MergesServed = s.merges.Load()
+	doc.StaleRecsMerged = s.staleMerged.Load()
+	doc.Flushes = s.flushes.Load()
+	doc.UptimeSeconds = int64(time.Since(startedAt).Seconds())
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&doc)
+}
+
+// run starts the daemon. ready, if non-nil, receives the bound address
+// once the listener is up (tests use this); shutdown, when closed,
+// triggers graceful drain + final flush.
+func run(args []string, stdout, stderr io.Writer, ready func(addr string), shutdown <-chan struct{}) int {
+	fs := flag.NewFlagSet("ilprofd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7411", "listen address")
+	dbPath := fs.String("db", "", "profile database file (created if missing; flushed atomically)")
+	program := fs.String("program", "", "program name for a fresh database (else taken from the first snapshot)")
+	flushEvery := fs.Int("flush-every", 16, "write the database file after this many committed snapshots")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dbPath == "" {
+		fmt.Fprintln(stderr, "ilprofd: -db is required")
+		fs.PrintDefaults()
+		return 2
+	}
+	db, err := profdb.ReadDBFile(*dbPath, *program)
+	if err != nil {
+		fmt.Fprintf(stderr, "ilprofd: %v\n", err)
+		return 1
+	}
+	s := newServer(db, *dbPath, *flushEvery)
+	s.start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "ilprofd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "ilprofd: listening on %s (db %s, %d record(s), %d run(s))\n",
+		ln.Addr(), *dbPath, len(db.Records), db.TotalRuns())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	hs := &http.Server{Handler: s.handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "ilprofd: %v\n", err)
+		s.stop()
+		return 1
+	case <-shutdown:
+	}
+	fmt.Fprintln(stderr, "ilprofd: shutting down")
+	hs.Close()
+	if err := s.stop(); err != nil {
+		fmt.Fprintf(stderr, "ilprofd: final flush: %v\n", err)
+		return 1
+	}
+	s.mu.RLock()
+	records, runs := len(s.db.Records), s.db.TotalRuns()
+	s.mu.RUnlock()
+	fmt.Fprintf(stdout, "ilprofd: flushed %s: %d record(s), %d run(s), %d snapshot(s) ingested this session\n",
+		*dbPath, records, runs, s.ingested.Load())
+	return 0
+}

@@ -1,0 +1,181 @@
+package inlinec_test
+
+// End-to-end acceptance for the persistent profile database: espresso
+// profiling runs flow into a profdb (offline and over ilprofd's HTTP
+// protocol), the compiler consumes the merged database, and the inline
+// decision list and rewritten module come out byte-identical to
+// in-process profiling. A second scenario edits the source so every raw
+// call-site id shifts, and checks the staleness machinery reports — and
+// never misapplies — the old records.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"inlinec"
+	"inlinec/internal/bench"
+	"inlinec/internal/profdb"
+)
+
+// decisionList renders an inline result as a deterministic byte string:
+// the expansion order plus every decision line.
+func decisionList(res *inlinec.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "order %s\n", strings.Join(res.Order, " "))
+	for _, d := range res.Decisions {
+		fmt.Fprintf(&sb, "%v\n", d)
+	}
+	return sb.String()
+}
+
+func TestE2EDatabaseMatchesInProcessProfiling(t *testing.T) {
+	b := bench.Get("espresso")
+	if b == nil {
+		t.Fatal("espresso benchmark missing")
+	}
+	inputs := b.Inputs[:4]
+
+	// Reference pipeline: profile in-process, inline directly.
+	ref, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ref.ProfileInputs(inputs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot before inlining — Inline rewrites the module in place, and
+	// the snapshot must be keyed against the module the profile measured.
+	db := inlinec.NewProfDB("espresso.c")
+	rec, err := ref.Snapshot(prof, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Ingest(rec); err != nil {
+		t.Fatal(err)
+	}
+	refFP := ref.Fingerprint()
+
+	refRes, err := ref.Inline(prof, inlinec.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dbProg, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbProg.Fingerprint() != refFP {
+		t.Fatal("recompiling the same source changed the module fingerprint")
+	}
+	dbProf, report := dbProg.ProfileFromDB(db, inlinec.DefaultProfDBMergeParams())
+	if !report.Clean() {
+		t.Fatalf("same-version consumption must be clean:\n%s", report)
+	}
+
+	// The resolved profile must be byte-identical to the in-process one...
+	var want, got strings.Builder
+	if _, err := prof.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dbProf.WriteTo(&got); err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != got.String() {
+		t.Fatalf("database round trip changed the profile:\n--- in-process ---\n%s--- via db ---\n%s",
+			want.String(), got.String())
+	}
+
+	// ...and so must the decision list and the rewritten module.
+	dbRes, err := dbProg.Inline(dbProf, inlinec.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decisionList(refRes) != decisionList(dbRes) {
+		t.Errorf("decision lists differ:\n--- in-process ---\n%s--- via db ---\n%s",
+			decisionList(refRes), decisionList(dbRes))
+	}
+	if ref.Module.String() != dbProg.Module.String() {
+		t.Error("inlined modules differ between in-process and database profiles")
+	}
+}
+
+func TestE2EStaleDatabaseAfterSourceEdit(t *testing.T) {
+	b := bench.Get("espresso")
+	if b == nil {
+		t.Fatal("espresso benchmark missing")
+	}
+	inputs := b.Inputs[:2]
+
+	v1, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := v1.ProfileInputs(inputs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := inlinec.NewProfDB("espresso.c")
+	rec, err := v1.Snapshot(prof, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Ingest(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Prepend a function: every raw call-site id in the module shifts, the
+	// exact failure mode that silently corrupts id-keyed profiles.
+	edited := "int profdb_e2e_pad(int x) { return x + 1; }\n" + b.Source
+	v2, err := inlinec.Compile("espresso.c", edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Fingerprint() == v1.Fingerprint() {
+		t.Fatal("source edit did not change the module fingerprint")
+	}
+
+	params := inlinec.DefaultProfDBMergeParams()
+	params.StaleWeight = 1 // keep full weight so surviving arcs are comparable
+	v2prof, report := v2.ProfileFromDB(db, params)
+	if report.Clean() {
+		t.Fatal("consuming v1 records on v2 must be reported as stale")
+	}
+	if report.Merge.StaleRecords != 1 || report.Merge.ExactRecords != 0 {
+		t.Fatalf("merge stats: %+v", report.Merge)
+	}
+	if report.Resolve.ExactSites != 0 {
+		t.Errorf("no site kept its position, yet %d reported exact", report.Resolve.ExactSites)
+	}
+	if report.Resolve.MovedSites == 0 {
+		t.Error("name-stable sites must survive the id shift as moved")
+	}
+
+	// No weight may leak onto the inserted function's sites, and every
+	// surviving arc must connect the same (caller, callee) names as in v1.
+	g := v2.CallGraph(v2prof)
+	keysV2 := profdb.ModuleKeys(v2.Module)
+	for id := range v2prof.SiteCounts {
+		k, ok := keysV2.Key(id)
+		if !ok {
+			t.Fatalf("profile references unknown site id %d", id)
+		}
+		if k.Caller == "profdb_e2e_pad" || k.Callee == "profdb_e2e_pad" {
+			t.Errorf("weight misattributed to the inserted function: site %v", k)
+		}
+		if a := g.Arc(id); a != nil && a.Caller.Name != k.Caller {
+			t.Errorf("arc %d caller %s does not match stable key %v", id, a.Caller.Name, k)
+		}
+	}
+
+	// The surviving weights still drive inlining on the edited program.
+	res, err := v2.Inline(v2prof, inlinec.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Expanded) == 0 {
+		t.Error("no expansions from the migrated profile")
+	}
+}

@@ -1,12 +1,15 @@
 package inlinec
 
 import (
+	"strings"
 	"testing"
 
 	"inlinec/internal/interp"
 	"inlinec/internal/ir"
 	"inlinec/internal/irgen"
 	"inlinec/internal/parser"
+	"inlinec/internal/profdb"
+	"inlinec/internal/profile"
 	"inlinec/internal/sema"
 )
 
@@ -90,6 +93,118 @@ int main() { int i; int s; s=0; for (i=0;i<9;i++) s+=g(i); return s & 0x7f; }`,
 		}
 		if before != after {
 			t.Fatalf("inlining changed output %q -> %q\nsource:\n%s", before, after, src)
+		}
+	})
+}
+
+// FuzzReadProfile attacks the legacy ILPROF decoder. The corpus seeds the
+// strict-mode rejections (duplicate directives, duplicate func/site
+// entries, trailing garbage) alongside valid files; the invariant is that
+// anything accepted must round-trip byte-identically through WriteTo.
+func FuzzReadProfile(f *testing.F) {
+	valid := "ILPROF 1\nruns 2\nil 100\ncontrol 20\ncalls 10\nreturns 10\nextern 1\nptr 0\nmaxstack 256\ntruncated 0\nfunc main 2\nfunc work 50\nsite 0 50\n"
+	seeds := []string{
+		valid,
+		"ILPROF 1\nruns 1\n",
+		strings.Replace(valid, "truncated 0\n", "", 1), // truncated is optional
+		valid + "runs 3\n",      // duplicate scalar directive
+		valid + "func main 9\n", // duplicate func entry
+		valid + "site 0 1\n",    // duplicate site entry
+		valid + "garbage trailing line\n",
+		valid + "site 1\n", // wrong field count
+		valid + "site x y\n",
+		"ILPROF 2\nruns 1\n", // bad version
+		"runs 1\n",           // missing magic
+		"ILPROF 1\nruns -1\n",
+		"ILPROF 1\n# comment\n\nruns 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		prof, err := profile.ReadProfile(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first strings.Builder
+		if _, err := prof.WriteTo(&first); err != nil {
+			t.Fatalf("accepted profile does not serialize: %v", err)
+		}
+		back, err := profile.ReadProfile(strings.NewReader(first.String()))
+		if err != nil {
+			t.Fatalf("serialized profile does not re-parse: %v\n%s", err, first.String())
+		}
+		var second strings.Builder
+		back.WriteTo(&second)
+		if first.String() != second.String() {
+			t.Fatalf("profile round trip not a fixed point:\n%s\nvs\n%s", first.String(), second.String())
+		}
+	})
+}
+
+// FuzzProfDBDecoder attacks the database and snapshot decoders with their
+// stable-key site lines. Accepted input must round-trip byte-identically,
+// and merging whatever was accepted must not panic.
+func FuzzProfDBDecoder(f *testing.F) {
+	validDB := "ILPROFDB 1\nprogram p.c\nrecord aaaa000011112222 0\nruns 2\nil 100\ncalls 10\nfunc main 2\nsite main work 0 00ff00ff 50\nend\nrecord aaaa000011112222 1\nruns 1\nil 60\nend\n"
+	validSnap := "ILPROFSNAP 1\nprogram p.c\nfingerprint aaaa000011112222\ngen 3\nruns 2\nil 100\nfunc main 2\nsite main work 0 00ff00ff 50\n"
+	seeds := []string{
+		validDB,
+		validSnap,
+		"ILPROFDB 1\nprogram p.c\n", // empty store
+		strings.Replace(validDB, "end\nrecord", "record", 1),                                  // unterminated record
+		strings.Replace(validDB, "record aaaa000011112222 1", "record aaaa000011112222 0", 1), // duplicate record
+		validDB + "trailing\n",
+		strings.Replace(validDB, "site main work 0 00ff00ff 50", "site main work 0 zz 50", 1), // bad poshash
+		strings.Replace(validDB, "runs 2", "runs 0", 1),                                       // runs must be positive
+		strings.Replace(validSnap, "fingerprint aaaa000011112222\n", "", 1),                   // fingerprint required
+		validSnap + "gen 4\n", // duplicate directive
+		"ILPROFDB 2\n",
+		"ILPROFSNAP 1\nprogram p.c\nfingerprint f\ngen 0\nruns 1\nsite a b 0 00000000 1\nsite a b 0 00000000 2\n", // duplicate site
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		if db, err := profdb.ReadDB(strings.NewReader(data)); err == nil {
+			var first strings.Builder
+			if _, err := db.WriteTo(&first); err != nil {
+				t.Fatalf("accepted database does not serialize: %v", err)
+			}
+			back, err := profdb.ReadDB(strings.NewReader(first.String()))
+			if err != nil {
+				t.Fatalf("serialized database does not re-parse: %v\n%s", err, first.String())
+			}
+			var second strings.Builder
+			back.WriteTo(&second)
+			if first.String() != second.String() {
+				t.Fatalf("database round trip not a fixed point:\n%s\nvs\n%s", first.String(), second.String())
+			}
+			for k := range db.Records {
+				db.Merge(k.Fingerprint, profdb.DefaultMergeParams())
+				break // one representative fingerprint is enough
+			}
+		}
+		if program, rec, err := profdb.ReadSnapshot(strings.NewReader(data)); err == nil {
+			var first strings.Builder
+			if _, err := profdb.WriteSnapshot(&first, program, rec); err != nil {
+				t.Fatalf("accepted snapshot does not serialize: %v", err)
+			}
+			program2, rec2, err := profdb.ReadSnapshot(strings.NewReader(first.String()))
+			if err != nil {
+				t.Fatalf("serialized snapshot does not re-parse: %v\n%s", err, first.String())
+			}
+			var second strings.Builder
+			profdb.WriteSnapshot(&second, program2, rec2)
+			if first.String() != second.String() {
+				t.Fatalf("snapshot round trip not a fixed point:\n%s\nvs\n%s", first.String(), second.String())
+			}
 		}
 	})
 }

@@ -35,6 +35,7 @@ import (
 	"inlinec/internal/link"
 	"inlinec/internal/opt"
 	"inlinec/internal/parser"
+	"inlinec/internal/profdb"
 	"inlinec/internal/profile"
 	"inlinec/internal/sema"
 )
@@ -55,6 +56,52 @@ type RunStats = profile.RunStats
 // Profile.WriteTo — the file interface that lets the profiler and the
 // compiler run as separate tool invocations, as IMPACT-I's did.
 func ReadProfile(r io.Reader) (*Profile, error) { return profile.ReadProfile(r) }
+
+// ProfDB re-exports the persistent profile database: the fleet-scale
+// replacement for single-shot ILPROF files, keyed by stable call-site
+// fingerprints instead of raw ids (see internal/profdb and
+// docs/profiles.md).
+type ProfDB = profdb.DB
+
+// ProfDBRecord re-exports one database record — also the ilprofd
+// ingest/serve payload.
+type ProfDBRecord = profdb.Record
+
+// ProfDBMergeParams re-exports the weighted-merge tuning (age decay half
+// life and stale-version down-weighting).
+type ProfDBMergeParams = profdb.MergeParams
+
+// ProfDBReport re-exports the staleness accounting from consuming a
+// database.
+type ProfDBReport = profdb.Report
+
+// NewProfDB returns an empty profile database for a program.
+func NewProfDB(program string) *ProfDB { return profdb.NewDB(program) }
+
+// DefaultProfDBMergeParams returns the default decay/staleness weights.
+func DefaultProfDBMergeParams() ProfDBMergeParams { return profdb.DefaultMergeParams() }
+
+// Fingerprint identifies the working module's program version for the
+// profile database: profiles snapshot under this fingerprint, and
+// ProfileFromDB merges records for it.
+func (p *Program) Fingerprint() string { return profdb.ModuleFingerprint(p.Module) }
+
+// Snapshot converts a profile collected on the working module into a
+// stable-key database record at the given generation, ready for
+// DB.Ingest or an ilprofd POST /ingest.
+func (p *Program) Snapshot(prof *Profile, gen int) (*ProfDBRecord, error) {
+	return profdb.SnapshotOf(prof, p.Module, gen)
+}
+
+// ProfileFromDB merges the database for the working module's fingerprint
+// and remaps the stable keys back onto current call-site ids, yielding
+// the profile CallGraph/Inline consume plus the staleness report. Records
+// from other program versions are down-weighted or dropped per params,
+// and site keys that no longer resolve are dropped and reported — never
+// silently attributed to a shifted raw id.
+func (p *Program) ProfileFromDB(db *ProfDB, params ProfDBMergeParams) (*Profile, *ProfDBReport) {
+	return db.ProfileFor(p.Fingerprint(), profdb.ModuleKeys(p.Module), params)
+}
 
 // Graph re-exports the weighted call graph.
 type Graph = callgraph.Graph

@@ -26,20 +26,29 @@ type JSONResult struct {
 }
 
 // JSONReport is the top-level -json document: the per-benchmark rows plus
-// enough run context to interpret the wall-clock column.
+// enough run context to interpret the wall-clock column. The optional
+// profdb section carries the profile-database pipeline measurements
+// (ilbench -profdb).
 type JSONReport struct {
-	Parallelism int          `json:"parallelism"`
-	NumCPU      int          `json:"num_cpu"`
-	Results     []JSONResult `json:"results"`
+	Parallelism int             `json:"parallelism"`
+	NumCPU      int             `json:"num_cpu"`
+	Results     []JSONResult    `json:"results"`
+	ProfDB      []*ProfDBResult `json:"profdb,omitempty"`
 }
 
 // MarshalResults renders benchmark results as indented JSON. parallelism
 // is the effective Config.Parallelism the results were produced with.
 func MarshalResults(results []*BenchResult, parallelism int) ([]byte, error) {
+	return MarshalResultsProfDB(results, parallelism, nil)
+}
+
+// MarshalResultsProfDB is MarshalResults plus the optional profdb rows.
+func MarshalResultsProfDB(results []*BenchResult, parallelism int, pdb []*ProfDBResult) ([]byte, error) {
 	rep := JSONReport{
 		Parallelism: parallelism,
 		NumCPU:      runtime.NumCPU(),
 		Results:     make([]JSONResult, 0, len(results)),
+		ProfDB:      pdb,
 	}
 	for _, r := range results {
 		rep.Results = append(rep.Results, JSONResult{

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"inlinec/internal/profdb"
+)
+
+// ProfDBResult measures the profile-database pipeline on one benchmark:
+// how fast snapshots ingest into the store, how fast the weighted merge
+// runs, and how fast the merged record resolves back onto raw call-site
+// ids. Everything except the Seconds columns is deterministic.
+type ProfDBResult struct {
+	Benchmark string `json:"benchmark"`
+	// Snapshots is how many copies of the profile were ingested, spread
+	// over generations so the merge exercises the decay path.
+	Snapshots int `json:"snapshots"`
+	// Sites and Funcs describe one snapshot's payload.
+	Sites int `json:"sites_per_snapshot"`
+	Funcs int `json:"funcs_per_snapshot"`
+	// DBBytes is the serialized database size after ingestion.
+	DBBytes int `json:"db_bytes"`
+	// MergedRuns is the decayed run total the merge produced.
+	MergedRuns int `json:"merged_runs"`
+	// Wall-clock columns; compare trends, not digits.
+	ProfileSeconds float64 `json:"profile_seconds"`
+	IngestSeconds  float64 `json:"ingest_seconds"`
+	MergeSeconds   float64 `json:"merge_seconds"`
+	ResolveSeconds float64 `json:"resolve_seconds"`
+}
+
+// RunProfDB profiles a benchmark once, then pushes the snapshot through
+// the database pipeline: ingest `snapshots` copies across 8 generations,
+// serialize, merge with the default decay, and resolve against the
+// module. It returns an error if the round trip loses determinism (the
+// merge serialization must be identical on a second pass).
+func RunProfDB(name string, snapshots int, cfg Config) (*ProfDBResult, error) {
+	b := Get(name)
+	if b == nil {
+		return nil, fmt.Errorf("profdb bench: unknown benchmark %q", name)
+	}
+	if snapshots <= 0 {
+		snapshots = 16
+	}
+	prog, err := b.Compile()
+	if err != nil {
+		return nil, err
+	}
+	prog.Parallelism = cfg.Parallelism
+	inputs := b.Inputs
+	if cfg.MaxRuns > 0 && len(inputs) > cfg.MaxRuns {
+		inputs = inputs[:cfg.MaxRuns]
+	}
+
+	t0 := time.Now()
+	prof, err := prog.ProfileInputs(inputs...)
+	if err != nil {
+		return nil, err
+	}
+	profileSec := time.Since(t0).Seconds()
+
+	res := &ProfDBResult{Benchmark: name, Snapshots: snapshots}
+	db := profdb.NewDB(name + ".c")
+	t0 = time.Now()
+	for i := 0; i < snapshots; i++ {
+		rec, err := prog.Snapshot(prof, i%8)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			res.Sites = len(rec.Sites)
+			res.Funcs = len(rec.Funcs)
+		}
+		if err := db.Ingest(rec); err != nil {
+			return nil, err
+		}
+	}
+	res.IngestSeconds = time.Since(t0).Seconds()
+	res.ProfileSeconds = profileSec
+
+	var sb strings.Builder
+	if _, err := db.WriteTo(&sb); err != nil {
+		return nil, err
+	}
+	res.DBBytes = sb.Len()
+
+	fp := prog.Fingerprint()
+	params := profdb.DefaultMergeParams()
+	t0 = time.Now()
+	merged, _ := db.Merge(fp, params)
+	res.MergeSeconds = time.Since(t0).Seconds()
+	res.MergedRuns = merged.Runs
+
+	keys := profdb.ModuleKeys(prog.Module)
+	t0 = time.Now()
+	resolved, stats := merged.Resolve(keys)
+	res.ResolveSeconds = time.Since(t0).Seconds()
+	if stats.DroppedSites != 0 || stats.DroppedFuncs != 0 {
+		return nil, fmt.Errorf("profdb bench: self-resolve dropped %d site(s), %d func(s)",
+			stats.DroppedSites, stats.DroppedFuncs)
+	}
+	if resolved.Runs != merged.Runs {
+		return nil, fmt.Errorf("profdb bench: resolve changed run count %d -> %d", merged.Runs, resolved.Runs)
+	}
+
+	// Determinism check: a second merge must serialize identically.
+	merged2, _ := db.Merge(fp, params)
+	var s1, s2 strings.Builder
+	if _, err := profdb.WriteSnapshot(&s1, db.Program, merged); err != nil {
+		return nil, err
+	}
+	if _, err := profdb.WriteSnapshot(&s2, db.Program, merged2); err != nil {
+		return nil, err
+	}
+	if s1.String() != s2.String() {
+		return nil, fmt.Errorf("profdb bench: merge is not deterministic for %s", name)
+	}
+	return res, nil
+}
+
+// String renders the result as one human-readable block.
+func (r *ProfDBResult) String() string {
+	return fmt.Sprintf(
+		"profdb %s: %d snapshot(s) x %d site(s)/%d func(s), db %d bytes, merged %d run(s)\n"+
+			"  profile %.3fs  ingest %.3fs  merge %.6fs  resolve %.6fs\n",
+		r.Benchmark, r.Snapshots, r.Sites, r.Funcs, r.DBBytes, r.MergedRuns,
+		r.ProfileSeconds, r.IngestSeconds, r.MergeSeconds, r.ResolveSeconds)
+}

@@ -1,0 +1,67 @@
+package callgraph
+
+import (
+	"inlinec/internal/ir"
+	"inlinec/internal/token"
+)
+
+// SiteInfo describes one static call site in a form that survives
+// call-site id renumbering: raw ids are assigned globally in module order,
+// so inserting one function (or one call) shifts every later id, while the
+// (caller, callee, ordinal) triple only moves when the caller itself is
+// edited. The profdb subsystem keys persistent profiles on this triple
+// plus a source-position hash; the call graph owns the enumeration so the
+// two stay consistent about what a "site" is.
+type SiteInfo struct {
+	// ID is the current module's raw call-site id (Instr.CallID).
+	ID int
+	// Caller is the containing function's name.
+	Caller string
+	// Callee is the called function's name — a user function or an extern —
+	// or PointerNodeName for calls through pointers, matching the graph's
+	// ### summary node.
+	Callee string
+	// Ordinal is the index of this site among Caller's static calls to
+	// Callee, in code order (0-based). It disambiguates repeated calls to
+	// the same callee without depending on global ids.
+	Ordinal int
+	// Pos is the call's source position (best effort; may be zero).
+	Pos token.Pos
+	// Instr is the instruction index within the caller's Code.
+	Instr int
+	// ViaPointer marks a call-through-pointer site.
+	ViaPointer bool
+}
+
+// StableSites enumerates every call site of the module in deterministic
+// order (module function order, then code order) with per-(caller, callee)
+// ordinals assigned.
+func StableSites(mod *ir.Module) []SiteInfo {
+	var sites []SiteInfo
+	for _, f := range mod.Funcs {
+		ord := make(map[string]int)
+		for i := range f.Code {
+			in := &f.Code[i]
+			var callee string
+			switch in.Op {
+			case ir.OpCall:
+				callee = in.Sym
+			case ir.OpCallPtr:
+				callee = PointerNodeName
+			default:
+				continue
+			}
+			sites = append(sites, SiteInfo{
+				ID:         in.CallID,
+				Caller:     f.Name,
+				Callee:     callee,
+				Ordinal:    ord[callee],
+				Pos:        in.Pos,
+				Instr:      i,
+				ViaPointer: in.Op == ir.OpCallPtr,
+			})
+			ord[callee]++
+		}
+	}
+	return sites
+}

@@ -215,6 +215,14 @@ func (m *Machine) Run() (*profile.RunStats, error) {
 	st := profile.NewRunStats()
 	code, err := m.exec(mainFn, nil, st)
 	m.foldCounts(st)
+	// A clean run unwinds every activation: one return per counted call,
+	// plus main's own ret (its invocation is not a counted call site).
+	// Anything else — exit() or a fault with frames still pending — is a
+	// truncated run, flagged so merged profiles can report how many went
+	// into the averages.
+	if st.Returns != st.Calls+1 {
+		st.Truncated = 1
+	}
 	if err != nil {
 		if ex, isExit := err.(*exitError); isExit {
 			st.ExitCode = ex.code

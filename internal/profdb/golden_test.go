@@ -1,0 +1,116 @@
+package profdb_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"inlinec/internal/profdb"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenDB builds a fixed database by hand — two program versions, two
+// generations — so the golden bytes are hermetic (no compiler in the
+// loop) and pin both the container format and the merge arithmetic.
+func goldenDB() *profdb.DB {
+	db := profdb.NewDB("espresso.c")
+	mk := func(fp string, gen, runs int, il int64, sites map[profdb.SiteKey]int64) *profdb.Record {
+		r := profdb.NewRecord(fp, gen)
+		r.Runs = runs
+		r.IL = il
+		r.Control = il / 4
+		r.Calls = il / 10
+		r.Returns = il / 10
+		r.MaxStack = 4096
+		r.Funcs = map[string]int64{"main": int64(runs), "cover": 40 * int64(runs)}
+		r.Sites = sites
+		return r
+	}
+	k := func(caller, callee string, ord int, ph uint32) profdb.SiteKey {
+		return profdb.SiteKey{Caller: caller, Callee: callee, Ordinal: ord, PosHash: ph}
+	}
+	db.Ingest(mk("aaaa000011112222", 1, 10, 50000, map[profdb.SiteKey]int64{
+		k("main", "cover", 0, 0x1111aa00):  400,
+		k("cover", "count", 0, 0x2222bb00): 3600,
+		k("cover", "count", 1, 0x3333cc00): 120,
+	}))
+	db.Ingest(mk("aaaa000011112222", 2, 4, 21000, map[profdb.SiteKey]int64{
+		k("main", "cover", 0, 0x1111aa00):  160,
+		k("cover", "count", 0, 0x2222bb00): 1440,
+	}))
+	db.Ingest(mk("bbbb999988887777", 2, 2, 9000, map[profdb.SiteKey]int64{
+		k("main", "cover", 0, 0x1111aa77):  80,
+		k("cover", "count", 0, 0x2222bb77): 700,
+	}))
+	return db
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenDatabase pins the serialized database format and proves the
+// decoder reproduces it exactly.
+func TestGoldenDatabase(t *testing.T) {
+	db := goldenDB()
+	var sb strings.Builder
+	if _, err := db.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden.profdb", sb.String())
+
+	back, err := profdb.ReadDB(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("golden bytes do not parse: %v", err)
+	}
+	var sb2 strings.Builder
+	if _, err := back.WriteTo(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != sb.String() {
+		t.Errorf("golden round trip not identity:\n%s\nvs\n%s", sb.String(), sb2.String())
+	}
+}
+
+// TestGoldenMerge pins the weighted merge (decay + stale down-weighting)
+// as a serialized snapshot.
+func TestGoldenMerge(t *testing.T) {
+	merged, stats := goldenDB().Merge("aaaa000011112222", profdb.DefaultMergeParams())
+	if stats.ExactRecords != 2 || stats.StaleRecords != 1 {
+		t.Fatalf("unexpected merge stats %+v", stats)
+	}
+	var sb strings.Builder
+	if _, err := profdb.WriteSnapshot(&sb, "espresso.c", merged); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_merge.profsnap", sb.String())
+
+	_, back, err := profdb.ReadSnapshot(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("merged snapshot does not parse: %v", err)
+	}
+	var sb2 strings.Builder
+	if _, err := profdb.WriteSnapshot(&sb2, "espresso.c", back); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != sb.String() {
+		t.Errorf("snapshot round trip not identity")
+	}
+}

@@ -1,0 +1,132 @@
+// Package profdb is the persistent profile database: a versioned on-disk
+// store that accumulates profiles across runs, machines, and program
+// versions, and serves deterministic weighted merges back to the compiler.
+//
+// The legacy ILPROF file keys arc weights by raw call-site ids, which are
+// assigned sequentially over the whole module — one inserted function (or
+// one new call) silently shifts every later id, so an old profile applied
+// to an edited program misattributes weights without any error. profdb
+// instead keys every site by a stable fingerprint: caller name, callee
+// name, the per-caller ordinal among calls to that callee, and a hash of
+// the source position. Raw ids never leave the process that profiled;
+// they are remapped back from stable keys against the current module just
+// before the weighted call graph is built, and keys that no longer
+// resolve are reported as stale instead of being misapplied.
+package profdb
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+
+	"inlinec/internal/callgraph"
+	"inlinec/internal/ir"
+	"inlinec/internal/token"
+)
+
+// SiteKey is the stable identity of one static call site.
+type SiteKey struct {
+	// Caller is the containing function's name.
+	Caller string
+	// Callee is the callee's name, or the call graph's "###" summary name
+	// for calls through pointers.
+	Callee string
+	// Ordinal is the 0-based index of this site among Caller's static
+	// calls to Callee, in code order.
+	Ordinal int
+	// PosHash is a hash of the call's source position. It is not part of
+	// the primary identity: a site whose (Caller, Callee, Ordinal) triple
+	// still resolves but whose position changed is remapped as "moved"
+	// rather than dropped, so pure reformatting doesn't discard data.
+	PosHash uint32
+}
+
+// String renders the key in its on-disk field order.
+func (k SiteKey) String() string {
+	return fmt.Sprintf("%s %s %d %08x", k.Caller, k.Callee, k.Ordinal, k.PosHash)
+}
+
+// primary is the lookup identity of a key (everything but the position).
+type primary struct {
+	Caller  string
+	Callee  string
+	Ordinal int
+}
+
+// siteRef is the current module's view of one primary key.
+type siteRef struct {
+	id      int
+	posHash uint32
+}
+
+// PosHash hashes a source position (FNV-32a over file:line:col).
+func PosHash(p token.Pos) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(p.String()))
+	return h.Sum32()
+}
+
+// KeyMap translates between a module's raw call-site ids and stable keys.
+type KeyMap struct {
+	byID      map[int]SiteKey
+	byPrimary map[primary]siteRef
+	funcs     map[string]bool
+}
+
+// ModuleKeys builds the key map for a module from the call graph's
+// deterministic site enumeration.
+func ModuleKeys(mod *ir.Module) *KeyMap {
+	km := &KeyMap{
+		byID:      make(map[int]SiteKey),
+		byPrimary: make(map[primary]siteRef),
+		funcs:     make(map[string]bool),
+	}
+	for _, s := range callgraph.StableSites(mod) {
+		k := SiteKey{Caller: s.Caller, Callee: s.Callee, Ordinal: s.Ordinal, PosHash: PosHash(s.Pos)}
+		km.byID[s.ID] = k
+		km.byPrimary[primary{k.Caller, k.Callee, k.Ordinal}] = siteRef{id: s.ID, posHash: k.PosHash}
+	}
+	for _, f := range mod.Funcs {
+		km.funcs[f.Name] = true
+	}
+	// Extern entries appear in FuncCounts too (the profiler counts calls
+	// into $$$); they are name-stable, so they resolve like user functions.
+	for _, e := range mod.Externs {
+		km.funcs[e.Name] = true
+	}
+	return km
+}
+
+// Key returns the stable key of a raw call-site id.
+func (km *KeyMap) Key(id int) (SiteKey, bool) {
+	k, ok := km.byID[id]
+	return k, ok
+}
+
+// Resolve maps a stable key to the current module's raw id. exact reports
+// whether the position hash also matched (false means the site moved but
+// its (caller, callee, ordinal) identity survived).
+func (km *KeyMap) Resolve(k SiteKey) (id int, exact, ok bool) {
+	ref, ok := km.byPrimary[primary{k.Caller, k.Callee, k.Ordinal}]
+	if !ok {
+		return 0, false, false
+	}
+	return ref.id, ref.posHash == k.PosHash, true
+}
+
+// HasFunc reports whether the current module defines the function.
+func (km *KeyMap) HasFunc(name string) bool { return km.funcs[name] }
+
+// Len returns the number of call sites in the map.
+func (km *KeyMap) Len() int { return len(km.byID) }
+
+// ModuleFingerprint identifies one program version: a truncated SHA-256
+// of the module's deterministic IL rendering. Any IL change — including
+// the id shifts that motivate stable keys — yields a new fingerprint, so
+// the database can tell exactly which records were collected on the
+// program now being compiled.
+func ModuleFingerprint(mod *ir.Module) string {
+	sum := sha256.Sum256([]byte(mod.String()))
+	return hex.EncodeToString(sum[:8])
+}

@@ -38,6 +38,10 @@ type RunStats struct {
 	MaxStack int64
 	// ExitCode is the program's exit status.
 	ExitCode int64
+	// Truncated is 1 when the run ended with Returns != Calls — an
+	// exit()-style termination that unwound no frames. Truncated runs skew
+	// averaged arc weights, so merges count them instead of hiding them.
+	Truncated int64
 }
 
 // NewRunStats returns an empty, initialized RunStats.
@@ -59,9 +63,12 @@ type Profile struct {
 	TotalReturns int64
 	TotalExtern  int64
 	TotalPtr     int64
-	SiteCounts   map[int]int64
-	FuncCounts   map[string]int64
-	MaxStack     int64
+	// TotalTruncated counts runs that ended with Returns != Calls (exit()
+	// or equivalent), which under-report returns relative to calls.
+	TotalTruncated int64
+	SiteCounts     map[int]int64
+	FuncCounts     map[string]int64
+	MaxStack       int64
 }
 
 // NewProfile returns an empty profile.
@@ -81,6 +88,7 @@ func (p *Profile) Add(rs *RunStats) {
 	p.TotalReturns += rs.Returns
 	p.TotalExtern += rs.ExternCalls
 	p.TotalPtr += rs.PtrCalls
+	p.TotalTruncated += rs.Truncated
 	for id, n := range rs.SiteCounts {
 		p.SiteCounts[id] += n
 	}
@@ -121,6 +129,10 @@ func (p *Profile) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "profile: %d run(s), avg IL=%.0f, avg CT=%.0f, avg calls=%.0f (extern %.0f, ptr %.0f)\n",
 		p.Runs, p.AvgIL(), p.AvgControl(), p.AvgCalls(), p.avg(p.TotalExtern), p.avg(p.TotalPtr))
+	if p.TotalTruncated > 0 {
+		fmt.Fprintf(&sb, "  warning: %d of %d run(s) truncated (returns != calls; exit() before unwinding)\n",
+			p.TotalTruncated, p.Runs)
+	}
 	names := make([]string, 0, len(p.FuncCounts))
 	for n := range p.FuncCounts {
 		names = append(names, n)

@@ -22,10 +22,17 @@ import (
 //	extern 90
 //	ptr 2
 //	maxstack 4096
+//	truncated 0
 //	func <name> <total-count>
 //	site <id> <total-count>
 //
-// Counts are totals across runs (averages are recomputed on load).
+// Counts are totals across runs (averages are recomputed on load). The
+// decoder is strict: every scalar directive may appear at most once, each
+// func/site entry at most once, and any malformed or trailing field is a
+// line-numbered error — a corrupt or concatenated profile must never
+// silently last-write-win its way into the expander's arc weights.
+// `truncated` (runs whose Returns != Calls) is optional on input for
+// compatibility with pre-existing files.
 
 const profileMagic = "ILPROF 1"
 
@@ -41,6 +48,7 @@ func (p *Profile) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintf(&sb, "extern %d\n", p.TotalExtern)
 	fmt.Fprintf(&sb, "ptr %d\n", p.TotalPtr)
 	fmt.Fprintf(&sb, "maxstack %d\n", p.MaxStack)
+	fmt.Fprintf(&sb, "truncated %d\n", p.TotalTruncated)
 
 	names := make([]string, 0, len(p.FuncCounts))
 	for n := range p.FuncCounts {
@@ -74,6 +82,7 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 	}
 	p := NewProfile()
 	lineNo := 1
+	seenScalar := make(map[string]int)
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -92,10 +101,15 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 			return v, nil
 		}
 		switch fields[0] {
-		case "runs", "il", "control", "calls", "returns", "extern", "ptr", "maxstack":
+		case "runs", "il", "control", "calls", "returns", "extern", "ptr", "maxstack", "truncated":
 			if len(fields) != 2 {
 				return nil, bad()
 			}
+			if prev, dup := seenScalar[fields[0]]; dup {
+				return nil, fmt.Errorf("profile: line %d: duplicate %q directive (first on line %d)",
+					lineNo, fields[0], prev)
+			}
+			seenScalar[fields[0]] = lineNo
 			v, err := num(fields[1])
 			if err != nil {
 				return nil, err
@@ -117,6 +131,8 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 				p.TotalPtr = v
 			case "maxstack":
 				p.MaxStack = v
+			case "truncated":
+				p.TotalTruncated = v
 			}
 		case "func":
 			if len(fields) != 3 {
@@ -125,6 +141,9 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 			v, err := num(fields[2])
 			if err != nil {
 				return nil, err
+			}
+			if _, dup := p.FuncCounts[fields[1]]; dup {
+				return nil, fmt.Errorf("profile: line %d: duplicate func entry %q", lineNo, fields[1])
 			}
 			p.FuncCounts[fields[1]] = v
 		case "site":
@@ -138,6 +157,9 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 			v, err := num(fields[2])
 			if err != nil {
 				return nil, err
+			}
+			if _, dup := p.SiteCounts[int(id)]; dup {
+				return nil, fmt.Errorf("profile: line %d: duplicate site entry %d", lineNo, int(id))
 			}
 			p.SiteCounts[int(id)] = v
 		default:
