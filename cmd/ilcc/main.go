@@ -21,7 +21,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"strings"
 
@@ -143,7 +142,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			var err error
 			prof, err = profileFromDB(prog, *profdbSrc, stderr)
 			if err != nil {
-				return fail(err)
+				if !strings.HasPrefix(*profdbSrc, "http://") && !strings.HasPrefix(*profdbSrc, "https://") {
+					return fail(err) // a local file is deterministic config: failing it is a bug to surface
+				}
+				// A fleet daemon being down must not fail the compile:
+				// degrade to in-process profiling and keep going.
+				fmt.Fprintf(stderr, "ilcc: warning: profile database %s unavailable (%v); falling back to in-process profiling\n",
+					*profdbSrc, err)
+				prof, err = prog.ProfileInputs(input)
+				if err != nil {
+					return fail(fmt.Errorf("profiling: %w", err))
+				}
 			}
 		case *profilePath != "":
 			f, err := os.Open(*profilePath)
@@ -236,23 +245,15 @@ func profileFromDB(prog *inlinec.Program, src string, stderr io.Writer) (*inline
 		return prof, nil
 	}
 
-	url := strings.TrimRight(src, "/") + "/profile?fingerprint=" + prog.Fingerprint()
-	resp, err := http.Get(url)
+	client := profdb.NewClient(src)
+	client.Warn = stderr
+	_, rec, err := client.FetchProfile(prog.Fingerprint(), nil)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
-	}
-	_, rec, err := profdb.ReadSnapshot(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", url, err)
-	}
 	prof, stats := rec.Resolve(profdb.ModuleKeys(prog.Module))
 	if prof.Runs == 0 {
-		return nil, fmt.Errorf("%s served an empty profile", url)
+		return nil, fmt.Errorf("%s served an empty profile", src)
 	}
 	if stats.MovedSites > 0 || stats.DroppedSites > 0 || stats.DroppedFuncs > 0 {
 		report := &profdb.Report{Resolve: *stats}

@@ -289,12 +289,29 @@ func TestCLIProfDBErrors(t *testing.T) {
 	cases := [][]string{
 		{"-inline", "-profile", "x.prof", "-profdb", dbPath, p},         // mutually exclusive
 		{"-inline", "-profdb", filepath.Join(dir, "missing.profdb"), p}, // empty database
-		{"-inline", "-profdb", "http://127.0.0.1:1/", p},                // unreachable daemon
 	}
 	for _, args := range cases {
 		if code, _, _ := runCLI(t, args, ""); code == 0 {
 			t.Errorf("args %v: expected nonzero exit", args)
 		}
+	}
+}
+
+// TestCLIProfDBUnreachableDegrades: a dead fleet daemon must not fail
+// the compile — ilcc warns, falls back to in-process profiling, and
+// still inlines.
+func TestCLIProfDBUnreachableDegrades(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "p.c", prog)
+	code, _, errb := runCLI(t, []string{"-inline", "-run", "-profdb", "http://127.0.0.1:1/", p}, "")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (graceful degradation); stderr: %s", code, errb)
+	}
+	if !strings.Contains(errb, "falling back to in-process profiling") {
+		t.Errorf("degradation must be announced on stderr: %q", errb)
+	}
+	if !strings.Contains(errb, "expanded site") {
+		t.Errorf("fallback profile must still drive inlining: %q", errb)
 	}
 }
 

@@ -22,11 +22,9 @@
 package main
 
 import (
-	"bytes"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -240,20 +238,14 @@ func publish(prog *inlinec.Program, prof *inlinec.Profile, program, dbPath, post
 			fmt.Fprintf(stderr, "ilprof: %v\n", err)
 			return 1
 		}
-		var buf bytes.Buffer
-		if _, err := profdb.WriteSnapshot(&buf, program, rec); err != nil {
-			fmt.Fprintf(stderr, "ilprof: %v\n", err)
-			return 1
-		}
-		resp, err := http.Post(strings.TrimRight(postURL, "/")+"/ingest", "text/plain", &buf)
+		// The retrying client backs off through transient daemon trouble
+		// (restarts, 5xx NAKs) but never double-sends after an ambiguous
+		// transport failure — ingestion is not idempotent.
+		client := profdb.NewClient(postURL)
+		client.Warn = stderr
+		body, err := client.PostSnapshot(program, rec)
 		if err != nil {
 			fmt.Fprintf(stderr, "ilprof: %v\n", err)
-			return 1
-		}
-		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			fmt.Fprintf(stderr, "ilprof: %s rejected the snapshot: %s: %s", postURL, resp.Status, body)
 			return 1
 		}
 		fmt.Fprintf(stderr, "ilprof: posted to %s: %s", postURL, body)

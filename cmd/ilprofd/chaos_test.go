@@ -1,0 +1,205 @@
+package main
+
+// Process-level crash test: a real ilprofd is killed with SIGKILL while
+// retrying clients hammer /ingest, over several rounds sharing one
+// database. After the dust settles the store must load cleanly and hold
+// every acknowledged run — the WAL ack barrier, exercised against a
+// genuine kernel kill rather than a simulated crash.
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"inlinec/internal/chaos"
+	"inlinec/internal/profdb"
+)
+
+// chaosRec builds the minimal valid snapshot record the daemon accepts.
+func chaosRec(fp string, gen int) *profdb.Record {
+	r := profdb.NewRecord(fp, gen)
+	r.Runs = 1
+	r.IL = 500
+	r.Calls = 20
+	r.Funcs = map[string]int64{"main": 5, "work": 15}
+	r.Sites = map[profdb.SiteKey]int64{
+		{Caller: "main", Callee: "work", Ordinal: 0, PosHash: 0x77}: 15,
+	}
+	return r
+}
+
+// daemon wraps one running ilprofd subprocess.
+type daemon struct {
+	cmd      *exec.Cmd
+	addr     string
+	stderrMu sync.Mutex
+	stderr   bytes.Buffer
+}
+
+func (d *daemon) stderrText() string {
+	d.stderrMu.Lock()
+	defer d.stderrMu.Unlock()
+	return d.stderr.String()
+}
+
+// startDaemon launches the binary and waits for its listen report.
+func startDaemon(t *testing.T, bin, dbPath string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-db", dbPath, "-flush-every", "2")
+	pipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			line := sc.Text()
+			d.stderrMu.Lock()
+			d.stderr.WriteString(line + "\n")
+			d.stderrMu.Unlock()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				fields := strings.Fields(line[i+len("listening on "):])
+				if len(fields) > 0 {
+					select {
+					case addrCh <- fields[0]:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	select {
+	case d.addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("daemon never reported its address; stderr:\n%s", d.stderrText())
+	}
+	return d
+}
+
+func TestChaosDaemonKillNineMidIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ilprofd-under-test")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building daemon: %v\n%s", err, out)
+	}
+	dbPath := filepath.Join(dir, "fleet.profdb")
+	rng := rand.New(rand.NewSource(1))
+
+	var mu sync.Mutex
+	acked := map[profdb.RecordKey]int{}
+	attempted := map[profdb.RecordKey]int{}
+
+	// hammer fires concurrent ingests until stop closes, counting every
+	// attempt and every positive ack.
+	hammer := func(addr string, stop <-chan struct{}) *sync.WaitGroup {
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				client := profdb.NewClient("http://" + addr)
+				client.Attempts = 2
+				client.Backoff = 5 * time.Millisecond
+				client.HTTP.Timeout = 2 * time.Second
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					rec := chaosRec("deadbeefcafe0001", (w+i)%3)
+					k := profdb.RecordKey{Fingerprint: rec.Fingerprint, Gen: rec.Gen}
+					mu.Lock()
+					attempted[k] += rec.Runs
+					mu.Unlock()
+					if _, err := client.PostSnapshot("chaos.c", rec); err == nil {
+						mu.Lock()
+						acked[k] += rec.Runs
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		return &wg
+	}
+
+	// Three rounds of SIGKILL mid-traffic, sharing one database.
+	for round := 0; round < 3; round++ {
+		d := startDaemon(t, bin, dbPath)
+		stop := make(chan struct{})
+		wg := hammer(d.addr, stop)
+		time.Sleep(time.Duration(20+rng.Intn(60)) * time.Millisecond)
+		if err := d.cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup, no flush
+			t.Fatalf("round %d: kill: %v", round, err)
+		}
+		close(stop)
+		wg.Wait()
+		d.cmd.Wait()
+	}
+
+	// One graceful round: the daemon must recover the kill-torn state,
+	// serve traffic, and shut down cleanly on SIGTERM.
+	d := startDaemon(t, bin, dbPath)
+	stop := make(chan struct{})
+	wg := hammer(d.addr, stop)
+	time.Sleep(40 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown exited with %v; stderr:\n%s", err, d.stderrText())
+	}
+
+	// The store must load and hold exactly the durable truth:
+	// acked <= recovered <= attempted for every key.
+	store, recovery, err := profdb.Open(chaos.OSFS{}, dbPath, "")
+	if err != nil {
+		t.Fatalf("store failed to load after kill rounds: %v (recovery: %s)", err, recovery)
+	}
+	total := 0
+	mu.Lock()
+	defer mu.Unlock()
+	for k, want := range acked {
+		got := 0
+		if r, ok := store.DB().Records[k]; ok {
+			got = r.Runs
+		}
+		total += got
+		if got < want {
+			t.Errorf("%v: recovered %d run(s), below %d acked — SIGKILL lost acknowledged data", k, got, want)
+		}
+	}
+	for k, r := range store.DB().Records {
+		if r.Runs > attempted[k] {
+			t.Errorf("%v: recovered %d run(s), above %d attempted — double count", k, r.Runs, attempted[k])
+		}
+	}
+	if total == 0 {
+		t.Error("no acked runs recovered at all; the hammer never landed — test inert")
+	}
+	ackedTotal := 0
+	for _, n := range acked {
+		ackedTotal += n
+	}
+	t.Logf("recovered %d run(s); %d acked across %d key(s); final recovery: %s",
+		total, ackedTotal, len(store.DB().Records), recovery)
+}

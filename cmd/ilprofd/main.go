@@ -23,6 +23,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"inlinec/internal/chaos"
 	"inlinec/internal/profdb"
 )
 
@@ -59,11 +61,14 @@ type ingestReq struct {
 }
 
 // server owns the database. All mutation flows through the writer
-// goroutine (serve loop over ingestCh); readers take the RLock.
+// goroutine (serve loop over ingestCh); readers take the RLock. With a
+// backing store, an ingest is acknowledged only after its write-ahead
+// log frame is durable; without one (dbPath == "") the daemon runs
+// purely in memory, as some tests and ad-hoc fleets do.
 type server struct {
 	mu         sync.RWMutex
 	db         *profdb.DB
-	dbPath     string
+	store      *profdb.Store // nil in pure in-memory mode
 	flushEvery int
 
 	ingestCh chan ingestReq
@@ -78,16 +83,23 @@ type server struct {
 	sinceFlush   int // writer-goroutine private
 }
 
-func newServer(db *profdb.DB, dbPath string, flushEvery int) *server {
+func newServer(db *profdb.DB, flushEvery int) *server {
 	if flushEvery <= 0 {
 		flushEvery = 16
 	}
 	return &server{
 		db:         db,
-		dbPath:     dbPath,
 		flushEvery: flushEvery,
 		ingestCh:   make(chan ingestReq, 64),
 	}
+}
+
+// newStoreServer wraps a crash-safe store: the served database IS the
+// store's, and every ack is WAL-durable.
+func newStoreServer(store *profdb.Store, flushEvery int) *server {
+	s := newServer(store.DB(), flushEvery)
+	s.store = store
+	return s
 }
 
 // start launches the single writer goroutine.
@@ -126,27 +138,42 @@ func (s *server) start() {
 }
 
 // commit applies one batch under the write lock and flushes if due.
+// With a store, the whole batch reaches the write-ahead log with a
+// single fsync before any handler is released — the ack barrier.
 func (s *server) commit(batch []ingestReq) {
 	s.mu.Lock()
-	for _, r := range batch {
-		err := s.ingestLocked(r.program, r.rec)
-		if err == nil {
+	var errs []error
+	if s.store != nil {
+		programs := make([]string, len(batch))
+		recs := make([]*profdb.Record, len(batch))
+		for i, r := range batch {
+			programs[i], recs[i] = r.program, r.rec
+		}
+		errs = s.store.IngestBatch(programs, recs)
+	} else {
+		errs = make([]error, len(batch))
+		for i, r := range batch {
+			errs[i] = s.ingestLocked(r.program, r.rec)
+		}
+	}
+	for i, r := range batch {
+		if errs[i] == nil {
 			s.ingested.Add(1)
 			s.runsIngested.Add(int64(r.rec.Runs))
 			s.sinceFlush++
 		} else {
 			s.ingestErrors.Add(1)
 		}
-		r.done <- err
+		r.done <- errs[i]
 	}
-	flush := s.dbPath != "" && s.sinceFlush >= s.flushEvery
+	flush := s.store != nil && s.sinceFlush >= s.flushEvery
 	if flush {
 		s.sinceFlush = 0
+		if err := s.store.Flush(); err == nil {
+			s.flushes.Add(1)
+		}
 	}
 	s.mu.Unlock()
-	if flush {
-		s.flush()
-	}
 }
 
 func (s *server) ingestLocked(program string, rec *profdb.Record) error {
@@ -158,26 +185,21 @@ func (s *server) ingestLocked(program string, rec *profdb.Record) error {
 	return s.db.Ingest(rec)
 }
 
-// flush rewrites the database file atomically.
-func (s *server) flush() error {
-	if s.dbPath == "" {
+// stop closes the ingest path, waits for the writer to drain, and runs
+// the final snapshot flush.
+func (s *server) stop() error {
+	close(s.ingestCh)
+	s.writerWG.Wait()
+	if s.store == nil {
 		return nil
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if err := profdb.WriteDBFile(s.dbPath, s.db); err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.store.Close(); err != nil {
 		return err
 	}
 	s.flushes.Add(1)
 	return nil
-}
-
-// stop closes the ingest path, waits for the writer to drain, and runs
-// the final flush.
-func (s *server) stop() error {
-	close(s.ingestCh)
-	s.writerWG.Wait()
-	return s.flush()
 }
 
 func (s *server) handler() http.Handler {
@@ -203,6 +225,12 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	done := make(chan error, 1)
 	s.ingestCh <- ingestReq{program: program, rec: rec, done: done}
 	if err := <-done; err != nil {
+		if errors.Is(err, profdb.ErrWAL) {
+			// The payload was fine but could not be made durable. 503 is
+			// an explicit NAK — nothing was committed, clients may retry.
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
@@ -304,9 +332,10 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string), shutd
 	fs := flag.NewFlagSet("ilprofd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:7411", "listen address")
-	dbPath := fs.String("db", "", "profile database file (created if missing; flushed atomically)")
+	dbPath := fs.String("db", "", "profile database file (created if missing; WAL-backed, flushed atomically)")
 	program := fs.String("program", "", "program name for a fresh database (else taken from the first snapshot)")
-	flushEvery := fs.Int("flush-every", 16, "write the database file after this many committed snapshots")
+	flushEvery := fs.Int("flush-every", 16, "write a fresh snapshot (and rotate the WAL) after this many committed snapshots")
+	chaosSpec := fs.String("chaos-fs", "", "fault-injection spec for the store filesystem (testing only), e.g. seed=1,write=0.02,sync=0.02,rename=0.01,torn=0.01")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -315,12 +344,32 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string), shutd
 		fs.PrintDefaults()
 		return 2
 	}
-	db, err := profdb.ReadDBFile(*dbPath, *program)
+	var fsys chaos.FS = chaos.OSFS{}
+	var inj *chaos.Injector
+	if *chaosSpec != "" {
+		cfg, err := chaos.ParseConfig(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "ilprofd: -chaos-fs: %v\n", err)
+			return 2
+		}
+		inj = chaos.NewInjector(fsys, cfg)
+		inj.SetEnabled(false) // recovery always runs fault-free
+		fsys = inj
+	}
+	store, recovery, err := profdb.Open(fsys, *dbPath, *program)
 	if err != nil {
 		fmt.Fprintf(stderr, "ilprofd: %v\n", err)
 		return 1
 	}
-	s := newServer(db, *dbPath, *flushEvery)
+	if recovery.ReplayedRecords > 0 || !recovery.Clean() {
+		fmt.Fprintf(stderr, "ilprofd: recovery: %s\n", recovery)
+	}
+	if inj != nil {
+		inj.SetEnabled(true)
+		fmt.Fprintf(stderr, "ilprofd: CHAOS MODE: injecting filesystem faults (%s)\n", *chaosSpec)
+	}
+	db := store.DB()
+	s := newStoreServer(store, *flushEvery)
 	s.start()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -344,6 +393,9 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string), shutd
 		s.stop()
 		return 1
 	case <-shutdown:
+	}
+	if inj != nil {
+		inj.SetEnabled(false) // graceful shutdown drains and flushes fault-free
 	}
 	fmt.Fprintln(stderr, "ilprofd: shutting down")
 	hs.Close()

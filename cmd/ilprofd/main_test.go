@@ -168,7 +168,7 @@ func TestConcurrentIngest(t *testing.T) {
 		}
 	}
 
-	s := newServer(profdb.NewDB("t.c"), "", 0)
+	s := newServer(profdb.NewDB("t.c"), 0)
 	s.start()
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
@@ -219,7 +219,7 @@ func TestConcurrentIngest(t *testing.T) {
 // TestIngestRejections: bad payloads 400, program mismatches 409, and
 // neither corrupts the store.
 func TestIngestRejections(t *testing.T) {
-	s := newServer(profdb.NewDB("a.c"), "", 0)
+	s := newServer(profdb.NewDB("a.c"), 0)
 	s.start()
 	defer s.stop()
 	ts := httptest.NewServer(s.handler())

@@ -2,9 +2,13 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"inlinec"
+	"inlinec/internal/chaos"
 	"inlinec/internal/profdb"
 )
 
@@ -24,11 +28,18 @@ type ProfDBResult struct {
 	DBBytes int `json:"db_bytes"`
 	// MergedRuns is the decayed run total the merge produced.
 	MergedRuns int `json:"merged_runs"`
+	// WALBytes is the write-ahead log size after all durable ingests,
+	// before the closing snapshot flush retires it.
+	WALBytes int `json:"wal_bytes"`
 	// Wall-clock columns; compare trends, not digits.
 	ProfileSeconds float64 `json:"profile_seconds"`
 	IngestSeconds  float64 `json:"ingest_seconds"`
-	MergeSeconds   float64 `json:"merge_seconds"`
-	ResolveSeconds float64 `json:"resolve_seconds"`
+	// DurableIngestSeconds pushes the same snapshots through the
+	// crash-safe store: every batch is WAL-framed and fsynced before it
+	// counts as ingested, so this column prices the ack barrier.
+	DurableIngestSeconds float64 `json:"durable_ingest_seconds"`
+	MergeSeconds         float64 `json:"merge_seconds"`
+	ResolveSeconds       float64 `json:"resolve_seconds"`
 }
 
 // RunProfDB profiles a benchmark once, then pushes the snapshot through
@@ -117,14 +128,74 @@ func RunProfDB(name string, snapshots int, cfg Config) (*ProfDBResult, error) {
 	if s1.String() != s2.String() {
 		return nil, fmt.Errorf("profdb bench: merge is not deterministic for %s", name)
 	}
+
+	if err := runDurableIngest(prog, prof, snapshots, s1.String(), params, res); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// runDurableIngest replays the same snapshot stream through the
+// crash-safe on-disk store, timing ingestion with the WAL fsync barrier
+// in the path, and checks that the durable store merges to exactly the
+// bytes the in-memory pipeline produced.
+func runDurableIngest(prog *inlinec.Program, prof *inlinec.Profile, snapshots int, wantMerge string, params profdb.MergeParams, res *ProfDBResult) error {
+	tmp, err := os.MkdirTemp("", "ilbench-profdb-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	fsys := chaos.OSFS{}
+	dbPath := filepath.Join(tmp, res.Benchmark+".profdb")
+	store, _, err := profdb.Open(fsys, dbPath, res.Benchmark+".c")
+	if err != nil {
+		return fmt.Errorf("profdb bench: open store: %w", err)
+	}
+
+	const batch = 16
+	t0 := time.Now()
+	for i := 0; i < snapshots; i += batch {
+		n := batch
+		if i+n > snapshots {
+			n = snapshots - i
+		}
+		programs := make([]string, n)
+		recs := make([]*profdb.Record, n)
+		for j := 0; j < n; j++ {
+			rec, err := prog.Snapshot(prof, (i+j)%8)
+			if err != nil {
+				return err
+			}
+			programs[j] = res.Benchmark + ".c"
+			recs[j] = rec
+		}
+		for _, err := range store.IngestBatch(programs, recs) {
+			if err != nil {
+				return fmt.Errorf("profdb bench: durable ingest: %w", err)
+			}
+		}
+	}
+	res.DurableIngestSeconds = time.Since(t0).Seconds()
+	if size, err := fsys.Size(dbPath + ".wal"); err == nil {
+		res.WALBytes = int(size)
+	}
+
+	merged, _ := store.DB().Merge(prog.Fingerprint(), params)
+	var sb strings.Builder
+	if _, err := profdb.WriteSnapshot(&sb, store.DB().Program, merged); err != nil {
+		return err
+	}
+	if sb.String() != wantMerge {
+		return fmt.Errorf("profdb bench: durable store merge diverged from in-memory merge for %s", res.Benchmark)
+	}
+	return store.Close()
 }
 
 // String renders the result as one human-readable block.
 func (r *ProfDBResult) String() string {
 	return fmt.Sprintf(
-		"profdb %s: %d snapshot(s) x %d site(s)/%d func(s), db %d bytes, merged %d run(s)\n"+
-			"  profile %.3fs  ingest %.3fs  merge %.6fs  resolve %.6fs\n",
-		r.Benchmark, r.Snapshots, r.Sites, r.Funcs, r.DBBytes, r.MergedRuns,
-		r.ProfileSeconds, r.IngestSeconds, r.MergeSeconds, r.ResolveSeconds)
+		"profdb %s: %d snapshot(s) x %d site(s)/%d func(s), db %d bytes, wal %d bytes, merged %d run(s)\n"+
+			"  profile %.3fs  ingest %.3fs  durable-ingest %.3fs  merge %.6fs  resolve %.6fs\n",
+		r.Benchmark, r.Snapshots, r.Sites, r.Funcs, r.DBBytes, r.WALBytes, r.MergedRuns,
+		r.ProfileSeconds, r.IngestSeconds, r.DurableIngestSeconds, r.MergeSeconds, r.ResolveSeconds)
 }

@@ -1,0 +1,277 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func readAll(t *testing.T, fs FS, name string) string {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return string(data)
+}
+
+func writeAll(t *testing.T, fs FS, name, data string, sync bool) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+	if _, err := f.Write([]byte(data)); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %s: %v", name, err)
+		}
+	}
+	f.Close()
+}
+
+// TestMemFSCrashDiscardsUnsynced: synced data survives a crash, unsynced
+// data does not (strict mode, no torn tails), and unsynced directory
+// entries vanish.
+func TestMemFSCrashDiscardsUnsynced(t *testing.T) {
+	m := NewMemFS()
+	writeAll(t, m, "dir/a", "durable", true)
+	m.SyncDir("dir")
+	writeAll(t, m, "dir/b", "cached only", true) // content synced, entry not
+	f, _ := m.OpenAppend("dir/a")
+	f.Write([]byte(" plus tail"))
+	f.Close() // close without sync
+
+	m.Crash(nil)
+
+	if got := readAll(t, m, "dir/a"); got != "durable" {
+		t.Errorf("a after crash = %q, want %q", got, "durable")
+	}
+	if _, err := m.Open("dir/b"); err == nil {
+		t.Error("file with unsynced directory entry survived the crash")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("stale handle sync error = %v, want ErrCrashed", err)
+	}
+}
+
+// TestMemFSCrashTornTail: with an rng, a crash may persist a corrupted
+// prefix of an unsynced append — never more than was written, and the
+// synced prefix always intact.
+func TestMemFSCrashTornTail(t *testing.T) {
+	sawPartial := false
+	for seed := int64(0); seed < 50; seed++ {
+		m := NewMemFS()
+		writeAll(t, m, "d/w", "SYNCED", true)
+		m.SyncDir("d")
+		f, _ := m.OpenAppend("d/w")
+		f.Write([]byte("UNSYNCEDTAIL"))
+		m.Crash(rand.New(rand.NewSource(seed)))
+		got := readAll(t, m, "d/w")
+		if !strings.HasPrefix(got, "SYNCED") {
+			t.Fatalf("seed %d: synced prefix damaged: %q", seed, got)
+		}
+		if len(got) > len("SYNCED")+len("UNSYNCEDTAIL") {
+			t.Fatalf("seed %d: crash invented data: %q", seed, got)
+		}
+		if len(got) > len("SYNCED") && len(got) < len("SYNCED")+len("UNSYNCEDTAIL") {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Error("no seed produced a partial tail; torn-write model inert")
+	}
+}
+
+// TestMemFSRenameDurability: a rename is visible immediately but only
+// durable after SyncDir.
+func TestMemFSRenameDurability(t *testing.T) {
+	m := NewMemFS()
+	writeAll(t, m, "d/tmp", "v2", true)
+	writeAll(t, m, "d/live", "v1", true)
+	m.SyncDir("d")
+	if err := m.Rename("d/tmp", "d/live"); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, m, "d/live"); got != "v2" {
+		t.Fatalf("rename not visible: %q", got)
+	}
+	m.Crash(nil) // entry not synced: old namespace returns
+	if got := readAll(t, m, "d/live"); got != "v1" {
+		t.Errorf("unsynced rename survived crash: live = %q, want v1", got)
+	}
+	if got := readAll(t, m, "d/tmp"); got != "v2" {
+		t.Errorf("unsynced rename destroyed source: tmp = %q, want v2", got)
+	}
+
+	// Same again, but with SyncDir: the rename must survive.
+	if err := m.Rename("d/tmp", "d/live"); err != nil {
+		t.Fatal(err)
+	}
+	m.SyncDir("d")
+	m.Crash(nil)
+	if got := readAll(t, m, "d/live"); got != "v2" {
+		t.Errorf("synced rename lost by crash: %q", got)
+	}
+	if _, err := m.Open("d/tmp"); err == nil {
+		t.Error("synced rename resurrected the source")
+	}
+}
+
+// TestInjectorDeterministic: same seed, same op sequence, same faults.
+func TestInjectorDeterministic(t *testing.T) {
+	run := func() []string {
+		in := NewInjector(NewMemFS(), Config{Seed: 42, WriteErr: 0.3, SyncErr: 0.3, OpenErr: 0.2})
+		var log []string
+		for i := 0; i < 40; i++ {
+			f, err := in.Create("x")
+			if err != nil {
+				log = append(log, "create:"+err.Error())
+				continue
+			}
+			if _, err := f.Write([]byte("0123456789")); err != nil {
+				log = append(log, "write:"+err.Error())
+			}
+			if err := f.Sync(); err != nil {
+				log = append(log, "sync:"+err.Error())
+			}
+			f.Close()
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no faults injected at these rates")
+	}
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Errorf("fault schedules diverge:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestInjectorShortWrite: a failed write delivers a strict prefix.
+func TestInjectorShortWrite(t *testing.T) {
+	m := NewMemFS()
+	in := NewInjector(m, Config{Seed: 7, WriteErr: 1})
+	f, err := in.Create("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write([]byte("full payload"))
+	var inj *InjectedError
+	if !errors.As(werr, &inj) {
+		t.Fatalf("want InjectedError, got %v", werr)
+	}
+	data, _ := m.ReadFile("s")
+	if len(data) != n || n >= len("full payload") {
+		t.Errorf("short write delivered %d bytes, file holds %d", n, len(data))
+	}
+}
+
+// TestInjectorTornRename: the destination ends up with a prefix of the
+// source and the op reports failure.
+func TestInjectorTornRename(t *testing.T) {
+	m := NewMemFS()
+	writeAll(t, m, "d/src", strings.Repeat("R", 100), true)
+	writeAll(t, m, "d/dst", "old destination", true)
+	m.SyncDir("d")
+	in := NewInjector(m, Config{Seed: 3, TornRename: 1})
+	err := in.Rename("d/src", "d/dst")
+	var inj *InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("want InjectedError, got %v", err)
+	}
+	got, _ := m.ReadFile("d/dst")
+	if string(got) == "old destination" {
+		t.Error("torn rename left the destination untouched")
+	}
+	if len(got) >= 100 && string(got) == strings.Repeat("R", 100) {
+		t.Error("torn rename completed cleanly; expected a truncated copy")
+	}
+	if _, err := m.ReadFile("d/src"); err == nil {
+		t.Error("torn rename left the source in place")
+	}
+}
+
+// TestInjectorDisabled: SetEnabled(false) suppresses all faults.
+func TestInjectorDisabled(t *testing.T) {
+	in := NewInjector(NewMemFS(), Config{Seed: 1, WriteErr: 1, SyncErr: 1, OpenErr: 1})
+	in.SetEnabled(false)
+	f, err := in.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig("seed=9,write=0.25,sync=0.5,rename=0.1,torn=0.05,open=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 9, WriteErr: 0.25, SyncErr: 0.5, RenameErr: 0.1, TornRename: 0.05, OpenErr: 1}
+	if cfg != want {
+		t.Errorf("ParseConfig = %+v, want %+v", cfg, want)
+	}
+	for _, bad := range []string{"write", "write=2", "seed=x", "nope=0.5"} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+	if cfg, err := ParseConfig(""); err != nil || cfg != (Config{}) {
+		t.Errorf("empty spec: %+v, %v", cfg, err)
+	}
+}
+
+// TestRoundTripperFaults: each injected HTTP fault class behaves as
+// declared, and the schedule is deterministic.
+func TestRoundTripperFaults(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	rt := NewRoundTripper(nil, HTTPConfig{Seed: 5, Timeout: 1})
+	client := &http.Client{Transport: rt}
+	_, err := client.Get(srv.URL)
+	var ne interface{ Timeout() bool }
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("want timeout net.Error, got %v", err)
+	}
+
+	rt = NewRoundTripper(nil, HTTPConfig{Seed: 5, ServerErr: 1})
+	client = &http.Client{Transport: rt}
+	resp, err := client.Get(srv.URL)
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want injected 503, got %v / %v", resp, err)
+	}
+	resp.Body.Close()
+
+	before := hits
+	rt = NewRoundTripper(nil, HTTPConfig{Seed: 5, Reset: 1})
+	rt.AfterSend = true
+	client = &http.Client{Transport: rt}
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("after-send reset did not error")
+	}
+	if hits != before+1 {
+		t.Errorf("after-send reset must still deliver the request (hits %d -> %d)", before, hits)
+	}
+}

@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// HTTPConfig sets per-request fault probabilities for a RoundTripper.
+type HTTPConfig struct {
+	Seed int64
+	// Reset drops the connection before a response arrives (the request
+	// may or may not have been processed — the hard retry case).
+	Reset float64
+	// Timeout fails the request with a net.Error whose Timeout() is true.
+	Timeout float64
+	// ServerErr answers 503 without forwarding to the real server.
+	ServerErr float64
+}
+
+// netTimeoutError satisfies net.Error with Timeout() == true.
+type netTimeoutError struct{}
+
+func (netTimeoutError) Error() string   { return "chaos: injected timeout" }
+func (netTimeoutError) Timeout() bool   { return true }
+func (netTimeoutError) Temporary() bool { return true }
+
+// RoundTripper wraps an http.RoundTripper with seeded fault injection;
+// install it as an http.Client's Transport to make any profdb client
+// suffer resets, timeouts, and 5xx responses deterministically.
+type RoundTripper struct {
+	Base http.RoundTripper
+	cfg  HTTPConfig
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	Injected int
+	// AfterSend, when true, injects resets *after* forwarding the request
+	// to the real server: the server processed it, the client never
+	// learned — the case that makes blind POST retries double-count.
+	AfterSend bool
+}
+
+// NewRoundTripper wraps base (nil means http.DefaultTransport).
+func NewRoundTripper(base http.RoundTripper, cfg HTTPConfig) *RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &RoundTripper{Base: base, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+func (rt *RoundTripper) hit(p float64) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	v := rt.rng.Float64()
+	if p <= 0 {
+		return false
+	}
+	if v < p {
+		rt.Injected++
+		return true
+	}
+	return false
+}
+
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	if rt.hit(rt.cfg.Timeout) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, netTimeoutError{}
+	}
+	if rt.hit(rt.cfg.Reset) {
+		if rt.AfterSend {
+			// Deliver the request, then lose the response.
+			resp, err := rt.Base.RoundTrip(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		} else if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("chaos: injected connection reset on %s %s", req.Method, req.URL.Path)
+	}
+	if rt.hit(rt.cfg.ServerErr) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 Service Unavailable (chaos)",
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  make(http.Header),
+			Body:    io.NopCloser(strings.NewReader("chaos: injected 503\n")),
+			Request: req,
+		}, nil
+	}
+	return rt.Base.RoundTrip(req)
+}

@@ -1,0 +1,251 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// InjectedError marks every failure the injector fabricates, so tests
+// and log scrapes can tell deliberate chaos from real faults.
+type InjectedError struct {
+	Op string
+}
+
+func (e *InjectedError) Error() string { return "chaos: injected " + e.Op + " failure" }
+
+// Config sets the per-operation fault probabilities (0..1) for an
+// Injector. The zero value injects nothing.
+type Config struct {
+	Seed int64
+	// WriteErr fails a Write after delivering only a prefix (short write).
+	WriteErr float64
+	// SyncErr fails Sync without flushing — the write-ahead ack barrier's
+	// worst enemy.
+	SyncErr float64
+	// RenameErr fails Rename without touching the namespace.
+	RenameErr float64
+	// TornRename destroys atomicity: the destination ends up with a
+	// half-written copy of the source and the operation reports failure —
+	// the crash-mid-rename state recovery must survive.
+	TornRename float64
+	// OpenErr fails Open/Create/OpenAppend.
+	OpenErr float64
+}
+
+// ParseConfig reads a -chaos-fs flag spec: comma-separated key=value
+// pairs, e.g. "seed=7,write=0.05,sync=0.05,rename=0.02,torn=0.02,open=0.01".
+func ParseConfig(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return cfg, fmt.Errorf("chaos: bad spec entry %q (want key=value)", kv)
+		}
+		key, val := parts[0], parts[1]
+		if key == "seed" {
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("chaos: bad seed %q", val)
+			}
+			cfg.Seed = n
+			continue
+		}
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil || p < 0 || p > 1 {
+			return cfg, fmt.Errorf("chaos: bad probability %q for %q (want 0..1)", val, key)
+		}
+		switch key {
+		case "write":
+			cfg.WriteErr = p
+		case "sync":
+			cfg.SyncErr = p
+		case "rename":
+			cfg.RenameErr = p
+		case "torn":
+			cfg.TornRename = p
+		case "open":
+			cfg.OpenErr = p
+		default:
+			return cfg, fmt.Errorf("chaos: unknown spec key %q", key)
+		}
+	}
+	return cfg, nil
+}
+
+// Injector wraps an FS and makes it fail deterministically: the same
+// seed and operation sequence produce the same faults. Injected errors
+// are all *InjectedError.
+type Injector struct {
+	fs  FS
+	cfg Config
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	disabled bool
+	Injected int // faults delivered so far
+}
+
+// NewInjector wraps fs with seeded fault injection.
+func NewInjector(fs FS, cfg Config) *Injector {
+	return &Injector{fs: fs, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// SetEnabled toggles injection at runtime (recovery paths are typically
+// exercised with injection off after a crash).
+func (in *Injector) SetEnabled(on bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.disabled = !on
+}
+
+// hit consumes one random draw for op; the draw happens even when the
+// fault misses so schedules stay aligned across code changes.
+func (in *Injector) hit(p float64) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	v := in.rng.Float64()
+	if in.disabled || p <= 0 {
+		return false
+	}
+	if v < p {
+		in.Injected++
+		return true
+	}
+	return false
+}
+
+// frac returns a deterministic fraction for sizing short writes/tears.
+func (in *Injector) frac() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64()
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if in.hit(in.cfg.OpenErr) {
+		return nil, &InjectedError{Op: "open"}
+	}
+	f, err := in.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{in: in, f: f}, nil
+}
+
+func (in *Injector) Create(name string) (File, error) {
+	if in.hit(in.cfg.OpenErr) {
+		return nil, &InjectedError{Op: "create"}
+	}
+	f, err := in.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{in: in, f: f}, nil
+}
+
+func (in *Injector) OpenAppend(name string) (File, error) {
+	if in.hit(in.cfg.OpenErr) {
+		return nil, &InjectedError{Op: "open-append"}
+	}
+	f, err := in.fs.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{in: in, f: f}, nil
+}
+
+// Rename injects two distinct failure modes: a clean failure (namespace
+// untouched) and a torn rename, where the destination is replaced by a
+// truncated copy of the source before the error is reported — the state
+// a crash in the middle of a non-atomic rename leaves behind.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if in.hit(in.cfg.RenameErr) {
+		return &InjectedError{Op: "rename"}
+	}
+	if in.hit(in.cfg.TornRename) {
+		if err := in.tear(oldpath, newpath); err == nil {
+			return &InjectedError{Op: "torn rename"}
+		}
+		return &InjectedError{Op: "rename"}
+	}
+	return in.fs.Rename(oldpath, newpath)
+}
+
+// tear clobbers newpath with a prefix of oldpath's content and removes
+// oldpath, via the underlying FS so no fresh faults fire mid-tear.
+func (in *Injector) tear(oldpath, newpath string) error {
+	src, err := in.fs.Open(oldpath)
+	if err != nil {
+		return err
+	}
+	var data []byte
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := src.Read(buf)
+		data = append(data, buf[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	src.Close()
+	keep := int(in.frac() * float64(len(data)))
+	dst, err := in.fs.Create(newpath)
+	if err != nil {
+		return err
+	}
+	dst.Write(data[:keep])
+	dst.Sync()
+	dst.Close()
+	in.fs.Remove(oldpath)
+	return nil
+}
+
+func (in *Injector) Remove(name string) error {
+	return in.fs.Remove(name)
+}
+
+func (in *Injector) Size(name string) (int64, error) {
+	return in.fs.Size(name)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if in.hit(in.cfg.SyncErr) {
+		return &InjectedError{Op: "dir sync"}
+	}
+	return in.fs.SyncDir(dir)
+}
+
+type injectedFile struct {
+	in *Injector
+	f  File
+}
+
+func (jf *injectedFile) Read(p []byte) (int, error) { return jf.f.Read(p) }
+
+func (jf *injectedFile) Write(p []byte) (int, error) {
+	if jf.in.hit(jf.in.cfg.WriteErr) {
+		// Short write: a prefix lands in the cache, then the error.
+		n := int(jf.in.frac() * float64(len(p)))
+		if n > 0 {
+			jf.f.Write(p[:n])
+		}
+		return n, &InjectedError{Op: "write"}
+	}
+	return jf.f.Write(p)
+}
+
+func (jf *injectedFile) Sync() error {
+	if jf.in.hit(jf.in.cfg.SyncErr) {
+		// The data stays cached and unsynced — a later crash may lose it.
+		return &InjectedError{Op: "sync"}
+	}
+	return jf.f.Sync()
+}
+
+func (jf *injectedFile) Close() error { return jf.f.Close() }

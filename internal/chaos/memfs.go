@@ -1,0 +1,274 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrCrashed is returned by file handles that survived a MemFS.Crash:
+// the process they belonged to is conceptually dead.
+var ErrCrashed = errors.New("chaos: filesystem crashed under this handle")
+
+// MemFS is an in-memory filesystem that models the durability gap
+// between the page cache and the disk. Every mutation lands in the
+// "cache" immediately; only Sync (file contents) and SyncDir (directory
+// entries) move state to the "disk". Crash throws away the cache — and,
+// like real hardware, may persist a torn prefix of unsynced appends —
+// which is exactly the state a store reopened after kill -9 sees.
+type MemFS struct {
+	mu    sync.Mutex
+	cur   map[string]*memFile // namespace as the process sees it
+	dur   map[string]*memFile // namespace as the disk sees it
+	epoch int                 // incremented by Crash; stale handles fail
+}
+
+type memFile struct {
+	data    []byte // cached content
+	durable []byte // content guaranteed to survive a crash
+}
+
+// NewMemFS returns an empty crash-simulating filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{cur: make(map[string]*memFile), dur: make(map[string]*memFile)}
+}
+
+func clean(name string) string { return filepath.Clean(name) }
+
+// Crash simulates kill -9 / power loss: all unsynced state is lost.
+// Directory entries revert to the last SyncDir; file contents revert to
+// the last Sync. With a non-nil rng the crash is adversarial about the
+// unsynced tail of append-style writes: a random prefix of it may
+// persist, and a persisted tail may be torn (corrupted bytes) — the
+// states checksummed WALs exist to detect. Open handles go stale.
+func (m *MemFS) Crash(rng *rand.Rand) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epoch++
+	next := make(map[string]*memFile, len(m.dur))
+	for name, f := range m.dur {
+		crashed := append([]byte(nil), f.durable...)
+		if rng != nil && len(f.data) > len(f.durable) &&
+			string(f.data[:len(f.durable)]) == string(f.durable) {
+			// The cache held a strict extension of the durable content (an
+			// append in flight). Persist a random prefix of the tail...
+			tail := f.data[len(f.durable):]
+			keep := rng.Intn(len(tail) + 1)
+			torn := append([]byte(nil), tail[:keep]...)
+			// ...and sometimes tear it: garbage where blocks half-landed.
+			if keep > 0 && rng.Intn(2) == 0 {
+				torn[rng.Intn(keep)] ^= byte(1 + rng.Intn(255))
+			}
+			crashed = append(crashed, torn...)
+		}
+		nf := &memFile{data: crashed, durable: append([]byte(nil), crashed...)}
+		next[name] = nf
+	}
+	m.cur = next
+	m.dur = make(map[string]*memFile, len(next))
+	for name, f := range next {
+		m.dur[name] = f
+	}
+}
+
+// SyncEverything forces all current state durable — a convenience for
+// building a known-good baseline before a chaos schedule starts.
+func (m *MemFS) SyncEverything() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dur = make(map[string]*memFile, len(m.cur))
+	for name, f := range m.cur {
+		f.durable = append([]byte(nil), f.data...)
+		m.dur[name] = f
+	}
+}
+
+// ReadFile returns the current (cached) content of a file.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.cur[clean(name)]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// WriteFile replaces a file's content and makes it durable immediately —
+// a setup helper, not part of the FS interface.
+func (m *MemFS) WriteFile(name string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{data: append([]byte(nil), data...)}
+	f.durable = append([]byte(nil), f.data...)
+	m.cur[clean(name)] = f
+	m.dur[clean(name)] = f
+}
+
+// CorruptTail overwrites the last n bytes (cache and disk) with garbage,
+// for building hand-made torn files in recovery tests.
+func (m *MemFS) CorruptTail(name string, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.cur[clean(name)]
+	if !ok {
+		return &os.PathError{Op: "corrupt", Path: name, Err: os.ErrNotExist}
+	}
+	for i := len(f.data) - n; i < len(f.data); i++ {
+		if i >= 0 {
+			f.data[i] ^= 0x5a
+		}
+	}
+	f.durable = append([]byte(nil), f.data...)
+	return nil
+}
+
+type memHandle struct {
+	fs    *MemFS
+	f     *memFile
+	epoch int
+	rdoff int
+	read  bool // read-only handle
+}
+
+func (h *memHandle) stale() bool {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return h.epoch != h.fs.epoch
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	if h.stale() {
+		return 0, ErrCrashed
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.rdoff >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.rdoff:])
+	h.rdoff += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	if h.stale() {
+		return 0, ErrCrashed
+	}
+	if h.read {
+		return 0, fmt.Errorf("chaos: write to read-only handle")
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	if h.stale() {
+		return ErrCrashed
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.durable = append([]byte(nil), h.f.data...)
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.cur[clean(name)]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return &memHandle{fs: m, f: f, epoch: m.epoch, read: true}, nil
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.cur[clean(name)]
+	if ok {
+		// Truncation is a cached metadata+data change; the previously
+		// synced content stays durable until the next Sync.
+		f.data = nil
+	} else {
+		f = &memFile{}
+		m.cur[clean(name)] = f
+	}
+	return &memHandle{fs: m, f: f, epoch: m.epoch}, nil
+}
+
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.cur[clean(name)]
+	if !ok {
+		f = &memFile{}
+		m.cur[clean(name)] = f
+	}
+	return &memHandle{fs: m, f: f, epoch: m.epoch}, nil
+}
+
+// Rename is atomic in the cached namespace; durability of the entry
+// waits for SyncDir. The renamed file keeps whatever content durability
+// it already had.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.cur[clean(oldpath)]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	delete(m.cur, clean(oldpath))
+	m.cur[clean(newpath)] = f
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.cur[clean(name)]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.cur, clean(name))
+	return nil
+}
+
+func (m *MemFS) Size(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.cur[clean(name)]
+	if !ok {
+		return 0, &os.PathError{Op: "stat", Path: name, Err: os.ErrNotExist}
+	}
+	return int64(len(f.data)), nil
+}
+
+// SyncDir makes the directory's entries durable: files created, renamed
+// into, or removed from dir since the last SyncDir are committed to the
+// disk namespace.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := clean(dir)
+	for name := range m.dur {
+		if filepath.Dir(name) == d {
+			if _, ok := m.cur[name]; !ok {
+				delete(m.dur, name)
+			}
+		}
+	}
+	for name, f := range m.cur {
+		if filepath.Dir(name) == d {
+			m.dur[name] = f
+		}
+	}
+	return nil
+}

@@ -112,6 +112,11 @@ type DB struct {
 	// Program names the program the database covers (informational; the
 	// daemon rejects ingests whose program name disagrees).
 	Program string
+	// Epoch is the durability epoch stamped by the crash-safe Store: a
+	// snapshot at epoch E contains every WAL record from epochs < E, so
+	// recovery replays a write-ahead log exactly when its epoch is >= the
+	// snapshot's. Offline databases stay at 0 and omit the directive.
+	Epoch int
 	// Records holds one record per (fingerprint, generation).
 	Records map[RecordKey]*Record
 }

@@ -64,6 +64,11 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 	if db.Program != "" {
 		fmt.Fprintf(&sb, "program %s\n", db.Program)
 	}
+	// The durability epoch is written only when the crash-safe Store has
+	// stamped one, so plain offline databases keep their historical bytes.
+	if db.Epoch > 0 {
+		fmt.Fprintf(&sb, "epoch %d\n", db.Epoch)
+	}
 	for _, key := range db.sortedKeys() {
 		rec := db.Records[key]
 		fmt.Fprintf(&sb, "record %s %d\n", rec.Fingerprint, rec.Gen)
@@ -239,6 +244,7 @@ func ReadDB(r io.Reader) (*DB, error) {
 	var rec *Record
 	var seen map[string]int
 	sawProgram := false
+	sawEpoch := false
 	finish := func() error {
 		if rec == nil {
 			return nil
@@ -269,6 +275,25 @@ func ReadDB(r io.Reader) (*DB, error) {
 			}
 			sawProgram = true
 			db.Program = fields[1]
+		case "epoch":
+			if rec != nil {
+				return nil, d.errf("`epoch` inside a record")
+			}
+			if sawEpoch {
+				return nil, d.errf("duplicate `epoch` directive")
+			}
+			if len(fields) != 2 {
+				return nil, d.errf("malformed epoch directive")
+			}
+			v, err := d.num(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 {
+				return nil, d.errf("negative epoch %d", v)
+			}
+			sawEpoch = true
+			db.Epoch = int(v)
 		case "record":
 			if rec != nil {
 				return nil, d.errf("`record` before previous record's `end`")
@@ -443,6 +468,14 @@ func WriteDBFile(path string, db *DB) error {
 		return err
 	}
 	if _, err := db.WriteTo(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	// The rename must only ever install fully-durable bytes: without this
+	// barrier a crash shortly after can leave the new name pointing at a
+	// half-written file.
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err

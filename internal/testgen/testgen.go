@@ -25,6 +25,12 @@ type Options struct {
 	Recursion bool
 	// Pointers permits address-of/deref statements over locals.
 	Pointers bool
+	// FuncPtrs permits calls through local function-pointer variables —
+	// indirect ("###") call sites the expander must leave alone.
+	FuncPtrs bool
+	// Extern permits calls to external library routines (abs, putchar) —
+	// "$" call sites that profile but never inline.
+	Extern bool
 }
 
 func (o Options) withDefaults() Options {
@@ -60,7 +66,12 @@ var localNames = []string{"a", "b", "c", "d"}
 
 func (g *gen) program() string {
 	var sb strings.Builder
-	sb.WriteString("extern int printf(char *fmt, ...);\n\n")
+	sb.WriteString("extern int printf(char *fmt, ...);\n")
+	if g.o.Extern {
+		sb.WriteString("extern int abs(int v);\n")
+		sb.WriteString("extern int putchar(int c);\n")
+	}
+	sb.WriteString("\n")
 
 	n := g.o.Funcs
 	g.recursive = make([]bool, n)
@@ -102,7 +113,21 @@ func (g *gen) program() string {
 func (g *gen) stmt(fn, indent int) string {
 	pad := strings.Repeat("    ", indent)
 	v := localNames[g.r.Intn(len(localNames))]
-	switch g.r.Intn(6) {
+	kinds := 6
+	if g.o.FuncPtrs {
+		kinds++
+	}
+	if g.o.Extern {
+		kinds++
+	}
+	k := g.r.Intn(kinds)
+	if k >= 6 {
+		if k == 6 && g.o.FuncPtrs {
+			return g.funcPtrStmt(fn, pad, v)
+		}
+		return g.externStmt(fn, pad, v)
+	}
+	switch k {
 	case 0:
 		return fmt.Sprintf("%s%s = %s;\n", pad, v, g.expr(fn, g.o.MaxDepth))
 	case 1:
@@ -123,6 +148,28 @@ func (g *gen) stmt(fn, indent int) string {
 	default:
 		return fmt.Sprintf("%s%s ^= %s;\n", pad, v, g.expr(fn, 2))
 	}
+}
+
+// funcPtrStmt routes a call through a local function-pointer variable.
+// The pointee is still a lower-numbered function, so the dynamic call
+// graph stays acyclic even though the site itself is indirect.
+func (g *gen) funcPtrStmt(fn int, pad, v string) string {
+	if fn == 0 {
+		return fmt.Sprintf("%s%s = %s;\n", pad, v, g.expr(fn, 1))
+	}
+	callee := g.r.Intn(fn)
+	return fmt.Sprintf("%s{ int (*fp)(int, int); fp = f%d; %s = fp(%s, %s); }\n",
+		pad, callee, v, g.expr(fn, 1), g.expr(fn, 1))
+}
+
+// externStmt calls into the host library: abs feeds a value back into
+// the arithmetic, putchar emits one printable byte into the checksum
+// stream.
+func (g *gen) externStmt(fn int, pad, v string) string {
+	if g.r.Intn(2) == 0 {
+		return fmt.Sprintf("%s%s = abs(%s - %s);\n", pad, v, g.expr(fn, 1), g.expr(fn, 1))
+	}
+	return fmt.Sprintf("%sputchar(65 + (%s & 15));\n", pad, g.expr(fn, 1))
 }
 
 // expr emits an integer expression usable in function fn; calls target

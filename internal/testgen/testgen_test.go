@@ -35,6 +35,51 @@ func TestGenerateShape(t *testing.T) {
 	}
 }
 
+func TestGenerateFuncPtrSites(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 20; seed++ {
+		src := Generate(seed, Options{Funcs: 6, FuncPtrs: true})
+		if strings.Contains(src, "int (*fp)(int, int)") {
+			found = true
+			if !strings.Contains(src, "= fp(") {
+				t.Fatalf("seed %d: pointer declared but never called:\n%s", seed, src)
+			}
+		}
+		// f0 has no lower-numbered callee, so it must never take a
+		// function pointer — the dynamic graph stays acyclic.
+		f0 := src[strings.Index(src, "int f0("):strings.Index(src, "int f1(")]
+		if strings.Contains(f0, "fp = f") {
+			t.Fatalf("seed %d: f0 routes a call through a pointer:\n%s", seed, f0)
+		}
+	}
+	if !found {
+		t.Error("no seed in 0..19 produced an indirect call site")
+	}
+}
+
+func TestGenerateExternSites(t *testing.T) {
+	sawAbs, sawPutchar := false, false
+	for seed := int64(0); seed < 20; seed++ {
+		src := Generate(seed, Options{Funcs: 6, Extern: true})
+		if strings.Contains(src, "abs(") {
+			sawAbs = true
+			if !strings.Contains(src, "extern int abs(") {
+				t.Fatalf("seed %d: abs called without a declaration", seed)
+			}
+		}
+		if strings.Contains(src, "putchar(65") {
+			sawPutchar = true
+		}
+	}
+	if !sawAbs || !sawPutchar {
+		t.Errorf("extern coverage too thin: abs=%v putchar=%v", sawAbs, sawPutchar)
+	}
+	// Off by default: the flag gates both the calls and the declarations.
+	if src := Generate(7, Options{Funcs: 6}); strings.Contains(src, "abs(") {
+		t.Error("extern calls leaked into a default-shape program")
+	}
+}
+
 func TestGenerateRecursionGuarded(t *testing.T) {
 	// Every recursive call the generator emits must sit behind the
 	// depth-capping guard.

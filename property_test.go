@@ -45,6 +45,8 @@ func TestPropertyInlinePreservesSemantics(t *testing.T) {
 		{Funcs: 3, MaxStmts: 10, MaxDepth: 4},
 		{Funcs: 10, Recursion: true},
 		{Funcs: 5, Pointers: true, Recursion: true},
+		{Funcs: 6, FuncPtrs: true},
+		{Funcs: 4, FuncPtrs: true, Extern: true, Pointers: true},
 	}
 	for seed := int64(1); seed <= 25; seed++ {
 		seed := seed
