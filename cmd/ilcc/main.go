@@ -13,6 +13,13 @@
 //	ilcc -inline -profile p.prof ... # use a profile saved by ilprof -o
 //	ilcc -inline -profdb p.profdb .. # merged profile from a database file
 //	ilcc -inline -profdb http://host:7411 ...  # ... or from a running ilprofd
+//	ilcc -explain-inline prog.c      # per-arc inline decision report (implies -inline)
+//	ilcc -inline -inline-trace t.jsonl prog.c  # machine-readable decision trace
+//	ilcc -inline -trace phases.json prog.c     # Chrome trace-event phase timings
+//
+// The decision report and JSONL trace are deterministic: byte-identical
+// at any -parallel setting. The Chrome trace carries wall-clock phase
+// timings and is the only output that varies run to run.
 //
 // The simulated file system is populated with -file guest=host pairs.
 package main
@@ -26,6 +33,7 @@ import (
 
 	"inlinec"
 	"inlinec/internal/inline"
+	"inlinec/internal/obs"
 	"inlinec/internal/profdb"
 )
 
@@ -57,10 +65,31 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	profilePath := fs.String("profile", "", "use a saved profile (from ilprof -o) for -inline")
 	profdbSrc := fs.String("profdb", "", "use a merged database profile for -inline: a .profdb file or an ilprofd base URL")
 	parallel := fs.Int("parallel", 0, "worker count for multi-unit compilation, profiling, and expansion (0 = all cores, 1 = serial); any value yields identical output")
+	explainInline := fs.Bool("explain-inline", false, "print the per-arc inline decision report — every arc with its accept/reject reason (implies -inline)")
+	inlineTrace := fs.String("inline-trace", "", "write the inline-decision trace as JSON lines to this file (implies -inline)")
+	tracePath := fs.String("trace", "", "write per-phase timings as Chrome trace-event JSON to this file (load in chrome://tracing or Perfetto)")
 	var files fileList
 	fs.Var(&files, "file", "seed the simulated FS: guestpath=hostpath (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *explainInline || *inlineTrace != "" {
+		*doInline = true
+	}
+	var reg *obs.Registry
+	if *tracePath != "" {
+		reg = obs.NewRegistry()
+		defer func() {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintf(stderr, "ilcc: -trace: %v\n", err)
+				return
+			}
+			if err := reg.WriteChromeTrace(f); err != nil {
+				fmt.Fprintf(stderr, "ilcc: -trace: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if fs.NArg() < 1 {
@@ -80,7 +109,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		prog, err = inlinec.Compile(srcPath, string(src))
+		prog, err = inlinec.CompileWithObs(srcPath, string(src), reg)
 		if err != nil {
 			return fail(err)
 		}
@@ -98,7 +127,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			sources = append(sources, inlinec.UnitSource{Name: path, Src: string(src)})
 		}
 		var err error
-		prog, err = inlinec.CompileAndLink("a.out", *parallel, sources...)
+		prog, err = inlinec.CompileAndLinkObs("a.out", *parallel, reg, sources...)
 		if err != nil {
 			return fail(err)
 		}
@@ -192,6 +221,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				return fail(err)
 			}
 		}
+		if *inlineTrace != "" {
+			f, err := os.Create(*inlineTrace)
+			if err != nil {
+				return fail(err)
+			}
+			err = obs.WriteInlineTraceJSONL(f, res.Trace)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fail(fmt.Errorf("-inline-trace: %w", err))
+			}
+		}
+		if *explainInline {
+			fmt.Fprint(stdout, obs.FormatInlineReport(res.Order, res.Trace))
+		}
 		fmt.Fprintf(stderr, "%s", res)
 	}
 
@@ -247,6 +292,7 @@ func profileFromDB(prog *inlinec.Program, src string, stderr io.Writer) (*inline
 
 	client := profdb.NewClient(src)
 	client.Warn = stderr
+	client.Obs = prog.Obs
 	_, rec, err := client.FetchProfile(prog.Fingerprint(), nil)
 	if err != nil {
 		return nil, err

@@ -11,6 +11,7 @@
 //	ilprof -db prog.profdb prog.c ...  # also ingest into a profile database
 //	ilprof -post http://host:7411 ...  # also ship the snapshot to ilprofd
 //	ilprof -cpuprofile cpu.pprof ...   # pprof the profiler itself
+//	ilprof -trace phases.json ...      # Chrome trace-event JSON of pipeline phases
 //
 // Beyond one-shot profiling, ilprof speaks the persistent profile
 // database (see docs/profiles.md):
@@ -33,6 +34,7 @@ import (
 	"strings"
 
 	"inlinec"
+	"inlinec/internal/obs"
 	"inlinec/internal/profdb"
 )
 
@@ -75,10 +77,26 @@ func runProfile(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 0, "profiling worker count (0 = all cores, 1 = serial); any value yields an identical profile")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the profiler itself to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	tracePath := fs.String("trace", "", "write per-phase timings (frontend, profiling runs per worker) as Chrome trace-event JSON to this file")
 	var ins inputList
 	fs.Var(&ins, "in", "host file used as one profiling run's stdin (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	var reg *obs.Registry
+	if *tracePath != "" {
+		reg = obs.NewRegistry()
+		defer func() {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintf(stderr, "ilprof: -trace: %v\n", err)
+				return
+			}
+			if err := reg.WriteChromeTrace(f); err != nil {
+				fmt.Fprintf(stderr, "ilprof: -trace: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -120,7 +138,7 @@ func runProfile(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ilprof: %v\n", err)
 		return 1
 	}
-	prog, err := inlinec.Compile(fs.Arg(0), string(src))
+	prog, err := inlinec.CompileWithObs(fs.Arg(0), string(src), reg)
 	if err != nil {
 		fmt.Fprintf(stderr, "ilprof: %v\n", err)
 		return 1
@@ -243,6 +261,7 @@ func publish(prog *inlinec.Program, prof *inlinec.Profile, program, dbPath, post
 		// transport failure — ingestion is not idempotent.
 		client := profdb.NewClient(postURL)
 		client.Warn = stderr
+		client.Obs = prog.Obs
 		body, err := client.PostSnapshot(program, rec)
 		if err != nil {
 			fmt.Fprintf(stderr, "ilprof: %v\n", err)

@@ -12,6 +12,13 @@
 //	GET  /profile?fingerprint=<fp>[&halflife=N][&stale=W]
 //	                        merged ILPROFSNAP for that program version
 //	GET  /stats             ingest/merge/staleness counters as JSON
+//	GET  /metrics           the same counters plus latency histograms, WAL
+//	                        fsync timings, and recovery state, in Prometheus
+//	                        text exposition format
+//
+// /stats and /metrics are two views of one registry, so their counts can
+// never disagree. Every request is answered with an X-Request-Id header
+// and logged as one JSON line to stderr.
 //
 // Responses to /ingest are sent only after the snapshot is committed to
 // the in-memory store, so a client that ingests and immediately fetches
@@ -33,11 +40,11 @@ import (
 	"os/signal"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"inlinec/internal/chaos"
+	"inlinec/internal/obs"
 	"inlinec/internal/profdb"
 )
 
@@ -65,6 +72,10 @@ type ingestReq struct {
 // backing store, an ingest is acknowledged only after its write-ahead
 // log frame is durable; without one (dbPath == "") the daemon runs
 // purely in memory, as some tests and ad-hoc fleets do.
+//
+// All operational counters live in the obs registry: /stats reads them
+// through the same handles /metrics exports, so the two endpoints are
+// views of one set of numbers and cannot drift apart.
 type server struct {
 	mu         sync.RWMutex
 	db         *profdb.DB
@@ -74,23 +85,46 @@ type server struct {
 	ingestCh chan ingestReq
 	writerWG sync.WaitGroup
 
-	ingested     atomic.Int64 // snapshots committed
-	ingestErrors atomic.Int64 // rejected payloads (parse/program mismatch)
-	runsIngested atomic.Int64
-	merges       atomic.Int64 // /profile responses served
-	staleMerged  atomic.Int64 // stale records folded into served merges
-	flushes      atomic.Int64
-	sinceFlush   int // writer-goroutine private
+	obs  *obs.Registry
+	logw io.Writer // request-log destination (nil = no log lines)
+
+	ingested     *obs.Counter // snapshots committed
+	ingestErrors *obs.Counter // rejected payloads (parse/program mismatch)
+	runsIngested *obs.Counter
+	merges       *obs.Counter // /profile responses served
+	staleMerged  *obs.Counter // stale records folded into served merges
+	flushes      *obs.Counter
+	naks         *obs.Counter   // 503 NAKs: retries observed from this side
+	batchSize    *obs.Histogram // records per writer commit
+	sinceFlush   int            // writer-goroutine private
 }
 
 func newServer(db *profdb.DB, flushEvery int) *server {
 	if flushEvery <= 0 {
 		flushEvery = 16
 	}
+	reg := obs.NewRegistry()
 	return &server{
 		db:         db,
 		flushEvery: flushEvery,
 		ingestCh:   make(chan ingestReq, 64),
+		obs:        reg,
+		ingested: reg.Counter("ilprofd_ingested_snapshots_total",
+			"Snapshots committed; each was acked only after commit (WAL-durable with a store)."),
+		ingestErrors: reg.Counter("ilprofd_ingest_errors_total",
+			"Ingest requests rejected: unparseable payloads, program mismatches, or WAL NAKs."),
+		runsIngested: reg.Counter("ilprofd_ingested_runs_total",
+			"Profiled runs carried by committed snapshots."),
+		merges: reg.Counter("ilprofd_merges_served_total",
+			"GET /profile merge responses computed."),
+		staleMerged: reg.Counter("ilprofd_stale_records_merged_total",
+			"Stale or dropped records encountered while serving merges."),
+		flushes: reg.Counter("ilprofd_flushes_total",
+			"Snapshot flushes completed by the daemon (periodic and shutdown)."),
+		naks: reg.Counter("ilprofd_ingest_naks_total",
+			"503 NAKs sent because the WAL was unavailable; clients retry these."),
+		batchSize: reg.Histogram("ilprofd_commit_batch_records",
+			"Records per single-writer commit batch.", obs.SizeBuckets),
 	}
 }
 
@@ -141,6 +175,7 @@ func (s *server) start() {
 // With a store, the whole batch reaches the write-ahead log with a
 // single fsync before any handler is released — the ack barrier.
 func (s *server) commit(batch []ingestReq) {
+	s.batchSize.Observe(float64(len(batch)))
 	s.mu.Lock()
 	var errs []error
 	if s.store != nil {
@@ -158,11 +193,11 @@ func (s *server) commit(batch []ingestReq) {
 	}
 	for i, r := range batch {
 		if errs[i] == nil {
-			s.ingested.Add(1)
+			s.ingested.Inc()
 			s.runsIngested.Add(int64(r.rec.Runs))
 			s.sinceFlush++
 		} else {
-			s.ingestErrors.Add(1)
+			s.ingestErrors.Inc()
 		}
 		r.done <- errs[i]
 	}
@@ -170,7 +205,7 @@ func (s *server) commit(batch []ingestReq) {
 	if flush {
 		s.sinceFlush = 0
 		if err := s.store.Flush(); err == nil {
-			s.flushes.Add(1)
+			s.flushes.Inc()
 		}
 	}
 	s.mu.Unlock()
@@ -198,7 +233,7 @@ func (s *server) stop() error {
 	if err := s.store.Close(); err != nil {
 		return err
 	}
-	s.flushes.Add(1)
+	s.flushes.Inc()
 	return nil
 }
 
@@ -207,7 +242,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return obs.NewRequestLog(s.logw, s.obs).Wrap(mux)
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -218,7 +254,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, 64<<20)
 	program, rec, err := profdb.ReadSnapshot(body)
 	if err != nil {
-		s.ingestErrors.Add(1)
+		s.ingestErrors.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -228,6 +264,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, profdb.ErrWAL) {
 			// The payload was fine but could not be made durable. 503 is
 			// an explicit NAK — nothing was committed, clients may retry.
+			s.naks.Inc()
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
@@ -269,7 +306,7 @@ func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	merged, stats := s.db.Merge(fp, params)
 	program := s.db.Program
 	s.mu.RUnlock()
-	s.merges.Add(1)
+	s.merges.Inc()
 	s.staleMerged.Add(int64(stats.StaleRecords + stats.DroppedRecords))
 	if stats.Records == 0 || merged.Runs == 0 {
 		http.Error(w, fmt.Sprintf("no profile data for fingerprint %s", fp), http.StatusNotFound)
@@ -312,17 +349,36 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MaxGen:    s.db.MaxGen(),
 	}
 	s.mu.RUnlock()
-	doc.IngestedSnaps = s.ingested.Load()
-	doc.IngestedRuns = s.runsIngested.Load()
-	doc.IngestErrors = s.ingestErrors.Load()
-	doc.MergesServed = s.merges.Load()
-	doc.StaleRecsMerged = s.staleMerged.Load()
-	doc.Flushes = s.flushes.Load()
+	doc.IngestedSnaps = s.ingested.Value()
+	doc.IngestedRuns = s.runsIngested.Value()
+	doc.IngestErrors = s.ingestErrors.Value()
+	doc.MergesServed = s.merges.Value()
+	doc.StaleRecsMerged = s.staleMerged.Value()
+	doc.Flushes = s.flushes.Value()
 	doc.UptimeSeconds = int64(time.Since(startedAt).Seconds())
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(&doc)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format. Database-shape gauges are refreshed under the read lock at
+// scrape time; everything else is already live in the registry.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.RLock()
+	records, runs, maxGen := len(s.db.Records), s.db.TotalRuns(), s.db.MaxGen()
+	s.mu.RUnlock()
+	s.obs.Gauge("ilprofd_db_records", "Records in the served database.").Set(float64(records))
+	s.obs.Gauge("ilprofd_db_runs", "Total profiled runs in the served database.").Set(float64(runs))
+	s.obs.Gauge("ilprofd_db_max_gen", "Highest generation in the served database.").Set(float64(maxGen))
+	s.obs.Gauge("ilprofd_uptime_seconds", "Seconds since daemon start.").Set(time.Since(startedAt).Seconds())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.obs.WritePrometheus(w)
 }
 
 // run starts the daemon. ready, if non-nil, receives the bound address
@@ -370,6 +426,9 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string), shutd
 	}
 	db := store.DB()
 	s := newStoreServer(store, *flushEvery)
+	s.logw = stderr
+	store.Obs = s.obs // WAL fsync latency and batch sizes land on /metrics
+	recovery.RecordTo(s.obs)
 	s.start()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -407,6 +466,6 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string), shutd
 	records, runs := len(s.db.Records), s.db.TotalRuns()
 	s.mu.RUnlock()
 	fmt.Fprintf(stdout, "ilprofd: flushed %s: %d record(s), %d run(s), %d snapshot(s) ingested this session\n",
-		*dbPath, records, runs, s.ingested.Load())
+		*dbPath, records, runs, s.ingested.Value())
 	return 0
 }

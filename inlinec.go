@@ -33,6 +33,7 @@ import (
 	"inlinec/internal/ir"
 	"inlinec/internal/irgen"
 	"inlinec/internal/link"
+	"inlinec/internal/obs"
 	"inlinec/internal/opt"
 	"inlinec/internal/parser"
 	"inlinec/internal/profdb"
@@ -156,6 +157,13 @@ type Program struct {
 	// byte-identical modules, decision lists, and tables.
 	Parallelism int
 
+	// Obs, when set, receives phase spans (profile/callgraph/expand/opt)
+	// and pipeline metrics from every subsequent operation on the
+	// program. Observation never feeds back into compilation: modules,
+	// decision lists, and traces are byte-identical with or without a
+	// registry attached, at any Parallelism. A nil registry is a no-op.
+	Obs *obs.Registry
+
 	name string
 }
 
@@ -170,24 +178,37 @@ func (p *Program) workers() int {
 // Compile parses, checks, lowers, and pre-optimizes a MiniC source file.
 // As in the paper, constant folding and jump optimization run before
 // inline expansion.
-func Compile(name, src string) (*Program, error) {
+func Compile(name, src string) (*Program, error) { return CompileWithObs(name, src, nil) }
+
+// CompileWithObs is Compile with front-end phase accounting: lex/parse,
+// semantic checking, IL generation, and pre-inline optimization each run
+// under their own span in reg, and the returned Program carries the
+// registry so every later pipeline stage reports into it too. A nil
+// registry degrades to plain Compile.
+func CompileWithObs(name, src string, reg *obs.Registry) (*Program, error) {
+	stop := reg.StartSpan("frontend.parse")
 	file, err := parser.Parse(name, src)
+	stop()
 	if err != nil {
 		return nil, fmt.Errorf("parse %s: %w", name, err)
 	}
+	stop = reg.StartSpan("frontend.sema")
 	prog, err := sema.Check(file)
+	stop()
 	if err != nil {
 		return nil, fmt.Errorf("check %s: %w", name, err)
 	}
+	stop = reg.StartSpan("frontend.irgen")
 	mod, err := irgen.Generate(prog)
+	stop()
 	if err != nil {
 		return nil, fmt.Errorf("lower %s: %w", name, err)
 	}
-	opt.PreInline(mod)
+	opt.PreInlineParallelObs(mod, 0, reg)
 	if err := mod.Verify(); err != nil {
 		return nil, fmt.Errorf("pre-inline optimization broke %s: %w", name, err)
 	}
-	return &Program{Module: mod, Original: mod.Clone(), name: name}, nil
+	return &Program{Module: mod, Original: mod.Clone(), Obs: reg, name: name}, nil
 }
 
 // Unit is one separately compiled translation unit, ready for linking.
@@ -282,6 +303,27 @@ func CompileAndLink(name string, par int, sources ...UnitSource) (*Program, erro
 	return LinkUnits(name, units...)
 }
 
+// CompileAndLinkObs is CompileAndLink with phase accounting: unit
+// compilation runs under a "frontend" span, linking under a "link"
+// span, and the returned Program carries the registry so later stages
+// report into it too.
+func CompileAndLinkObs(name string, par int, reg *obs.Registry, sources ...UnitSource) (*Program, error) {
+	stop := reg.StartSpan("frontend")
+	units, err := CompileUnits(par, sources...)
+	stop()
+	if err != nil {
+		return nil, err
+	}
+	stop = reg.StartSpan("link")
+	p, err := LinkUnits(name, units...)
+	stop()
+	if err != nil {
+		return nil, err
+	}
+	p.Obs = reg
+	return p, nil
+}
+
 // LinkUnits merges separately compiled units into a runnable Program —
 // section 2.1's link-time setting, where every function body is available
 // and inline expansion "can naturally be performed without sacrificing
@@ -312,21 +354,21 @@ func (p *Program) Name() string { return p.name }
 
 // Run executes the working module once on the input.
 func (p *Program) Run(in Input) (*RunOutput, error) {
-	return runModule(p.Module, in)
+	return runModule(p.Module, in, p.Obs)
 }
 
 // RunOriginal executes the pristine pre-inline module once.
 func (p *Program) RunOriginal(in Input) (*RunOutput, error) {
-	return runModule(p.Original, in)
+	return runModule(p.Original, in, p.Obs)
 }
 
-func runModule(mod *ir.Module, in Input) (*RunOutput, error) {
+func runModule(mod *ir.Module, in Input, reg *obs.Registry) (*RunOutput, error) {
 	env := interp.NewEnv()
 	for k, v := range in.Files {
 		env.Files[k] = append([]byte(nil), v...)
 	}
 	env.Stdin = in.Stdin
-	m, err := interp.NewMachine(mod, env, interp.Options{StackSize: in.StackSize})
+	m, err := interp.NewMachine(mod, env, interp.Options{StackSize: in.StackSize, Obs: reg})
 	if err != nil {
 		return nil, err
 	}
@@ -348,19 +390,20 @@ func runModule(mod *ir.Module, in Input) (*RunOutput, error) {
 // a program" with representative inputs. Runs execute concurrently on up
 // to Parallelism workers; see that field for the determinism contract.
 func (p *Program) ProfileInputs(inputs ...Input) (*Profile, error) {
-	return profileModule(p.Module, inputs, p.Parallelism)
+	return profileModule(p.Module, inputs, p.Parallelism, p.Obs)
 }
 
 // ProfileOriginal profiles the pristine pre-inline module.
 func (p *Program) ProfileOriginal(inputs ...Input) (*Profile, error) {
-	return profileModule(p.Original, inputs, p.Parallelism)
+	return profileModule(p.Original, inputs, p.Parallelism, p.Obs)
 }
 
 // profileModule fans the profiling runs out over a bounded worker pool.
 // Every run builds its own Machine and Memory, so runs are independent;
 // Profile.Add is sums-and-max, so merging in input order makes the
 // result bit-identical to a serial pass regardless of worker count.
-func profileModule(mod *ir.Module, inputs []Input, par int) (*Profile, error) {
+func profileModule(mod *ir.Module, inputs []Input, par int, reg *obs.Registry) (*Profile, error) {
+	defer reg.StartSpan("profile")()
 	if len(inputs) == 0 {
 		inputs = []Input{{}}
 	}
@@ -373,7 +416,9 @@ func profileModule(mod *ir.Module, inputs []Input, par int) (*Profile, error) {
 	prof := profile.NewProfile()
 	if par <= 1 {
 		for i, in := range inputs {
-			out, err := runModule(mod, in)
+			stop := reg.StartSpanWorker("profile.run", 0)
+			out, err := runModule(mod, in, reg)
+			stop()
 			if err != nil {
 				return nil, fmt.Errorf("profiling run %d: %w", i+1, err)
 			}
@@ -387,16 +432,18 @@ func profileModule(mod *ir.Module, inputs []Input, par int) (*Profile, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(inputs) {
 					return
 				}
-				outs[i], errs[i] = runModule(mod, inputs[i])
+				stop := reg.StartSpanWorker("profile.run", worker)
+				outs[i], errs[i] = runModule(mod, inputs[i], reg)
+				stop()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for i := range inputs {
@@ -411,6 +458,7 @@ func profileModule(mod *ir.Module, inputs []Input, par int) (*Profile, error) {
 // CallGraph builds the weighted call graph of the working module with the
 // profile's node and arc weights attached.
 func (p *Program) CallGraph(prof *Profile) *Graph {
+	defer p.Obs.StartSpan("callgraph")()
 	return callgraph.Build(p.Module, prof)
 }
 
@@ -424,7 +472,12 @@ func (p *Program) Inline(prof *Profile, params Params) (*Result, error) {
 	if params.Parallelism == 0 {
 		params.Parallelism = p.workers()
 	}
+	if params.Obs == nil {
+		params.Obs = p.Obs
+	}
+	stop := params.Obs.StartSpan("callgraph")
 	g := callgraph.Build(p.Module, prof)
+	stop()
 	return inline.Expand(p.Module, g, prof, params)
 }
 
@@ -435,7 +488,7 @@ func (p *Program) Inline(prof *Profile, params Params) (*Result, error) {
 // concurrently on up to Parallelism workers; they are function-local, so
 // the resulting module is identical at any worker count.
 func (p *Program) Optimize() error {
-	opt.PostInlineParallel(p.Module, p.workers())
+	opt.PostInlineParallelObs(p.Module, p.workers(), p.Obs)
 	return p.Module.Verify()
 }
 
@@ -473,15 +526,16 @@ func DefaultICacheConfig() ICacheConfig { return icache.DefaultConfig() }
 // reproducing the paper's conclusion-section observation that inline
 // expansion reduces mapping conflicts despite larger static code.
 func (p *Program) SimulateICache(in Input, cfg ICacheConfig) (ICacheStats, error) {
-	return simulateICache(p.Module, in, cfg)
+	return simulateICache(p.Module, in, cfg, p.Obs)
 }
 
 // SimulateICacheOriginal simulates the cache over the pristine module.
 func (p *Program) SimulateICacheOriginal(in Input, cfg ICacheConfig) (ICacheStats, error) {
-	return simulateICache(p.Original, in, cfg)
+	return simulateICache(p.Original, in, cfg, p.Obs)
 }
 
-func simulateICache(mod *ir.Module, in Input, cfg ICacheConfig) (ICacheStats, error) {
+func simulateICache(mod *ir.Module, in Input, cfg ICacheConfig, reg *obs.Registry) (ICacheStats, error) {
+	defer reg.StartSpan("icache.simulate")()
 	cache, err := icache.New(cfg)
 	if err != nil {
 		return ICacheStats{}, err
@@ -499,5 +553,6 @@ func simulateICache(mod *ir.Module, in Input, cfg ICacheConfig) (ICacheStats, er
 	if _, err := m.Run(); err != nil {
 		return ICacheStats{}, err
 	}
+	cache.Stats.RecordTo(reg, cfg)
 	return cache.Stats, nil
 }

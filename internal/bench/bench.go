@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"inlinec"
+	"inlinec/internal/obs"
 )
 
 //go:embed progs/*.c
@@ -43,8 +44,13 @@ func (b *Benchmark) CLines() int {
 }
 
 // Compile builds the benchmark program.
-func (b *Benchmark) Compile() (*inlinec.Program, error) {
-	p, err := inlinec.Compile(b.Name+".c", b.Source)
+func (b *Benchmark) Compile() (*inlinec.Program, error) { return b.CompileObs(nil) }
+
+// CompileObs builds the benchmark program with an observability registry
+// attached, so the front-end phases land in the same phase breakdown as
+// the rest of the methodology.
+func (b *Benchmark) CompileObs(reg *obs.Registry) (*inlinec.Program, error) {
+	p, err := inlinec.CompileWithObs(b.Name+".c", b.Source, reg)
 	if err != nil {
 		return nil, fmt.Errorf("benchmark %s: %w", b.Name, err)
 	}

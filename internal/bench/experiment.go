@@ -11,6 +11,7 @@ import (
 	"inlinec"
 	"inlinec/internal/callgraph"
 	"inlinec/internal/inline"
+	"inlinec/internal/obs"
 )
 
 // Config selects the experiment parameters. Zero values take the paper's
@@ -55,6 +56,11 @@ type BenchResult struct {
 	// Seconds is the wall-clock cost of the whole methodology for this
 	// benchmark (compile, two profiling passes, expansion, classification).
 	Seconds float64
+	// Phases breaks Seconds down by pipeline phase (frontend.parse,
+	// profile, inline.expand, ...), summed across workers — concurrent
+	// phases can exceed Seconds. Wall-clock like Seconds: compare
+	// trends, not digits.
+	Phases map[string]float64
 
 	// Table 2/3: static and dynamic call-site characteristics.
 	Classes callgraph.ClassCounts
@@ -78,7 +84,9 @@ func RunOne(b *Benchmark, cfg Config) (*BenchResult, error) {
 	if cfg.MaxRuns > 0 && len(inputs) > cfg.MaxRuns {
 		inputs = inputs[:cfg.MaxRuns]
 	}
-	p, err := b.Compile()
+	// A per-benchmark registry keeps the phase breakdown isolated from
+	// benchmarks running concurrently in RunAll.
+	p, err := b.CompileObs(obs.NewRegistry())
 	if err != nil {
 		return nil, err
 	}
@@ -141,6 +149,7 @@ func RunOne(b *Benchmark, cfg Config) (*BenchResult, error) {
 		}
 	}
 	r.Seconds = time.Since(start).Seconds()
+	r.Phases = p.Obs.PhaseSeconds()
 	return r, nil
 }
 

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"inlinec"
+	"inlinec/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+// espressoExplain runs the espresso benchmark's inline pipeline at the
+// given worker count and returns its three deterministic artifacts: the
+// -explain-inline report, the JSONL decision trace, and the final module.
+func espressoExplain(t *testing.T, par int) (report string, jsonl []byte, module string) {
+	t.Helper()
+	b := Get("espresso")
+	if b == nil {
+		t.Fatal("espresso benchmark missing")
+	}
+	p, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Parallelism = par
+	prof, err := p.ProfileInputs(b.Inputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Inline(prof, inlinec.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteInlineTraceJSONL(&buf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	// Acceptance: every arc that was not expanded must carry a specific
+	// machine-readable rejection reason — never an empty one.
+	for _, ev := range res.Trace {
+		if ev.Outcome != obs.OutcomeExpanded && ev.Reason == obs.ReasonNone {
+			t.Errorf("arc %d (%s <- %s, %s) has no rejection reason",
+				ev.Site, ev.Caller, ev.Callee, ev.Outcome)
+		}
+	}
+	return obs.FormatInlineReport(res.Order, res.Trace), buf.Bytes(), p.Module.String()
+}
+
+// TestEspressoExplainGolden pins the espresso -explain-inline report to a
+// checked-in golden file, so any drift in decisions, rejection reasons,
+// or report formatting is a reviewed diff. Refresh with `go test
+// ./internal/bench -run ExplainGolden -update`.
+func TestEspressoExplainGolden(t *testing.T) {
+	report, _, _ := espressoExplain(t, 1)
+	golden := filepath.Join("testdata", "espresso_explain.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(report), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report != string(want) {
+		t.Errorf("espresso explain report drifted from %s (run with -update to refresh):\n--- got ---\n%s", golden, report)
+	}
+}
+
+// TestEspressoExplainDeterministic: the report, the JSONL trace, and the
+// expanded module are byte-identical at any worker count.
+func TestEspressoExplainDeterministic(t *testing.T) {
+	refReport, refJSONL, refModule := espressoExplain(t, 1)
+	for _, par := range []int{2, 8} {
+		report, jsonl, module := espressoExplain(t, par)
+		if report != refReport {
+			t.Errorf("explain report differs between Parallelism 1 and %d", par)
+		}
+		if !bytes.Equal(jsonl, refJSONL) {
+			t.Errorf("JSONL trace differs between Parallelism 1 and %d", par)
+		}
+		if module != refModule {
+			t.Errorf("expanded module differs between Parallelism 1 and %d", par)
+		}
+	}
+}

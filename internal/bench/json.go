@@ -23,6 +23,9 @@ type JSONResult struct {
 	// Seconds is wall-clock and therefore machine- and load-dependent;
 	// compare trends, not digits.
 	Seconds float64 `json:"seconds"`
+	// Phases breaks Seconds down by pipeline phase, summed across
+	// workers (concurrent phases can exceed Seconds). Wall-clock too.
+	Phases map[string]float64 `json:"phases,omitempty"`
 }
 
 // JSONReport is the top-level -json document: the per-benchmark rows plus
@@ -61,6 +64,7 @@ func MarshalResultsProfDB(results []*BenchResult, parallelism int, pdb []*ProfDB
 			CodeIncPct:  100 * r.CodeInc,
 			CallDecPct:  100 * r.CallDec,
 			Seconds:     r.Seconds,
+			Phases:      r.Phases,
 		})
 	}
 	out, err := json.MarshalIndent(&rep, "", "  ")

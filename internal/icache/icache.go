@@ -10,8 +10,10 @@ package icache
 
 import (
 	"fmt"
+	"strconv"
 
 	"inlinec/internal/ir"
+	"inlinec/internal/obs"
 )
 
 // WordSize is the encoded size of one IL instruction in bytes.
@@ -57,6 +59,23 @@ func (s Stats) MissRate() float64 {
 		return 0
 	}
 	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// RecordTo publishes the accumulated counts into an obs registry,
+// labeled by cache geometry so that configuration sweeps stay
+// distinguishable on one registry.
+func (s Stats) RecordTo(reg *obs.Registry, cfg Config) {
+	labels := []string{
+		"size", strconv.Itoa(cfg.Size),
+		"line", strconv.Itoa(cfg.LineSize),
+		"assoc", strconv.Itoa(cfg.Assoc),
+	}
+	reg.Counter("icache_accesses_total",
+		"Simulated instruction fetches, by cache geometry.", labels...).Add(s.Accesses)
+	reg.Counter("icache_misses_total",
+		"Simulated instruction-cache misses, by cache geometry.", labels...).Add(s.Misses)
+	reg.Gauge("icache_miss_rate",
+		"Miss rate of the most recent simulation, by cache geometry.", labels...).Set(s.MissRate())
 }
 
 // Cache is a set-associative cache with LRU replacement.

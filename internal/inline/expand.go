@@ -6,6 +6,7 @@ import (
 
 	"inlinec/internal/callgraph"
 	"inlinec/internal/ir"
+	"inlinec/internal/obs"
 )
 
 // expandAll is phase 3: physical expansion in linear order. Because every
@@ -98,11 +99,36 @@ func (il *Inliner) expandWaves(res *Result, byCaller map[string][]*callgraph.Arc
 	if par > len(byCaller) {
 		par = len(byCaller)
 	}
+	reg := il.params.Obs
 	caches := make([]*bodyCache, par)
 	for i := range caches {
 		caches[i] = newBodyCache(il.params.CacheCapacity)
 	}
-	for _, wave := range il.planWaves(byCaller) {
+	waves := il.planWaves(byCaller)
+	// Wave-scheduler occupancy: how wide each wave is and what fraction
+	// of the worker pool it keeps busy. A long tail of single-function
+	// waves means the dependency DAG, not the pool, bounds throughput.
+	if reg != nil {
+		reg.Counter("inline_waves_total", "Expansion waves scheduled.").Add(int64(len(waves)))
+		width := reg.Histogram("inline_wave_width", "Functions per expansion wave.", obs.SizeBuckets)
+		occupancy := reg.Gauge("inline_wave_occupancy",
+			"Mean fraction of the expansion worker pool kept busy across waves.")
+		busy, slots := 0, 0
+		for _, wave := range waves {
+			width.Observe(float64(len(wave)))
+			w := len(wave)
+			if w > par {
+				w = par
+			}
+			busy += w
+			slots += par
+		}
+		if slots > 0 {
+			occupancy.Set(float64(busy) / float64(slots))
+		}
+	}
+	for wi, wave := range waves {
+		endWave := reg.StartSpan(fmt.Sprintf("inline.wave%d", wi))
 		workers := par
 		if workers > len(wave) {
 			workers = len(wave)
@@ -120,6 +146,7 @@ func (il *Inliner) expandWaves(res *Result, byCaller map[string][]*callgraph.Arc
 			}(w)
 		}
 		wg.Wait()
+		endWave()
 		for i := range wave {
 			if errs[i] != nil {
 				return errs[i]

@@ -1,5 +1,7 @@
 package inline
 
+import "inlinec/internal/obs"
+
 // Heuristic selects how expansion sites are chosen. The paper's
 // contribution is the profile-guided policy; the two static policies are
 // the contemporaries it discusses in section 1.2 — the IBM PL.8 compiler
@@ -60,27 +62,28 @@ func (il *Inliner) isLeaf(name string) bool {
 }
 
 // accepts reports whether the active heuristic wants this arc, before the
-// common hazard checks run.
-func (il *Inliner) accepts(callee string, weight float64) (bool, string) {
+// common hazard checks run. Rejections carry the machine-readable
+// reason code alongside the human-readable text.
+func (il *Inliner) accepts(callee string, weight float64) (bool, obs.Reason, string) {
 	switch il.params.Heuristic {
 	case HeuristicLeaf:
 		if !il.isLeaf(callee) {
-			return false, "callee is not a leaf function"
+			return false, obs.ReasonNotLeaf, "callee is not a leaf function"
 		}
-		return true, ""
+		return true, obs.ReasonNone, ""
 	case HeuristicSmall:
 		limit := il.params.SmallCalleeLimit
 		if limit <= 0 {
 			limit = DefaultSmallCalleeLimit
 		}
 		if il.estSize[callee] > limit {
-			return false, "callee larger than the structural size bound"
+			return false, obs.ReasonCalleeStructure, "callee larger than the structural size bound"
 		}
-		return true, ""
+		return true, obs.ReasonNone, ""
 	default:
 		if weight < il.params.WeightThreshold {
-			return false, "weight below threshold"
+			return false, obs.ReasonWeightThreshold, "weight below threshold"
 		}
-		return true, ""
+		return true, obs.ReasonNone, ""
 	}
 }

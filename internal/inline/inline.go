@@ -27,6 +27,7 @@ import (
 
 	"inlinec/internal/callgraph"
 	"inlinec/internal/ir"
+	"inlinec/internal/obs"
 	"inlinec/internal/profile"
 )
 
@@ -78,6 +79,11 @@ type Params struct {
 	// the worker count (each worker keeps its own cache). Ignored under
 	// NoLinearOrder, whose fixed point has no dependency DAG to schedule.
 	Parallelism int
+	// Obs, when non-nil, receives phase spans (linearize/select/expand),
+	// wave-scheduler occupancy, and body-cache counters. Observability
+	// never changes behaviour: the module bytes, decision list, and
+	// trace are identical with or without a registry attached.
+	Obs *obs.Registry
 }
 
 // DefaultParams returns the paper-mirroring configuration.
@@ -115,6 +121,9 @@ type Decision struct {
 	// Accepted marks to_be_expanded arcs; Reason explains rejections.
 	Accepted bool
 	Reason   string
+	// Code is the machine-readable rejection reason (obs.ReasonNone when
+	// accepted), one code per paper-level rule.
+	Code obs.Reason
 }
 
 // Result reports what the expander did.
@@ -138,6 +147,13 @@ type Result struct {
 	// of the per-worker caches; the hit/miss split depends on the worker
 	// count (Lookups always equals the number of splices).
 	Cache CacheStats
+	// Trace is the typed inline-decision trace: one event per arc the
+	// expander looked at, including the not_expandable arcs that never
+	// reached the cost function. The order is canonical — arcs excluded
+	// before cost evaluation first (by site id), then considered arcs in
+	// consideration order — so the trace is byte-identical at any
+	// Params.Parallelism.
+	Trace []obs.ArcEvent
 }
 
 // CodeIncrease returns the fractional static code growth, e.g. 0.17.
@@ -185,18 +201,62 @@ func New(mod *ir.Module, g *callgraph.Graph, prof *profile.Profile, params Param
 // Run executes the full three-phase procedure and returns the result.
 // Expand is the convenience wrapper most callers want.
 func (il *Inliner) Run() (*Result, error) {
+	reg := il.params.Obs
 	res := &Result{OriginalSize: il.mod.TotalCodeSize()}
+	end := reg.StartSpan("inline.linearize")
 	il.linearize(res)
+	end()
+	end = reg.StartSpan("inline.select")
 	il.selectSites(res)
-	if err := il.expandAll(res); err != nil {
+	end()
+	end = reg.StartSpan("inline.expand")
+	err := il.expandAll(res)
+	end()
+	if err != nil {
 		return res, err
 	}
 	il.mod.AssignCallIDs()
 	res.FinalSize = il.mod.TotalCodeSize()
-	if err := il.mod.Verify(); err != nil {
+	il.recordMetrics(res)
+	endVerify := reg.StartSpan("inline.verify")
+	err = il.mod.Verify()
+	endVerify()
+	if err != nil {
 		return res, fmt.Errorf("inline expansion produced invalid IL: %w", err)
 	}
 	return res, nil
+}
+
+// recordMetrics publishes the run's decision and cache counters to the
+// attached registry (no-op without one).
+func (il *Inliner) recordMetrics(res *Result) {
+	reg := il.params.Obs
+	if reg == nil {
+		return
+	}
+	for _, ev := range res.Trace {
+		reg.Counter("inline_arcs_total",
+			"Arcs seen by expansion-site selection, by outcome and reason.",
+			"outcome", string(ev.Outcome), "reason", string(ev.Reason)).Inc()
+	}
+	reg.Counter("inline_expansions_total", "Physical call-site splices performed.").
+		Add(int64(res.NumExpansions))
+	reg.Counter("inline_bodycache_lookups_total", "Body-cache lookups during physical expansion.").
+		Add(int64(res.Cache.Lookups))
+	reg.Counter("inline_bodycache_hits_total", "Body-cache hits.").Add(int64(res.Cache.Hits))
+	reg.Counter("inline_bodycache_misses_total", "Body-cache misses (modelled file reads).").
+		Add(int64(res.Cache.Misses))
+	reg.Counter("inline_bodycache_evictions_total", "Body-cache write-back evictions.").
+		Add(int64(res.Cache.Evictions))
+	reg.Gauge("inline_code_growth_ratio", "Static code growth from expansion (final/original).").
+		Set(safeRatio(res.FinalSize, res.OriginalSize))
+}
+
+func safeRatio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
 }
 
 // Expand runs profile-guided inline expansion on mod in place.
@@ -248,38 +308,55 @@ func (il *Inliner) linearize(res *Result) {
 // ----------------------------------------------------------- site selection
 
 // selectSites is phase 2: mark arc statuses and pick to_be_expanded arcs
-// in decreasing weight order under the cost function.
+// in decreasing weight order under the cost function. Every arc emits
+// exactly one typed trace event into res.Trace: arcs excluded before
+// cost evaluation become not_expandable events (sorted by site id for a
+// canonical order), then the considered arcs append their events in
+// consideration order. Selection is a serial phase, so the trace is
+// byte-identical at any Params.Parallelism.
 func (il *Inliner) selectSites(res *Result) {
 	arcs := make([]*callgraph.Arc, 0, len(il.graph.Arcs))
-	for _, a := range il.graph.Arcs {
-		// Arcs touching $$$ or ### can never be expanded.
-		if a.Callee.IsSpecial() {
-			a.Status = callgraph.StatusNotExpandable
-			continue
-		}
-		// Arcs violating the linear order are not expandable: the callee
-		// must precede the caller in the sequence.
-		if !il.params.NoLinearOrder && il.orderPos[a.Callee.Name] >= il.orderPos[a.Caller.Name] {
-			a.Status = callgraph.StatusNotExpandable
-			continue
-		}
-		// Simple recursion is never expanded here (only the first
-		// iteration could be absorbed; see section 2.3). Without the
-		// linear order, mutual recursion must be rejected explicitly too —
-		// the order constraint forbids cycles by construction, but the
-		// ablation path would otherwise re-expand a two-function cycle
-		// forever.
-		if a.Caller == a.Callee {
-			a.Status = callgraph.StatusNotExpandable
-			continue
-		}
-		if il.params.NoLinearOrder && il.graph.SameCycle(a.Caller, a.Callee) {
-			a.Status = callgraph.StatusNotExpandable
-			continue
-		}
-		a.Status = callgraph.StatusExpandable
-		arcs = append(arcs, a)
+	var excluded []obs.ArcEvent
+	exclude := func(a *callgraph.Arc, reason obs.Reason, detail string) {
+		a.Status = callgraph.StatusNotExpandable
+		excluded = append(excluded, obs.ArcEvent{
+			Site: a.ID, Caller: a.Caller.Name, Callee: a.Callee.Name,
+			Weight: a.Weight, Outcome: obs.OutcomeNotExpandable,
+			Reason: reason, Detail: detail,
+		})
 	}
+	for _, a := range il.graph.Arcs {
+		switch {
+		case a.Callee.IsSpecial():
+			// Arcs touching $$$ or ### can never be expanded.
+			exclude(a, obs.ReasonSpecialCallee,
+				fmt.Sprintf("callee is the %s summary node", a.Callee.Name))
+		case a.Caller == a.Callee:
+			// Simple recursion is never expanded here (only the first
+			// iteration could be absorbed; see section 2.3). Checked
+			// before the linear order so a self arc reports the specific
+			// reason, not the order violation it also implies.
+			exclude(a, obs.ReasonSelfRecursion, "caller and callee are the same function")
+		case !il.params.NoLinearOrder && il.orderPos[a.Callee.Name] >= il.orderPos[a.Caller.Name]:
+			// Arcs violating the linear order are not expandable: the
+			// callee must precede the caller in the sequence.
+			exclude(a, obs.ReasonLinearOrder,
+				fmt.Sprintf("callee at linear position %d does not precede caller at %d",
+					il.orderPos[a.Callee.Name]+1, il.orderPos[a.Caller.Name]+1))
+		case il.params.NoLinearOrder && il.graph.SameCycle(a.Caller, a.Callee):
+			// Without the linear order, mutual recursion must be rejected
+			// explicitly too — the order constraint forbids cycles by
+			// construction, but the ablation path would otherwise
+			// re-expand a two-function cycle forever.
+			exclude(a, obs.ReasonMutualRecursion, "caller and callee share a recursive cycle")
+		default:
+			a.Status = callgraph.StatusExpandable
+			arcs = append(arcs, a)
+		}
+	}
+	sort.SliceStable(excluded, func(i, j int) bool { return excluded[i].Site < excluded[j].Site })
+	res.Trace = append(res.Trace, excluded...)
+
 	rank := func(a *callgraph.Arc) float64 {
 		if !il.params.OrderByDensity {
 			return a.Weight
@@ -300,14 +377,29 @@ func (il *Inliner) selectSites(res *Result) {
 
 	for _, a := range arcs {
 		d := Decision{SiteID: a.ID, Caller: a.Caller.Name, Callee: a.Callee.Name, Weight: a.Weight}
-		cost, reason := il.cost(a)
+		ev := obs.ArcEvent{Site: a.ID, Caller: a.Caller.Name, Callee: a.Callee.Name, Weight: a.Weight}
+		cost, code, reason := il.cost(a)
+		// The cost terms snapshot the running estimates at decision time,
+		// before any growth from accepting this arc is applied.
+		ev.Cost = &obs.CostTerms{
+			Weight:      a.Weight,
+			Threshold:   il.params.WeightThreshold,
+			CalleeSize:  il.estSize[a.Callee.Name],
+			CalleeFrame: il.estFrame[a.Callee.Name],
+			StackBound:  il.params.StackBound,
+			ProgSize:    il.progSize,
+			SizeLimit:   il.limit,
+		}
 		if math.IsInf(cost, 1) {
-			d.Reason = reason
+			d.Reason, d.Code = reason, code
+			ev.Outcome, ev.Reason, ev.Detail = obs.OutcomeRejected, code, reason
 			res.Decisions = append(res.Decisions, d)
+			res.Trace = append(res.Trace, ev)
 			continue
 		}
 		a.Status = callgraph.StatusToBeExpanded
 		d.Accepted = true
+		ev.Outcome = obs.OutcomeExpanded
 		// Re-estimate: the caller absorbs the callee's current body (the
 		// call instruction itself is replaced, and argument stores roughly
 		// offset the removed call), and the caller's frame grows by the
@@ -318,30 +410,35 @@ func (il *Inliner) selectSites(res *Result) {
 		il.estFrame[a.Caller.Name] += il.estFrame[a.Callee.Name]
 		res.Decisions = append(res.Decisions, d)
 		res.Expanded = append(res.Expanded, d)
+		res.Trace = append(res.Trace, ev)
 	}
 }
 
 // cost implements the paper's cost function: infinity blocks expansion;
 // otherwise the cost is the estimated code growth (used only for
-// reporting, since selection is greedy by weight).
-func (il *Inliner) cost(a *callgraph.Arc) (float64, string) {
+// reporting, since selection is greedy by weight). Rejections name the
+// exact rule via the obs reason code alongside the human-readable text.
+func (il *Inliner) cost(a *callgraph.Arc) (float64, obs.Reason, string) {
 	recursive := il.graph.Recursive(a.Callee)
 	if il.params.ConservativeRecursion {
 		recursive = il.graph.ConservativelyRecursive(a.Callee)
 	}
 	if recursive && il.estFrame[a.Callee.Name] > il.params.StackBound {
-		return math.Inf(1), fmt.Sprintf("callee on recursive path with frame %dB > stack bound %dB",
-			il.estFrame[a.Callee.Name], il.params.StackBound)
+		return math.Inf(1), obs.ReasonStackBound,
+			fmt.Sprintf("callee on recursive path with frame %dB > stack bound %dB",
+				il.estFrame[a.Callee.Name], il.params.StackBound)
 	}
-	if ok, why := il.accepts(a.Callee.Name, a.Weight); !ok {
-		return math.Inf(1), why
+	if ok, code, why := il.accepts(a.Callee.Name, a.Weight); !ok {
+		return math.Inf(1), code, why
 	}
 	grow := il.estSize[a.Callee.Name]
 	if il.params.MaxCalleeSize > 0 && grow > il.params.MaxCalleeSize {
-		return math.Inf(1), fmt.Sprintf("callee size %d exceeds per-callee limit %d", grow, il.params.MaxCalleeSize)
+		return math.Inf(1), obs.ReasonCalleeSizeLimit,
+			fmt.Sprintf("callee size %d exceeds per-callee limit %d", grow, il.params.MaxCalleeSize)
 	}
 	if il.progSize+grow > il.limit {
-		return math.Inf(1), fmt.Sprintf("program size %d+%d would exceed limit %d", il.progSize, grow, il.limit)
+		return math.Inf(1), obs.ReasonProgramSizeLimit,
+			fmt.Sprintf("program size %d+%d would exceed limit %d", il.progSize, grow, il.limit)
 	}
-	return float64(grow), ""
+	return float64(grow), obs.ReasonNone, ""
 }

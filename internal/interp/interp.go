@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"inlinec/internal/ir"
+	"inlinec/internal/obs"
 	"inlinec/internal/profile"
 	"inlinec/internal/token"
 )
@@ -35,6 +36,11 @@ type Options struct {
 	// with the containing function and instruction index. Used by the
 	// instruction-cache simulator.
 	Trace func(f *ir.Func, pc int)
+	// Obs, when non-nil, receives aggregate execution counters when a
+	// run completes. Recording happens once per run (a handful of atomic
+	// adds), never inside the dispatch loop, so the fast path is
+	// untouched.
+	Obs *obs.Registry
 }
 
 // compiledFunc caches per-function interpretation tables. All name and
@@ -215,6 +221,7 @@ func (m *Machine) Run() (*profile.RunStats, error) {
 	st := profile.NewRunStats()
 	code, err := m.exec(mainFn, nil, st)
 	m.foldCounts(st)
+	defer m.recordRun(st)
 	// A clean run unwinds every activation: one return per counted call,
 	// plus main's own ret (its invocation is not a counted call site).
 	// Anything else — exit() or a fault with frames still pending — is a
@@ -232,6 +239,24 @@ func (m *Machine) Run() (*profile.RunStats, error) {
 	}
 	st.ExitCode = code
 	return st, nil
+}
+
+// recordRun publishes one run's aggregate counters to the attached
+// registry (no-op without one).
+func (m *Machine) recordRun(st *profile.RunStats) {
+	reg := m.opts.Obs
+	if reg == nil {
+		return
+	}
+	reg.Counter("interp_runs_total", "Interpreter runs completed.").Inc()
+	reg.Counter("interp_il_executed_total", "Executed IL instructions.").Add(st.IL)
+	reg.Counter("interp_calls_total", "Dynamic calls executed.").Add(st.Calls)
+	reg.Counter("interp_extern_calls_total", "Dynamic calls to external routines.").Add(st.ExternCalls)
+	reg.Counter("interp_ptr_calls_total", "Dynamic calls through pointers.").Add(st.PtrCalls)
+	reg.Counter("interp_truncated_runs_total", "Runs ended by exit() without unwinding.").Add(st.Truncated)
+	if g := reg.Gauge("interp_max_stack_bytes", "High-water control-stack bytes across runs."); g.Value() < float64(st.MaxStack) {
+		g.Set(float64(st.MaxStack))
+	}
 }
 
 // foldCounts folds the dense per-run counters back into the map-shaped

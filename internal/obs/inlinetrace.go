@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Outcome classifies what expansion-site selection did with one arc.
+type Outcome string
+
+// The three arc outcomes of the paper's phase 2.
+const (
+	// OutcomeExpanded marks a to_be_expanded arc.
+	OutcomeExpanded Outcome = "expanded"
+	// OutcomeRejected marks an expandable arc whose cost function
+	// returned INFINITY.
+	OutcomeRejected Outcome = "rejected"
+	// OutcomeNotExpandable marks an arc excluded before cost evaluation
+	// (linear-order violation, $$$/### endpoint, recursion).
+	OutcomeNotExpandable Outcome = "not_expandable"
+)
+
+// Reason is the machine-readable code for why an arc was not expanded.
+// Each code maps to one paper-level rule.
+type Reason string
+
+// The rejection reasons, one per rule in sections 2.3 and 3 of the
+// paper (plus the static-heuristic ablations).
+const (
+	// ReasonNone: the arc was expanded.
+	ReasonNone Reason = ""
+	// ReasonLinearOrder: the callee does not precede the caller in the
+	// linear function sequence (section 3's ordering constraint).
+	ReasonLinearOrder Reason = "linear_order"
+	// ReasonSpecialCallee: the arc touches the $$$ (external) or ###
+	// (pointer) summary node and can never be expanded.
+	ReasonSpecialCallee Reason = "special_callee"
+	// ReasonSelfRecursion: caller == callee; only the first iteration
+	// could be absorbed (section 2.3).
+	ReasonSelfRecursion Reason = "self_recursion"
+	// ReasonMutualRecursion: caller and callee share a cycle and the
+	// linear-order constraint is disabled (NoLinearOrder ablation).
+	ReasonMutualRecursion Reason = "mutual_recursion"
+	// ReasonStackBound: the callee lies on a recursive path and its
+	// frame exceeds the stack bound (control-stack hazard).
+	ReasonStackBound Reason = "stack_bound"
+	// ReasonWeightThreshold: the arc's expected invocation count is
+	// below the profile heuristic's threshold.
+	ReasonWeightThreshold Reason = "weight_threshold"
+	// ReasonNotLeaf: the leaf heuristic rejected a non-leaf callee.
+	ReasonNotLeaf Reason = "not_leaf"
+	// ReasonCalleeStructure: the small-callee heuristic rejected a
+	// callee above the structural size bound.
+	ReasonCalleeStructure Reason = "callee_structure"
+	// ReasonCalleeSizeLimit: the callee body exceeds the per-callee
+	// instruction limit (MaxCalleeSize).
+	ReasonCalleeSizeLimit Reason = "callee_size_limit"
+	// ReasonProgramSizeLimit: accepting the arc would push the whole
+	// program past the code-size limit (SizeLimitFactor × original).
+	ReasonProgramSizeLimit Reason = "program_size_limit"
+)
+
+// CostTerms are the cost-function inputs at the moment an arc was
+// considered: the running size/frame estimates the paper re-evaluates
+// after every accepted site.
+type CostTerms struct {
+	// Weight is the arc weight (expected invocations per run);
+	// Threshold the profile heuristic's acceptance bound.
+	Weight    float64 `json:"weight"`
+	Threshold float64 `json:"threshold"`
+	// CalleeSize is the callee's current estimated body size in IL
+	// instructions (the code-growth term); CalleeFrame its estimated
+	// frame in bytes; StackBound the recursion hazard limit.
+	CalleeSize  int `json:"callee_size"`
+	CalleeFrame int `json:"callee_frame"`
+	StackBound  int `json:"stack_bound"`
+	// ProgSize is the running whole-program size estimate; SizeLimit
+	// the cap it may not exceed.
+	ProgSize  int `json:"prog_size"`
+	SizeLimit int `json:"size_limit"`
+}
+
+// ArcEvent is one typed inline-decision trace record: every arc the
+// expander looked at emits exactly one. The stream is deterministic —
+// byte-identical at any Params.Parallelism — because selection is a
+// serial phase ordered by the linear sequence and arc weights.
+type ArcEvent struct {
+	// Site is the call-site id (the arc id in the IL).
+	Site   int    `json:"site"`
+	Caller string `json:"caller"`
+	Callee string `json:"callee"`
+	// Weight is the profiled expected invocation count.
+	Weight  float64 `json:"weight"`
+	Outcome Outcome `json:"outcome"`
+	// Reason is empty for expanded arcs.
+	Reason Reason `json:"reason,omitempty"`
+	// Detail is the human-readable explanation (also empty when
+	// expanded).
+	Detail string `json:"detail,omitempty"`
+	// Cost carries the cost-function terms for arcs that reached the
+	// cost function (nil for not_expandable arcs, which are excluded
+	// before cost evaluation).
+	Cost *CostTerms `json:"cost,omitempty"`
+}
+
+// WriteInlineTraceJSONL writes one JSON object per line per event —
+// the machine-readable export behind ilcc -inline-trace.
+func WriteInlineTraceJSONL(w io.Writer, events []ArcEvent) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("obs: inline trace: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadInlineTraceJSONL parses a JSONL stream written by
+// WriteInlineTraceJSONL.
+func ReadInlineTraceJSONL(r io.Reader) ([]ArcEvent, error) {
+	var out []ArcEvent
+	dec := json.NewDecoder(r)
+	for {
+		var ev ArcEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: inline trace: %w", err)
+		}
+		out = append(out, ev)
+	}
+}
+
+// FormatInlineReport renders the human-readable -explain-inline report:
+// the linear order, then each arc grouped by outcome with its reason
+// and cost terms. Output is fully determined by the inputs, so it is
+// byte-identical across worker counts.
+func FormatInlineReport(order []string, events []ArcEvent) string {
+	var sb strings.Builder
+	sb.WriteString("inline expansion explained\n")
+	fmt.Fprintf(&sb, "linear order (%d functions):\n", len(order))
+	for i, n := range order {
+		fmt.Fprintf(&sb, "  %3d. %s\n", i+1, n)
+	}
+
+	var expanded, rejected, notExpandable []ArcEvent
+	for _, ev := range events {
+		switch ev.Outcome {
+		case OutcomeExpanded:
+			expanded = append(expanded, ev)
+		case OutcomeRejected:
+			rejected = append(rejected, ev)
+		default:
+			notExpandable = append(notExpandable, ev)
+		}
+	}
+
+	fmt.Fprintf(&sb, "\nexpanded (%d arcs, heaviest first):\n", len(expanded))
+	if len(expanded) == 0 {
+		sb.WriteString("  (none)\n")
+	}
+	for _, ev := range expanded {
+		fmt.Fprintf(&sb, "  site %-4d %-24s <- %-24s weight %.1f", ev.Site, ev.Caller, ev.Callee, ev.Weight)
+		if ev.Cost != nil {
+			fmt.Fprintf(&sb, "  (+%d IL, program %d/%d)", ev.Cost.CalleeSize, ev.Cost.ProgSize, ev.Cost.SizeLimit)
+		}
+		sb.WriteByte('\n')
+	}
+
+	fmt.Fprintf(&sb, "\nrejected by the cost function (%d arcs):\n", len(rejected))
+	if len(rejected) == 0 {
+		sb.WriteString("  (none)\n")
+	}
+	for _, ev := range rejected {
+		fmt.Fprintf(&sb, "  site %-4d %-24s <- %-24s weight %.1f\n", ev.Site, ev.Caller, ev.Callee, ev.Weight)
+		fmt.Fprintf(&sb, "            %s: %s\n", ev.Reason, ev.Detail)
+	}
+
+	fmt.Fprintf(&sb, "\nnot expandable (%d arcs):\n", len(notExpandable))
+	if len(notExpandable) == 0 {
+		sb.WriteString("  (none)\n")
+	}
+	for _, ev := range notExpandable {
+		fmt.Fprintf(&sb, "  site %-4d %-24s <- %-24s weight %.1f\n", ev.Site, ev.Caller, ev.Callee, ev.Weight)
+		fmt.Fprintf(&sb, "            %s: %s\n", ev.Reason, ev.Detail)
+	}
+	return sb.String()
+}

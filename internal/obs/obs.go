@@ -1,0 +1,365 @@
+// Package obs is the reproduction's zero-dependency observability layer:
+// a lock-cheap metrics registry (counters, gauges, histograms) with
+// Prometheus text-format export, phase spans with Chrome trace-event
+// export, the typed inline-decision trace the expander emits, and a
+// structured HTTP request logger. Everything here is stdlib-only and
+// safe for concurrent use; instrumented code paths must behave
+// identically whether or not a registry is attached (a nil *Registry is
+// a valid no-op receiver for every recording method).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MetricType distinguishes the Prometheus families a Registry exports.
+type MetricType string
+
+// The supported metric families.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// Counter is a monotonically increasing value. Add is a single atomic
+// op, cheap enough to leave on in hot paths.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter. Negative deltas are ignored (counters
+// never go down).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. Set/Value are single
+// atomic ops on the float's bit pattern.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: counts per upper bound, plus sum and count. Observe takes one
+// short mutex; the bucket set is fixed at registration.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []int64   // len(bounds)+1, last is the +Inf bucket
+	sum    float64
+	count  int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns cumulative bucket counts, the sum, and the count.
+func (h *Histogram) snapshot() (cum []int64, sum float64, count int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]int64, len(h.counts))
+	var acc int64
+	for i, c := range h.counts {
+		acc += c
+		cum[i] = acc
+	}
+	return cum, h.sum, h.count
+}
+
+// DefBuckets are the default histogram bounds, in seconds: they span
+// microsecond WAL fsyncs to multi-second benchmark phases.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets are default bounds for count-valued histograms (batch
+// sizes, wave widths).
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// metric is one instance within a family: a concrete label set plus the
+// value container.
+type metric struct {
+	labels string // rendered {k="v",...} or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is all instances sharing one metric name.
+type family struct {
+	name string
+	typ  MetricType
+	help string
+	inst map[string]*metric
+	keys []string // sorted label strings, for deterministic export
+}
+
+// Registry holds metric families and phase spans. The zero value is not
+// usable; call NewRegistry. A nil *Registry is a valid no-op receiver
+// for every method, so instrumented code never branches on "is
+// observability on" — it just records.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	names []string // sorted family names
+	epoch time.Time
+	spans []Span
+}
+
+// NewRegistry returns an empty registry whose span clock starts now.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family), epoch: time.Now()}
+}
+
+// renderLabels turns k,v pairs into a canonical {k="v",...} string.
+// Pairs are sorted by key so the same label set always renders the same.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		kv = append(kv, "")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", p.k, p.v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// get returns the metric instance for (name, labels), creating the
+// family and instance on first use. Type and help are fixed by the
+// first registration; later mismatched types panic (a programming
+// error, not an operational condition).
+func (r *Registry) get(name string, typ MetricType, help string, kv []string) *metric {
+	labels := renderLabels(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, typ: typ, help: help, inst: make(map[string]*metric)}
+		r.fams[name] = f
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	m, ok := f.inst[labels]
+	if !ok {
+		m = &metric{labels: labels}
+		switch typ {
+		case TypeCounter:
+			m.c = &Counter{}
+		case TypeGauge:
+			m.g = &Gauge{}
+		}
+		f.inst[labels] = m
+		f.keys = append(f.keys, labels)
+		sort.Strings(f.keys)
+	}
+	return m
+}
+
+// Counter returns the named counter, creating it on first use. The
+// optional kv arguments are label key/value pairs.
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, TypeCounter, help, kv).c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, TypeGauge, help, kv).g
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given bucket upper bounds (nil = DefBuckets). Buckets are fixed
+// by the first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.get(name, TypeHistogram, help, kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.h == nil {
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		m.h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+	}
+	return m.h
+}
+
+// formatFloat renders a sample value the way Prometheus text format
+// expects: integral values without an exponent, everything else in
+// shortest-round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every family in text exposition format,
+// sorted by metric name and label set, so successive scrapes of an
+// unchanged registry are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, key := range f.keys {
+			m := f.inst[key]
+			switch f.typ {
+			case TypeCounter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, m.labels, m.c.Value())
+			case TypeGauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, m.labels, formatFloat(m.g.Value()))
+			case TypeHistogram:
+				cum, sum, count := m.h.snapshot()
+				for i, bound := range m.h.bounds {
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+						mergeLabels(m.labels, fmt.Sprintf("le=%q", formatFloat(bound))), cum[i])
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					mergeLabels(m.labels, `le="+Inf"`), cum[len(cum)-1])
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, m.labels, formatFloat(sum))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, m.labels, count)
+			}
+		}
+	}
+	return nil
+}
+
+// mergeLabels splices an extra label into an already-rendered label
+// string.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// CounterValue returns the current value of a counter instance, or 0 if
+// it was never registered. Useful for cross-checking exports.
+func (r *Registry) CounterValue(name string, kv ...string) int64 {
+	if r == nil {
+		return 0
+	}
+	labels := renderLabels(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil || f.typ != TypeCounter {
+		return 0
+	}
+	m := f.inst[labels]
+	if m == nil {
+		return 0
+	}
+	return m.c.Value()
+}

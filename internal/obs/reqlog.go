@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RequestLog is structured, per-request HTTP logging: every request
+// gets a process-unique id (also returned to the client in the
+// X-Request-Id header, so an operator can join a client-side error to
+// the daemon's log line), and completion emits one JSON line. When a
+// Registry is attached the same middleware records the request counter
+// (by method/path/code) and a latency histogram, so logs and /metrics
+// can never disagree about how many requests were served.
+type RequestLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq atomic.Int64
+	reg *Registry
+	// now is the clock (tests may override).
+	now func() time.Time
+}
+
+// NewRequestLog returns a logger writing JSON lines to w (nil = no log
+// lines, metrics only) and recording into reg (nil = log lines only).
+func NewRequestLog(w io.Writer, reg *Registry) *RequestLog {
+	return &RequestLog{w: w, reg: reg, now: time.Now}
+}
+
+// logLine is the JSON document for one completed request.
+type logLine struct {
+	Time   string  `json:"ts"`
+	ID     string  `json:"id"`
+	Method string  `json:"method"`
+	Path   string  `json:"path"`
+	Status int     `json:"status"`
+	Bytes  int64   `json:"bytes"`
+	Dur    string  `json:"dur"`
+	DurMS  float64 `json:"dur_ms"`
+	Remote string  `json:"remote,omitempty"`
+}
+
+// statusWriter captures the status code and byte count.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// Wrap instruments an http.Handler.
+func (l *RequestLog) Wrap(h http.Handler) http.Handler {
+	if l == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := l.now()
+		id := fmt.Sprintf("r%06d", l.seq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := l.now().Sub(start)
+		if l.reg != nil {
+			l.reg.Counter("http_requests_total",
+				"HTTP requests served, by method, path, and status code.",
+				"method", r.Method, "path", r.URL.Path, "code", strconv.Itoa(sw.status)).Inc()
+			l.reg.Histogram("http_request_duration_seconds",
+				"HTTP request latency.", nil, "path", r.URL.Path).Observe(dur.Seconds())
+		}
+		if l.w == nil {
+			return
+		}
+		line := logLine{
+			Time:   start.UTC().Format(time.RFC3339Nano),
+			ID:     id,
+			Method: r.Method,
+			Path:   r.URL.Path,
+			Status: sw.status,
+			Bytes:  sw.bytes,
+			Dur:    dur.Round(time.Microsecond).String(),
+			DurMS:  float64(dur.Microseconds()) / 1000,
+			Remote: r.RemoteAddr,
+		}
+		data, err := json.Marshal(&line)
+		if err != nil {
+			return
+		}
+		l.mu.Lock()
+		l.w.Write(append(data, '\n'))
+		l.mu.Unlock()
+	})
+}

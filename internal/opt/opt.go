@@ -14,6 +14,7 @@ import (
 
 	"inlinec/internal/callgraph"
 	"inlinec/internal/ir"
+	"inlinec/internal/obs"
 )
 
 // PreInline runs the paper's pre-expansion pipeline on every function,
@@ -50,6 +51,28 @@ func PostInline(mod *ir.Module) { PostInlineParallel(mod, 0) }
 // module.
 func PostInlineParallel(mod *ir.Module, par int) {
 	forEachFunc(mod, par, postInlineFunc)
+}
+
+// PreInlineParallelObs is PreInlineParallel with phase accounting: the
+// pass runs under an "opt.preinline" span and the function count feeds
+// the opt_functions_total counter. Metrics never influence the passes,
+// so the resulting module is identical to the uninstrumented variant.
+func PreInlineParallelObs(mod *ir.Module, par int, reg *obs.Registry) {
+	defer reg.StartSpan("opt.preinline")()
+	forEachFunc(mod, par, preInlineFunc)
+	reg.Counter("opt_functions_total",
+		"Functions processed by the optimizer, by pass.",
+		"pass", "preinline").Add(int64(len(mod.Funcs)))
+}
+
+// PostInlineParallelObs is PostInlineParallel under an "opt.postinline"
+// span, with the same accounting as PreInlineParallelObs.
+func PostInlineParallelObs(mod *ir.Module, par int, reg *obs.Registry) {
+	defer reg.StartSpan("opt.postinline")()
+	forEachFunc(mod, par, postInlineFunc)
+	reg.Counter("opt_functions_total",
+		"Functions processed by the optimizer, by pass.",
+		"pass", "postinline").Add(int64(len(mod.Funcs)))
 }
 
 func postInlineFunc(f *ir.Func) {

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"inlinec/internal/obs"
 )
 
 // Client is the fleet-side HTTP client for ilprofd, shared by ilcc,
@@ -43,6 +45,10 @@ type Client struct {
 	// Warn, when non-nil, receives one line per retry so operators can
 	// see flakiness that resilience would otherwise hide.
 	Warn io.Writer
+	// Obs, when non-nil, counts the same retries into
+	// profdb_client_retries_total so fleet flakiness shows up on
+	// /metrics as well as in the warning stream.
+	Obs *obs.Registry
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -121,6 +127,9 @@ func (c *Client) doRetry(what string, build func() (*http.Request, error), retri
 		if n > 0 {
 			d := c.delay(n - 1)
 			c.warnf("profdb client: %s failed (%v); retry %d/%d in %v\n", what, lastErr, n, attempts-1, d.Round(time.Millisecond))
+			c.Obs.Counter("profdb_client_retries_total",
+				"Request retries performed by the profdb client, by request.",
+				"request", what).Inc()
 			c.sleep(d)
 		}
 		req, err := build()

@@ -8,8 +8,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"inlinec/internal/chaos"
+	"inlinec/internal/obs"
 )
 
 // ErrWAL marks ingest failures caused by the log or the filesystem
@@ -50,6 +52,12 @@ type Store struct {
 
 	wal      chaos.File
 	walDirty bool // the open log may end in garbage; rotate before next ack
+
+	// Obs, when set, receives durability metrics (WAL fsync latency,
+	// batch sizes, flush timings). The single-writer rule covers it: set
+	// it right after Open, before the first ingest. A nil registry is a
+	// no-op, so instrumented paths never branch.
+	Obs *obs.Registry
 }
 
 func (s *Store) walPath() string  { return s.path + ".wal" }
@@ -113,6 +121,31 @@ func (r *Recovery) String() string {
 		return "clean start"
 	}
 	return strings.Join(parts, ", ")
+}
+
+// RecordTo publishes the recovery outcome as gauges, so an operator can
+// read off /metrics what the last restart found without scraping logs.
+func (r *Recovery) RecordTo(reg *obs.Registry) {
+	b2g := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	reg.Gauge("profdb_recovery_clean",
+		"1 when the last recovery found nothing corrupt and discarded nothing.").Set(b2g(r.Clean()))
+	reg.Gauge("profdb_recovery_snapshot_corrupt",
+		"1 when the primary snapshot failed to parse at the last recovery.").Set(b2g(r.SnapshotCorrupt))
+	reg.Gauge("profdb_recovery_used_backup",
+		"1 when state was restored from the .bak snapshot.").Set(b2g(r.UsedBackup))
+	reg.Gauge("profdb_recovery_replayed_records",
+		"WAL frames re-ingested at the last recovery.").Set(float64(r.ReplayedRecords))
+	reg.Gauge("profdb_recovery_skipped_wals",
+		"Log files skipped at the last recovery because the snapshot already embeds them.").Set(float64(r.SkippedWALs))
+	reg.Gauge("profdb_recovery_discarded_records",
+		"Intact WAL frames whose payload failed to parse or apply at the last recovery.").Set(float64(r.DiscardedRecords))
+	reg.Gauge("profdb_recovery_discarded_bytes",
+		"Bytes of torn log tail discarded at the last recovery.").Set(float64(r.DiscardedBytes))
 }
 
 // readAndParseDB loads one snapshot file. exists is false only when the
@@ -203,7 +236,6 @@ func Open(fsys chaos.FS, path, program string) (*Store, *Recovery, error) {
 		rep.DiscardedBytes += discarded
 	}
 
-
 	// Canonicalize unconditionally: a fresh snapshot at epoch E+1
 	// embedding everything recovered, plus a fresh aligned WAL. Reusing
 	// a survivor log is never safe in general — its epoch may already
@@ -266,6 +298,9 @@ func (s *Store) Ingest(program string, rec *Record) error {
 // before anything else is acked.
 func (s *Store) IngestBatch(programs []string, recs []*Record) []error {
 	errs := make([]error, len(recs))
+	s.Obs.Histogram("profdb_ingest_batch_records",
+		"Records per ingest batch committed with a single fsync.",
+		obs.SizeBuckets).Observe(float64(len(recs)))
 	if s.walDirty || s.wal == nil {
 		// A previous append may have left garbage at the log's tail; any
 		// frame written after it would be discarded by replay. A full
@@ -299,13 +334,24 @@ func (s *Store) IngestBatch(programs []string, recs []*Record) []error {
 	}
 	if _, err := s.wal.Write(buf.Bytes()); err != nil {
 		s.walDirty = true
+		s.Obs.Counter("profdb_wal_errors_total",
+			"WAL append or fsync failures (each NAKs its whole batch).",
+			"op", "append").Inc()
 		for _, i := range accepted {
 			errs[i] = fmt.Errorf("%w: append: %v", ErrWAL, err)
 		}
 		return errs
 	}
-	if err := s.wal.Sync(); err != nil {
+	fsyncStart := time.Now()
+	err := s.wal.Sync()
+	s.Obs.Histogram("profdb_wal_fsync_seconds",
+		"WAL fsync latency — the daemon's ack barrier.",
+		nil).Observe(time.Since(fsyncStart).Seconds())
+	if err != nil {
 		s.walDirty = true
+		s.Obs.Counter("profdb_wal_errors_total",
+			"WAL append or fsync failures (each NAKs its whole batch).",
+			"op", "fsync").Inc()
 		for _, i := range accepted {
 			errs[i] = fmt.Errorf("%w: fsync: %v", ErrWAL, err)
 		}
@@ -359,6 +405,14 @@ func (s *Store) writeFileSynced(name string, data []byte) error {
 // store still usable); a failure from step 2 on poisons the log so the
 // next ingest retries a full flush before acking anything.
 func (s *Store) Flush() error {
+	flushStart := time.Now()
+	defer func() {
+		s.Obs.Counter("profdb_flushes_total",
+			"Snapshot flushes attempted (including the recovery flush).").Inc()
+		s.Obs.Histogram("profdb_flush_seconds",
+			"Wall time of one snapshot flush and WAL rotation.",
+			nil).Observe(time.Since(flushStart).Seconds())
+	}()
 	oldEpoch := s.db.Epoch
 	s.db.Epoch = oldEpoch + 1
 	var snap bytes.Buffer

@@ -286,8 +286,8 @@ func TestStoreBatchValidation(t *testing.T) {
 	s, _ := mustOpen(t, m, "d/p.profdb")
 	recs := []*Record{
 		testRec("aa", 1, 3),
-		testRec("", 1, 3),     // no fingerprint
-		testRec("bb", 1, 0),   // zero runs
+		testRec("", 1, 3),   // no fingerprint
+		testRec("bb", 1, 0), // zero runs
 		testRec("cc", 1, 2),
 	}
 	errs := s.IngestBatch([]string{"prog", "prog", "prog", "other"}, recs)

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Runs the full test suite with coverage and fails if total statement
+# coverage drops below the checked-in minimum (.github/coverage-threshold.txt).
+# Raise the threshold when coverage durably improves; never lower it to
+# make a PR pass.
+set -eu
+
+threshold=$(cat .github/coverage-threshold.txt)
+profile=${1:-coverage.out}
+
+go test -coverprofile="$profile" ./...
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+
+echo "total coverage: ${total}% (minimum: ${threshold}%)"
+awk -v got="$total" -v min="$threshold" 'BEGIN { exit (got+0 >= min+0) ? 0 : 1 }' || {
+    echo "FAIL: coverage ${total}% is below the checked-in minimum ${threshold}%" >&2
+    exit 1
+}
