@@ -243,7 +243,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return obs.NewRequestLog(s.logw, s.obs).Wrap(mux)
+	return obs.NewRequestLog(s.logw, s.obs, "/ingest", "/profile", "/stats", "/metrics").Wrap(mux)
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {

@@ -254,9 +254,7 @@ func (m *Machine) recordRun(st *profile.RunStats) {
 	reg.Counter("interp_extern_calls_total", "Dynamic calls to external routines.").Add(st.ExternCalls)
 	reg.Counter("interp_ptr_calls_total", "Dynamic calls through pointers.").Add(st.PtrCalls)
 	reg.Counter("interp_truncated_runs_total", "Runs ended by exit() without unwinding.").Add(st.Truncated)
-	if g := reg.Gauge("interp_max_stack_bytes", "High-water control-stack bytes across runs."); g.Value() < float64(st.MaxStack) {
-		g.Set(float64(st.MaxStack))
-	}
+	reg.Gauge("interp_max_stack_bytes", "High-water control-stack bytes across runs.").SetMax(float64(st.MaxStack))
 }
 
 // foldCounts folds the dense per-run counters back into the map-shaped

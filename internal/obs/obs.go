@@ -77,6 +77,24 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// SetMax raises the gauge to v if v exceeds the current value. The
+// compare-and-swap loop makes it safe for concurrent writers racing to
+// publish a high-water mark: the largest value always wins.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // Histogram is a fixed-bucket cumulative histogram in the Prometheus
 // style: counts per upper bound, plus sum and count. Observe takes one
 // short mutex; the bucket set is fixed at registration.
@@ -123,6 +141,9 @@ func (h *Histogram) Sum() float64 {
 
 // snapshot returns cumulative bucket counts, the sum, and the count.
 func (h *Histogram) snapshot() (cum []int64, sum float64, count int64) {
+	if h == nil {
+		return nil, 0, 0
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	cum = make([]int64, len(h.counts))
@@ -210,8 +231,11 @@ func renderLabels(kv []string) string {
 // get returns the metric instance for (name, labels), creating the
 // family and instance on first use. Type and help are fixed by the
 // first registration; later mismatched types panic (a programming
-// error, not an operational condition).
-func (r *Registry) get(name string, typ MetricType, help string, kv []string) *metric {
+// error, not an operational condition). The value container — including
+// a histogram's buckets — is fully constructed before the instance
+// becomes visible, so a concurrent scrape can never observe a
+// half-built metric.
+func (r *Registry) get(name string, typ MetricType, help string, bounds []float64, kv []string) *metric {
 	labels := renderLabels(kv)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -233,6 +257,13 @@ func (r *Registry) get(name string, typ MetricType, help string, kv []string) *m
 			m.c = &Counter{}
 		case TypeGauge:
 			m.g = &Gauge{}
+		case TypeHistogram:
+			if bounds == nil {
+				bounds = DefBuckets
+			}
+			b := append([]float64(nil), bounds...)
+			sort.Float64s(b)
+			m.h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
 		}
 		f.inst[labels] = m
 		f.keys = append(f.keys, labels)
@@ -247,7 +278,7 @@ func (r *Registry) Counter(name, help string, kv ...string) *Counter {
 	if r == nil {
 		return nil
 	}
-	return r.get(name, TypeCounter, help, kv).c
+	return r.get(name, TypeCounter, help, nil, kv).c
 }
 
 // Gauge returns the named gauge, creating it on first use.
@@ -255,7 +286,7 @@ func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	return r.get(name, TypeGauge, help, kv).g
+	return r.get(name, TypeGauge, help, nil, kv).g
 }
 
 // Histogram returns the named histogram, creating it on first use with
@@ -265,18 +296,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64, kv ...string) 
 	if r == nil {
 		return nil
 	}
-	m := r.get(name, TypeHistogram, help, kv)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if m.h == nil {
-		if bounds == nil {
-			bounds = DefBuckets
-		}
-		b := append([]float64(nil), bounds...)
-		sort.Float64s(b)
-		m.h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
-	}
-	return m.h
+	return r.get(name, TypeHistogram, help, bounds, kv).h
 }
 
 // formatFloat renders a sample value the way Prometheus text format
@@ -296,14 +316,30 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	// Snapshot every family's metadata and metric pointers while holding
+	// the lock: get() mutates f.inst and f.keys under r.mu, so reading
+	// them unlocked races with first-seen label registrations. The value
+	// containers themselves (Counter/Gauge/Histogram) are internally
+	// synchronized and immutable once published, so rendering — which
+	// does formatted I/O — can proceed without the lock.
+	type famSnap struct {
+		name string
+		typ  MetricType
+		help string
+		ms   []*metric
+	}
 	r.mu.Lock()
-	names := append([]string(nil), r.names...)
-	fams := make([]*family, len(names))
-	for i, n := range names {
-		fams[i] = r.fams[n]
+	snaps := make([]famSnap, 0, len(r.names))
+	for _, n := range r.names {
+		f := r.fams[n]
+		ms := make([]*metric, len(f.keys))
+		for i, key := range f.keys {
+			ms[i] = f.inst[key]
+		}
+		snaps = append(snaps, famSnap{name: f.name, typ: f.typ, help: f.help, ms: ms})
 	}
 	r.mu.Unlock()
-	for _, f := range fams {
+	for _, f := range snaps {
 		if f.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
 				return err
@@ -312,14 +348,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
 			return err
 		}
-		for _, key := range f.keys {
-			m := f.inst[key]
+		for _, m := range f.ms {
 			switch f.typ {
 			case TypeCounter:
 				fmt.Fprintf(w, "%s%s %d\n", f.name, m.labels, m.c.Value())
 			case TypeGauge:
 				fmt.Fprintf(w, "%s%s %s\n", f.name, m.labels, formatFloat(m.g.Value()))
 			case TypeHistogram:
+				if m.h == nil {
+					continue
+				}
 				cum, sum, count := m.h.snapshot()
 				for i, bound := range m.h.bounds {
 					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,

@@ -3,8 +3,10 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -192,7 +194,7 @@ func TestInlineTraceJSONLRoundTrip(t *testing.T) {
 func TestRequestLog(t *testing.T) {
 	reg := NewRegistry()
 	var logBuf bytes.Buffer
-	rl := NewRequestLog(&logBuf, reg)
+	rl := NewRequestLog(&logBuf, reg, "/stats")
 	h := rl.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/missing" {
 			http.Error(w, "no", http.StatusNotFound)
@@ -230,7 +232,81 @@ func TestRequestLog(t *testing.T) {
 	if got := reg.CounterValue("http_requests_total", "method", "GET", "path", "/stats", "code", "200"); got != 1 {
 		t.Errorf("request counter = %d, want 1", got)
 	}
-	if got := reg.CounterValue("http_requests_total", "method", "GET", "path", "/missing", "code", "404"); got != 1 {
+	// Unknown paths collapse to "other" in metric labels (bounded
+	// cardinality) but keep the raw path in the log line.
+	if got := reg.CounterValue("http_requests_total", "method", "GET", "path", "other", "code", "404"); got != 1 {
 		t.Errorf("404 counter = %d, want 1", got)
+	}
+	if got := reg.CounterValue("http_requests_total", "method", "GET", "path", "/missing", "code", "404"); got != 0 {
+		t.Errorf("raw-path 404 counter = %d, want 0 (should be normalized)", got)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &doc); err != nil {
+		t.Fatalf("log line is not JSON: %v", err)
+	}
+	if doc["path"] != "/missing" {
+		t.Errorf("log line path = %v, want raw /missing", doc["path"])
+	}
+}
+
+// TestScrapeDuringRegistration drives WritePrometheus concurrently with
+// first-seen registrations of new label sets (counters and lazily
+// created histograms). Under -race this pins down the scrape/registry
+// races: the export must snapshot family state under the lock, and a
+// histogram must be fully constructed before its instance is visible.
+func TestScrapeDuringRegistration(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	scraperExited := make(chan struct{})
+	go func() {
+		defer close(scraperExited)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p := "/p" + strconv.Itoa(w) + "-" + strconv.Itoa(i)
+				r.Counter("scrape_race_total", "", "path", p).Inc()
+				r.Histogram("scrape_race_seconds", "", nil, "path", p).Observe(0.01)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	<-scraperExited
+}
+
+func TestGaugeSetMaxConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("hwm", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i <= 1000; i++ {
+				g.SetMax(float64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8000 {
+		t.Errorf("high-water mark = %v, want 8000", got)
+	}
+	g.SetMax(7) // lower value must not regress it
+	if got := g.Value(); got != 8000 {
+		t.Errorf("SetMax regressed high-water mark to %v", got)
 	}
 }

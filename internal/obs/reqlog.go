@@ -19,18 +19,31 @@ import (
 // (by method/path/code) and a latency histogram, so logs and /metrics
 // can never disagree about how many requests were served.
 type RequestLog struct {
-	mu  sync.Mutex
-	w   io.Writer
-	seq atomic.Int64
-	reg *Registry
+	mu     sync.Mutex
+	w      io.Writer
+	seq    atomic.Int64
+	reg    *Registry
+	routes map[string]bool
 	// now is the clock (tests may override).
 	now func() time.Time
 }
 
 // NewRequestLog returns a logger writing JSON lines to w (nil = no log
 // lines, metrics only) and recording into reg (nil = log lines only).
-func NewRequestLog(w io.Writer, reg *Registry) *RequestLog {
-	return &RequestLog{w: w, reg: reg, now: time.Now}
+// routes, when given, is the set of paths the server actually serves:
+// the metric path label for any other request collapses to "other", so
+// a client probing arbitrary URLs cannot grow the registry's label
+// cardinality without bound. Log lines always keep the raw path (one
+// line per request — nothing accumulates).
+func NewRequestLog(w io.Writer, reg *Registry, routes ...string) *RequestLog {
+	l := &RequestLog{w: w, reg: reg, now: time.Now}
+	if len(routes) > 0 {
+		l.routes = make(map[string]bool, len(routes))
+		for _, p := range routes {
+			l.routes[p] = true
+		}
+	}
+	return l
 }
 
 // logLine is the JSON document for one completed request.
@@ -85,11 +98,15 @@ func (l *RequestLog) Wrap(h http.Handler) http.Handler {
 		}
 		dur := l.now().Sub(start)
 		if l.reg != nil {
+			mpath := r.URL.Path
+			if l.routes != nil && !l.routes[mpath] {
+				mpath = "other"
+			}
 			l.reg.Counter("http_requests_total",
 				"HTTP requests served, by method, path, and status code.",
-				"method", r.Method, "path", r.URL.Path, "code", strconv.Itoa(sw.status)).Inc()
+				"method", r.Method, "path", mpath, "code", strconv.Itoa(sw.status)).Inc()
 			l.reg.Histogram("http_request_duration_seconds",
-				"HTTP request latency.", nil, "path", r.URL.Path).Observe(dur.Seconds())
+				"HTTP request latency.", nil, "path", mpath).Observe(dur.Seconds())
 		}
 		if l.w == nil {
 			return
