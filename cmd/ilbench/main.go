@@ -8,6 +8,8 @@
 //	ilbench -ablation    # design-choice studies (threshold/size/heuristic/order)
 //	ilbench -icache      # instruction-cache sweep (conclusion's extension)
 //	ilbench -parallel 1  # serial run (default 0 uses every core; same tables)
+//	ilbench -engine switch          # the pre-bytecode oracle interpreter
+//	ilbench -engine both -json      # both engines, one report (perf comparison)
 //	ilbench -json        # machine-readable results (see BENCH_baseline.json)
 //	ilbench -bench espresso -baseline BENCH_baseline.json  # perf gate
 //	ilbench -bench espresso -profdb 32   # profile-database ingest/merge benchmark
@@ -39,6 +41,7 @@ func run(args []string, stdout, stderrW io.Writer) int {
 	sizeLimit := fs.Float64("sizelimit", 1.25, "program size limit factor")
 	maxRuns := fs.Int("runs", 0, "cap profiling runs per benchmark (0 = all)")
 	parallel := fs.Int("parallel", 0, "worker count for benchmarks and profiling runs (0 = all cores, 1 = serial); any value yields identical tables")
+	engine := fs.String("engine", "bytecode", "interpreter engine: bytecode, switch, or both (identical tables; different wall clock)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable per-benchmark results instead of the tables")
 	postOpt := fs.Bool("postopt", false, "apply post-inline cleanup passes before measuring")
 	profdbSnaps := fs.Int("profdb", 0, "also run the profile-database pipeline benchmark with this many snapshots (0 = off)")
@@ -94,6 +97,18 @@ func run(args []string, stdout, stderrW io.Writer) int {
 	cfg.PostOptimize = *postOpt
 	cfg.Parallelism = *parallel
 
+	var engines []string
+	switch *engine {
+	case "", "bytecode", "switch":
+		engines = []string{*engine}
+	case "both":
+		engines = []string{"bytecode", "switch"}
+	default:
+		fmt.Fprintf(stderrW, "ilbench: unknown engine %q (want bytecode, switch, or both)\n", *engine)
+		return 2
+	}
+	cfg.Engine = engines[0]
+
 	if *ablation {
 		report, err := bench.AblationReport(cfg)
 		if err != nil {
@@ -122,21 +137,30 @@ func run(args []string, stdout, stderrW io.Writer) int {
 			fmt.Fprintf(stderrW, "running %s...\n", name)
 		}
 	}
-	if *benchName != "" {
-		b := bench.Get(*benchName)
-		if b == nil {
-			fmt.Fprintf(stderrW, "ilbench: unknown benchmark %q (have %v)\n", *benchName, bench.SuiteNames())
-			return 2
+	for _, eng := range engines {
+		cfg.Engine = eng
+		if *benchName != "" {
+			b := bench.Get(*benchName)
+			if b == nil {
+				fmt.Fprintf(stderrW, "ilbench: unknown benchmark %q (have %v)\n", *benchName, bench.SuiteNames())
+				return 2
+			}
+			progress(b.Name)
+			var r *bench.BenchResult
+			r, err = bench.RunOne(b, cfg)
+			if r != nil {
+				results = append(results, r)
+			}
+		} else {
+			var rs []*bench.BenchResult
+			rs, err = bench.RunAll(cfg, progress)
+			results = append(results, rs...)
 		}
-		progress(b.Name)
-		var r *bench.BenchResult
-		r, err = bench.RunOne(b, cfg)
-		if r != nil {
-			results = append(results, r)
+		if err != nil {
+			break
 		}
-	} else {
-		results, err = bench.RunAll(cfg, progress)
 	}
+	cfg.Engine = engines[0]
 	if err != nil {
 		fmt.Fprintf(stderrW, "ilbench: %v\n", err)
 		return 1

@@ -75,6 +75,7 @@ func runProfile(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	postURL := fs.String("post", "", "POST the profile snapshot to this ilprofd base URL")
 	gen := fs.Int("gen", -1, "generation stamp for -db/-post (-1 = one past the database's newest)")
 	parallel := fs.Int("parallel", 0, "profiling worker count (0 = all cores, 1 = serial); any value yields an identical profile")
+	engine := fs.String("engine", "", "interpreter engine: bytecode (default) or switch; both yield identical profiles")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the profiler itself to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	tracePath := fs.String("trace", "", "write per-phase timings (frontend, profiling runs per worker) as Chrome trace-event JSON to this file")
@@ -144,6 +145,7 @@ func runProfile(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	prog.Parallelism = *parallel
+	prog.Engine = *engine
 
 	var inputs []inlinec.Input
 	if len(ins) == 0 {

@@ -164,6 +164,12 @@ type Program struct {
 	// registry attached, at any Parallelism. A nil registry is a no-op.
 	Obs *obs.Registry
 
+	// Engine selects the interpreter engine for Run/Profile/SimulateICache:
+	// interp.EngineBytecode (the default when empty) or interp.EngineSwitch.
+	// Both engines produce bit-identical outputs, profiles, and traces; the
+	// switch engine is retained as the differential-testing oracle.
+	Engine string
+
 	name string
 }
 
@@ -354,21 +360,29 @@ func (p *Program) Name() string { return p.name }
 
 // Run executes the working module once on the input.
 func (p *Program) Run(in Input) (*RunOutput, error) {
-	return runModule(p.Module, in, p.Obs)
+	return runModule(p.Module, in, p.Obs, p.Engine)
 }
 
 // RunOriginal executes the pristine pre-inline module once.
 func (p *Program) RunOriginal(in Input) (*RunOutput, error) {
-	return runModule(p.Original, in, p.Obs)
+	return runModule(p.Original, in, p.Obs, p.Engine)
 }
 
-func runModule(mod *ir.Module, in Input, reg *obs.Registry) (*RunOutput, error) {
+// newEnv builds the simulated environment for one run.
+func newEnv(in Input) *interp.Env {
 	env := interp.NewEnv()
 	for k, v := range in.Files {
 		env.Files[k] = append([]byte(nil), v...)
 	}
 	env.Stdin = in.Stdin
-	m, err := interp.NewMachine(mod, env, interp.Options{StackSize: in.StackSize, Obs: reg})
+	return env
+}
+
+func runModule(mod *ir.Module, in Input, reg *obs.Registry, engine string) (*RunOutput, error) {
+	env := newEnv(in)
+	stop := reg.StartSpan("translate")
+	m, err := interp.NewMachine(mod, env, interp.Options{StackSize: in.StackSize, Obs: reg, Engine: engine})
+	stop()
 	if err != nil {
 		return nil, err
 	}
@@ -390,19 +404,62 @@ func runModule(mod *ir.Module, in Input, reg *obs.Registry) (*RunOutput, error) 
 // a program" with representative inputs. Runs execute concurrently on up
 // to Parallelism workers; see that field for the determinism contract.
 func (p *Program) ProfileInputs(inputs ...Input) (*Profile, error) {
-	return profileModule(p.Module, inputs, p.Parallelism, p.Obs)
+	return profileModule(p.Module, inputs, p.Parallelism, p.Obs, p.Engine)
 }
 
 // ProfileOriginal profiles the pristine pre-inline module.
 func (p *Program) ProfileOriginal(inputs ...Input) (*Profile, error) {
-	return profileModule(p.Original, inputs, p.Parallelism, p.Obs)
+	return profileModule(p.Original, inputs, p.Parallelism, p.Obs, p.Engine)
+}
+
+// profileWorker runs a sequence of profiling inputs on one reused
+// Machine: the module is translated once per worker (under a "translate"
+// span), then each run gets a fresh Env and a Reset memory. Machine.Run
+// restores exact initial state between runs, so a reused machine is
+// bit-identical to a fresh one — which is what keeps profiles identical
+// at any Parallelism even though reuse sequences differ by worker count.
+type profileWorker struct {
+	mod    *ir.Module
+	reg    *obs.Registry
+	engine string
+	worker int
+
+	m         *interp.Machine
+	stackSize int
+}
+
+func (w *profileWorker) run(in Input) (*RunOutput, error) {
+	env := newEnv(in)
+	if w.m == nil || w.stackSize != in.StackSize {
+		stop := w.reg.StartSpanWorker("translate", w.worker)
+		m, err := interp.NewMachine(w.mod, env, interp.Options{StackSize: in.StackSize, Obs: w.reg, Engine: w.engine})
+		stop()
+		if err != nil {
+			return nil, err
+		}
+		w.m = m
+		w.stackSize = in.StackSize
+	} else {
+		w.m.SetEnv(env)
+	}
+	st, err := w.m.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &RunOutput{
+		Stdout:   env.Stdout.String(),
+		Stderr:   env.Stderr.String(),
+		ExitCode: st.ExitCode,
+		Files:    env.Files,
+		Stats:    st,
+	}, nil
 }
 
 // profileModule fans the profiling runs out over a bounded worker pool.
-// Every run builds its own Machine and Memory, so runs are independent;
-// Profile.Add is sums-and-max, so merging in input order makes the
+// Each worker translates the module once and reuses its Machine across
+// runs; Profile.Add is sums-and-max, so merging in input order makes the
 // result bit-identical to a serial pass regardless of worker count.
-func profileModule(mod *ir.Module, inputs []Input, par int, reg *obs.Registry) (*Profile, error) {
+func profileModule(mod *ir.Module, inputs []Input, par int, reg *obs.Registry, engine string) (*Profile, error) {
 	defer reg.StartSpan("profile")()
 	if len(inputs) == 0 {
 		inputs = []Input{{}}
@@ -415,9 +472,10 @@ func profileModule(mod *ir.Module, inputs []Input, par int, reg *obs.Registry) (
 	}
 	prof := profile.NewProfile()
 	if par <= 1 {
+		pw := &profileWorker{mod: mod, reg: reg, engine: engine}
 		for i, in := range inputs {
 			stop := reg.StartSpanWorker("profile.run", 0)
-			out, err := runModule(mod, in, reg)
+			out, err := pw.run(in)
 			stop()
 			if err != nil {
 				return nil, fmt.Errorf("profiling run %d: %w", i+1, err)
@@ -434,13 +492,14 @@ func profileModule(mod *ir.Module, inputs []Input, par int, reg *obs.Registry) (
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			pw := &profileWorker{mod: mod, reg: reg, engine: engine, worker: worker}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(inputs) {
 					return
 				}
 				stop := reg.StartSpanWorker("profile.run", worker)
-				outs[i], errs[i] = runModule(mod, inputs[i], reg)
+				outs[i], errs[i] = pw.run(inputs[i])
 				stop()
 			}
 		}(w)
@@ -526,27 +585,23 @@ func DefaultICacheConfig() ICacheConfig { return icache.DefaultConfig() }
 // reproducing the paper's conclusion-section observation that inline
 // expansion reduces mapping conflicts despite larger static code.
 func (p *Program) SimulateICache(in Input, cfg ICacheConfig) (ICacheStats, error) {
-	return simulateICache(p.Module, in, cfg, p.Obs)
+	return simulateICache(p.Module, in, cfg, p.Obs, p.Engine)
 }
 
 // SimulateICacheOriginal simulates the cache over the pristine module.
 func (p *Program) SimulateICacheOriginal(in Input, cfg ICacheConfig) (ICacheStats, error) {
-	return simulateICache(p.Original, in, cfg, p.Obs)
+	return simulateICache(p.Original, in, cfg, p.Obs, p.Engine)
 }
 
-func simulateICache(mod *ir.Module, in Input, cfg ICacheConfig, reg *obs.Registry) (ICacheStats, error) {
+func simulateICache(mod *ir.Module, in Input, cfg ICacheConfig, reg *obs.Registry, engine string) (ICacheStats, error) {
 	defer reg.StartSpan("icache.simulate")()
 	cache, err := icache.New(cfg)
 	if err != nil {
 		return ICacheStats{}, err
 	}
 	tracer := &icache.Tracer{Cache: cache, Layout: icache.NewLayout(mod)}
-	env := interp.NewEnv()
-	for k, v := range in.Files {
-		env.Files[k] = append([]byte(nil), v...)
-	}
-	env.Stdin = in.Stdin
-	m, err := interp.NewMachine(mod, env, interp.Options{StackSize: in.StackSize, Trace: tracer.Step})
+	env := newEnv(in)
+	m, err := interp.NewMachine(mod, env, interp.Options{StackSize: in.StackSize, Trace: tracer.Step, Engine: engine})
 	if err != nil {
 		return ICacheStats{}, err
 	}

@@ -11,6 +11,7 @@ import (
 	"inlinec"
 	"inlinec/internal/callgraph"
 	"inlinec/internal/inline"
+	"inlinec/internal/interp"
 	"inlinec/internal/obs"
 )
 
@@ -32,6 +33,10 @@ type Config struct {
 	// are merged in suite and input order, so every setting produces the
 	// same tables.
 	Parallelism int
+	// Engine selects the interpreter engine ("bytecode", the default when
+	// empty, or "switch"). Both engines produce identical tables; the
+	// wall-clock columns are what differ.
+	Engine string
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -46,6 +51,8 @@ func DefaultConfig() Config {
 type BenchResult struct {
 	Name      string
 	InputDesc string
+	// Engine is the interpreter engine the dynamic measurements ran on.
+	Engine string
 
 	// Table 1: benchmark characteristics.
 	CLines     int
@@ -91,14 +98,20 @@ func RunOne(b *Benchmark, cfg Config) (*BenchResult, error) {
 		return nil, err
 	}
 	p.Parallelism = cfg.Parallelism
+	p.Engine = cfg.Engine
 	before, err := p.ProfileInputs(inputs...)
 	if err != nil {
 		return nil, fmt.Errorf("%s: profiling original: %w", b.Name, err)
 	}
 
+	engine := cfg.Engine
+	if engine == "" {
+		engine = interp.EngineBytecode
+	}
 	r := &BenchResult{
 		Name:       b.Name,
 		InputDesc:  b.InputDesc,
+		Engine:     engine,
 		CLines:     b.CLines(),
 		Runs:       len(inputs),
 		AvgIL:      before.AvgIL(),

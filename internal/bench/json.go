@@ -12,7 +12,11 @@ import (
 // emits, giving future changes a perf trajectory to compare against
 // (see BENCH_baseline.json at the repository root).
 type JSONResult struct {
-	Name        string  `json:"name"`
+	Name string `json:"name"`
+	// Engine is the interpreter engine the run used ("bytecode" or
+	// "switch"). Reports written before the bytecode engine existed omit
+	// it; regression checks treat those rows as engine-agnostic.
+	Engine      string  `json:"engine,omitempty"`
 	CLines      int     `json:"c_lines"`
 	Runs        int     `json:"runs"`
 	AvgILBefore float64 `json:"avg_il_before"`
@@ -56,6 +60,7 @@ func MarshalResultsProfDB(results []*BenchResult, parallelism int, pdb []*ProfDB
 	for _, r := range results {
 		rep.Results = append(rep.Results, JSONResult{
 			Name:        r.Name,
+			Engine:      r.Engine,
 			CLines:      r.CLines,
 			Runs:        r.Runs,
 			AvgILBefore: r.AvgIL,
@@ -96,21 +101,36 @@ func ReadReport(path string) (*JSONReport, error) {
 // and machine-dependent, so factor should be generous (the CI gate
 // uses 2).
 func CheckRegression(results []*BenchResult, baseline *JSONReport, factor float64) error {
-	base := make(map[string]JSONResult, len(baseline.Results))
+	// Baseline rows match by (name, engine) when the baseline records an
+	// engine, falling back to the bare name for pre-engine reports (e.g.
+	// BENCH_pr3.json) — those measured the then-only switch interpreter,
+	// and the gate's point is that no engine may fall behind them.
+	base := make(map[string]JSONResult, 2*len(baseline.Results))
 	for _, r := range baseline.Results {
-		base[r.Name] = r
+		if r.Engine != "" {
+			base[r.Name+"\x00"+r.Engine] = r
+		} else {
+			base[r.Name] = r
+		}
 	}
 	var slow []string
 	for _, r := range results {
-		b, ok := base[r.Name]
+		b, ok := base[r.Name+"\x00"+r.Engine]
+		if !ok {
+			b, ok = base[r.Name]
+		}
 		if !ok || b.Runs <= 0 || r.Runs <= 0 || b.Seconds <= 0 {
 			continue
 		}
 		got := r.Seconds / float64(r.Runs)
 		want := b.Seconds / float64(b.Runs)
 		if got > factor*want {
+			name := r.Name
+			if r.Engine != "" {
+				name += " [" + r.Engine + "]"
+			}
 			slow = append(slow, fmt.Sprintf("%s: %.3fs/run vs baseline %.3fs/run (%.1fx > %.1fx)",
-				r.Name, got, want, got/want, factor))
+				name, got, want, got/want, factor))
 		}
 	}
 	if len(slow) > 0 {

@@ -1,9 +1,11 @@
 package interp
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strconv"
+	"unicode/utf8"
 )
 
 // ExternImpl is the Go implementation of an external function. The
@@ -22,11 +24,11 @@ var Externs = map[string]ExternImpl{
 		return m.Env.Putc(byte(args[0]), FdStdout), nil
 	},
 	"puts": func(m *Machine, args []int64) (int64, error) {
-		s, err := m.mem.CString(args[0])
+		s, err := m.mem.cstrBytes(args[0])
 		if err != nil {
 			return 0, err
 		}
-		m.Env.Stdout.WriteString(s)
+		m.Env.Stdout.Write(s)
 		m.Env.Stdout.WriteByte('\n')
 		return int64(len(s) + 1), nil
 	},
@@ -37,14 +39,15 @@ var Externs = map[string]ExternImpl{
 		return m.doPrintf(args[0], args[1], args[2:])
 	},
 	"sprintf": func(m *Machine, args []int64) (int64, error) {
-		s, err := m.formatPrintf(args[1], args[2:])
+		b, err := m.formatPrintf(args[1], args[2:])
 		if err != nil {
 			return 0, err
 		}
-		if err := m.mem.WriteBytes(args[0], append([]byte(s), 0)); err != nil {
+		n := len(b)
+		if err := m.mem.WriteBytes(args[0], append(b, 0)); err != nil {
 			return 0, err
 		}
-		return int64(len(s)), nil
+		return int64(n), nil
 	},
 	"open": func(m *Machine, args []int64) (int64, error) {
 		path, err := m.mem.CString(args[0])
@@ -93,29 +96,29 @@ var Externs = map[string]ExternImpl{
 
 	// --- string and memory routines ----------------------------------------
 	"strlen": func(m *Machine, args []int64) (int64, error) {
-		s, err := m.mem.CString(args[0])
+		s, err := m.mem.cstrBytes(args[0])
 		if err != nil {
 			return 0, err
 		}
 		return int64(len(s)), nil
 	},
 	"strcmp": func(m *Machine, args []int64) (int64, error) {
-		a, err := m.mem.CString(args[0])
+		a, err := m.mem.cstrBytes(args[0])
 		if err != nil {
 			return 0, err
 		}
-		b, err := m.mem.CString(args[1])
+		b, err := m.mem.cstrBytes(args[1])
 		if err != nil {
 			return 0, err
 		}
-		return int64(cmpStr(a, b)), nil
+		return int64(bytes.Compare(a, b)), nil
 	},
 	"strncmp": func(m *Machine, args []int64) (int64, error) {
-		a, err := m.mem.CString(args[0])
+		a, err := m.mem.cstrBytes(args[0])
 		if err != nil {
 			return 0, err
 		}
-		b, err := m.mem.CString(args[1])
+		b, err := m.mem.cstrBytes(args[1])
 		if err != nil {
 			return 0, err
 		}
@@ -126,34 +129,43 @@ var Externs = map[string]ExternImpl{
 		if len(b) > n {
 			b = b[:n]
 		}
-		return int64(cmpStr(a, b)), nil
+		return int64(bytes.Compare(a, b)), nil
 	},
 	"strcpy": func(m *Machine, args []int64) (int64, error) {
-		s, err := m.mem.CString(args[1])
+		s, err := m.mem.cstrBytes(args[1])
 		if err != nil {
 			return 0, err
 		}
-		if err := m.mem.WriteBytes(args[0], append([]byte(s), 0)); err != nil {
+		// Stage through the pooled buffer: the destination may overlap the
+		// source, and WriteBytes must see the pre-overwrite bytes.
+		buf := append(m.pieceBuf[:0], s...)
+		buf = append(buf, 0)
+		m.pieceBuf = buf[:0]
+		if err := m.mem.WriteBytes(args[0], buf); err != nil {
 			return 0, err
 		}
 		return args[0], nil
 	},
 	"strcat": func(m *Machine, args []int64) (int64, error) {
-		d, err := m.mem.CString(args[0])
+		d, err := m.mem.cstrBytes(args[0])
 		if err != nil {
 			return 0, err
 		}
-		s, err := m.mem.CString(args[1])
+		dlen := int64(len(d))
+		s, err := m.mem.cstrBytes(args[1])
 		if err != nil {
 			return 0, err
 		}
-		if err := m.mem.WriteBytes(args[0]+int64(len(d)), append([]byte(s), 0)); err != nil {
+		buf := append(m.pieceBuf[:0], s...)
+		buf = append(buf, 0)
+		m.pieceBuf = buf[:0]
+		if err := m.mem.WriteBytes(args[0]+dlen, buf); err != nil {
 			return 0, err
 		}
 		return args[0], nil
 	},
 	"strchr": func(m *Machine, args []int64) (int64, error) {
-		s, err := m.mem.CString(args[0])
+		s, err := m.mem.cstrBytes(args[0])
 		if err != nil {
 			return 0, err
 		}
@@ -176,7 +188,10 @@ var Externs = map[string]ExternImpl{
 		if err != nil {
 			return 0, err
 		}
-		tmp := append([]byte(nil), src...)
+		// Stage through the pooled buffer so overlapping copies see the
+		// pre-overwrite source bytes.
+		tmp := append(m.pieceBuf[:0], src...)
+		m.pieceBuf = tmp[:0]
 		if err := m.mem.WriteBytes(args[0], tmp); err != nil {
 			return 0, err
 		}
@@ -208,12 +223,12 @@ var Externs = map[string]ExternImpl{
 		if err != nil {
 			return 0, err
 		}
-		return int64(cmpStr(string(a), string(b))), nil
+		return int64(bytes.Compare(a, b)), nil
 	},
 
 	// --- conversions and misc ------------------------------------------------
 	"atoi": func(m *Machine, args []int64) (int64, error) {
-		s, err := m.mem.CString(args[0])
+		s, err := m.mem.cstrBytes(args[0])
 		if err != nil {
 			return 0, err
 		}
@@ -228,7 +243,7 @@ var Externs = map[string]ExternImpl{
 		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
 			j++
 		}
-		v, _ := strconv.ParseInt(s[i:j], 10, 64)
+		v, _ := strconv.ParseInt(string(s[i:j]), 10, 64)
 		return v, nil
 	},
 	"abs": func(m *Machine, args []int64) (int64, error) {
@@ -252,16 +267,6 @@ var Externs = map[string]ExternImpl{
 	},
 }
 
-func cmpStr(a, b string) int {
-	switch {
-	case a < b:
-		return -1
-	case a > b:
-		return 1
-	}
-	return 0
-}
-
 // ExternNames returns the sorted names of available externs (for tools and
 // for generating extern declaration headers).
 func ExternNames() []string {
@@ -275,21 +280,25 @@ func ExternNames() []string {
 
 // doPrintf formats and writes to a descriptor.
 func (m *Machine) doPrintf(fd, fmtAddr int64, args []int64) (int64, error) {
-	s, err := m.formatPrintf(fmtAddr, args)
+	b, err := m.formatPrintf(fmtAddr, args)
 	if err != nil {
 		return 0, err
 	}
-	return m.Env.WriteBytes(fd, []byte(s)), nil
+	return m.Env.WriteBytes(fd, b), nil
 }
 
 // formatPrintf implements the printf subset %d %u %x %c %s %% with
-// optional width (e.g. %6d, %-8s, %04d).
-func (m *Machine) formatPrintf(fmtAddr int64, args []int64) (string, error) {
-	f, err := m.mem.CString(fmtAddr)
+// optional width (e.g. %6d, %-8s, %04d). It formats into the machine's
+// pooled buffer — the printf family is the hottest extern path, and
+// building the result with strconv.Append* keeps a steady-state run
+// allocation-free. The returned slice is valid until the next extern
+// call; callers write it out immediately.
+func (m *Machine) formatPrintf(fmtAddr int64, args []int64) ([]byte, error) {
+	f, err := m.mem.cstrBytes(fmtAddr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	var out []byte
+	out := m.fmtBuf[:0]
 	ai := 0
 	nextArg := func() int64 {
 		if ai < len(args) {
@@ -334,35 +343,51 @@ func (m *Machine) formatPrintf(fmtAddr int64, args []int64) (string, error) {
 		if i >= len(f) {
 			break
 		}
-		var piece string
+		var piece []byte
+		pb := m.pieceBuf[:0]
 		switch f[i] {
 		case 'd', 'u':
-			piece = strconv.FormatInt(nextArg(), 10)
+			pb = strconv.AppendInt(pb, nextArg(), 10)
+			piece = pb
 		case 'x':
-			piece = strconv.FormatUint(uint64(nextArg()), 16)
+			pb = strconv.AppendUint(pb, uint64(nextArg()), 16)
+			piece = pb
 		case 'o':
-			piece = strconv.FormatUint(uint64(nextArg()), 8)
+			pb = strconv.AppendUint(pb, uint64(nextArg()), 8)
+			piece = pb
 		case 'c':
-			piece = string(rune(byte(nextArg())))
+			pb = utf8.AppendRune(pb, rune(byte(nextArg())))
+			piece = pb
 		case 's':
-			s, err := m.mem.CString(nextArg())
+			s, err := m.mem.cstrBytes(nextArg())
 			if err != nil {
-				return "", err
+				m.fmtBuf = out[:0]
+				return nil, err
 			}
 			piece = s
 		default:
-			piece = "%" + string(f[i])
+			pb = append(pb, '%', f[i])
+			piece = pb
 		}
-		for len(piece) < width {
+		m.pieceBuf = pb[:0]
+		if pad := width - len(piece); pad > 0 {
+			padByte := byte(' ')
+			if !leftAlign && zeroPad {
+				padByte = '0'
+			}
 			if leftAlign {
-				piece += " "
-			} else if zeroPad {
-				piece = "0" + piece
-			} else {
-				piece = " " + piece
+				out = append(out, piece...)
+				for ; pad > 0; pad-- {
+					out = append(out, ' ')
+				}
+				continue
+			}
+			for ; pad > 0; pad-- {
+				out = append(out, padByte)
 			}
 		}
 		out = append(out, piece...)
 	}
-	return string(out), nil
+	m.fmtBuf = out
+	return out, nil
 }

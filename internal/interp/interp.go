@@ -23,6 +23,16 @@ func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("runtime error in %s: %s", e.Func, e.Msg)
 }
 
+// The available execution engines. EngineBytecode translates each
+// function into dense pre-decoded bytecode at load time and dispatches
+// over it (see bytecode.go); EngineSwitch interprets ir.Instr directly
+// and is kept as the differential-testing oracle. Both produce
+// bit-identical RunStats for every program.
+const (
+	EngineBytecode = "bytecode"
+	EngineSwitch   = "switch"
+)
+
 // Options configures a Machine.
 type Options struct {
 	// StackSize bounds the control stack in bytes (0 = DefaultStackSize).
@@ -41,6 +51,9 @@ type Options struct {
 	// adds), never inside the dispatch loop, so the fast path is
 	// untouched.
 	Obs *obs.Registry
+	// Engine selects the execution engine: EngineBytecode (the default
+	// when empty) or EngineSwitch.
+	Engine string
 }
 
 // compiledFunc caches per-function interpretation tables. All name and
@@ -73,7 +86,9 @@ type externTarget struct {
 
 // Machine executes one IL module against an Env, producing RunStats.
 // A Machine is not safe for concurrent use; run one Machine per
-// goroutine (profiling builds an independent Machine per run).
+// goroutine. A single Machine may Run many times — memory, frames, and
+// counters are reset between runs — so profiling reuses one Machine per
+// worker instead of rebuilding tables and arenas per run.
 type Machine struct {
 	Mod *ir.Module
 	Env *Env
@@ -84,6 +99,12 @@ type Machine struct {
 	extByAddr  map[int64]*externTarget
 	addrByName map[string]int64
 
+	// engine is the resolved Options.Engine; the bytecode tables below
+	// are populated only for EngineBytecode.
+	engine     string
+	bfuncs     map[string]*bcFunc
+	ptrTargets []ptrTarget
+
 	// funcNames maps a dense function id (user functions first, then
 	// externs) to its name; funcCounts and siteCounts are the per-run
 	// dense counters folded into RunStats at Run exit.
@@ -91,10 +112,16 @@ type Machine struct {
 	funcCounts []int64
 	siteCounts []int64
 
-	// frames is the pooled activation-record stack, reused across calls
-	// and runs so the hot loop performs no per-call allocation.
-	frames []frame
-	argBuf []int64
+	// frames/bframes are the pooled activation-record stacks, reused
+	// across calls and runs so the hot loop performs no per-call
+	// allocation.
+	frames  []frame
+	bframes []bcFrame
+	argBuf  []int64
+
+	// fmtBuf and pieceBuf are the pooled printf formatting buffers.
+	fmtBuf   []byte
+	pieceBuf []byte
 
 	opts Options
 }
@@ -189,8 +216,28 @@ func NewMachine(mod *ir.Module, env *Env, opts Options) (*Machine, error) {
 		}
 	}
 	m.siteCounts = make([]int64, maxCallID+1)
+
+	switch opts.Engine {
+	case "", EngineBytecode:
+		m.engine = EngineBytecode
+		// Superinstruction fusion merges instruction pairs, so the trace
+		// hook (which must see every instruction individually) disables it.
+		m.translate(cfs, opts.Trace == nil)
+	case EngineSwitch:
+		m.engine = EngineSwitch
+	default:
+		return nil, fmt.Errorf("unknown interpreter engine %q (want %q or %q)",
+			opts.Engine, EngineBytecode, EngineSwitch)
+	}
 	return m, nil
 }
+
+// Engine reports which execution engine the machine resolved to.
+func (m *Machine) Engine() string { return m.engine }
+
+// SetEnv installs a fresh environment for the next Run, letting one
+// machine serve many runs without re-translating the module.
+func (m *Machine) SetEnv(env *Env) { m.Env = env }
 
 // FuncAddr returns the runtime address of a function (defined or extern),
 // via the name table precomputed at load time.
@@ -202,15 +249,34 @@ func (m *Machine) FuncAddr(name string) (int64, bool) {
 // Run executes main() and returns the collected statistics. A program
 // calling exit() terminates normally with that exit code.
 func (m *Machine) Run() (*profile.RunStats, error) {
+	st := profile.NewRunStats()
+	if err := m.RunInto(st); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// RunInto is Run writing into a caller-owned RunStats, which it resets
+// first. Reusing the stats (its maps keep their buckets) lets steady-
+// state benchmark loops run without a single allocation.
+func (m *Machine) RunInto(st *profile.RunStats) error {
+	*st = profile.RunStats{SiteCounts: st.SiteCounts, FuncCounts: st.FuncCounts}
+	clear(st.SiteCounts)
+	clear(st.FuncCounts)
+
 	mainFn, ok := m.funcs["main"]
 	if !ok {
-		return nil, fmt.Errorf("module %s has no main function", m.Mod.Name)
+		return fmt.Errorf("module %s has no main function", m.Mod.Name)
 	}
-	mem, err := NewMemory(m.Mod, m.opts.StackSize, m.opts.HeapSize, m.FuncAddr)
-	if err != nil {
-		return nil, err
+	if m.mem == nil {
+		mem, err := NewMemory(m.Mod, m.opts.StackSize, m.opts.HeapSize, m.FuncAddr)
+		if err != nil {
+			return err
+		}
+		m.mem = mem
+	} else {
+		m.mem.Reset()
 	}
-	m.mem = mem
 	for i := range m.funcCounts {
 		m.funcCounts[i] = 0
 	}
@@ -218,8 +284,13 @@ func (m *Machine) Run() (*profile.RunStats, error) {
 		m.siteCounts[i] = 0
 	}
 
-	st := profile.NewRunStats()
-	code, err := m.exec(mainFn, nil, st)
+	var code int64
+	var err error
+	if m.engine == EngineBytecode {
+		code, err = m.execBC(m.bfuncs[mainFn.fn.Name], nil, st)
+	} else {
+		code, err = m.exec(mainFn, nil, st)
+	}
 	m.foldCounts(st)
 	defer m.recordRun(st)
 	// A clean run unwinds every activation: one return per counted call,
@@ -233,12 +304,12 @@ func (m *Machine) Run() (*profile.RunStats, error) {
 	if err != nil {
 		if ex, isExit := err.(*exitError); isExit {
 			st.ExitCode = ex.code
-			return st, nil
+			return nil
 		}
-		return st, err
+		return err
 	}
 	st.ExitCode = code
-	return st, nil
+	return nil
 }
 
 // recordRun publishes one run's aggregate counters to the attached
@@ -249,6 +320,8 @@ func (m *Machine) recordRun(st *profile.RunStats) {
 		return
 	}
 	reg.Counter("interp_runs_total", "Interpreter runs completed.").Inc()
+	reg.Counter("interp_engine_runs_total", "Interpreter runs completed, by engine.",
+		"engine", m.engine).Inc()
 	reg.Counter("interp_il_executed_total", "Executed IL instructions.").Add(st.IL)
 	reg.Counter("interp_calls_total", "Dynamic calls executed.").Add(st.Calls)
 	reg.Counter("interp_extern_calls_total", "Dynamic calls to external routines.").Add(st.ExternCalls)

@@ -51,6 +51,36 @@ type Memory struct {
 	heapTop int64 // bump pointer (offset into heap)
 
 	globalAddr map[string]int64
+
+	// initGlobals snapshots the globals segment after relocation so Reset
+	// can restore it without re-running layout.
+	initGlobals []byte
+
+	// dirtyStack and dirtyHeap are high-water marks (exclusive segment
+	// offsets) of bytes that may hold non-zero data, so Reset re-zeroes
+	// only what a run actually touched. Frame zeroing and reads never
+	// raise them; every store path does.
+	dirtyStack int64
+	dirtyHeap  int64
+}
+
+// layoutGlobals computes the load address of every global and the total
+// segment size. The layout depends only on the module, so the bytecode
+// translator can resolve global addresses before any Memory exists and
+// agree exactly with NewMemory.
+func layoutGlobals(mod *ir.Module) (map[string]int64, int) {
+	addrs := make(map[string]int64, len(mod.Globals))
+	off := 0
+	for _, g := range mod.Globals {
+		a := g.Align
+		if a <= 0 {
+			a = 1
+		}
+		off = (off + a - 1) / a * a
+		addrs[g.Name] = GlobalsBase + int64(off)
+		off += g.Size
+	}
+	return addrs, off
 }
 
 // NewMemory lays out the module's globals (applying relocations) and
@@ -62,22 +92,13 @@ func NewMemory(mod *ir.Module, stackSize, heapSize int, funcAddr func(string) (i
 			return nil, fmt.Errorf("undefined symbol %q: extern variable never defined (link the defining unit)", name)
 		}
 	}
+	addrs, size := layoutGlobals(mod)
 	m := &Memory{
 		stack:      make([]byte, stackSize),
 		heap:       make([]byte, heapSize),
-		globalAddr: make(map[string]int64),
+		globalAddr: addrs,
 	}
-	off := 0
-	for _, g := range mod.Globals {
-		a := g.Align
-		if a <= 0 {
-			a = 1
-		}
-		off = (off + a - 1) / a * a
-		m.globalAddr[g.Name] = GlobalsBase + int64(off)
-		off += g.Size
-	}
-	m.globals = make([]byte, off)
+	m.globals = make([]byte, size)
 	for _, g := range mod.Globals {
 		base := m.globalAddr[g.Name] - GlobalsBase
 		copy(m.globals[base:], g.Init)
@@ -99,7 +120,47 @@ func NewMemory(mod *ir.Module, stackSize, heapSize int, funcAddr func(string) (i
 			binary.LittleEndian.PutUint64(m.globals[base+int64(r.Offset):], uint64(target+r.Addend))
 		}
 	}
+	m.initGlobals = append([]byte(nil), m.globals...)
 	return m, nil
+}
+
+// Reset restores memory to its freshly loaded state: globals come back
+// from the post-relocation snapshot, and the stack and heap extents that
+// any store may have touched are re-zeroed. A Reset memory is
+// indistinguishable from a new one, which is what lets a Machine be
+// reused across profiling runs.
+func (m *Memory) Reset() {
+	copy(m.globals, m.initGlobals)
+	if m.dirtyStack > 0 {
+		clearBytes(m.stack[:m.dirtyStack])
+		m.dirtyStack = 0
+	}
+	if m.dirtyHeap > 0 {
+		clearBytes(m.heap[:m.dirtyHeap])
+		m.dirtyHeap = 0
+	}
+	m.heapTop = 0
+}
+
+func clearBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// dirty widens the store high-water mark for the segment containing
+// addr. Globals need no tracking: Reset restores them wholesale.
+func (m *Memory) dirty(addr, n int64) {
+	switch {
+	case addr >= HeapBase:
+		if end := addr - HeapBase + n; end > m.dirtyHeap {
+			m.dirtyHeap = end
+		}
+	case addr >= StackBase:
+		if end := addr - StackBase + n; end > m.dirtyStack {
+			m.dirtyStack = end
+		}
+	}
 }
 
 // GlobalAddr returns the load address of a global.
@@ -139,6 +200,7 @@ func (m *Memory) Store(addr int64, size int, v int64) error {
 	if !ok {
 		return &MemError{Addr: addr, Op: fmt.Sprintf("store%d", size)}
 	}
+	m.dirty(addr, int64(size))
 	if size == 1 {
 		buf[off] = byte(v)
 		return nil
@@ -147,30 +209,54 @@ func (m *Memory) Store(addr int64, size int, v int64) error {
 	return nil
 }
 
-// Bytes returns n bytes starting at addr for direct inspection.
+// Bytes returns n bytes starting at addr for direct inspection. Callers
+// may write through the returned slice, so the extent counts as dirty.
 func (m *Memory) Bytes(addr, n int64) ([]byte, error) {
 	buf, off, ok := m.seg(addr, n)
 	if !ok {
 		return nil, &MemError{Addr: addr, Op: fmt.Sprintf("access %d bytes", n)}
 	}
+	m.dirty(addr, n)
 	return buf[off : off+n], nil
+}
+
+// cstrBytes returns a read-only view of the NUL-terminated string at
+// addr, without the terminator and without copying (capped at 1 MiB).
+// The view aliases program memory, so it is only valid until the next
+// store — callers must finish reading before the program runs again.
+func (m *Memory) cstrBytes(addr int64) ([]byte, error) {
+	const maxLen = 1 << 20
+	buf, off, ok := m.seg(addr, 1)
+	if !ok {
+		return nil, &MemError{Addr: addr, Op: "load1"}
+	}
+	// The string can extend at most to the end of its segment; scanning
+	// the view byte-for-byte matches what repeated 1-byte loads would see.
+	seg := buf[off:]
+	limit := int64(len(seg))
+	if limit > maxLen {
+		limit = maxLen
+	}
+	for i := int64(0); i < limit; i++ {
+		if seg[i] == 0 {
+			return seg[:i], nil
+		}
+	}
+	if limit == maxLen {
+		return nil, fmt.Errorf("unterminated string at %#x", addr)
+	}
+	// Ran off the end of the segment before a NUL: the byte-at-a-time
+	// reader would fault loading the first out-of-segment byte.
+	return nil, &MemError{Addr: addr + limit, Op: "load1"}
 }
 
 // CString reads a NUL-terminated string at addr (capped at 1 MiB).
 func (m *Memory) CString(addr int64) (string, error) {
-	const maxLen = 1 << 20
-	var out []byte
-	for i := int64(0); i < maxLen; i++ {
-		b, err := m.Load(addr+i, 1)
-		if err != nil {
-			return "", err
-		}
-		if b == 0 {
-			return string(out), nil
-		}
-		out = append(out, byte(b))
+	b, err := m.cstrBytes(addr)
+	if err != nil {
+		return "", err
 	}
-	return "", fmt.Errorf("unterminated string at %#x", addr)
+	return string(b), nil
 }
 
 // WriteBytes copies data into memory at addr.
@@ -179,6 +265,7 @@ func (m *Memory) WriteBytes(addr int64, data []byte) error {
 	if !ok {
 		return &MemError{Addr: addr, Op: fmt.Sprintf("write %d bytes", len(data))}
 	}
+	m.dirty(addr, int64(len(data)))
 	copy(buf[off:], data)
 	return nil
 }
