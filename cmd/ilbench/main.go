@@ -10,6 +10,8 @@
 //	ilbench -parallel 1  # serial run (default 0 uses every core; same tables)
 //	ilbench -engine switch          # the pre-bytecode oracle interpreter
 //	ilbench -engine both -json      # both engines, one report (perf comparison)
+//	ilbench -profile-mode all       # full/minimal/sampled profiling overhead comparison
+//	ilbench -profile-mode sampled -samplerate 32   # one reduced mode only
 //	ilbench -json        # machine-readable results (see BENCH_baseline.json)
 //	ilbench -bench espresso -baseline BENCH_baseline.json  # perf gate
 //	ilbench -bench espresso -profdb 32   # profile-database ingest/merge benchmark
@@ -42,6 +44,8 @@ func run(args []string, stdout, stderrW io.Writer) int {
 	maxRuns := fs.Int("runs", 0, "cap profiling runs per benchmark (0 = all)")
 	parallel := fs.Int("parallel", 0, "worker count for benchmarks and profiling runs (0 = all cores, 1 = serial); any value yields identical tables")
 	engine := fs.String("engine", "bytecode", "interpreter engine: bytecode, switch, or both (identical tables; different wall clock)")
+	profileMode := fs.String("profile-mode", "full", "profiling instrumentation: full, minimal, sampled, or all (runs every mode and prints the overhead comparison)")
+	sampleRate := fs.Int("samplerate", 0, "1-in-k rate for sampled profiling (0 = default rate)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable per-benchmark results instead of the tables")
 	postOpt := fs.Bool("postopt", false, "apply post-inline cleanup passes before measuring")
 	profdbSnaps := fs.Int("profdb", 0, "also run the profile-database pipeline benchmark with this many snapshots (0 = off)")
@@ -109,6 +113,19 @@ func run(args []string, stdout, stderrW io.Writer) int {
 	}
 	cfg.Engine = engines[0]
 
+	var modes []string
+	switch *profileMode {
+	case "", "full", "minimal", "sampled":
+		modes = []string{*profileMode}
+	case "all":
+		modes = []string{"full", "minimal", "sampled"}
+	default:
+		fmt.Fprintf(stderrW, "ilbench: unknown profile mode %q (want full, minimal, sampled, or all)\n", *profileMode)
+		return 2
+	}
+	cfg.ProfileMode = modes[0]
+	cfg.SampleRate = *sampleRate
+
 	if *ablation {
 		report, err := bench.AblationReport(cfg)
 		if err != nil {
@@ -137,30 +154,35 @@ func run(args []string, stdout, stderrW io.Writer) int {
 			fmt.Fprintf(stderrW, "running %s...\n", name)
 		}
 	}
+outer:
 	for _, eng := range engines {
 		cfg.Engine = eng
-		if *benchName != "" {
-			b := bench.Get(*benchName)
-			if b == nil {
-				fmt.Fprintf(stderrW, "ilbench: unknown benchmark %q (have %v)\n", *benchName, bench.SuiteNames())
-				return 2
+		for _, mode := range modes {
+			cfg.ProfileMode = mode
+			if *benchName != "" {
+				b := bench.Get(*benchName)
+				if b == nil {
+					fmt.Fprintf(stderrW, "ilbench: unknown benchmark %q (have %v)\n", *benchName, bench.SuiteNames())
+					return 2
+				}
+				progress(b.Name)
+				var r *bench.BenchResult
+				r, err = bench.RunOne(b, cfg)
+				if r != nil {
+					results = append(results, r)
+				}
+			} else {
+				var rs []*bench.BenchResult
+				rs, err = bench.RunAll(cfg, progress)
+				results = append(results, rs...)
 			}
-			progress(b.Name)
-			var r *bench.BenchResult
-			r, err = bench.RunOne(b, cfg)
-			if r != nil {
-				results = append(results, r)
+			if err != nil {
+				break outer
 			}
-		} else {
-			var rs []*bench.BenchResult
-			rs, err = bench.RunAll(cfg, progress)
-			results = append(results, rs...)
-		}
-		if err != nil {
-			break
 		}
 	}
 	cfg.Engine = engines[0]
+	cfg.ProfileMode = modes[0]
 	if err != nil {
 		fmt.Fprintf(stderrW, "ilbench: %v\n", err)
 		return 1
@@ -218,6 +240,9 @@ func run(args []string, stdout, stderrW io.Writer) int {
 		fmt.Fprint(stdout, bench.Table4x(results))
 	default:
 		fmt.Fprint(stdout, bench.AllTables(results))
+	}
+	if t := bench.OverheadTable(results); t != "" {
+		fmt.Fprintf(stdout, "\n%s", t)
 	}
 	for _, r := range pdbResults {
 		fmt.Fprintf(stdout, "\n%s", r)

@@ -66,6 +66,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	profdbSrc := fs.String("profdb", "", "use a merged database profile for -inline: a .profdb file or an ilprofd base URL")
 	parallel := fs.Int("parallel", 0, "worker count for multi-unit compilation, profiling, and expansion (0 = all cores, 1 = serial); any value yields identical output")
 	engine := fs.String("engine", "", "interpreter engine for -run/-inline profiling: bytecode (default) or switch; identical output either way")
+	profileMode := fs.String("profile-mode", "", "profiling instrumentation: full (default), minimal (reduced counters, exact reconstruction), or sampled (1-in-k counting, approximate)")
+	sampleRate := fs.Int("samplerate", 0, "1-in-k rate for -profile-mode sampled (0 = default rate)")
 	explainInline := fs.Bool("explain-inline", false, "print the per-arc inline decision report — every arc with its accept/reject reason (implies -inline)")
 	inlineTrace := fs.String("inline-trace", "", "write the inline-decision trace as JSON lines to this file (implies -inline)")
 	tracePath := fs.String("trace", "", "write per-phase timings as Chrome trace-event JSON to this file (load in chrome://tracing or Perfetto)")
@@ -135,6 +137,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	prog.Parallelism = *parallel
 	prog.Engine = *engine
+	prog.ProfileMode = *profileMode
+	prog.SampleRate = *sampleRate
 
 	if *tco {
 		n, err := prog.EliminateTailCalls()

@@ -170,7 +170,35 @@ type Program struct {
 	// switch engine is retained as the differential-testing oracle.
 	Engine string
 
+	// ProfileMode selects how much profiling instrumentation Run and
+	// ProfileInputs execute: interp.ProfileFull (the default when empty)
+	// counts every arc and entry, interp.ProfileMinimal counts only a
+	// minimum coverage set and reconstructs the rest exactly by flow
+	// conservation, and interp.ProfileSampled additionally counts 1-in-k
+	// events and rescales. Minimal profiles are byte-identical to full
+	// ones; sampled profiles are approximate but an order of magnitude
+	// cheaper to collect. Both engines honor the mode identically.
+	ProfileMode string
+
+	// SampleRate is the 1-in-k rate for interp.ProfileSampled (0 uses
+	// interp.DefaultSampleRate, 1 counts everything). Ignored by the
+	// other modes.
+	SampleRate int
+
 	name string
+}
+
+// machineOpts assembles the interpreter options every execution path
+// shares, so engine and profiling settings cannot diverge between
+// Run/Profile and between workers.
+func (p *Program) machineOpts(stackSize int) interp.Options {
+	return interp.Options{
+		StackSize:   stackSize,
+		Obs:         p.Obs,
+		Engine:      p.Engine,
+		ProfileMode: p.ProfileMode,
+		SampleRate:  p.SampleRate,
+	}
 }
 
 // workers maps the Parallelism field onto an effective worker count.
@@ -360,12 +388,12 @@ func (p *Program) Name() string { return p.name }
 
 // Run executes the working module once on the input.
 func (p *Program) Run(in Input) (*RunOutput, error) {
-	return runModule(p.Module, in, p.Obs, p.Engine)
+	return p.runModule(p.Module, in)
 }
 
 // RunOriginal executes the pristine pre-inline module once.
 func (p *Program) RunOriginal(in Input) (*RunOutput, error) {
-	return runModule(p.Original, in, p.Obs, p.Engine)
+	return p.runModule(p.Original, in)
 }
 
 // newEnv builds the simulated environment for one run.
@@ -378,10 +406,10 @@ func newEnv(in Input) *interp.Env {
 	return env
 }
 
-func runModule(mod *ir.Module, in Input, reg *obs.Registry, engine string) (*RunOutput, error) {
+func (p *Program) runModule(mod *ir.Module, in Input) (*RunOutput, error) {
 	env := newEnv(in)
-	stop := reg.StartSpan("translate")
-	m, err := interp.NewMachine(mod, env, interp.Options{StackSize: in.StackSize, Obs: reg, Engine: engine})
+	stop := p.Obs.StartSpan("translate")
+	m, err := interp.NewMachine(mod, env, p.machineOpts(in.StackSize))
 	stop()
 	if err != nil {
 		return nil, err
@@ -404,66 +432,71 @@ func runModule(mod *ir.Module, in Input, reg *obs.Registry, engine string) (*Run
 // a program" with representative inputs. Runs execute concurrently on up
 // to Parallelism workers; see that field for the determinism contract.
 func (p *Program) ProfileInputs(inputs ...Input) (*Profile, error) {
-	return profileModule(p.Module, inputs, p.Parallelism, p.Obs, p.Engine)
+	return p.profileModule(p.Module, inputs)
 }
 
 // ProfileOriginal profiles the pristine pre-inline module.
 func (p *Program) ProfileOriginal(inputs ...Input) (*Profile, error) {
-	return profileModule(p.Original, inputs, p.Parallelism, p.Obs, p.Engine)
+	return p.profileModule(p.Original, inputs)
 }
 
 // profileWorker runs a sequence of profiling inputs on one reused
-// Machine: the module is translated once per worker (under a "translate"
-// span), then each run gets a fresh Env and a Reset memory. Machine.Run
-// restores exact initial state between runs, so a reused machine is
-// bit-identical to a fresh one — which is what keeps profiles identical
-// at any Parallelism even though reuse sequences differ by worker count.
+// Machine and one reused Env: the module is translated once per worker
+// (under a "translate" span), then each run Resets the environment and
+// re-points it at the input's file set without copying — the Env API
+// never mutates input file contents in place (reads share, appends copy,
+// closes replace map values), so sharing is safe and the per-run
+// output-buffer and file-system copies the old fresh-Env path performed
+// are gone. Profiling consumes only RunStats, so nothing else is
+// retained. Machine.Run restores exact initial state between runs, so a
+// reused machine is bit-identical to a fresh one — which is what keeps
+// profiles identical at any Parallelism even though reuse sequences
+// differ by worker count.
 type profileWorker struct {
+	p      *Program
 	mod    *ir.Module
-	reg    *obs.Registry
-	engine string
 	worker int
 
 	m         *interp.Machine
+	env       *interp.Env
 	stackSize int
 }
 
-func (w *profileWorker) run(in Input) (*RunOutput, error) {
-	env := newEnv(in)
+func (w *profileWorker) run(in Input) (*RunStats, error) {
+	if w.env == nil {
+		w.env = interp.NewEnv()
+	} else {
+		w.env.Reset()
+		clear(w.env.Files)
+	}
+	for k, v := range in.Files {
+		w.env.Files[k] = v
+	}
+	w.env.Stdin = in.Stdin
 	if w.m == nil || w.stackSize != in.StackSize {
-		stop := w.reg.StartSpanWorker("translate", w.worker)
-		m, err := interp.NewMachine(w.mod, env, interp.Options{StackSize: in.StackSize, Obs: w.reg, Engine: w.engine})
+		stop := w.p.Obs.StartSpanWorker("translate", w.worker)
+		m, err := interp.NewMachine(w.mod, w.env, w.p.machineOpts(in.StackSize))
 		stop()
 		if err != nil {
 			return nil, err
 		}
 		w.m = m
 		w.stackSize = in.StackSize
-	} else {
-		w.m.SetEnv(env)
 	}
-	st, err := w.m.Run()
-	if err != nil {
-		return nil, err
-	}
-	return &RunOutput{
-		Stdout:   env.Stdout.String(),
-		Stderr:   env.Stderr.String(),
-		ExitCode: st.ExitCode,
-		Files:    env.Files,
-		Stats:    st,
-	}, nil
+	return w.m.Run()
 }
 
 // profileModule fans the profiling runs out over a bounded worker pool.
 // Each worker translates the module once and reuses its Machine across
 // runs; Profile.Add is sums-and-max, so merging in input order makes the
 // result bit-identical to a serial pass regardless of worker count.
-func profileModule(mod *ir.Module, inputs []Input, par int, reg *obs.Registry, engine string) (*Profile, error) {
+func (p *Program) profileModule(mod *ir.Module, inputs []Input) (*Profile, error) {
+	reg := p.Obs
 	defer reg.StartSpan("profile")()
 	if len(inputs) == 0 {
 		inputs = []Input{{}}
 	}
+	par := p.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
@@ -471,20 +504,27 @@ func profileModule(mod *ir.Module, inputs []Input, par int, reg *obs.Registry, e
 		par = len(inputs)
 	}
 	prof := profile.NewProfile()
+	if p.ProfileMode == interp.ProfileSampled {
+		if k := p.SampleRate; k > 1 {
+			prof.SampleRate = k
+		} else if k == 0 {
+			prof.SampleRate = interp.DefaultSampleRate
+		}
+	}
 	if par <= 1 {
-		pw := &profileWorker{mod: mod, reg: reg, engine: engine}
+		pw := &profileWorker{p: p, mod: mod}
 		for i, in := range inputs {
 			stop := reg.StartSpanWorker("profile.run", 0)
-			out, err := pw.run(in)
+			st, err := pw.run(in)
 			stop()
 			if err != nil {
 				return nil, fmt.Errorf("profiling run %d: %w", i+1, err)
 			}
-			prof.Add(out.Stats)
+			prof.Add(st)
 		}
 		return prof, nil
 	}
-	outs := make([]*RunOutput, len(inputs))
+	stats := make([]*RunStats, len(inputs))
 	errs := make([]error, len(inputs))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -492,14 +532,14 @@ func profileModule(mod *ir.Module, inputs []Input, par int, reg *obs.Registry, e
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			pw := &profileWorker{mod: mod, reg: reg, engine: engine, worker: worker}
+			pw := &profileWorker{p: p, mod: mod, worker: worker}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(inputs) {
 					return
 				}
 				stop := reg.StartSpanWorker("profile.run", worker)
-				outs[i], errs[i] = pw.run(inputs[i])
+				stats[i], errs[i] = pw.run(inputs[i])
 				stop()
 			}
 		}(w)
@@ -509,7 +549,7 @@ func profileModule(mod *ir.Module, inputs []Input, par int, reg *obs.Registry, e
 		if errs[i] != nil {
 			return nil, fmt.Errorf("profiling run %d: %w", i+1, errs[i])
 		}
-		prof.Add(outs[i].Stats)
+		prof.Add(stats[i])
 	}
 	return prof, nil
 }

@@ -37,6 +37,15 @@ type Config struct {
 	// empty, or "switch"). Both engines produce identical tables; the
 	// wall-clock columns are what differ.
 	Engine string
+	// ProfileMode selects the profiling instrumentation mode ("full", the
+	// default when empty, "minimal", or "sampled"). Full and minimal
+	// produce identical tables; sampled tables are approximate. The
+	// ProfileEvents/WeightErrPct columns record the overhead and accuracy
+	// trade-off.
+	ProfileMode string
+	// SampleRate is the 1-in-k rate for the sampled mode (0 = the
+	// interpreter's default rate).
+	SampleRate int
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -53,6 +62,20 @@ type BenchResult struct {
 	InputDesc string
 	// Engine is the interpreter engine the dynamic measurements ran on.
 	Engine string
+	// ProfileMode is the profiling instrumentation mode the measurements
+	// used ("full", "minimal", or "sampled"), with SampleRate the
+	// effective 1-in-k rate when sampled (0 otherwise).
+	ProfileMode string
+	SampleRate  int
+	// ProfileEvents totals the profiling counter increments across both
+	// profiling passes (before and after inlining) — the instrumentation
+	// overhead the reduced modes exist to shrink.
+	ProfileEvents int64
+	// WeightErrPct is the pre-inline profile's total arc-weight error in
+	// percent: |Σ site counts − exact total calls| / exact total calls.
+	// Exactly 0 in full and minimal modes; bounded by the sampling rate
+	// in sampled mode.
+	WeightErrPct float64
 
 	// Table 1: benchmark characteristics.
 	CLines     int
@@ -99,6 +122,8 @@ func RunOne(b *Benchmark, cfg Config) (*BenchResult, error) {
 	}
 	p.Parallelism = cfg.Parallelism
 	p.Engine = cfg.Engine
+	p.ProfileMode = cfg.ProfileMode
+	p.SampleRate = cfg.SampleRate
 	before, err := p.ProfileInputs(inputs...)
 	if err != nil {
 		return nil, fmt.Errorf("%s: profiling original: %w", b.Name, err)
@@ -108,14 +133,41 @@ func RunOne(b *Benchmark, cfg Config) (*BenchResult, error) {
 	if engine == "" {
 		engine = interp.EngineBytecode
 	}
+	mode := cfg.ProfileMode
+	if mode == "" {
+		mode = interp.ProfileFull
+	}
+	rate := 0
+	if mode == interp.ProfileSampled {
+		rate = cfg.SampleRate
+		if rate == 0 {
+			rate = interp.DefaultSampleRate
+		}
+	}
 	r := &BenchResult{
-		Name:       b.Name,
-		InputDesc:  b.InputDesc,
-		Engine:     engine,
-		CLines:     b.CLines(),
-		Runs:       len(inputs),
-		AvgIL:      before.AvgIL(),
-		AvgControl: before.AvgControl(),
+		Name:        b.Name,
+		InputDesc:   b.InputDesc,
+		Engine:      engine,
+		ProfileMode: mode,
+		SampleRate:  rate,
+		CLines:      b.CLines(),
+		Runs:        len(inputs),
+		AvgIL:       before.AvgIL(),
+		AvgControl:  before.AvgControl(),
+	}
+	// Arc-weight accuracy: the Calls total stays exact in every mode, so
+	// comparing it against the (possibly rescaled) per-site sum measures
+	// the sampling error directly.
+	var siteSum int64
+	for _, n := range before.SiteCounts {
+		siteSum += n
+	}
+	if before.TotalCalls > 0 {
+		diff := siteSum - before.TotalCalls
+		if diff < 0 {
+			diff = -diff
+		}
+		r.WeightErrPct = 100 * float64(diff) / float64(before.TotalCalls)
 	}
 
 	// Tables 2 and 3: classification of the original module's call sites.
@@ -140,6 +192,7 @@ func RunOne(b *Benchmark, cfg Config) (*BenchResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: profiling inlined: %w", b.Name, err)
 	}
+	r.ProfileEvents = before.ProfileEvents + after.ProfileEvents
 	r.AvgILAfter = after.AvgIL()
 	if before.AvgCalls() > 0 {
 		r.CallDec = (before.AvgCalls() - after.AvgCalls()) / before.AvgCalls()

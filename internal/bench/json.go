@@ -16,14 +16,25 @@ type JSONResult struct {
 	// Engine is the interpreter engine the run used ("bytecode" or
 	// "switch"). Reports written before the bytecode engine existed omit
 	// it; regression checks treat those rows as engine-agnostic.
-	Engine      string  `json:"engine,omitempty"`
-	CLines      int     `json:"c_lines"`
-	Runs        int     `json:"runs"`
-	AvgILBefore float64 `json:"avg_il_before"`
-	AvgILAfter  float64 `json:"avg_il_after"`
-	Expansions  int     `json:"expansions"`
-	CodeIncPct  float64 `json:"code_inc_pct"`
-	CallDecPct  float64 `json:"call_dec_pct"`
+	Engine string `json:"engine,omitempty"`
+	// ProfileMode/SampleRate record the profiling instrumentation the run
+	// used; reports written before reduced-mode profiling omit them, and
+	// regression checks treat those rows as full-mode.
+	ProfileMode string `json:"profile_mode,omitempty"`
+	SampleRate  int    `json:"sample_rate,omitempty"`
+	// ProfileEvents counts profiling counter increments across both
+	// profiling passes; WeightErrPct is the sampled arc-weight error in
+	// percent (0 for the exact modes). Unlike Seconds these are
+	// deterministic, so they are directly comparable across machines.
+	ProfileEvents int64   `json:"profile_events,omitempty"`
+	WeightErrPct  float64 `json:"weight_err_pct,omitempty"`
+	CLines        int     `json:"c_lines"`
+	Runs          int     `json:"runs"`
+	AvgILBefore   float64 `json:"avg_il_before"`
+	AvgILAfter    float64 `json:"avg_il_after"`
+	Expansions    int     `json:"expansions"`
+	CodeIncPct    float64 `json:"code_inc_pct"`
+	CallDecPct    float64 `json:"call_dec_pct"`
 	// Seconds is wall-clock and therefore machine- and load-dependent;
 	// compare trends, not digits.
 	Seconds float64 `json:"seconds"`
@@ -59,17 +70,21 @@ func MarshalResultsProfDB(results []*BenchResult, parallelism int, pdb []*ProfDB
 	}
 	for _, r := range results {
 		rep.Results = append(rep.Results, JSONResult{
-			Name:        r.Name,
-			Engine:      r.Engine,
-			CLines:      r.CLines,
-			Runs:        r.Runs,
-			AvgILBefore: r.AvgIL,
-			AvgILAfter:  r.AvgILAfter,
-			Expansions:  r.Expansions,
-			CodeIncPct:  100 * r.CodeInc,
-			CallDecPct:  100 * r.CallDec,
-			Seconds:     r.Seconds,
-			Phases:      r.Phases,
+			Name:          r.Name,
+			Engine:        r.Engine,
+			ProfileMode:   r.ProfileMode,
+			SampleRate:    r.SampleRate,
+			ProfileEvents: r.ProfileEvents,
+			WeightErrPct:  r.WeightErrPct,
+			CLines:        r.CLines,
+			Runs:          r.Runs,
+			AvgILBefore:   r.AvgIL,
+			AvgILAfter:    r.AvgILAfter,
+			Expansions:    r.Expansions,
+			CodeIncPct:    100 * r.CodeInc,
+			CallDecPct:    100 * r.CallDec,
+			Seconds:       r.Seconds,
+			Phases:        r.Phases,
 		})
 	}
 	out, err := json.MarshalIndent(&rep, "", "  ")
@@ -101,21 +116,33 @@ func ReadReport(path string) (*JSONReport, error) {
 // and machine-dependent, so factor should be generous (the CI gate
 // uses 2).
 func CheckRegression(results []*BenchResult, baseline *JSONReport, factor float64) error {
-	// Baseline rows match by (name, engine) when the baseline records an
-	// engine, falling back to the bare name for pre-engine reports (e.g.
-	// BENCH_pr3.json) — those measured the then-only switch interpreter,
-	// and the gate's point is that no engine may fall behind them.
+	// Baseline rows match by (name, engine, profile mode) when the
+	// baseline records them, falling back to (name, engine) for
+	// pre-profile-mode reports (e.g. BENCH_pr6.json) and then to the bare
+	// name for pre-engine reports (e.g. BENCH_pr3.json). Fallback rows
+	// measured full-mode profiling, which no reduced mode may fall behind
+	// either, so looser matches only ever tighten the gate.
 	base := make(map[string]JSONResult, 2*len(baseline.Results))
 	for _, r := range baseline.Results {
-		if r.Engine != "" {
+		switch {
+		case r.Engine != "" && r.ProfileMode != "":
+			base[r.Name+"\x00"+r.Engine+"\x00"+r.ProfileMode] = r
+		case r.Engine != "":
 			base[r.Name+"\x00"+r.Engine] = r
-		} else {
+		default:
 			base[r.Name] = r
 		}
 	}
 	var slow []string
 	for _, r := range results {
-		b, ok := base[r.Name+"\x00"+r.Engine]
+		mode := r.ProfileMode
+		if mode == "" {
+			mode = "full"
+		}
+		b, ok := base[r.Name+"\x00"+r.Engine+"\x00"+mode]
+		if !ok {
+			b, ok = base[r.Name+"\x00"+r.Engine]
+		}
 		if !ok {
 			b, ok = base[r.Name]
 		}

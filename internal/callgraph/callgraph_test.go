@@ -1,9 +1,10 @@
-package callgraph
+package callgraph_test
 
 import (
 	"strings"
 	"testing"
 
+	"inlinec/internal/callgraph"
 	"inlinec/internal/interp"
 	"inlinec/internal/ir"
 	"inlinec/internal/irgen"
@@ -12,7 +13,7 @@ import (
 	"inlinec/internal/sema"
 )
 
-func buildFrom(t *testing.T, src string, withProfile bool) (*Graph, *ir.Module) {
+func buildFrom(t *testing.T, src string, withProfile bool) (*callgraph.Graph, *ir.Module) {
 	t.Helper()
 	f, err := parser.Parse("t.c", src)
 	if err != nil {
@@ -39,7 +40,7 @@ func buildFrom(t *testing.T, src string, withProfile bool) (*Graph, *ir.Module) 
 		prof = profile.NewProfile()
 		prof.Add(st)
 	}
-	return Build(mod, prof), mod
+	return callgraph.Build(mod, prof), mod
 }
 
 const anatomySrc = `
@@ -221,8 +222,8 @@ int main() { return 0; }
 
 func TestClassification(t *testing.T) {
 	g, _ := buildFrom(t, anatomySrc, true)
-	classes := g.Classify(DefaultClassifyParams())
-	byPair := func(caller, callee string) SiteClass {
+	classes := g.Classify(callgraph.DefaultClassifyParams())
+	byPair := func(caller, callee string) callgraph.SiteClass {
 		for a, c := range classes {
 			if a.Caller.Name == caller && a.Callee.Name == callee {
 				return c
@@ -231,23 +232,23 @@ func TestClassification(t *testing.T) {
 		t.Fatalf("arc %s->%s not classified", caller, callee)
 		return 0
 	}
-	if c := byPair("main", "$$$"); c != ClassExternal {
+	if c := byPair("main", "$$$"); c != callgraph.ClassExternal {
 		t.Errorf("printf call = %v, want external", c)
 	}
-	if c := byPair("viaptr", "###"); c != ClassPointer {
+	if c := byPair("viaptr", "###"); c != callgraph.ClassPointer {
 		t.Errorf("pointer call = %v, want pointer", c)
 	}
-	if c := byPair("selfrec", "selfrec"); c != ClassUnsafe {
+	if c := byPair("selfrec", "selfrec"); c != callgraph.ClassUnsafe {
 		t.Errorf("self recursion = %v, want unsafe", c)
 	}
-	if c := byPair("mid", "leafA"); c != ClassSafe {
+	if c := byPair("mid", "leafA"); c != callgraph.ClassSafe {
 		t.Errorf("hot leaf call = %v, want safe", c)
 	}
 	// main->selfrec runs once per program: weight 1 < 10 -> unsafe.
-	if c := byPair("main", "selfrec"); c != ClassUnsafe {
+	if c := byPair("main", "selfrec"); c != callgraph.ClassUnsafe {
 		t.Errorf("cold call = %v, want unsafe (weight below threshold)", c)
 	}
-	cc := Count(classes)
+	cc := callgraph.Count(classes)
 	if cc.TotalStatic() != len(g.Arcs) {
 		t.Errorf("count covers %d of %d arcs", cc.TotalStatic(), len(g.Arcs))
 	}
@@ -271,9 +272,9 @@ int main() {
     return s & 1;
 }
 `, true)
-	classes := g.Classify(DefaultClassifyParams())
+	classes := g.Classify(callgraph.DefaultClassifyParams())
 	for a, c := range classes {
-		if a.Callee.Name == "big" && c != ClassUnsafe {
+		if a.Callee.Name == "big" && c != callgraph.ClassUnsafe {
 			t.Errorf("arc %s->big = %v, want unsafe (stack hazard)", a.Caller.Name, c)
 		}
 	}

@@ -23,6 +23,7 @@ func (m *Machine) execBC(entry *bcFunc, args []int64, st *profile.RunStats) (int
 	if err != nil {
 		return 0, err
 	}
+	m.rootEntered = true
 	depth++
 
 	maxIL := m.opts.MaxIL
@@ -350,7 +351,13 @@ func (m *Machine) execBC(entry *bcFunc, args []int64, st *profile.RunStats) (int
 		case bcCall:
 			ci := &bf.calls[in.aux]
 			calls++
-			m.siteCounts[ci.site]++
+			if ci.countSite {
+				if m.sampleK <= 1 {
+					m.siteCounts[ci.site]++
+				} else {
+					m.bumpSite(int(ci.site))
+				}
+			}
 			callArgs := ci.constArgs
 			if callArgs == nil {
 				callArgs = m.scratchArgs(len(ci.args))
@@ -378,7 +385,9 @@ func (m *Machine) execBC(entry *bcFunc, args []int64, st *profile.RunStats) (int
 				return 0, fault(pc, "unimplemented extern "+ci.sym)
 			}
 			externs++
-			m.funcCounts[ci.extID]++
+			if ci.countExtEntry {
+				m.funcCounts[ci.extID]++
+			}
 			rv, err := ci.ext(m, callArgs)
 			if err != nil {
 				if _, isExit := err.(*exitError); isExit {
@@ -395,7 +404,13 @@ func (m *Machine) execBC(entry *bcFunc, args []int64, st *profile.RunStats) (int
 			ci := &bf.calls[in.aux]
 			calls++
 			ptrs++
-			m.siteCounts[ci.site]++
+			if ci.countSite {
+				if m.sampleK <= 1 {
+					m.siteCounts[ci.site]++
+				} else {
+					m.bumpSite(int(ci.site))
+				}
+			}
 			target := regs[in.a]
 			callArgs := ci.constArgs
 			if callArgs == nil {
@@ -416,6 +431,9 @@ func (m *Machine) execBC(entry *bcFunc, args []int64, st *profile.RunStats) (int
 				if err != nil {
 					return 0, fault(pc, err.Error())
 				}
+				if m.ptrEntries != nil {
+					m.bumpPtrEntry(int32(pt.user.id))
+				}
 				f = nf
 				depth++
 				bf = f.bf
@@ -428,7 +446,11 @@ func (m *Machine) execBC(entry *bcFunc, args []int64, st *profile.RunStats) (int
 			}
 			if pt != nil && pt.ext != nil {
 				externs++
-				m.funcCounts[pt.id]++
+				if m.ptrEntries == nil {
+					m.funcCounts[pt.id]++
+				} else {
+					m.bumpPtrEntry(pt.id)
+				}
 				rv, err := pt.ext(m, callArgs)
 				if err != nil {
 					if _, isExit := err.(*exitError); isExit {
@@ -537,6 +559,8 @@ func (m *Machine) pushBC(depth int, bf *bcFunc, callArgs []int64, retDst int32, 
 	if *sp > st.MaxStack {
 		st.MaxStack = *sp
 	}
-	m.funcCounts[bf.id]++
+	if bf.countEntry {
+		m.funcCounts[bf.id]++
+	}
 	return f, nil
 }

@@ -54,6 +54,14 @@ type Options struct {
 	// Engine selects the execution engine: EngineBytecode (the default
 	// when empty) or EngineSwitch.
 	Engine string
+	// ProfileMode selects how much profiling instrumentation runs:
+	// ProfileFull (the default when empty), ProfileMinimal, or
+	// ProfileSampled. See profmode.go.
+	ProfileMode string
+	// SampleRate is the 1-in-k event sampling rate for ProfileSampled
+	// (0 = DefaultSampleRate, 1 = count everything). Ignored by the other
+	// modes.
+	SampleRate int
 }
 
 // compiledFunc caches per-function interpretation tables. All name and
@@ -111,6 +119,25 @@ type Machine struct {
 	funcNames  []string
 	funcCounts []int64
 	siteCounts []int64
+
+	// Profile-mode state (profmode.go). profileMode is the resolved
+	// Options.ProfileMode; sampleK the resolved 1-in-k rate (1 = exact).
+	// entryCount/siteCount are the coverage plan's counter masks (nil in
+	// full mode: everything counted); ptrEntries counts pointer-call
+	// entries per dense id in the reduced modes; siteSkip/ptrSkip are the
+	// deterministic sampling skip counters; recon holds the dense
+	// flow-conservation steps finalizeCounts replays; rootEntered records
+	// whether the run's initial push succeeded (the one entry per run no
+	// call arc witnesses).
+	profileMode string
+	sampleK     int64
+	entryCount  []bool
+	siteCount   []bool
+	ptrEntries  []int64
+	siteSkip    []int64
+	ptrSkip     []int64
+	recon       []denseRecon
+	rootEntered bool
 
 	// frames/bframes are the pooled activation-record stacks, reused
 	// across calls and runs so the hot loop performs no per-call
@@ -217,6 +244,13 @@ func NewMachine(mod *ir.Module, env *Env, opts Options) (*Machine, error) {
 	}
 	m.siteCounts = make([]int64, maxCallID+1)
 
+	// Resolve the profile mode before translation: the bytecode
+	// translator reads the counter masks to elide counter updates on
+	// uninstrumented arcs.
+	if err := m.initProfileMode(); err != nil {
+		return nil, err
+	}
+
 	switch opts.Engine {
 	case "", EngineBytecode:
 		m.engine = EngineBytecode
@@ -283,6 +317,7 @@ func (m *Machine) RunInto(st *profile.RunStats) error {
 	for i := range m.siteCounts {
 		m.siteCounts[i] = 0
 	}
+	m.resetProfileCounters()
 
 	var code int64
 	var err error
@@ -291,6 +326,7 @@ func (m *Machine) RunInto(st *profile.RunStats) error {
 	} else {
 		code, err = m.exec(mainFn, nil, st)
 	}
+	m.finalizeCounts(st)
 	m.foldCounts(st)
 	defer m.recordRun(st)
 	// A clean run unwinds every activation: one return per counted call,
@@ -327,6 +363,8 @@ func (m *Machine) recordRun(st *profile.RunStats) {
 	reg.Counter("interp_extern_calls_total", "Dynamic calls to external routines.").Add(st.ExternCalls)
 	reg.Counter("interp_ptr_calls_total", "Dynamic calls through pointers.").Add(st.PtrCalls)
 	reg.Counter("interp_truncated_runs_total", "Runs ended by exit() without unwinding.").Add(st.Truncated)
+	reg.Counter("profile_events_counted_total", "Profiling counter increments performed, by profile mode.",
+		"mode", m.profileMode).Add(st.ProfileEvents)
 	reg.Gauge("interp_max_stack_bytes", "High-water control-stack bytes across runs.").SetMax(float64(st.MaxStack))
 }
 
@@ -403,7 +441,7 @@ func (m *Machine) push(depth int, cf *compiledFunc, callArgs []int64, retDst ir.
 	if *sp > st.MaxStack {
 		st.MaxStack = *sp
 	}
-	m.funcCounts[cf.id]++
+	m.bumpEntry(cf.id)
 	return f, nil
 }
 
@@ -417,6 +455,7 @@ func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) 
 	if err != nil {
 		return 0, err
 	}
+	m.rootEntered = true
 	depth++
 
 	maxIL := m.opts.MaxIL
@@ -507,7 +546,11 @@ func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) 
 			}
 		case ir.OpCall:
 			st.Calls++
-			m.siteCounts[in.CallID]++
+			if m.siteCount == nil {
+				m.siteCounts[in.CallID]++
+			} else {
+				m.bumpSite(in.CallID)
+			}
 			callArgs := m.scratchArgs(len(in.Args))
 			for i, a := range in.Args {
 				callArgs[i] = f.val(a)
@@ -528,7 +571,7 @@ func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) 
 				return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: "unimplemented extern " + in.Sym}
 			}
 			st.ExternCalls++
-			m.funcCounts[ct.id]++
+			m.bumpEntry(ct.id)
 			rv, err := ct.ext(m, callArgs)
 			if err != nil {
 				if _, isExit := err.(*exitError); isExit {
@@ -544,7 +587,11 @@ func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) 
 		case ir.OpCallPtr:
 			st.Calls++
 			st.PtrCalls++
-			m.siteCounts[in.CallID]++
+			if m.siteCount == nil {
+				m.siteCounts[in.CallID]++
+			} else {
+				m.bumpSite(in.CallID)
+			}
 			target := f.val(in.A)
 			callArgs := m.scratchArgs(len(in.Args))
 			for i, a := range in.Args {
@@ -556,13 +603,20 @@ func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) 
 				if err != nil {
 					return 0, &RuntimeError{Func: f.cf.fn.Name, Pos: in.Pos, Msg: err.Error()}
 				}
+				if m.ptrEntries != nil {
+					m.bumpPtrEntry(int32(callee.id))
+				}
 				f = nf
 				depth++
 				continue
 			}
 			if et, isExt := m.extByAddr[target]; isExt {
 				st.ExternCalls++
-				m.funcCounts[et.id]++
+				if m.ptrEntries == nil {
+					m.funcCounts[et.id]++
+				} else {
+					m.bumpPtrEntry(int32(et.id))
+				}
 				rv, err := et.impl(m, callArgs)
 				if err != nil {
 					if _, isExit := err.(*exitError); isExit {

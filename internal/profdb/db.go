@@ -36,6 +36,13 @@ type Record struct {
 
 	Funcs map[string]int64
 	Sites map[SiteKey]int64
+
+	// SampleRate records how the runs behind this record were counted:
+	// 0 means exact (full or minimal profile mode), k > 0 means sampled
+	// 1-in-k and rescaled, and -1 means runs with differing rates were
+	// merged into one record, so the effective rate is no longer a single
+	// number. It combines, never sums.
+	SampleRate int
 }
 
 // NewRecord returns an empty record for one (fingerprint, generation).
@@ -66,6 +73,24 @@ func (r *Record) add(o *Record) {
 	}
 	for k, n := range o.Sites {
 		r.Sites[k] += n
+	}
+	r.SampleRate = combineSampleRates(r.SampleRate, o.SampleRate, r.Runs-o.Runs, o.Runs)
+}
+
+// combineSampleRates merges the sampling rates of two run populations:
+// an empty side adopts the other's rate, equal rates keep it, and
+// differing rates collapse to -1 (mixed). The rule is commutative and
+// associative, so ingestion order cannot change the result.
+func combineSampleRates(a, b int, aRuns, bRuns int) int {
+	switch {
+	case aRuns <= 0:
+		return b
+	case bRuns <= 0:
+		return a
+	case a == b:
+		return a
+	default:
+		return -1
 	}
 }
 
@@ -253,6 +278,12 @@ func (r *Record) Resolve(keys *KeyMap) (*profile.Profile, *ResolveStats) {
 	prof.TotalPtr = r.Ptr
 	prof.TotalTruncated = r.Truncated
 	prof.MaxStack = r.MaxStack
+	// Mixed-rate records (-1) resolve as exact: the counts were already
+	// rescaled at collection time, so no further scaling applies and the
+	// profile carries a rate only when a single one describes all runs.
+	if r.SampleRate > 0 {
+		prof.SampleRate = r.SampleRate
+	}
 
 	stats := &ResolveStats{}
 	for _, k := range r.sortedSiteKeys() {
@@ -367,6 +398,7 @@ func (db *DB) mergeAt(fingerprint string, maxGen int, p MergeParams) (*Record, *
 	var runs, il, control, calls, returns, extern, ptr, truncated float64
 	funcs := make(map[string]float64)
 	sites := make(map[SiteKey]float64)
+	includedRuns := 0
 	for _, key := range db.sortedKeys() {
 		rec := db.Records[key]
 		stats.Records++
@@ -386,6 +418,8 @@ func (db *DB) mergeAt(fingerprint string, maxGen int, p MergeParams) (*Record, *
 			stats.ExactRecords++
 			stats.ExactRuns += rec.Runs
 		}
+		out.SampleRate = combineSampleRates(out.SampleRate, rec.SampleRate, includedRuns, rec.Runs)
+		includedRuns += rec.Runs
 		runs += w * float64(rec.Runs)
 		il += w * float64(rec.IL)
 		control += w * float64(rec.Control)

@@ -31,6 +31,7 @@ import (
 //	ptr <n>
 //	truncated <n>
 //	maxstack <n>
+//	samplerate <k>          (optional; k>0 sampled, -1 mixed, omitted exact)
 //	func <name> <total-count>
 //	site <caller> <callee> <ordinal> <poshash> <total-count>
 //	end
@@ -103,6 +104,11 @@ func writeRecordBody(sb *strings.Builder, rec *Record) {
 	fmt.Fprintf(sb, "ptr %d\n", rec.Ptr)
 	fmt.Fprintf(sb, "truncated %d\n", rec.Truncated)
 	fmt.Fprintf(sb, "maxstack %d\n", rec.MaxStack)
+	// Exact records (rate 0) omit the directive so historical databases
+	// keep their bytes; -1 persists the mixed-rate marker.
+	if rec.SampleRate != 0 {
+		fmt.Fprintf(sb, "samplerate %d\n", rec.SampleRate)
+	}
 	for _, name := range rec.sortedFuncNames() {
 		fmt.Fprintf(sb, "func %s %d\n", name, rec.Funcs[name])
 	}
@@ -176,6 +182,23 @@ func (d *decoder) readBodyLine(fields []string, rec *Record, seen map[string]int
 			return true, err
 		}
 		rec.Runs = int(v)
+		return true, nil
+	case "samplerate":
+		if len(fields) != 2 {
+			return true, d.errf("malformed %q", strings.Join(fields, " "))
+		}
+		if prev, dup := seen["samplerate"]; dup {
+			return true, d.errf("duplicate %q directive (first on line %d)", "samplerate", prev)
+		}
+		seen["samplerate"] = d.lineNo
+		v, err := d.num(fields[1])
+		if err != nil {
+			return true, err
+		}
+		if v < -1 {
+			return true, d.errf("bad samplerate %d (want -1, 0, or a positive rate)", v)
+		}
+		rec.SampleRate = int(v)
 		return true, nil
 	case "il", "control", "calls", "returns", "extern", "ptr", "truncated", "maxstack":
 		if len(fields) != 2 {
@@ -421,6 +444,7 @@ func SnapshotOf(prof *profile.Profile, mod *ir.Module, gen int) (*Record, error)
 	rec.Ptr = prof.TotalPtr
 	rec.Truncated = prof.TotalTruncated
 	rec.MaxStack = prof.MaxStack
+	rec.SampleRate = prof.SampleRate
 
 	ids := make([]int, 0, len(prof.SiteCounts))
 	for id := range prof.SiteCounts {

@@ -42,6 +42,13 @@ type RunStats struct {
 	// exit()-style termination that unwound no frames. Truncated runs skew
 	// averaged arc weights, so merges count them instead of hiding them.
 	Truncated int64
+	// ProfileEvents is the number of counter-increment events the profiler
+	// actually performed during the run — the instrumentation overhead the
+	// minimal and sampled profile modes exist to shrink. It is a
+	// measurement about the profiler, not the program, so it is excluded
+	// from serialized profiles (reconstructed minimal profiles stay
+	// byte-identical to full ones).
+	ProfileEvents int64
 }
 
 // NewRunStats returns an empty, initialized RunStats.
@@ -69,6 +76,16 @@ type Profile struct {
 	SiteCounts     map[int]int64
 	FuncCounts     map[string]int64
 	MaxStack       int64
+	// ProfileEvents totals the counter-increment events across runs (see
+	// RunStats.ProfileEvents). Not serialized.
+	ProfileEvents int64
+	// SampleRate is the 1-in-k sampling rate the counts were collected at:
+	// 0 for exact profiles (full and minimal modes), k > 0 for sampled
+	// profiles whose site weights were rescaled by k on finalize. Carried
+	// through serialization and the profile database so consumers can
+	// reason about the error bound (each active site under-reports by at
+	// most k-1 events per run).
+	SampleRate int
 }
 
 // NewProfile returns an empty profile.
@@ -89,6 +106,7 @@ func (p *Profile) Add(rs *RunStats) {
 	p.TotalExtern += rs.ExternCalls
 	p.TotalPtr += rs.PtrCalls
 	p.TotalTruncated += rs.Truncated
+	p.ProfileEvents += rs.ProfileEvents
 	for id, n := range rs.SiteCounts {
 		p.SiteCounts[id] += n
 	}

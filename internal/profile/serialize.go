@@ -32,7 +32,10 @@ import (
 // line-numbered error — a corrupt or concatenated profile must never
 // silently last-write-win its way into the expander's arc weights.
 // `truncated` (runs whose Returns != Calls) is optional on input for
-// compatibility with pre-existing files.
+// compatibility with pre-existing files. `sampled <k>` marks a profile
+// collected at a 1-in-k sampling rate (counts already rescaled by k); it
+// is written only when k > 0, so exact profiles — including reconstructed
+// minimal-mode ones — serialize byte-identically to full-mode profiles.
 
 const profileMagic = "ILPROF 1"
 
@@ -49,6 +52,9 @@ func (p *Profile) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintf(&sb, "ptr %d\n", p.TotalPtr)
 	fmt.Fprintf(&sb, "maxstack %d\n", p.MaxStack)
 	fmt.Fprintf(&sb, "truncated %d\n", p.TotalTruncated)
+	if p.SampleRate > 0 {
+		fmt.Fprintf(&sb, "sampled %d\n", p.SampleRate)
+	}
 
 	names := make([]string, 0, len(p.FuncCounts))
 	for n := range p.FuncCounts {
@@ -101,7 +107,7 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 			return v, nil
 		}
 		switch fields[0] {
-		case "runs", "il", "control", "calls", "returns", "extern", "ptr", "maxstack", "truncated":
+		case "runs", "il", "control", "calls", "returns", "extern", "ptr", "maxstack", "truncated", "sampled":
 			if len(fields) != 2 {
 				return nil, bad()
 			}
@@ -133,6 +139,13 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 				p.MaxStack = v
 			case "truncated":
 				p.TotalTruncated = v
+			case "sampled":
+				// The writer only emits positive rates, so anything else
+				// would not round-trip to the same bytes.
+				if v <= 0 {
+					return nil, fmt.Errorf("profile: line %d: non-positive sampled rate %d", lineNo, v)
+				}
+				p.SampleRate = int(v)
 			}
 		case "func":
 			if len(fields) != 3 {
