@@ -7,12 +7,9 @@ package main
 // genuine kernel kill rather than a simulated crash.
 
 import (
-	"bufio"
-	"bytes"
 	"math/rand"
 	"os/exec"
 	"path/filepath"
-	"strings"
 	"sync"
 	"syscall"
 	"testing"
@@ -35,58 +32,22 @@ func chaosRec(fp string, gen int) *profdb.Record {
 	return r
 }
 
-// daemon wraps one running ilprofd subprocess.
+// daemon wraps one running ilprofd subprocess under the shared chaos
+// supervisor.
 type daemon struct {
-	cmd      *exec.Cmd
-	addr     string
-	stderrMu sync.Mutex
-	stderr   bytes.Buffer
-}
-
-func (d *daemon) stderrText() string {
-	d.stderrMu.Lock()
-	defer d.stderrMu.Unlock()
-	return d.stderr.String()
+	proc *chaos.Proc
+	addr string
 }
 
 // startDaemon launches the binary and waits for its listen report.
-func startDaemon(t *testing.T, bin, dbPath string) *daemon {
+func startDaemon(t *testing.T, bin, dbPath string, extra ...string) *daemon {
 	t.Helper()
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-db", dbPath, "-flush-every", "2")
-	pipe, err := cmd.StderrPipe()
+	args := append([]string{"-addr", "127.0.0.1:0", "-db", dbPath, "-flush-every", "2"}, extra...)
+	proc, addr, err := chaos.StartProc(exec.Command(bin, args...), "listening on ", 10*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
-	d := &daemon{cmd: cmd}
-	addrCh := make(chan string, 1)
-	go func() {
-		sc := bufio.NewScanner(pipe)
-		for sc.Scan() {
-			line := sc.Text()
-			d.stderrMu.Lock()
-			d.stderr.WriteString(line + "\n")
-			d.stderrMu.Unlock()
-			if i := strings.Index(line, "listening on "); i >= 0 {
-				fields := strings.Fields(line[i+len("listening on "):])
-				if len(fields) > 0 {
-					select {
-					case addrCh <- fields[0]:
-					default:
-					}
-				}
-			}
-		}
-	}()
-	select {
-	case d.addr = <-addrCh:
-	case <-time.After(10 * time.Second):
-		cmd.Process.Kill()
-		t.Fatalf("daemon never reported its address; stderr:\n%s", d.stderrText())
-	}
-	return d
+	return &daemon{proc: proc, addr: addr}
 }
 
 func TestChaosDaemonKillNineMidIngest(t *testing.T) {
@@ -146,12 +107,12 @@ func TestChaosDaemonKillNineMidIngest(t *testing.T) {
 		stop := make(chan struct{})
 		wg := hammer(d.addr, stop)
 		time.Sleep(time.Duration(20+rng.Intn(60)) * time.Millisecond)
-		if err := d.cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup, no flush
+		if err := d.proc.Kill9(); err != nil { // SIGKILL: no cleanup, no flush
 			t.Fatalf("round %d: kill: %v", round, err)
 		}
 		close(stop)
 		wg.Wait()
-		d.cmd.Wait()
+		d.proc.Wait()
 	}
 
 	// One graceful round: the daemon must recover the kill-torn state,
@@ -162,11 +123,11 @@ func TestChaosDaemonKillNineMidIngest(t *testing.T) {
 	time.Sleep(40 * time.Millisecond)
 	close(stop)
 	wg.Wait()
-	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+	if err := d.proc.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.cmd.Wait(); err != nil {
-		t.Fatalf("graceful shutdown exited with %v; stderr:\n%s", err, d.stderrText())
+	if err := d.proc.Wait(); err != nil {
+		t.Fatalf("graceful shutdown exited with %v; stderr:\n%s", err, d.proc.Output())
 	}
 
 	// The store must load and hold exactly the durable truth:

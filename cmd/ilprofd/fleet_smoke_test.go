@@ -1,0 +1,224 @@
+package main
+
+// Process-level fleet smoke test — the CI quorum drill. A real 3-node
+// fleet (three ilprofd storage processes plus one -router process) is
+// hammered through the router while one storage node is SIGKILLed
+// mid-ingest and later restarted on the same address and database.
+// After anti-entropy convergence the fleet must hold the quorum truth:
+// for every key, each owner recovered at least the acked runs and no
+// copy exceeds what was attempted; all replicas are byte-identical;
+// and the router serves a clean merged read.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"inlinec/internal/chaos"
+	"inlinec/internal/fleet"
+	"inlinec/internal/profdb"
+)
+
+func TestFleetSmokeQuorumKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess fleet smoke test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ilprofd-under-test")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building daemon: %v\n%s", err, out)
+	}
+
+	// Three storage nodes, each with its own database.
+	const nodes = 3
+	daemons := make([]*daemon, nodes)
+	dbPaths := make([]string, nodes)
+	peerURLs := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		dbPaths[i] = filepath.Join(dir, fmt.Sprintf("node%d.profdb", i))
+		daemons[i] = startDaemon(t, bin, dbPaths[i])
+		peerURLs[i] = "http://" + daemons[i].addr
+	}
+	defer func() {
+		for _, d := range daemons {
+			if d != nil {
+				d.proc.Kill9()
+				d.proc.Wait()
+			}
+		}
+	}()
+
+	// The router, replicating every record to 2 of the 3 nodes.
+	peersArg := peerURLs[0]
+	for _, u := range peerURLs[1:] {
+		peersArg += "," + u
+	}
+	routerProc, routerAddr, err := chaos.StartProc(
+		exec.Command(bin, "-addr", "127.0.0.1:0", "-router", "-peers", peersArg, "-replicas", "2"),
+		"listening on ", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		routerProc.Kill9()
+		routerProc.Wait()
+	}()
+	routerURL := "http://" + routerAddr
+
+	// The same ring the router built, for owner-set assertions.
+	ring, err := fleet.NewRing(peerURLs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	acked := map[profdb.RecordKey]int{}
+	attempted := map[profdb.RecordKey]int{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := profdb.NewClient(routerURL)
+			client.Attempts = 2
+			client.Backoff = 5 * time.Millisecond
+			client.HTTP.Timeout = 2 * time.Second
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := chaosRec("deadbeefcafe0001", (w+i)%3)
+				if (w+i)%4 == 0 {
+					rec.Fingerprint = "deadbeefcafe0002"
+				}
+				k := profdb.RecordKey{Fingerprint: rec.Fingerprint, Gen: rec.Gen}
+				mu.Lock()
+				attempted[k] += rec.Runs
+				mu.Unlock()
+				if _, err := client.PostSnapshot("chaos.c", rec); err == nil {
+					mu.Lock()
+					acked[k] += rec.Runs
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	// Let traffic land, then SIGKILL one storage node mid-ingest.
+	rng := rand.New(rand.NewSource(8))
+	time.Sleep(time.Duration(40+rng.Intn(40)) * time.Millisecond)
+	victim := rng.Intn(nodes)
+	victimAddr := daemons[victim].addr
+	if err := daemons[victim].proc.Kill9(); err != nil {
+		t.Fatalf("killing node%d: %v", victim, err)
+	}
+	daemons[victim].proc.Wait()
+
+	// Traffic continues against the degraded fleet: ingests owned by the
+	// dead node are NAKed or reported partial, everything else acks.
+	time.Sleep(60 * time.Millisecond)
+
+	// Restart the victim on its old address and database: the listener
+	// port just freed, and the WAL replays the kill-torn state.
+	daemons[victim] = startDaemon(t, bin, dbPaths[victim], "-addr", victimAddr)
+	time.Sleep(60 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Anti-entropy: POST the router's /repair until it reports
+	// convergence.
+	var sweep fleet.SweepResult
+	converged := false
+	for i := 0; i < 10 && !converged; i++ {
+		resp, err := http.Post(routerURL+"/repair", "", nil)
+		if err != nil {
+			t.Fatalf("repair sweep %d: %v", i, err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sweep)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("repair sweep %d: %v", i, err)
+		}
+		converged = sweep.Converged
+	}
+	if !converged {
+		t.Fatalf("fleet failed to converge after 10 repair sweeps: %+v", sweep)
+	}
+
+	// Quorum invariant, checked on every node directly: each owner holds
+	// at least the acked runs for its keys, and no copy anywhere exceeds
+	// what was attempted.
+	mu.Lock()
+	defer mu.Unlock()
+	dbs := make(map[string]*profdb.DB, nodes)
+	for i, u := range peerURLs {
+		db, err := profdb.NewClient(u).FetchDB()
+		if err != nil {
+			t.Fatalf("node%d /db: %v", i, err)
+		}
+		dbs[u] = db
+		for k, r := range db.Records {
+			if r.Runs > attempted[k] {
+				t.Errorf("node%d %v: %d run(s) above %d attempted — double count", i, k, r.Runs, attempted[k])
+			}
+		}
+	}
+	ackedTotal := 0
+	for k, want := range acked {
+		ackedTotal += want
+		for _, owner := range ring.Owners(k.Fingerprint) {
+			got := 0
+			if r, ok := dbs[owner].Records[k]; ok {
+				got = r.Runs
+			}
+			if got < want {
+				t.Errorf("%s %v: %d run(s) below %d acked — quorum ack lost", owner, k, got, want)
+			}
+		}
+	}
+	if ackedTotal == 0 {
+		t.Fatal("no ingest ever acked — hammer never landed, test inert")
+	}
+
+	// Convergence means byte-identical replicas.
+	for k := range attempted {
+		var wire []byte
+		for _, owner := range ring.Owners(k.Fingerprint) {
+			r, ok := dbs[owner].Records[k]
+			if !ok {
+				continue
+			}
+			var buf bytes.Buffer
+			if _, err := profdb.WriteSnapshot(&buf, "", r); err != nil {
+				t.Fatal(err)
+			}
+			if wire == nil {
+				wire = buf.Bytes()
+			} else if !bytes.Equal(wire, buf.Bytes()) {
+				t.Errorf("%v: replicas diverge after convergence", k)
+			}
+		}
+	}
+
+	// And the healed fleet serves a clean merged read.
+	program, rec, err := profdb.NewClient(routerURL).FetchProfile("deadbeefcafe0001", nil)
+	if err != nil {
+		t.Fatalf("merged read after heal: %v", err)
+	}
+	if program != "chaos.c" || rec.Runs == 0 {
+		t.Fatalf("merged read wrong: program=%q runs=%d", program, rec.Runs)
+	}
+	t.Logf("acked %d run(s) across %d key(s); victim node%d; final sweep %+v",
+		ackedTotal, len(attempted), victim, sweep)
+}

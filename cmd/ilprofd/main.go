@@ -1,16 +1,32 @@
-// Command ilprofd is the fleet profile-ingestion service: a long-running
-// HTTP daemon that accepts profdb snapshots from any number of profiling
-// machines, batches them into one persistent profile database through a
-// single writer, and serves deterministic weighted merges back to
-// compiler invocations.
+// Command ilprofd is the fleet profile-ingestion service. It runs in
+// one of two modes sharing one HTTP surface:
+//
+// Storage node (default) — a long-running daemon that accepts profdb
+// snapshots from any number of profiling machines, batches them into
+// one persistent WAL-backed profile database through a single writer,
+// and serves deterministic weighted merges back to compiler
+// invocations:
 //
 //	ilprofd -db espresso.profdb -addr 127.0.0.1:7411
 //
-// API:
+// Router (-router) — a stateless front end over N storage nodes that
+// consistent-hashes every snapshot by module fingerprint, replicates it
+// to R nodes, and acks only after every replica's WAL fsync; reads fan
+// in all nodes and serve the same merged snapshot a single node holding
+// all the data would:
+//
+//	ilprofd -router -peers http://n0:7411,http://n1:7411,http://n2:7411 -replicas 2
+//
+// API (both modes; see docs/fleet.md for the fleet semantics):
 //
 //	POST /ingest            body: ILPROFSNAP payload (ilprof -post emits these)
 //	GET  /profile?fingerprint=<fp>[&halflife=N][&stale=W]
 //	                        merged ILPROFSNAP for that program version
+//	GET  /db                full database dump (ILPROFDB)
+//	GET  /healthz           readiness: node — store open + WAL clean;
+//	                        router — every shard reachable
+//	POST /repair            node: adopt pushed winner records;
+//	                        router: run one anti-entropy sweep
 //	GET  /stats             ingest/merge/staleness counters as JSON
 //	GET  /metrics           the same counters plus latency histograms, WAL
 //	                        fsync timings, and recovery state, in Prometheus
@@ -20,31 +36,28 @@
 // never disagree. Every request is answered with an X-Request-Id header
 // and logged as one JSON line to stderr.
 //
-// Responses to /ingest are sent only after the snapshot is committed to
-// the in-memory store, so a client that ingests and immediately fetches
-// /profile observes its own write. The database file is rewritten
-// atomically every -flush-every commits and once more on shutdown
-// (SIGINT/SIGTERM), so killing the daemon never loses acknowledged data
-// beyond the final flush.
+// Responses to /ingest are sent only after the snapshot is committed (on
+// every replica, in router mode), so a client that ingests and
+// immediately fetches /profile observes its own write. A node rewrites
+// its database file atomically every -flush-every commits and once more
+// on shutdown (SIGINT/SIGTERM), so killing the daemon never loses
+// acknowledged data beyond the final flush.
 package main
 
 import (
-	"encoding/json"
-	"errors"
-	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"sync"
+	"strings"
 	"syscall"
-	"time"
+
+	"flag"
 
 	"inlinec/internal/chaos"
-	"inlinec/internal/obs"
+	"inlinec/internal/fleet"
 	"inlinec/internal/profdb"
 )
 
@@ -59,328 +72,6 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, shutdown))
 }
 
-// ingestReq is one parsed snapshot waiting for the writer, with the
-// channel its HTTP handler blocks on until commit.
-type ingestReq struct {
-	program string
-	rec     *profdb.Record
-	done    chan error
-}
-
-// server owns the database. All mutation flows through the writer
-// goroutine (serve loop over ingestCh); readers take the RLock. With a
-// backing store, an ingest is acknowledged only after its write-ahead
-// log frame is durable; without one (dbPath == "") the daemon runs
-// purely in memory, as some tests and ad-hoc fleets do.
-//
-// All operational counters live in the obs registry: /stats reads them
-// through the same handles /metrics exports, so the two endpoints are
-// views of one set of numbers and cannot drift apart.
-type server struct {
-	mu         sync.RWMutex
-	db         *profdb.DB
-	store      *profdb.Store // nil in pure in-memory mode
-	flushEvery int
-
-	ingestCh chan ingestReq
-	writerWG sync.WaitGroup
-
-	obs  *obs.Registry
-	logw io.Writer // request-log destination (nil = no log lines)
-
-	ingested     *obs.Counter // snapshots committed
-	ingestErrors *obs.Counter // rejected payloads (parse/program mismatch)
-	runsIngested *obs.Counter
-	merges       *obs.Counter // /profile responses served
-	staleMerged  *obs.Counter // stale records folded into served merges
-	flushes      *obs.Counter
-	naks         *obs.Counter   // 503 NAKs: retries observed from this side
-	batchSize    *obs.Histogram // records per writer commit
-	sinceFlush   int            // writer-goroutine private
-}
-
-func newServer(db *profdb.DB, flushEvery int) *server {
-	if flushEvery <= 0 {
-		flushEvery = 16
-	}
-	reg := obs.NewRegistry()
-	return &server{
-		db:         db,
-		flushEvery: flushEvery,
-		ingestCh:   make(chan ingestReq, 64),
-		obs:        reg,
-		ingested: reg.Counter("ilprofd_ingested_snapshots_total",
-			"Snapshots committed; each was acked only after commit (WAL-durable with a store)."),
-		ingestErrors: reg.Counter("ilprofd_ingest_errors_total",
-			"Ingest requests rejected: unparseable payloads, program mismatches, or WAL NAKs."),
-		runsIngested: reg.Counter("ilprofd_ingested_runs_total",
-			"Profiled runs carried by committed snapshots."),
-		merges: reg.Counter("ilprofd_merges_served_total",
-			"GET /profile merge responses computed."),
-		staleMerged: reg.Counter("ilprofd_stale_records_merged_total",
-			"Stale or dropped records encountered while serving merges."),
-		flushes: reg.Counter("ilprofd_flushes_total",
-			"Snapshot flushes completed by the daemon (periodic and shutdown)."),
-		naks: reg.Counter("ilprofd_ingest_naks_total",
-			"503 NAKs sent because the WAL was unavailable; clients retry these."),
-		batchSize: reg.Histogram("ilprofd_commit_batch_records",
-			"Records per single-writer commit batch.", obs.SizeBuckets),
-	}
-}
-
-// newStoreServer wraps a crash-safe store: the served database IS the
-// store's, and every ack is WAL-durable.
-func newStoreServer(store *profdb.Store, flushEvery int) *server {
-	s := newServer(store.DB(), flushEvery)
-	s.store = store
-	return s
-}
-
-// start launches the single writer goroutine.
-func (s *server) start() {
-	s.writerWG.Add(1)
-	go func() {
-		defer s.writerWG.Done()
-		for {
-			req, ok := <-s.ingestCh
-			if !ok {
-				return
-			}
-			// Batch: take everything already queued behind this request so
-			// one lock acquisition and at most one flush cover the burst.
-			batch := []ingestReq{req}
-			closed := false
-		drain:
-			for len(batch) < 64 {
-				select {
-				case r, more := <-s.ingestCh:
-					if !more {
-						closed = true
-						break drain
-					}
-					batch = append(batch, r)
-				default:
-					break drain
-				}
-			}
-			s.commit(batch)
-			if closed {
-				return
-			}
-		}
-	}()
-}
-
-// commit applies one batch under the write lock and flushes if due.
-// With a store, the whole batch reaches the write-ahead log with a
-// single fsync before any handler is released — the ack barrier.
-func (s *server) commit(batch []ingestReq) {
-	s.batchSize.Observe(float64(len(batch)))
-	s.mu.Lock()
-	var errs []error
-	if s.store != nil {
-		programs := make([]string, len(batch))
-		recs := make([]*profdb.Record, len(batch))
-		for i, r := range batch {
-			programs[i], recs[i] = r.program, r.rec
-		}
-		errs = s.store.IngestBatch(programs, recs)
-	} else {
-		errs = make([]error, len(batch))
-		for i, r := range batch {
-			errs[i] = s.ingestLocked(r.program, r.rec)
-		}
-	}
-	for i, r := range batch {
-		if errs[i] == nil {
-			s.ingested.Inc()
-			s.runsIngested.Add(int64(r.rec.Runs))
-			s.sinceFlush++
-		} else {
-			s.ingestErrors.Inc()
-		}
-		r.done <- errs[i]
-	}
-	flush := s.store != nil && s.sinceFlush >= s.flushEvery
-	if flush {
-		s.sinceFlush = 0
-		if err := s.store.Flush(); err == nil {
-			s.flushes.Inc()
-		}
-	}
-	s.mu.Unlock()
-}
-
-func (s *server) ingestLocked(program string, rec *profdb.Record) error {
-	if s.db.Program == "" {
-		s.db.Program = program
-	} else if program != "" && program != s.db.Program {
-		return fmt.Errorf("snapshot is for program %q, store holds %q", program, s.db.Program)
-	}
-	return s.db.Ingest(rec)
-}
-
-// stop closes the ingest path, waits for the writer to drain, and runs
-// the final snapshot flush.
-func (s *server) stop() error {
-	close(s.ingestCh)
-	s.writerWG.Wait()
-	if s.store == nil {
-		return nil
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.store.Close(); err != nil {
-		return err
-	}
-	s.flushes.Inc()
-	return nil
-}
-
-func (s *server) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/profile", s.handleProfile)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	return obs.NewRequestLog(s.logw, s.obs, "/ingest", "/profile", "/stats", "/metrics").Wrap(mux)
-}
-
-func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	body := http.MaxBytesReader(w, r.Body, 64<<20)
-	program, rec, err := profdb.ReadSnapshot(body)
-	if err != nil {
-		s.ingestErrors.Inc()
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	done := make(chan error, 1)
-	s.ingestCh <- ingestReq{program: program, rec: rec, done: done}
-	if err := <-done; err != nil {
-		if errors.Is(err, profdb.ErrWAL) {
-			// The payload was fine but could not be made durable. 503 is
-			// an explicit NAK — nothing was committed, clients may retry.
-			s.naks.Inc()
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		}
-		http.Error(w, err.Error(), http.StatusConflict)
-		return
-	}
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintf(w, "ok: %d run(s) ingested for %s gen %d\n", rec.Runs, rec.Fingerprint, rec.Gen)
-}
-
-func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
-	fp := r.URL.Query().Get("fingerprint")
-	if fp == "" {
-		http.Error(w, "missing fingerprint parameter", http.StatusBadRequest)
-		return
-	}
-	params := profdb.DefaultMergeParams()
-	if v := r.URL.Query().Get("halflife"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			http.Error(w, "bad halflife parameter", http.StatusBadRequest)
-			return
-		}
-		params.HalfLifeGens = n
-	}
-	if v := r.URL.Query().Get("stale"); v != "" {
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || f < 0 || f > 1 {
-			http.Error(w, "bad stale parameter (want 0..1)", http.StatusBadRequest)
-			return
-		}
-		params.StaleWeight = f
-	}
-	s.mu.RLock()
-	merged, stats := s.db.Merge(fp, params)
-	program := s.db.Program
-	s.mu.RUnlock()
-	s.merges.Inc()
-	s.staleMerged.Add(int64(stats.StaleRecords + stats.DroppedRecords))
-	if stats.Records == 0 || merged.Runs == 0 {
-		http.Error(w, fmt.Sprintf("no profile data for fingerprint %s", fp), http.StatusNotFound)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Header().Set("X-Profdb-Exact-Records", strconv.Itoa(stats.ExactRecords))
-	w.Header().Set("X-Profdb-Stale-Records", strconv.Itoa(stats.StaleRecords))
-	w.Header().Set("X-Profdb-Dropped-Records", strconv.Itoa(stats.DroppedRecords))
-	profdb.WriteSnapshot(w, program, merged)
-}
-
-// statsJSON is the GET /stats document.
-type statsJSON struct {
-	Program         string `json:"program"`
-	Records         int    `json:"records"`
-	TotalRuns       int    `json:"total_runs"`
-	MaxGen          int    `json:"max_gen"`
-	IngestedSnaps   int64  `json:"ingested_snapshots"`
-	IngestedRuns    int64  `json:"ingested_runs"`
-	IngestErrors    int64  `json:"ingest_errors"`
-	MergesServed    int64  `json:"merges_served"`
-	StaleRecsMerged int64  `json:"stale_records_merged"`
-	Flushes         int64  `json:"flushes"`
-	UptimeSeconds   int64  `json:"uptime_seconds"`
-}
-
-var startedAt = time.Now()
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
-	s.mu.RLock()
-	doc := statsJSON{
-		Program:   s.db.Program,
-		Records:   len(s.db.Records),
-		TotalRuns: s.db.TotalRuns(),
-		MaxGen:    s.db.MaxGen(),
-	}
-	s.mu.RUnlock()
-	doc.IngestedSnaps = s.ingested.Value()
-	doc.IngestedRuns = s.runsIngested.Value()
-	doc.IngestErrors = s.ingestErrors.Value()
-	doc.MergesServed = s.merges.Value()
-	doc.StaleRecsMerged = s.staleMerged.Value()
-	doc.Flushes = s.flushes.Value()
-	doc.UptimeSeconds = int64(time.Since(startedAt).Seconds())
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(&doc)
-}
-
-// handleMetrics serves the registry in Prometheus text exposition
-// format. Database-shape gauges are refreshed under the read lock at
-// scrape time; everything else is already live in the registry.
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
-	s.mu.RLock()
-	records, runs, maxGen := len(s.db.Records), s.db.TotalRuns(), s.db.MaxGen()
-	s.mu.RUnlock()
-	s.obs.Gauge("ilprofd_db_records", "Records in the served database.").Set(float64(records))
-	s.obs.Gauge("ilprofd_db_runs", "Total profiled runs in the served database.").Set(float64(runs))
-	s.obs.Gauge("ilprofd_db_max_gen", "Highest generation in the served database.").Set(float64(maxGen))
-	s.obs.Gauge("ilprofd_uptime_seconds", "Seconds since daemon start.").Set(time.Since(startedAt).Seconds())
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.obs.WritePrometheus(w)
-}
-
 // run starts the daemon. ready, if non-nil, receives the bound address
 // once the listener is up (tests use this); shutdown, when closed,
 // triggers graceful drain + final flush.
@@ -392,11 +83,17 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string), shutd
 	program := fs.String("program", "", "program name for a fresh database (else taken from the first snapshot)")
 	flushEvery := fs.Int("flush-every", 16, "write a fresh snapshot (and rotate the WAL) after this many committed snapshots")
 	chaosSpec := fs.String("chaos-fs", "", "fault-injection spec for the store filesystem (testing only), e.g. seed=1,write=0.02,sync=0.02,rename=0.01,torn=0.01")
+	router := fs.Bool("router", false, "run as the stateless fleet router instead of a storage node")
+	peers := fs.String("peers", "", "router mode: comma-separated storage-node base URLs")
+	replicas := fs.Int("replicas", 2, "router mode: replicas per record (clamped to the peer count)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *router {
+		return runRouter(*addr, *peers, *replicas, stdout, stderr, ready, shutdown)
+	}
 	if *dbPath == "" {
-		fmt.Fprintln(stderr, "ilprofd: -db is required")
+		fmt.Fprintln(stderr, "ilprofd: -db is required (or -router -peers=...)")
 		fs.PrintDefaults()
 		return 2
 	}
@@ -425,11 +122,9 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string), shutd
 		fmt.Fprintf(stderr, "ilprofd: CHAOS MODE: injecting filesystem faults (%s)\n", *chaosSpec)
 	}
 	db := store.DB()
-	s := newStoreServer(store, *flushEvery)
-	s.logw = stderr
-	store.Obs = s.obs // WAL fsync latency and batch sizes land on /metrics
-	recovery.RecordTo(s.obs)
-	s.start()
+	s := fleet.NewStoreNode(store, *flushEvery, recovery)
+	s.SetLog(stderr)
+	s.Start()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -442,14 +137,14 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string), shutd
 		ready(ln.Addr().String())
 	}
 
-	hs := &http.Server{Handler: s.handler()}
+	hs := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
 	select {
 	case err := <-serveErr:
 		fmt.Fprintf(stderr, "ilprofd: %v\n", err)
-		s.stop()
+		s.Stop()
 		return 1
 	case <-shutdown:
 	}
@@ -458,14 +153,58 @@ func run(args []string, stdout, stderr io.Writer, ready func(addr string), shutd
 	}
 	fmt.Fprintln(stderr, "ilprofd: shutting down")
 	hs.Close()
-	if err := s.stop(); err != nil {
+	if err := s.Stop(); err != nil {
 		fmt.Fprintf(stderr, "ilprofd: final flush: %v\n", err)
 		return 1
 	}
-	s.mu.RLock()
-	records, runs := len(s.db.Records), s.db.TotalRuns()
-	s.mu.RUnlock()
+	final := s.DB() // writer drained: safe to read directly
 	fmt.Fprintf(stdout, "ilprofd: flushed %s: %d record(s), %d run(s), %d snapshot(s) ingested this session\n",
-		*dbPath, records, runs, s.ingested.Value())
+		*dbPath, len(final.Records), final.TotalRuns(),
+		s.Registry().CounterValue("ilprofd_ingested_snapshots_total"))
+	return 0
+}
+
+// runRouter starts the stateless fleet front end.
+func runRouter(addr, peers string, replicas int, stdout, stderr io.Writer, ready func(addr string), shutdown <-chan struct{}) int {
+	var peerList []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, strings.TrimRight(p, "/"))
+		}
+	}
+	if len(peerList) == 0 {
+		fmt.Fprintln(stderr, "ilprofd: -router requires -peers")
+		return 2
+	}
+	rt, err := fleet.NewRouter(peerList, replicas, fleet.RouterOptions{Warn: stderr})
+	if err != nil {
+		fmt.Fprintf(stderr, "ilprofd: %v\n", err)
+		return 2
+	}
+	rt.SetLog(stderr)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "ilprofd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "ilprofd: router listening on %s (%d peer(s), %d replica(s))\n",
+		ln.Addr(), len(rt.Ring().Peers()), rt.Ring().Replicas())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	hs := &http.Server{Handler: rt.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "ilprofd: %v\n", err)
+		return 1
+	case <-shutdown:
+	}
+	fmt.Fprintln(stderr, "ilprofd: router shutting down")
+	hs.Close()
+	fmt.Fprintln(stdout, "ilprofd: router stopped")
 	return 0
 }

@@ -14,6 +14,7 @@ import (
 
 	"inlinec"
 	"inlinec/internal/bench"
+	"inlinec/internal/fleet"
 	"inlinec/internal/profdb"
 )
 
@@ -168,9 +169,9 @@ func TestConcurrentIngest(t *testing.T) {
 		}
 	}
 
-	s := newServer(profdb.NewDB("t.c"), 0)
-	s.start()
-	ts := httptest.NewServer(s.handler())
+	s := fleet.NewNode(profdb.NewDB("t.c"), 0)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
 	var wg sync.WaitGroup
@@ -198,7 +199,7 @@ func TestConcurrentIngest(t *testing.T) {
 			t.Fatalf("ingest %d: %v", i, err)
 		}
 	}
-	if err := s.stop(); err != nil {
+	if err := s.Stop(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -209,7 +210,7 @@ func TestConcurrentIngest(t *testing.T) {
 		}
 	}
 	var a, b strings.Builder
-	s.db.WriteTo(&a)
+	s.DB().WriteTo(&a)
 	serial.WriteTo(&b)
 	if a.String() != b.String() {
 		t.Errorf("concurrent ingest diverged from serial ingest:\n%s\nvs\n%s", a.String(), b.String())
@@ -219,10 +220,10 @@ func TestConcurrentIngest(t *testing.T) {
 // TestIngestRejections: bad payloads 400, program mismatches 409, and
 // neither corrupts the store.
 func TestIngestRejections(t *testing.T) {
-	s := newServer(profdb.NewDB("a.c"), 0)
-	s.start()
-	defer s.stop()
-	ts := httptest.NewServer(s.handler())
+	s := fleet.NewNode(profdb.NewDB("a.c"), 0)
+	s.Start()
+	defer s.Stop()
+	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
 	resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader("not a snapshot"))
@@ -245,8 +246,8 @@ func TestIngestRejections(t *testing.T) {
 	if resp.StatusCode != http.StatusConflict {
 		t.Errorf("program mismatch: status %d, want 409", resp.StatusCode)
 	}
-	if len(s.db.Records) != 0 {
-		t.Errorf("rejected payloads reached the store: %d records", len(s.db.Records))
+	if len(s.DB().Records) != 0 {
+		t.Errorf("rejected payloads reached the store: %d records", len(s.DB().Records))
 	}
 
 	resp, err = http.Get(ts.URL + "/profile?fingerprint=none")

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"inlinec/internal/fleet"
 	"inlinec/internal/profdb"
 )
 
@@ -59,10 +60,10 @@ func parsePromText(t *testing.T, data []byte) map[string]float64 {
 // every count /stats reports against the /metrics export. Both views
 // read the same registry, so any disagreement is a bug in one of them.
 func TestStatsMetricsAgree(t *testing.T) {
-	s := newServer(profdb.NewDB("burst.c"), 0)
-	s.start()
-	defer s.stop()
-	ts := httptest.NewServer(s.handler())
+	s := fleet.NewNode(profdb.NewDB("burst.c"), 0)
+	s.Start()
+	defer s.Stop()
+	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
 	rec := &profdb.Record{Fingerprint: "aaaa", Runs: 2, IL: 100}

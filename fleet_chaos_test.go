@@ -1,0 +1,370 @@
+package inlinec_test
+
+// Fleet-wide randomized chaos suite: the crash-consistency properties
+// of chaos_test.go, promoted to a sharded, replicated ilprofd fleet.
+// Each seed drives one schedule against 3 store-backed nodes (each on
+// its own fault-injected in-memory filesystem) behind a quorum router:
+// ingests flow through the router's replication path while the
+// schedule cuts nodes off the network, SIGKILLs them (crash-torn
+// filesystems, recovery on restart), and lets both the router's and
+// the client's retry policies do their work. After the fleet heals,
+// three properties must hold:
+//
+//  1. per (fingerprint, generation): acked <= recovered <= attempted.
+//     A router ack means every replica fsynced the record, so EVERY
+//     owner must recover at least the acked runs; and no copy may
+//     exceed what was ever sent (retries never double-count — the
+//     at-most-once 502 rule).
+//  2. anti-entropy convergence: repair sweeps reach a fixpoint where
+//     every replica of every record is byte-identical, and a further
+//     sweep pushes nothing.
+//  3. compile identity: a compile driven by the healed fleet's merged
+//     database makes the same inline decisions and produces the same
+//     rewritten module as in-process profiling — the same bar the
+//     single-node suite sets.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"inlinec"
+	"inlinec/internal/chaos"
+	"inlinec/internal/fleet"
+	"inlinec/internal/profdb"
+)
+
+func TestFleetChaosCrashConsistency(t *testing.T) {
+	seeds := 220
+	if testing.Short() {
+		seeds = 16
+	}
+	ref := buildChaosReference(t)
+
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			runFleetChaosSchedule(t, int64(seed), ref)
+		})
+	}
+}
+
+// fleetHarness is one schedule's 3-node fleet: per-node fault-injected
+// MemFS stores behind httptest servers, logical addressing through a
+// chaos.Network so nodes keep their names across restarts, and a
+// router wired for full replication (R = N) so an ack proves every
+// owner committed.
+type fleetHarness struct {
+	t     *testing.T
+	names []string // logical peer URLs: http://node0, ...
+	net   *chaos.Network
+	mems  []*chaos.MemFS
+	injs  []*chaos.Injector
+	nodes []*fleet.Node
+	srvs  []*httptest.Server
+	rt    *fleet.Router
+	rtSrv *httptest.Server
+}
+
+const fleetChaosNodes = 3
+const fleetChaosDBPath = "fleet/p.profdb"
+
+func newFleetHarness(t *testing.T, seed int64) *fleetHarness {
+	f := &fleetHarness{
+		t:     t,
+		net:   chaos.NewNetwork(nil),
+		mems:  make([]*chaos.MemFS, fleetChaosNodes),
+		injs:  make([]*chaos.Injector, fleetChaosNodes),
+		nodes: make([]*fleet.Node, fleetChaosNodes),
+		srvs:  make([]*httptest.Server, fleetChaosNodes),
+	}
+	for i := 0; i < fleetChaosNodes; i++ {
+		f.names = append(f.names, fmt.Sprintf("http://node%d", i))
+		f.mems[i] = chaos.NewMemFS()
+		f.injs[i] = chaos.NewInjector(f.mems[i], chaos.Config{
+			Seed:       seed*131 + int64(i)*17 + 3,
+			WriteErr:   0.04,
+			SyncErr:    0.04,
+			RenameErr:  0.02,
+			TornRename: 0.02,
+			OpenErr:    0.01,
+		})
+		f.startNode(i)
+	}
+	rt, err := fleet.NewRouter(f.names, fleetChaosNodes, fleet.RouterOptions{
+		Transport: f.net,
+		Timeout:   5 * time.Second,
+		Attempts:  2,
+		Backoff:   -1, // literally zero: partitions resolve via the schedule, not time
+		Seed:      seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.rt = rt
+	f.rtSrv = httptest.NewServer(rt.Handler())
+	t.Cleanup(f.teardown)
+	return f
+}
+
+func (f *fleetHarness) logical(i int) string { return fmt.Sprintf("node%d", i) }
+
+// startNode opens (or recovers) node i's store on healthy hardware and
+// brings its server up under the node's stable logical name.
+func (f *fleetHarness) startNode(i int) {
+	f.injs[i].SetEnabled(false) // recovery always runs on healthy hardware
+	store, recovery, err := profdb.Open(f.injs[i], fleetChaosDBPath, "chaos.c")
+	if err != nil {
+		f.t.Fatalf("node%d: recovery failed: %v", i, err)
+	}
+	f.nodes[i] = fleet.NewStoreNode(store, 8, recovery)
+	f.nodes[i].Start()
+	f.srvs[i] = httptest.NewServer(f.nodes[i].Handler())
+	f.net.SetAddr(f.logical(i), f.srvs[i].URL)
+	f.net.SetDown(f.logical(i), false)
+}
+
+// killNode is SIGKILL: the server stops answering, the writer is
+// abandoned without its final flush, and the node's filesystem crashes
+// with unsynced tails torn away. The logical name is cut so no request
+// can leak to the dead node's recycled port.
+func (f *fleetHarness) killNode(i int, rng *rand.Rand) {
+	f.net.SetDown(f.logical(i), true)
+	f.srvs[i].Close()
+	f.nodes[i].Kill()
+	f.srvs[i], f.nodes[i] = nil, nil
+	f.mems[i].Crash(rng)
+}
+
+func (f *fleetHarness) teardown() {
+	for i := range f.nodes {
+		if f.srvs[i] != nil {
+			f.srvs[i].Close()
+		}
+		if f.nodes[i] != nil {
+			f.nodes[i].Stop()
+		}
+	}
+	if f.rtSrv != nil {
+		f.rtSrv.Close()
+	}
+}
+
+// recordWire is the canonical byte form used to compare replica
+// copies — the same serialization the fleet winner order is defined
+// over.
+func recordWire(t *testing.T, rec *profdb.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := profdb.WriteSnapshot(&buf, "", rec); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func runFleetChaosSchedule(t *testing.T, seed int64, ref *chaosReference) {
+	rng := rand.New(rand.NewSource(seed))
+	f := newFleetHarness(t, seed)
+
+	client := profdb.NewClient(f.rtSrv.URL)
+	client.Attempts = 3
+	client.Backoff = time.Microsecond
+	client.MaxBackoff = 10 * time.Microsecond
+	client.SeedBackoff(seed * 7)
+
+	// Per (fingerprint, gen): runs the router acked vs. runs ever sent.
+	acked := map[profdb.RecordKey]int{}
+	attempted := map[profdb.RecordKey]int{}
+
+	setInjection := func(on bool) {
+		for i := range f.injs {
+			// Only live nodes take traffic; dead ones restart on healthy
+			// hardware via startNode.
+			f.injs[i].SetEnabled(on)
+		}
+	}
+
+	episodes := 2 + rng.Intn(2)
+	for ep := 0; ep < episodes; ep++ {
+		// Start of episode: every node is up (fresh recovery for any that
+		// died), network healed, then the hardware starts misbehaving.
+		for i := 0; i < fleetChaosNodes; i++ {
+			if f.nodes[i] == nil {
+				f.startNode(i)
+			}
+			f.net.SetDown(f.logical(i), false)
+		}
+		setInjection(true)
+
+		ops := 4 + rng.Intn(8)
+		for op := 0; op < ops; op++ {
+			switch rng.Intn(10) {
+			case 0: // partition one node off the router
+				f.net.SetDown(f.logical(rng.Intn(fleetChaosNodes)), true)
+			case 1: // heal every live node
+				for i := 0; i < fleetChaosNodes; i++ {
+					if f.nodes[i] != nil {
+						f.net.SetDown(f.logical(i), false)
+					}
+				}
+			case 2: // SIGKILL one node mid-episode, then recover it
+				i := rng.Intn(fleetChaosNodes)
+				if f.nodes[i] != nil {
+					f.killNode(i, rand.New(rand.NewSource(seed*59+int64(ep*100+op))))
+				}
+				f.startNode(i)
+				f.injs[i].SetEnabled(true)
+			default: // ingest through the router
+				rec := *ref.rec
+				if rng.Intn(3) == 0 {
+					rec = *ref.decoy
+				}
+				k := profdb.RecordKey{Fingerprint: rec.Fingerprint, Gen: rec.Gen}
+				attempted[k] += rec.Runs
+				if _, err := client.PostSnapshot("chaos.c", &rec); err == nil {
+					acked[k] += rec.Runs
+				}
+			}
+		}
+
+		// End of episode: the whole fleet dies at once.
+		for i := 0; i < fleetChaosNodes; i++ {
+			if f.nodes[i] != nil {
+				f.killNode(i, rand.New(rand.NewSource(seed*17+int64(ep*10+i))))
+			}
+		}
+	}
+
+	// Final recovery on healthy hardware, network fully healed.
+	setInjection(false)
+	for i := 0; i < fleetChaosNodes; i++ {
+		f.startNode(i)
+	}
+
+	// Property 1a: no copy anywhere exceeds what was ever sent.
+	nodeDBs := make([]*profdb.DB, fleetChaosNodes)
+	for i := 0; i < fleetChaosNodes; i++ {
+		db, err := profdb.NewClient(f.srvs[i].URL).FetchDB()
+		if err != nil {
+			t.Fatalf("node%d: /db after recovery: %v", i, err)
+		}
+		nodeDBs[i] = db
+		for k, r := range db.Records {
+			if r.Runs > attempted[k] {
+				t.Fatalf("node%d: %v recovered %d run(s), above %d attempted — double count", i, k, r.Runs, attempted[k])
+			}
+		}
+	}
+
+	// Property 1b: an ack proved EVERY owner fsynced, so each owner must
+	// recover at least the acked runs — before any repair runs.
+	nodeIdx := map[string]int{}
+	for i, name := range f.names {
+		nodeIdx[name] = i
+	}
+	for k, want := range acked {
+		if want == 0 {
+			continue
+		}
+		for _, owner := range f.rt.Ring().Owners(k.Fingerprint) {
+			got := 0
+			if r, ok := nodeDBs[nodeIdx[owner]].Records[k]; ok {
+				got = r.Runs
+			}
+			if got < want {
+				t.Fatalf("%s: %v recovered %d run(s), below %d acked — acked data lost", owner, k, got, want)
+			}
+		}
+	}
+
+	// Property 2: anti-entropy converges, and convergence means every
+	// replica of every record is byte-identical.
+	var sweep *fleet.SweepResult
+	for attempt := 0; attempt < 8; attempt++ {
+		var err error
+		sweep, err = f.rt.RepairSweep()
+		if err != nil {
+			t.Fatalf("repair sweep: %v", err)
+		}
+		if sweep.Converged {
+			break
+		}
+	}
+	if sweep == nil || !sweep.Converged {
+		t.Fatalf("fleet failed to converge after 8 repair sweeps: %+v", sweep)
+	}
+	if again, err := f.rt.RepairSweep(); err != nil || again.Pushed != 0 {
+		t.Fatalf("post-convergence sweep still pushed %d record(s) (err=%v) — repair not a fixpoint", again.Pushed, err)
+	}
+	for i := 0; i < fleetChaosNodes; i++ {
+		db, err := profdb.NewClient(f.srvs[i].URL).FetchDB()
+		if err != nil {
+			t.Fatalf("node%d: /db after repair: %v", i, err)
+		}
+		nodeDBs[i] = db
+	}
+	for k := range attempted {
+		var wire []byte
+		for _, owner := range f.rt.Ring().Owners(k.Fingerprint) {
+			r, ok := nodeDBs[nodeIdx[owner]].Records[k]
+			if !ok {
+				continue
+			}
+			b := recordWire(t, r)
+			if wire == nil {
+				wire = b
+			} else if !bytes.Equal(wire, b) {
+				t.Fatalf("%v: replicas diverge after convergence:\n%s\nvs\n%s", k, wire, b)
+			}
+		}
+	}
+
+	// Property 3: compile identity from the healed fleet's merged
+	// database, through the router's /db fan-in.
+	resp, err := http.Get(f.rtSrv.URL + "/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("router /db after heal: %s", resp.Status)
+	}
+	combined, err := profdb.ReadDB(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("router /db parse: %v", err)
+	}
+
+	mainKey := profdb.RecordKey{Fingerprint: ref.fp, Gen: 0}
+	if r, ok := combined.Records[mainKey]; ok && r.Runs > 0 {
+		prog, err := inlinec.Compile("chaos.c", chaosSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// StaleWeight 0 keeps the decoy fingerprint out of the merge (see
+		// chaos_test.go): the fleet's profile is an exact integer multiple
+		// of the reference, so decisions match bit for bit.
+		params := inlinec.DefaultProfDBMergeParams()
+		params.StaleWeight = 0
+		prof, _ := prog.ProfileFromDB(combined, params)
+		if prof.Runs == 0 {
+			t.Fatal("healed fleet served an empty profile for its own fingerprint")
+		}
+		res, err := prog.Inline(prof, inlinec.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := decisionList(res); got != ref.decisions {
+			t.Errorf("decision list diverged after %d fleet-recovered run(s):\n--- reference ---\n%s--- fleet db ---\n%s",
+				r.Runs, ref.decisions, got)
+		}
+		if prog.Module.String() != ref.module {
+			t.Error("inlined module diverged from the in-process reference")
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"inlinec/internal/chaos"
+	"inlinec/internal/fleet"
+	"inlinec/internal/profdb"
+)
+
+// FleetResult measures the sharded ingest tier end to end on one
+// benchmark's real profile snapshots: an in-process fleet of
+// crash-safe storage nodes behind the quorum router takes concurrent
+// ingest traffic, then serves merged reads. Latencies are measured at
+// the client (full HTTP + replication + WAL-fsync path). Wall-clock
+// columns are machine-dependent; compare trends, not digits.
+type FleetResult struct {
+	Benchmark string `json:"benchmark"`
+	Nodes     int    `json:"nodes"`
+	Replicas  int    `json:"replicas"`
+	Workers   int    `json:"workers"`
+	// Ingests is attempted POSTs; Acked is how many the router
+	// quorum-acknowledged (with no faults injected the two must match,
+	// and RunFleet fails if they do not).
+	Ingests int `json:"ingests"`
+	Acked   int `json:"acked"`
+	// Fingerprints is how many distinct module fingerprints the load was
+	// spread over — the sharding axis.
+	Fingerprints int `json:"fingerprints"`
+	// MergedRuns is the run total over the fleet's combined database
+	// after the load drains: exactly Acked times the runs per snapshot.
+	MergedRuns int `json:"merged_runs"`
+	Reads      int `json:"reads"`
+
+	IngestSeconds float64 `json:"ingest_seconds"`
+	IngestsPerSec float64 `json:"ingests_per_sec"`
+	IngestP50Ms   float64 `json:"ingest_p50_ms"`
+	IngestP99Ms   float64 `json:"ingest_p99_ms"`
+	ReadP50Ms     float64 `json:"read_p50_ms"`
+	ReadP99Ms     float64 `json:"read_p99_ms"`
+}
+
+// quantileMs picks the q-quantile (0..1) from sorted durations, in
+// milliseconds.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// RunFleet profiles a benchmark once, then replays its snapshots as
+// concurrent ingest load through a freshly booted in-process fleet:
+// `nodes` WAL-backed storage nodes on a temporary directory, one
+// quorum router, `workers` concurrent clients, `ingests` total POSTs
+// spread over distinct fingerprints so the consistent-hash ring
+// actually shards. After the load it times merged reads and verifies
+// the fleet lost nothing: every ingest acked, and the combined
+// database's run total equal to acked times runs-per-snapshot.
+func RunFleet(name string, nodes, replicas, workers, ingests int, cfg Config) (*FleetResult, error) {
+	b := Get(name)
+	if b == nil {
+		return nil, fmt.Errorf("fleet bench: unknown benchmark %q", name)
+	}
+	if nodes <= 0 {
+		nodes = 3
+	}
+	if replicas <= 0 {
+		replicas = 2
+	}
+	if replicas > nodes {
+		replicas = nodes
+	}
+	if workers <= 0 {
+		workers = 8
+	}
+	if ingests <= 0 {
+		ingests = 2000
+	}
+	const fingerprints = 16
+
+	prog, err := b.Compile()
+	if err != nil {
+		return nil, err
+	}
+	prog.Parallelism = cfg.Parallelism
+	inputs := b.Inputs
+	if cfg.MaxRuns > 0 && len(inputs) > cfg.MaxRuns {
+		inputs = inputs[:cfg.MaxRuns]
+	}
+	prof, err := prog.ProfileInputs(inputs...)
+	if err != nil {
+		return nil, err
+	}
+	// One snapshot per generation, reused (with per-request fingerprint
+	// rewrites) so the hot loop measures the fleet, not the profiler.
+	gens := make([]*profdb.Record, 8)
+	for g := range gens {
+		if gens[g], err = prog.Snapshot(prof, g); err != nil {
+			return nil, err
+		}
+	}
+	baseFP := prog.Fingerprint()
+
+	// Boot the fleet: one crash-safe store per node in a temp dir.
+	tmp, err := os.MkdirTemp("", "ilbench-fleet-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	fleetNodes := make([]*fleet.Node, 0, nodes)
+	servers := make([]*httptest.Server, 0, nodes)
+	peers := make([]string, 0, nodes)
+	shutdown := func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+		for _, n := range fleetNodes {
+			n.Stop()
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		store, _, err := profdb.Open(chaos.OSFS{}, filepath.Join(tmp, fmt.Sprintf("node%d.profdb", i)), name+".c")
+		if err != nil {
+			shutdown()
+			return nil, fmt.Errorf("fleet bench: open node%d: %w", i, err)
+		}
+		n := fleet.NewStoreNode(store, 64, nil)
+		n.Start()
+		fleetNodes = append(fleetNodes, n)
+		srv := httptest.NewServer(n.Handler())
+		servers = append(servers, srv)
+		peers = append(peers, srv.URL)
+	}
+	defer shutdown()
+	rt, err := fleet.NewRouter(peers, replicas, fleet.RouterOptions{})
+	if err != nil {
+		return nil, err
+	}
+	rtSrv := httptest.NewServer(rt.Handler())
+	defer rtSrv.Close()
+
+	res := &FleetResult{
+		Benchmark:    name,
+		Nodes:        nodes,
+		Replicas:     rt.Ring().Replicas(),
+		Workers:      workers,
+		Ingests:      ingests,
+		Fingerprints: fingerprints,
+	}
+
+	// fpv spreads the load over distinct fingerprints so records land on
+	// different shards; the suffix keeps them plausible hex.
+	fpv := func(v int) string {
+		p := fmt.Sprintf("%02x", v)
+		if len(baseFP) > len(p) {
+			return p + baseFP[len(p):]
+		}
+		return p
+	}
+
+	// Concurrent ingest phase.
+	var mu sync.Mutex
+	var durations []time.Duration
+	acked := 0
+	var firstErr error
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := profdb.NewClient(rtSrv.URL)
+			local := make([]time.Duration, 0, ingests/workers+1)
+			localAcked := 0
+			var localErr error
+			for i := w; i < ingests; i += workers {
+				rec := *gens[i%len(gens)]
+				rec.Fingerprint = fpv(i % fingerprints)
+				start := time.Now()
+				_, err := client.PostSnapshot(name+".c", &rec)
+				local = append(local, time.Since(start))
+				if err != nil {
+					if localErr == nil {
+						localErr = err
+					}
+					continue
+				}
+				localAcked++
+			}
+			mu.Lock()
+			durations = append(durations, local...)
+			acked += localAcked
+			if firstErr == nil {
+				firstErr = localErr
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	res.IngestSeconds = time.Since(t0).Seconds()
+	res.Acked = acked
+	if firstErr != nil {
+		return nil, fmt.Errorf("fleet bench: ingest failed: %w", firstErr)
+	}
+	if acked != ingests {
+		return nil, fmt.Errorf("fleet bench: only %d of %d ingests acked with no faults injected", acked, ingests)
+	}
+	if res.IngestSeconds > 0 {
+		res.IngestsPerSec = float64(ingests) / res.IngestSeconds
+	}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	res.IngestP50Ms = quantileMs(durations, 0.50)
+	res.IngestP99Ms = quantileMs(durations, 0.99)
+
+	// Merged read phase: round-robin over the fingerprints.
+	reads := 4 * fingerprints
+	readClient := profdb.NewClient(rtSrv.URL)
+	readDurs := make([]time.Duration, 0, reads)
+	for i := 0; i < reads; i++ {
+		start := time.Now()
+		if _, _, err := readClient.FetchProfile(fpv(i%fingerprints), nil); err != nil {
+			return nil, fmt.Errorf("fleet bench: merged read: %w", err)
+		}
+		readDurs = append(readDurs, time.Since(start))
+	}
+	res.Reads = reads
+	sort.Slice(readDurs, func(i, j int) bool { return readDurs[i] < readDurs[j] })
+	res.ReadP50Ms = quantileMs(readDurs, 0.50)
+	res.ReadP99Ms = quantileMs(readDurs, 0.99)
+
+	// Loss check over the fleet's combined database.
+	combined, err := readClient.FetchDB()
+	if err != nil {
+		return nil, fmt.Errorf("fleet bench: combined db: %w", err)
+	}
+	for _, rec := range combined.Records {
+		res.MergedRuns += rec.Runs
+	}
+	runsPer := gens[0].Runs
+	if want := acked * runsPer; res.MergedRuns != want {
+		return nil, fmt.Errorf("fleet bench: combined db holds %d run(s), want %d (%d acked x %d runs/snapshot)",
+			res.MergedRuns, want, acked, runsPer)
+	}
+	return res, nil
+}
+
+// String renders the result as one human-readable block.
+func (r *FleetResult) String() string {
+	return fmt.Sprintf(
+		"fleet %s: %d node(s) R=%d, %d worker(s), %d ingest(s) over %d fingerprint(s), merged %d run(s)\n"+
+			"  ingest %.3fs (%.0f/s)  p50 %.2fms  p99 %.2fms   read p50 %.2fms  p99 %.2fms\n",
+		r.Benchmark, r.Nodes, r.Replicas, r.Workers, r.Ingests, r.Fingerprints, r.MergedRuns,
+		r.IngestSeconds, r.IngestsPerSec, r.IngestP50Ms, r.IngestP99Ms, r.ReadP50Ms, r.ReadP99Ms)
+}

@@ -1,0 +1,47 @@
+package bench
+
+import "testing"
+
+// TestRunFleetSmall drives the fleet load harness end to end on a tiny
+// load: every ingest must ack, the combined database must account for
+// every run, and the latency columns must be populated.
+func TestRunFleetSmall(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRuns = 1
+	r, err := RunFleet("grep", 3, 2, 3, 60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes != 3 || r.Replicas != 2 || r.Workers != 3 {
+		t.Errorf("config echoed wrong: %+v", r)
+	}
+	if r.Acked != 60 || r.Ingests != 60 {
+		t.Errorf("acked %d of %d ingests on a healthy fleet", r.Acked, r.Ingests)
+	}
+	if r.MergedRuns <= 0 {
+		t.Error("combined database empty after load")
+	}
+	if r.IngestSeconds <= 0 || r.IngestsPerSec <= 0 {
+		t.Errorf("throughput columns empty: %+v", r)
+	}
+	if r.IngestP99Ms < r.IngestP50Ms || r.ReadP99Ms < r.ReadP50Ms {
+		t.Errorf("quantiles inverted: %+v", r)
+	}
+	if r.Reads <= 0 || r.ReadP50Ms <= 0 {
+		t.Errorf("read phase empty: %+v", r)
+	}
+}
+
+// TestRunFleetClampsReplicas: replicas above the node count clamp, as
+// the ring does.
+func TestRunFleetClampsReplicas(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRuns = 1
+	r, err := RunFleet("grep", 1, 3, 2, 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replicas != 1 {
+		t.Errorf("replicas = %d on a 1-node fleet", r.Replicas)
+	}
+}

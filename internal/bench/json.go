@@ -52,6 +52,10 @@ type JSONReport struct {
 	NumCPU      int             `json:"num_cpu"`
 	Results     []JSONResult    `json:"results"`
 	ProfDB      []*ProfDBResult `json:"profdb,omitempty"`
+	// Fleet carries the sharded ingest-tier load measurements
+	// (ilbench -fleet); see BENCH_pr8.json for the single-node vs
+	// replicated-quorum comparison.
+	Fleet []*FleetResult `json:"fleet,omitempty"`
 }
 
 // MarshalResults renders benchmark results as indented JSON. parallelism
@@ -62,11 +66,18 @@ func MarshalResults(results []*BenchResult, parallelism int) ([]byte, error) {
 
 // MarshalResultsProfDB is MarshalResults plus the optional profdb rows.
 func MarshalResultsProfDB(results []*BenchResult, parallelism int, pdb []*ProfDBResult) ([]byte, error) {
+	return MarshalResultsFull(results, parallelism, pdb, nil)
+}
+
+// MarshalResultsFull is MarshalResults plus the optional profdb and
+// fleet sections.
+func MarshalResultsFull(results []*BenchResult, parallelism int, pdb []*ProfDBResult, fl []*FleetResult) ([]byte, error) {
 	rep := JSONReport{
 		Parallelism: parallelism,
 		NumCPU:      runtime.NumCPU(),
 		Results:     make([]JSONResult, 0, len(results)),
 		ProfDB:      pdb,
+		Fleet:       fl,
 	}
 	for _, r := range results {
 		rep.Results = append(rep.Results, JSONResult{

@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+)
+
+// errPartitioned is the cause carried by injected dial failures.
+var errPartitioned = errors.New("chaos: injected network partition")
+
+// Network is the partition injector: an http.RoundTripper that routes
+// requests addressed to stable logical hosts ("node0", "node1", ...)
+// to their current real addresses, and can cut any of them off at
+// will. Two properties make it the right shape for fleet tests:
+//
+//   - Logical naming survives restarts. A killed node comes back on a
+//     new port; SetAddr repoints the name and every client keeps
+//     working with its original URL — exactly how a resolver behaves.
+//   - An injected cut fails with a *net.OpError{Op: "dial"}, the same
+//     provably-nothing-was-sent error a real refused connection
+//     yields, so client retry policies (profdb.NotCommitted) classify
+//     injected partitions exactly like real ones.
+//
+// Each client side owns its own Network, so asymmetric partitions
+// (A sees B, B does not see A) fall out naturally. Safe for concurrent
+// use.
+type Network struct {
+	mu   sync.Mutex
+	base http.RoundTripper
+	addr map[string]string // logical host -> real host:port
+	down map[string]bool
+	cuts int64
+}
+
+// NewNetwork returns a Network delegating real sends to base
+// (http.DefaultTransport when nil).
+func NewNetwork(base http.RoundTripper) *Network {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Network{
+		base: base,
+		addr: make(map[string]string),
+		down: make(map[string]bool),
+	}
+}
+
+// SetAddr points a logical host at a real address. realURL may be a
+// full URL ("http://127.0.0.1:41321") or a bare host:port. Call again
+// after a node restarts on a new port.
+func (n *Network) SetAddr(name, realURL string) {
+	host := realURL
+	if strings.Contains(realURL, "://") {
+		if u, err := url.Parse(realURL); err == nil {
+			host = u.Host
+		}
+	}
+	n.mu.Lock()
+	n.addr[name] = host
+	n.mu.Unlock()
+}
+
+// SetDown cuts (or restores) one logical host.
+func (n *Network) SetDown(name string, down bool) {
+	n.mu.Lock()
+	n.down[name] = down
+	n.mu.Unlock()
+}
+
+// Partition cuts every named host in one call.
+func (n *Network) Partition(names ...string) {
+	n.mu.Lock()
+	for _, name := range names {
+		n.down[name] = true
+	}
+	n.mu.Unlock()
+}
+
+// Heal restores full connectivity.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.down = make(map[string]bool)
+	n.mu.Unlock()
+}
+
+// Down reports whether a host is currently cut.
+func (n *Network) Down(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[name]
+}
+
+// Cuts returns how many requests the injector has refused.
+func (n *Network) Cuts() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cuts
+}
+
+// RoundTrip implements http.RoundTripper: refuse cut hosts with a dial
+// error, rewrite known logical hosts to their real addresses, pass
+// everything else through untouched.
+func (n *Network) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	n.mu.Lock()
+	if n.down[host] {
+		n.cuts++
+		n.mu.Unlock()
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: errPartitioned}
+	}
+	real, known := n.addr[host]
+	n.mu.Unlock()
+	if !known {
+		return n.base.RoundTrip(req)
+	}
+	clone := req.Clone(req.Context())
+	clone.URL.Host = real
+	clone.Host = real
+	return n.base.RoundTrip(clone)
+}

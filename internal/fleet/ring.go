@@ -1,0 +1,157 @@
+// Package fleet is the sharded, replicated profile-ingestion tier: a
+// stateless router consistent-hashes profdb records by module
+// fingerprint across N storage nodes (each an ordinary WAL-backed
+// ilprofd), replicates every record to R nodes, and acknowledges an
+// ingest only after each replica's write-ahead log fsync — the
+// single-node ack-after-fsync barrier, promoted to a replication
+// quorum. Reads fan in: the router fetches every reachable node's
+// database, combines per-key winners deterministically, and serves the
+// same merged snapshot a single node holding all the data would. An
+// anti-entropy sweep pushes per-key winners back to lagging replicas,
+// so a healed fleet converges to a byte-identical state.
+//
+// See docs/fleet.md for the topology, the quorum and winner rules, and
+// the failure matrix.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// vnodesPerPeer is the number of virtual nodes each peer contributes to
+// the ring. More vnodes smooth the key distribution; the count is fixed
+// so every router instance computes the same ring from the same peers.
+const vnodesPerPeer = 128
+
+type vnode struct {
+	hash uint64
+	peer int // index into Ring.peers
+}
+
+// Ring is a consistent-hash ring over the fleet's storage nodes. It is
+// immutable after construction: both the router and any offline tool
+// given the same (peers, replicas) pair compute identical placements,
+// which is what makes repair and reads agree about where records live.
+type Ring struct {
+	peers    []string // sorted, deduplicated
+	replicas int
+	vnodes   []vnode // sorted by hash
+}
+
+// NewRing builds the ring. peers are node base URLs (order-insensitive:
+// they are sorted so every caller derives the same ring); replicas is
+// clamped to [1, len(peers)].
+func NewRing(peers []string, replicas int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("fleet: ring needs at least one peer")
+	}
+	seen := make(map[string]bool, len(peers))
+	uniq := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("fleet: empty peer name")
+		}
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	sort.Strings(uniq)
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(uniq) {
+		replicas = len(uniq)
+	}
+	r := &Ring{peers: uniq, replicas: replicas}
+	r.vnodes = make([]vnode, 0, len(uniq)*vnodesPerPeer)
+	for pi, p := range uniq {
+		for v := 0; v < vnodesPerPeer; v++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hash64(p + "#" + strconv.Itoa(v)), peer: pi})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		if r.vnodes[i].hash != r.vnodes[j].hash {
+			return r.vnodes[i].hash < r.vnodes[j].hash
+		}
+		return r.vnodes[i].peer < r.vnodes[j].peer
+	})
+	return r, nil
+}
+
+// hash64 is FNV-1a finished with a splitmix64-style avalanche: FNV
+// alone leaves near-identical inputs ("node1#0", "node1#1", ...)
+// clustered on the ring, which skews shard shares badly at realistic
+// vnode counts.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Peers returns the sorted peer list.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Replicas returns the effective replication factor.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// ownersFrom walks clockwise from vnode index i collecting the first
+// `replicas` distinct peers.
+func (r *Ring) ownersFrom(i int) []string {
+	owners := make([]string, 0, r.replicas)
+	seen := make(map[int]bool, r.replicas)
+	for n := 0; n < len(r.vnodes) && len(owners) < r.replicas; n++ {
+		v := r.vnodes[(i+n)%len(r.vnodes)]
+		if !seen[v.peer] {
+			seen[v.peer] = true
+			owners = append(owners, r.peers[v.peer])
+		}
+	}
+	return owners
+}
+
+// Owners returns the R-node replica set responsible for a module
+// fingerprint, in preference order (first = primary). Deterministic in
+// (peers, replicas, fingerprint).
+func (r *Ring) Owners(fingerprint string) []string {
+	h := hash64(fingerprint)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return r.ownersFrom(i)
+}
+
+// Covered reports whether every possible replica set contains at least
+// one peer for which reach returns true — i.e. whether a full-fleet
+// read (which must see every shard) can be complete. Replica sets are
+// constant within a vnode arc, so checking each vnode start covers
+// every key.
+func (r *Ring) Covered(reach func(peer string) bool) bool {
+	ok := make(map[string]bool, len(r.peers))
+	for _, p := range r.peers {
+		ok[p] = reach(p)
+	}
+	for i := range r.vnodes {
+		hit := false
+		for _, p := range r.ownersFrom(i) {
+			if ok[p] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}

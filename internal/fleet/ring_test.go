@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func ringPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://node%d", i)
+	}
+	return peers
+}
+
+func sampleFingerprints(n int) []string {
+	fps := make([]string, n)
+	for i := range fps {
+		fps[i] = fmt.Sprintf("%016x", uint64(i)*0x9e3779b97f4a7c15+1)
+	}
+	return fps
+}
+
+// TestRingDeterministicAcrossPeerOrder: every router instance must
+// compute the same placement from the same membership, however the
+// peer list was written down.
+func TestRingDeterministicAcrossPeerOrder(t *testing.T) {
+	peers := ringPeers(5)
+	ref, err := NewRing(peers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	fps := sampleFingerprints(200)
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), peers...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r, err := NewRing(shuffled, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fp := range fps {
+			if got, want := r.Owners(fp), ref.Owners(fp); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: Owners(%s) = %v, want %v", trial, fp, got, want)
+			}
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndSized(t *testing.T) {
+	for _, n := range []int{1, 3, 5} {
+		for _, repl := range []int{1, 2, 7} {
+			r, err := NewRing(ringPeers(n), repl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantR := repl
+			if wantR > n {
+				wantR = n
+			}
+			if wantR < 1 {
+				wantR = 1
+			}
+			if r.Replicas() != wantR {
+				t.Fatalf("N=%d repl=%d: Replicas() = %d, want %d", n, repl, r.Replicas(), wantR)
+			}
+			for _, fp := range sampleFingerprints(100) {
+				owners := r.Owners(fp)
+				if len(owners) != wantR {
+					t.Fatalf("N=%d repl=%d: %d owners, want %d", n, repl, len(owners), wantR)
+				}
+				seen := map[string]bool{}
+				for _, o := range owners {
+					if seen[o] {
+						t.Fatalf("duplicate owner %s for %s", o, fp)
+					}
+					seen[o] = true
+				}
+			}
+		}
+	}
+}
+
+// TestRingSpreads: with enough vnodes every peer should be the primary
+// owner of a reasonable share of keys — no peer starves, no peer hogs.
+func TestRingSpreads(t *testing.T) {
+	r, err := NewRing(ringPeers(5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	fps := sampleFingerprints(5000)
+	for _, fp := range fps {
+		counts[r.Owners(fp)[0]]++
+	}
+	for _, p := range r.Peers() {
+		share := float64(counts[p]) / float64(len(fps))
+		if share < 0.05 || share > 0.50 {
+			t.Errorf("peer %s owns %.1f%% of keys — distribution badly skewed: %v",
+				p, share*100, counts)
+		}
+	}
+}
+
+func TestRingCovered(t *testing.T) {
+	r, err := NewRing(ringPeers(3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := func(down ...string) func(string) bool {
+		d := map[string]bool{}
+		for _, p := range down {
+			d[p] = true
+		}
+		return func(p string) bool { return !d[p] }
+	}
+	if !r.Covered(up()) {
+		t.Error("fully-up fleet reported uncovered")
+	}
+	// R=2: any single node down still leaves every replica set with one
+	// live member.
+	for _, p := range r.Peers() {
+		if !r.Covered(up(p)) {
+			t.Errorf("R=2 with only %s down reported uncovered", p)
+		}
+	}
+	if r.Covered(up(r.Peers()...)) {
+		t.Error("fully-down fleet reported covered")
+	}
+
+	// R=1: every node owns some arc exclusively, so any node down breaks
+	// coverage.
+	r1, err := NewRing(ringPeers(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r1.Peers() {
+		if r1.Covered(up(p)) {
+			t.Errorf("R=1 with %s down reported covered", p)
+		}
+	}
+}
+
+func TestRingRejectsEmptyAndDedups(t *testing.T) {
+	if _, err := NewRing(nil, 1); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"http://a", ""}, 1); err == nil {
+		t.Error("empty peer name accepted")
+	}
+	r, err := NewRing([]string{"http://a", "http://a", "http://b"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Peers()) != 2 || r.Replicas() != 2 {
+		t.Errorf("dedup: peers=%v replicas=%d", r.Peers(), r.Replicas())
+	}
+}

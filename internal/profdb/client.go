@@ -2,6 +2,7 @@ package profdb
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -26,10 +27,13 @@ import (
 //     responses with bounded exponential backoff plus jitter;
 //   - POST /ingest is not idempotent, so it retries only when the
 //     snapshot provably never reached the server — a dial failure — or
-//     when the server itself answered 5xx (an explicit NAK: the daemon
-//     acks only after its write-ahead log is durable, so a 5xx means
-//     nothing was committed). An ambiguous mid-request transport error
-//     is surfaced, never retried, keeping delivery at-most-once.
+//     when the server itself answered a 5xx other than 502 (an explicit
+//     NAK: the daemon acks only after its write-ahead log is durable,
+//     so a 503 means nothing was committed). 502 is the fleet router's
+//     "partially committed or ambiguous" verdict — some replica may
+//     already hold the record — so it is surfaced, never retried, like
+//     an ambiguous mid-request transport error, keeping delivery
+//     at-most-once.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7411".
 	BaseURL string
@@ -82,11 +86,45 @@ func (e *HTTPError) Error() string {
 	return fmt.Sprintf("%s: %s: %s", e.URL, e.Status, e.Body)
 }
 
+// SeedBackoff replaces the jitter source with a deterministic one, so
+// chaos tests replaying a seeded fault schedule see the same retry
+// timings every run. Call before the first request.
+func (c *Client) SeedBackoff(seed int64) {
+	c.rngMu.Lock()
+	c.rng = rand.New(rand.NewSource(seed))
+	c.rngMu.Unlock()
+}
+
 // provablyUnsent reports whether the request never left this machine:
 // only then is an automatic POST retry safe without idempotence.
 func provablyUnsent(err error) bool {
 	var op *net.OpError
 	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// NotCommitted reports whether a delivery error proves the server
+// committed nothing: the request never left this machine (dial
+// failure), or the server answered 503 — the explicit
+// nothing-was-made-durable NAK of both the single node and the fleet
+// router. Only such failures are safe to retry without idempotence;
+// everything else (ambiguous transport errors, the router's 502
+// partial-commit verdict) may have landed.
+func NotCommitted(err error) bool {
+	if provablyUnsent(err) {
+		return true
+	}
+	var he *HTTPError
+	return errors.As(err, &he) && he.StatusCode == http.StatusServiceUnavailable
+}
+
+// postRetriable is the POST /ingest retry policy: dial failures and
+// every 5xx except 502 (see Client and NotCommitted).
+func postRetriable(err error) bool {
+	if provablyUnsent(err) {
+		return true
+	}
+	var he *HTTPError
+	return errors.As(err, &he) && he.StatusCode >= 500 && he.StatusCode != http.StatusBadGateway
 }
 
 // delay computes the backoff before retry number n (0-based) with up
@@ -114,9 +152,9 @@ func (c *Client) warnf(format string, args ...interface{}) {
 
 // doRetry runs make-request/send cycles under the client's retry
 // policy. build must return a fresh request each call (bodies are
-// consumed by failed sends). retriable classifies a delivery error;
-// 5xx responses are always retriable (for POST they are explicit NAKs,
-// see Client). The caller owns the response body on success.
+// consumed by failed sends). retriable classifies a delivery error —
+// transport errors are passed as-is, 5xx responses as *HTTPError. The
+// caller owns the response body on success.
 func (c *Client) doRetry(what string, build func() (*http.Request, error), retriable func(error) bool) (*http.Response, error) {
 	attempts := c.Attempts
 	if attempts <= 0 {
@@ -149,7 +187,10 @@ func (c *Client) doRetry(what string, build func() (*http.Request, error), retri
 			resp.Body.Close()
 			lastErr = &HTTPError{URL: req.URL.String(), StatusCode: resp.StatusCode,
 				Status: resp.Status, Body: strings.TrimSpace(string(body))}
-			continue
+			if retriable(lastErr) {
+				continue
+			}
+			return nil, lastErr
 		}
 		return resp, nil
 	}
@@ -186,10 +227,11 @@ func (c *Client) FetchProfile(fingerprint string, query url.Values) (program str
 }
 
 // PostSnapshot delivers one snapshot to /ingest and returns the
-// daemon's ack line. Retried only on dial failures and 5xx NAKs; an
-// ambiguous transport error after the body may have been sent is
-// returned as-is so the caller decides (the payload might already be
-// committed, and profile ingestion is not idempotent).
+// daemon's ack line. Retried only on dial failures and 5xx NAKs other
+// than 502; an ambiguous transport error after the body may have been
+// sent — or the router's 502 partial-commit verdict — is returned
+// as-is so the caller decides (the payload might already be committed,
+// and profile ingestion is not idempotent).
 func (c *Client) PostSnapshot(program string, rec *Record) (string, error) {
 	var buf bytes.Buffer
 	if _, err := WriteSnapshot(&buf, program, rec); err != nil {
@@ -204,7 +246,7 @@ func (c *Client) PostSnapshot(program string, rec *Record) (string, error) {
 		}
 		req.Header.Set("Content-Type", "text/plain")
 		return req, nil
-	}, provablyUnsent)
+	}, postRetriable)
 	if err != nil {
 		return "", err
 	}
@@ -215,4 +257,87 @@ func (c *Client) PostSnapshot(program string, rec *Record) (string, error) {
 			Status: resp.Status, Body: strings.TrimSpace(string(body))}
 	}
 	return string(body), nil
+}
+
+// FetchDB GETs a node's full database dump (/db). Idempotent: retried
+// on any transport error and on 5xx. The fleet router's read fan-in
+// and anti-entropy sweep are built on this.
+func (c *Client) FetchDB() (*DB, error) {
+	u := c.BaseURL + "/db"
+	resp, err := c.doRetry("GET /db", func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, u, nil)
+	}, func(error) bool { return true })
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, &HTTPError{URL: u, StatusCode: resp.StatusCode,
+			Status: resp.Status, Body: strings.TrimSpace(string(body))}
+	}
+	db, err := ReadDB(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", u, err)
+	}
+	return db, nil
+}
+
+// PostRepair pushes an anti-entropy document to a node's /repair
+// endpoint and returns how many records the node adopted. Repair is
+// adopt-if-better, hence idempotent and monotone: retried on any
+// transport error and on 5xx.
+func (c *Client) PostRepair(push *DB) (adopted int, err error) {
+	var buf bytes.Buffer
+	if _, err := push.WriteTo(&buf); err != nil {
+		return 0, err
+	}
+	payload := buf.Bytes()
+	u := c.BaseURL + "/repair"
+	resp, err := c.doRetry("POST /repair", func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		return req, nil
+	}, func(error) bool { return true })
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return 0, &HTTPError{URL: u, StatusCode: resp.StatusCode,
+			Status: resp.Status, Body: strings.TrimSpace(string(body))}
+	}
+	var doc struct {
+		Adopted int `json:"adopted"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return 0, fmt.Errorf("%s: %w", u, err)
+	}
+	return doc.Adopted, nil
+}
+
+// Ready probes /healthz once (no retries — a probe's answer should be
+// about now, not about eventually) and returns nil when the node
+// reports it can durably ack ingests.
+func (c *Client) Ready() error {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &HTTPError{URL: req.URL.String(), StatusCode: resp.StatusCode,
+			Status: resp.Status, Body: strings.TrimSpace(string(body))}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
 }

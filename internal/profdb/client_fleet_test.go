@@ -1,0 +1,147 @@
+package profdb
+
+// Client behavior added for the fleet tier: seedable retry jitter, the
+// 502 no-retry rule, the NotCommitted classifier, and the /db and
+// /repair endpoints.
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestClientSeedBackoffDeterministic: two clients with the same seed
+// must compute identical retry schedules — the property the chaos
+// suites replay against.
+func TestClientSeedBackoffDeterministic(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		c := NewClient("http://unused")
+		c.Backoff = 10 * time.Millisecond
+		c.MaxBackoff = 500 * time.Millisecond
+		c.SeedBackoff(seed)
+		var ds []time.Duration
+		for n := 0; n < 8; n++ {
+			ds = append(ds, c.delay(n))
+		}
+		return ds
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("retry %d: %v vs %v — same seed, different schedule", i, a[i], b[i])
+		}
+	}
+	c := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter — seeding inert")
+	}
+}
+
+// TestClientPostNoRetry502: the router answers 502 when a write may
+// have partially committed; retrying could double-count, so the client
+// must surface it after ONE attempt.
+func TestClientPostNoRetry502(t *testing.T) {
+	attempts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		http.Error(w, "fleet: 1/2 replicas committed (do NOT retry)", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	c := testClient(srv.URL)
+	rec := NewRecord("cafe", 0)
+	rec.Runs = 1
+	_, err := c.PostSnapshot("p.c", rec)
+	if err == nil {
+		t.Fatal("502 reported as success")
+	}
+	if attempts != 1 {
+		t.Fatalf("client sent %d attempts after 502, want exactly 1", attempts)
+	}
+	var he *HTTPError
+	if !errors.As(err, &he) || he.StatusCode != http.StatusBadGateway {
+		t.Errorf("unexpected error shape: %v", err)
+	}
+	if NotCommitted(err) {
+		t.Error("502 classified NotCommitted — a retry loop would double-count")
+	}
+}
+
+// TestClientPostStillRetries503: 503 remains the explicit
+// nothing-committed NAK and is retried as before.
+func TestClientPostStillRetries503(t *testing.T) {
+	fails := 2
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fails > 0 {
+			fails--
+			http.Error(w, "fleet: no replica committed (safe to retry)", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	c := testClient(srv.URL)
+	rec := NewRecord("cafe", 0)
+	rec.Runs = 1
+	if _, err := c.PostSnapshot("p.c", rec); err != nil {
+		t.Fatalf("503s within the attempt budget should be ridden out: %v", err)
+	}
+}
+
+// TestNotCommittedClassifier pins the classifier table.
+func TestNotCommittedClassifier(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&net.OpError{Op: "dial", Net: "tcp"}, true},
+		{&net.OpError{Op: "read", Net: "tcp"}, false},
+		{&HTTPError{StatusCode: http.StatusServiceUnavailable}, true},
+		{&HTTPError{StatusCode: http.StatusBadGateway}, false},
+		{&HTTPError{StatusCode: http.StatusInternalServerError}, false},
+		{&HTTPError{StatusCode: http.StatusConflict}, false},
+		{nil, false},
+	}
+	for _, tc := range cases {
+		if got := NotCommitted(tc.err); got != tc.want {
+			t.Errorf("NotCommitted(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestClientFetchDBRoundTrip: /db fetches parse back into a database.
+func TestClientFetchDBRoundTrip(t *testing.T) {
+	db := NewDB("d.c")
+	rec := NewRecord("beef", 1)
+	rec.Runs = 4
+	rec.IL = 44
+	if err := db.Ingest(rec); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/db" {
+			http.NotFound(w, r)
+			return
+		}
+		db.WriteTo(w)
+	}))
+	defer srv.Close()
+	got, err := testClient(srv.URL).FetchDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != "d.c" || len(got.Records) != 1 {
+		t.Fatalf("fetched db: program=%q records=%d", got.Program, len(got.Records))
+	}
+	if r := got.Records[RecordKey{Fingerprint: "beef", Gen: 1}]; r == nil || r.Runs != 4 {
+		t.Fatalf("fetched record wrong: %+v", r)
+	}
+}

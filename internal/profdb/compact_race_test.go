@@ -1,0 +1,183 @@
+package profdb
+
+// Compaction vs concurrent ingest. The DB itself is single-writer, so
+// "racing" means what the daemon actually does: many producers feeding
+// one writer that interleaves ingests with compactions under the write
+// lock while readers merge under the read lock. Run under -race in
+// CI's race job. Two phases:
+//
+//  1. Race phase — timing-dependent interleavings, checking only
+//     timing-independent invariants (serving merges never tears, the
+//     record set stays well-formed). Mid-stream compaction is NOT
+//     merge-equivalent in general (a later ingest can raise maxGen and
+//     change the decay a fold already applied), so no byte-identity is
+//     asserted here.
+//
+//  2. Determinism phase — concurrent ingest, then ONE final compaction:
+//     the result must be byte-identical to the same records ingested
+//     serially and compacted once, at any worker count.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func compactRec(fp string, gen, runs int, salt int64) *Record {
+	r := NewRecord(fp, gen)
+	r.Runs = runs
+	r.IL = 900 + salt
+	r.Calls = 30 + salt
+	r.Returns = 30 + salt
+	r.Funcs = map[string]int64{"main": 4 + salt, "hot": 26 + salt}
+	r.Sites = map[SiteKey]int64{
+		{Caller: "main", Callee: "hot", Ordinal: 0, PosHash: 0x5a}: 26 + salt,
+	}
+	return r
+}
+
+// TestCompactRacingIngest is the race-detector phase: a daemon-shaped
+// writer (ingest + periodic compact under one mutex) against
+// concurrent merging readers.
+func TestCompactRacingIngest(t *testing.T) {
+	db := NewDB("race.c")
+	var mu sync.RWMutex
+
+	const producers, perProducer = 4, 60
+	work := make(chan *Record, 64)
+	var prodWG sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			for i := 0; i < perProducer; i++ {
+				work <- compactRec(fmt.Sprintf("%04x", 0xf0+p%2), (p+i)%5, 1, int64(p))
+			}
+		}(p)
+	}
+	go func() { prodWG.Wait(); close(work) }()
+
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		n := 0
+		for rec := range work {
+			mu.Lock()
+			if err := db.Ingest(rec); err != nil {
+				t.Error(err)
+			}
+			n++
+			if n%17 == 0 {
+				db.Compact(DefaultMergeParams())
+			}
+			mu.Unlock()
+		}
+	}()
+
+	var readerWG sync.WaitGroup
+	readerDone := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-readerDone:
+					return
+				default:
+				}
+				mu.RLock()
+				merged, stats := db.Merge("00f0", DefaultMergeParams())
+				// A mid-race merge must always serialize cleanly.
+				if stats.Records > 0 && merged.Runs > 0 {
+					var buf bytes.Buffer
+					if _, err := WriteSnapshot(&buf, db.Program, merged); err != nil {
+						t.Errorf("mid-race merge failed to serialize: %v", err)
+					}
+				}
+				mu.RUnlock()
+			}
+		}()
+	}
+
+	writerWG.Wait()
+	close(readerDone)
+	readerWG.Wait()
+
+	// Post-race structural invariants: every record parses back through
+	// the wire format, and per-fingerprint generation counts are sane.
+	mu.Lock()
+	defer mu.Unlock()
+	var dump bytes.Buffer
+	if _, err := db.WriteTo(&dump); err != nil {
+		t.Fatalf("post-race db failed to serialize: %v", err)
+	}
+	back, err := ReadDB(bytes.NewReader(dump.Bytes()))
+	if err != nil {
+		t.Fatalf("post-race db failed to re-parse: %v", err)
+	}
+	if len(back.Records) != len(db.Records) {
+		t.Fatalf("round-trip changed record count: %d vs %d", len(back.Records), len(db.Records))
+	}
+	total := 0
+	for _, rec := range db.Records {
+		total += rec.Runs
+	}
+	if total == 0 {
+		t.Fatal("race phase ingested nothing — test inert")
+	}
+}
+
+// TestCompactAfterConcurrentIngestDeterministic is the determinism
+// phase: ingest order must not matter once the final compaction runs.
+func TestCompactAfterConcurrentIngestDeterministic(t *testing.T) {
+	var recs []*Record
+	for i := 0; i < 120; i++ {
+		recs = append(recs, compactRec(fmt.Sprintf("%04x", 0xa0+i%3), i%6, 1+i%2, int64(i%4)))
+	}
+
+	// Serial reference.
+	ref := NewDB("det.c")
+	for _, rec := range recs {
+		if err := ref.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref.Compact(DefaultMergeParams())
+	var want bytes.Buffer
+	if _, err := ref.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 8} {
+		db := NewDB("det.c")
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(recs); i += workers {
+					mu.Lock()
+					err := db.Ingest(recs[i])
+					mu.Unlock()
+					if err != nil {
+						t.Error(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		db.Compact(DefaultMergeParams())
+		var got bytes.Buffer
+		if _, err := db.WriteTo(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("workers=%d: post-compaction snapshot differs from serial reference:\n%s\nvs\n%s",
+				workers, got.String(), want.String())
+		}
+	}
+}
