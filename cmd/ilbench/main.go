@@ -5,6 +5,7 @@
 //	ilbench -table 4     # one table (1, 2, 3, 4, or 4x)
 //	ilbench -bench grep  # restrict to one benchmark
 //	ilbench -threshold 100 -sizelimit 1.5 -postopt   # parameter overrides
+//	ilbench -bench funcptrs -devirt-threshold 0.9 -partial-inline -maxcallee 40  # guarded expansion
 //	ilbench -ablation    # design-choice studies (threshold/size/heuristic/order)
 //	ilbench -icache      # instruction-cache sweep (conclusion's extension)
 //	ilbench -parallel 1  # serial run (default 0 uses every core; same tables)
@@ -43,6 +44,9 @@ func run(args []string, stdout, stderrW io.Writer) int {
 	threshold := fs.Float64("threshold", 10, "arc weight threshold")
 	stackBound := fs.Int("stackbound", 4096, "stack bound in bytes for recursion hazard")
 	sizeLimit := fs.Float64("sizelimit", 1.25, "program size limit factor")
+	maxCallee := fs.Int("maxcallee", 0, "per-callee instruction limit (0 = unlimited)")
+	partialInline := fs.Bool("partial-inline", false, "expand the hot entry region of callees over -maxcallee with a guarded fallback call")
+	devirtThreshold := fs.Float64("devirt-threshold", 0, "devirtualize pointer-call sites whose dominant profiled target takes at least this fraction of resolved calls (0 = off)")
 	maxRuns := fs.Int("runs", 0, "cap profiling runs per benchmark (0 = all)")
 	parallel := fs.Int("parallel", 0, "worker count for benchmarks and profiling runs (0 = all cores, 1 = serial); any value yields identical tables")
 	engine := fs.String("engine", "bytecode", "interpreter engine: bytecode, switch, or both (identical tables; different wall clock)")
@@ -102,6 +106,9 @@ func run(args []string, stdout, stderrW io.Writer) int {
 	cfg.Inline.WeightThreshold = *threshold
 	cfg.Inline.StackBound = *stackBound
 	cfg.Inline.SizeLimitFactor = *sizeLimit
+	cfg.Inline.MaxCalleeSize = *maxCallee
+	cfg.Inline.PartialInline = *partialInline
+	cfg.Inline.DevirtThreshold = *devirtThreshold
 	cfg.Classify.WeightThreshold = *threshold
 	cfg.Classify.StackBound = *stackBound
 	cfg.MaxRuns = *maxRuns

@@ -13,6 +13,8 @@
 //	ilcc -inline -profile p.prof ... # use a profile saved by ilprof -o
 //	ilcc -inline -profdb p.profdb .. # merged profile from a database file
 //	ilcc -inline -profdb http://host:7411 ...  # ... or from a running ilprofd
+//	ilcc -inline -partial-inline -maxcallee 60 prog.c  # split oversized callees
+//	ilcc -inline -devirt-threshold 0.9 prog.c  # guarded pointer-call devirtualization
 //	ilcc -explain-inline prog.c      # per-arc inline decision report (implies -inline)
 //	ilcc -inline -inline-trace t.jsonl prog.c  # machine-readable decision trace
 //	ilcc -inline -trace phases.json prog.c     # Chrome trace-event phase timings
@@ -61,6 +63,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	heuristic := fs.String("heuristic", "profile", "site selection: profile, leaf, or small")
 	threshold := fs.Float64("threshold", 10, "arc weight threshold (profile heuristic)")
 	sizeLimit := fs.Float64("sizelimit", 1.25, "program size limit factor")
+	maxCallee := fs.Int("maxcallee", 0, "per-callee instruction limit (0 = unlimited)")
+	partialInline := fs.Bool("partial-inline", false, "expand the hot entry region of callees over -maxcallee, with a guarded fallback call to the original")
+	devirtThreshold := fs.Float64("devirt-threshold", 0, "devirtualize pointer-call sites whose dominant profiled target takes at least this fraction of resolved calls (0 = off)")
 	stats := fs.Bool("stats", false, "print dynamic statistics after -run")
 	profilePath := fs.String("profile", "", "use a saved profile (from ilprof -o) for -inline")
 	profdbSrc := fs.String("profdb", "", "use a merged database profile for -inline: a .profdb file or an ilprofd base URL")
@@ -209,6 +214,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		params := inlinec.DefaultParams()
 		params.WeightThreshold = *threshold
 		params.SizeLimitFactor = *sizeLimit
+		params.MaxCalleeSize = *maxCallee
+		params.PartialInline = *partialInline
+		params.DevirtThreshold = *devirtThreshold
+		if *devirtThreshold < 0 || *devirtThreshold > 1 {
+			return fail(fmt.Errorf("-devirt-threshold %g outside [0, 1]", *devirtThreshold))
+		}
 		switch *heuristic {
 		case "profile":
 		case "leaf":

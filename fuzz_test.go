@@ -99,6 +99,104 @@ int main() { int i; int s; s=0; for (i=0;i<9;i++) s+=g(i); return s & 0x7f; }`,
 	})
 }
 
+// FuzzPartialInlineEquivalence drives the guarded expanders on arbitrary
+// source with a deliberately tight per-callee limit, so region-based
+// partial inlining and pointer-call devirtualization fire wherever they
+// can. Any program that survives the front end must behave identically
+// after guarded expansion — the guards are plain IL, so divergence means
+// a broken region plan or guard, not an interpreter gap.
+func FuzzPartialInlineEquivalence(f *testing.F) {
+	seeds := []string{
+		`int big(int x) {
+	int i; int s;
+	if (x < 8) return x * 3 + 1;
+	s = 0;
+	for (i = 0; i < x; i++) { s += i * x; s ^= s >> 2; s += big(i & 7); }
+	return s;
+}
+int main() { int i; int s; s = 0; for (i = 0; i < 40; i++) s += big(i & 11); return s & 0x7f; }`,
+		`int one(int x) { return x + 1; }
+int two(int x) { return x + 2; }
+int main() {
+	int i; int s; int (*fp)(int);
+	s = 0;
+	for (i = 0; i < 32; i++) { if ((i & 7) != 3) fp = one; else fp = two; s += fp(i); }
+	return s & 0xff;
+}`,
+		`extern int printf(char *f, ...);
+int work(int x) {
+	if (x & 1) return x ^ 21;
+	printf("%d\n", x);
+	return x + 3;
+}
+int main() { int i; int s; s = 0; for (i = 0; i < 12; i++) s += work(i); return s & 0x7f; }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			t.Skip()
+		}
+		file, err := parser.Parse("fuzz.c", src)
+		if err != nil {
+			return
+		}
+		prog, err := sema.Check(file)
+		if err != nil {
+			return
+		}
+		mod, err := irgen.Generate(prog)
+		if err != nil {
+			return
+		}
+		if mod.Verify() != nil || mod.Func("main") == nil {
+			return
+		}
+		run := func(m *ir.Module) (string, bool) {
+			mm, err := interp.NewMachine(m, interp.NewEnv(), interp.Options{
+				MaxIL: 200000, StackSize: 1 << 20, HeapSize: 1 << 20,
+			})
+			if err != nil {
+				return "", false
+			}
+			if _, err := mm.Run(); err != nil {
+				return "", false
+			}
+			return mm.Env.Stdout.String(), true
+		}
+		before, okBefore := run(mod)
+		if !okBefore {
+			return
+		}
+		p := &Program{Module: mod, Original: mod.Clone(), name: "fuzz.c"}
+		prof, err := p.ProfileInputs(Input{})
+		if err != nil {
+			return
+		}
+		params := DefaultParams()
+		params.WeightThreshold = 1
+		params.SizeLimitFactor = 3.0
+		params.MaxCalleeSize = 20
+		params.PartialInline = true
+		params.DevirtThreshold = 0.5
+		res, err := p.Inline(prof, params)
+		if err != nil {
+			t.Fatalf("guarded inline failed on valid program: %v\nsource:\n%s", err, src)
+		}
+		if err := p.Module.Verify(); err != nil {
+			t.Fatalf("guarded expansion produced invalid IL: %v\nsource:\n%s", err, src)
+		}
+		after, okAfter := run(p.Module)
+		if !okAfter {
+			t.Fatalf("program broke after guarded expansion (expanded %v)\nsource:\n%s", res.Expanded, src)
+		}
+		if before != after {
+			t.Fatalf("guarded expansion changed output %q -> %q\nsource:\n%s", before, after, src)
+		}
+	})
+}
+
 // FuzzReadProfile attacks the legacy ILPROF decoder. The corpus seeds the
 // strict-mode rejections (duplicate directives, duplicate func/site
 // entries, trailing garbage) alongside valid files; the invariant is that
@@ -107,11 +205,14 @@ func FuzzReadProfile(f *testing.F) {
 	valid := "ILPROF 1\nruns 2\nil 100\ncontrol 20\ncalls 10\nreturns 10\nextern 1\nptr 0\nmaxstack 256\ntruncated 0\nfunc main 2\nfunc work 50\nsite 0 50\n"
 	seeds := []string{
 		valid,
+		valid + "target 0 work 30\ntarget 0 other 20\n",
+		valid + "target 0 work 30\ntarget 0 work 1\n", // duplicate target entry
+		valid + "target 0 work\n",                     // wrong field count
 		"ILPROF 1\nruns 1\n",
 		strings.Replace(valid, "truncated 0\n", "", 1), // truncated is optional
-		valid + "runs 3\n",      // duplicate scalar directive
-		valid + "func main 9\n", // duplicate func entry
-		valid + "site 0 1\n",    // duplicate site entry
+		valid + "runs 3\n",                             // duplicate scalar directive
+		valid + "func main 9\n",                        // duplicate func entry
+		valid + "site 0 1\n",                           // duplicate site entry
 		valid + "garbage trailing line\n",
 		valid + "site 1\n", // wrong field count
 		valid + "site x y\n",
@@ -156,14 +257,17 @@ func FuzzProfDBDecoder(f *testing.F) {
 	seeds := []string{
 		validDB,
 		validSnap,
-		"ILPROFDB 1\nprogram p.c\n", // empty store
+		strings.Replace(validDB, "end\nrecord", "target main work 0 00ff00ff work 30\nend\nrecord", 1),
+		validSnap + "target main work 0 00ff00ff work 30\ntarget main work 0 00ff00ff other 20\n",
+		validSnap + "target main work 0 00ff00ff work 30\ntarget main work 0 00ff00ff work 1\n", // duplicate target
+		"ILPROFDB 1\nprogram p.c\n",                                                           // empty store
 		strings.Replace(validDB, "end\nrecord", "record", 1),                                  // unterminated record
 		strings.Replace(validDB, "record aaaa000011112222 1", "record aaaa000011112222 0", 1), // duplicate record
 		validDB + "trailing\n",
 		strings.Replace(validDB, "site main work 0 00ff00ff 50", "site main work 0 zz 50", 1), // bad poshash
 		strings.Replace(validDB, "runs 2", "runs 0", 1),                                       // runs must be positive
 		strings.Replace(validSnap, "fingerprint aaaa000011112222\n", "", 1),                   // fingerprint required
-		validSnap + "gen 4\n", // duplicate directive
+		validSnap + "gen 4\n",                                                                 // duplicate directive
 		"ILPROFDB 2\n",
 		"ILPROFSNAP 1\nprogram p.c\nfingerprint f\ngen 0\nruns 1\nsite a b 0 00000000 1\nsite a b 0 00000000 2\n", // duplicate site
 	}

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"inlinec"
@@ -39,12 +40,17 @@ func espressoExplain(t *testing.T, par int) (report string, jsonl []byte, module
 	if err := obs.WriteInlineTraceJSONL(&buf, res.Trace); err != nil {
 		t.Fatal(err)
 	}
-	// Acceptance: every arc that was not expanded must carry a specific
-	// machine-readable rejection reason — never an empty one.
+	// Acceptance: every arc that put no code into the caller must carry a
+	// specific machine-readable rejection reason — never an empty one —
+	// and every accepted arc (full, partial, or devirtualized) must not.
 	for _, ev := range res.Trace {
-		if ev.Outcome != obs.OutcomeExpanded && ev.Reason == obs.ReasonNone {
+		if !ev.Outcome.IsAccepted() && ev.Reason == obs.ReasonNone {
 			t.Errorf("arc %d (%s <- %s, %s) has no rejection reason",
 				ev.Site, ev.Caller, ev.Callee, ev.Outcome)
+		}
+		if ev.Outcome.IsAccepted() && ev.Reason != obs.ReasonNone {
+			t.Errorf("accepted arc %d (%s <- %s, %s) carries rejection reason %s",
+				ev.Site, ev.Caller, ev.Callee, ev.Outcome, ev.Reason)
 		}
 	}
 	return obs.FormatInlineReport(res.Order, res.Trace), buf.Bytes(), p.Module.String()
@@ -68,6 +74,96 @@ func TestEspressoExplainGolden(t *testing.T) {
 	}
 	if report != string(want) {
 		t.Errorf("espresso explain report drifted from %s (run with -update to refresh):\n--- got ---\n%s", golden, report)
+	}
+}
+
+// funcPtrsExplain runs the funcptrs benchmark's pipeline with guarded
+// expansion on (partial inlining + devirtualization at 0.9 dominance
+// under a tight per-callee limit) and returns the same three artifacts.
+func funcPtrsExplain(t *testing.T, par int) (report string, jsonl []byte, module string) {
+	t.Helper()
+	b := Get("funcptrs")
+	if b == nil {
+		t.Fatal("funcptrs benchmark missing")
+	}
+	p, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Parallelism = par
+	prof, err := p.ProfileInputs(b.Inputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := inlinec.DefaultParams()
+	params.WeightThreshold = 1
+	params.SizeLimitFactor = 3.0
+	params.MaxCalleeSize = 40
+	params.PartialInline = true
+	params.DevirtThreshold = 0.9
+	res, err := p.Inline(prof, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteInlineTraceJSONL(&buf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range res.Trace {
+		if !ev.Outcome.IsAccepted() && ev.Reason == obs.ReasonNone {
+			t.Errorf("arc %d (%s <- %s, %s) has no rejection reason",
+				ev.Site, ev.Caller, ev.Callee, ev.Outcome)
+		}
+	}
+	return obs.FormatInlineReport(res.Order, res.Trace), buf.Bytes(), p.Module.String()
+}
+
+// TestFuncPtrsExplainGolden pins the guarded-expansion decision report:
+// the partial_inlined and devirtualized sections and the
+// devirt_below_threshold rejection must all appear, and the exact
+// report is a reviewed diff. Refresh with `go test ./internal/bench
+// -run FuncPtrsExplainGolden -update`.
+func TestFuncPtrsExplainGolden(t *testing.T) {
+	report, _, _ := funcPtrsExplain(t, 1)
+	for _, want := range []string{
+		"partially inlined (hot entry region + guarded fallback)",
+		"devirtualized (guarded test-and-inline of dominant target)",
+		string(obs.ReasonDevirtBelowThreshold),
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("funcptrs explain report is missing %q:\n%s", want, report)
+		}
+	}
+	golden := filepath.Join("testdata", "funcptrs_explain.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(report), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report != string(want) {
+		t.Errorf("funcptrs explain report drifted from %s (run with -update to refresh):\n--- got ---\n%s", golden, report)
+	}
+}
+
+// TestFuncPtrsExplainDeterministic: guarded expansion's artifacts are
+// byte-identical at any worker count, like plain expansion's.
+func TestFuncPtrsExplainDeterministic(t *testing.T) {
+	refReport, refJSONL, refModule := funcPtrsExplain(t, 1)
+	for _, par := range []int{2, 8} {
+		report, jsonl, module := funcPtrsExplain(t, par)
+		if report != refReport {
+			t.Errorf("explain report differs between Parallelism 1 and %d", par)
+		}
+		if !bytes.Equal(jsonl, refJSONL) {
+			t.Errorf("JSONL trace differs between Parallelism 1 and %d", par)
+		}
+		if module != refModule {
+			t.Errorf("expanded module differs between Parallelism 1 and %d", par)
+		}
 	}
 }
 

@@ -1,0 +1,80 @@
+/* funcptrs - a dispatch-table kernel for the guarded-expansion study.
+ * Every input byte is routed through a function-pointer call whose
+ * resolved target is heavily skewed (uniform bytes put ~94% of calls on
+ * op_acc), so pointer-site devirtualization has one dominant target and
+ * a live fallback arc. A sparse direct call reaches op_mix, a handler
+ * whose pure early-return fast path fronts a long cold loop — the shape
+ * region-based partial inlining splits when the per-callee limit is
+ * tight. Plain inline expansion finds nothing here: the hot sites are
+ * all indirect or oversized. */
+
+extern int read(int fd, char *buf, int n);
+extern int printf(char *fmt, ...);
+
+enum { BUFSIZE = 4096 };
+
+char buf[BUFSIZE];
+
+int op_acc(int s, int v) {
+    return s + v + ((s >> 3) & 7);
+}
+
+int op_flip(int s, int v) {
+    return s ^ (v << 1) ^ (s >> 5);
+}
+
+int op_drop(int s, int v) {
+    return s - v + ((v & 1) << 4);
+}
+
+/* op_mix: a hot guard returns immediately for three of four argument
+ * values; the cold tail grinds a bounded mixing loop. Too big to inline
+ * whole under a tight -maxcallee, splittable by -partial-inline. */
+int op_mix(int s, int v) {
+    int i, t, rounds;
+    if ((v & 3) != 0) return s + (v << 2) - 1;
+    t = s ^ 0x9e37;
+    rounds = (v & 15) + 12;
+    for (i = 0; i < rounds; i++) {
+        t = ((t << 1) | ((t >> 15) & 1)) & 0xffff;
+        t ^= (v + i) & 0xff;
+        t = t + ((t >> 7) & 31);
+        if (t & 1) t = t + 0x2d; else t = t ^ 0x53;
+        t = t & 0xffff;
+    }
+    t ^= (s >> 9) & 0x7f;
+    t = t + (v * 3);
+    if (t < 0) t = -t;
+    t = t % 65521;
+    t = t + ((v & 7) << 8);
+    t ^= t >> 4;
+    return t & 0xffff;
+}
+
+int main() {
+    int n, i, c, s, calls;
+    int (*fp)(int, int);
+    s = 12345;
+    calls = 0;
+    for (;;) {
+        n = read(0, buf, BUFSIZE);
+        if (n <= 0) break;
+        for (i = 0; i < n; i++) {
+            c = buf[i] & 0xff;
+            if (c < 240) fp = op_acc;
+            else if (c < 248) fp = op_flip;
+            else fp = op_drop;
+            s = fp(s, c) & 0xffffff;
+            calls++;
+            if ((c & 63) == 7) s = op_mix(s, c) & 0xffffff;
+            /* A second dispatch site with an even target split: no
+             * dominant target, so devirtualization must refuse it. */
+            if ((c & 30) == 2) {
+                if ((c & 1) != 0) fp = op_flip; else fp = op_drop;
+                s = fp(s, c >> 1) & 0xffffff;
+            }
+        }
+    }
+    printf("%d calls, checksum %x\n", calls, s);
+    return 0;
+}

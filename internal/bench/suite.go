@@ -15,7 +15,27 @@ func buildSuite() []*Benchmark {
 		cccpBench(), cmpBench(), compressBench(), eqnBench(),
 		espressoBench(), grepBench(), lexBench(), makeBench(),
 		tarBench(), teeBench(), wcBench(), yaccBench(),
+		funcPtrsBench(),
 	}
+}
+
+// funcPtrsBench is the guarded-expansion workload: a dispatch kernel
+// whose hot call sites are all indirect (one dominant target) or
+// oversized (hot entry region + cold tail), so plain inline expansion
+// finds nothing and -partial-inline/-devirt-threshold do all the work.
+// It is registered for -bench funcptrs but kept out of SuiteNames — the
+// paper's twelve tables stay twelve.
+func funcPtrsBench() *Benchmark {
+	b := &Benchmark{
+		Name:      "funcptrs",
+		Source:    loadSource("funcptrs"),
+		InputDesc: "byte streams through a skewed dispatch table",
+	}
+	r := newRng(1313)
+	for i := 0; i < 12; i++ {
+		b.Inputs = append(b.Inputs, inlinec.Input{Stdin: genBinary(r, 9000+r.intn(6000))})
+	}
+	return b
 }
 
 func cccpBench() *Benchmark {

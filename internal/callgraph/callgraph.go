@@ -118,6 +118,23 @@ type Arc struct {
 	// Instr locates the call instruction within Caller.Fn.Code
 	// (-1 for synthetic arcs).
 	Instr int
+	// PtrTargets holds the profiled per-target weights of a ViaPointer
+	// arc (resolved target name -> averaged invocation count), installed
+	// by ApplyProfile. Nil for direct arcs or unprofiled graphs.
+	PtrTargets map[string]float64
+}
+
+// DominantPtrTarget returns the heaviest profiled target of a ViaPointer
+// arc, its weight, and the total resolved weight. Ties break toward the
+// lexically smaller name so selection is deterministic.
+func (a *Arc) DominantPtrTarget() (target string, weight, total float64) {
+	for t, w := range a.PtrTargets {
+		total += w
+		if w > weight || (w == weight && (target == "" || t < target)) {
+			target, weight = t, w
+		}
+	}
+	return target, weight, total
 }
 
 // Graph is the weighted call graph of one module.
@@ -216,6 +233,14 @@ func (g *Graph) ApplyProfile(prof *profile.Profile) {
 		}
 		if a.Callee == g.Pointer {
 			ptrW += a.Weight
+		}
+		if a.ViaPointer {
+			if targets := prof.PtrTargets[a.ID]; len(targets) > 0 {
+				a.PtrTargets = make(map[string]float64, len(targets))
+				for t := range targets {
+					a.PtrTargets[t] = prof.SiteTargetWeight(a.ID, t)
+				}
+			}
 		}
 	}
 	g.External.Weight = extW

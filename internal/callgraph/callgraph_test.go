@@ -303,3 +303,19 @@ func TestArcLookup(t *testing.T) {
 		t.Error("bogus id must return nil")
 	}
 }
+
+func TestDominantPtrTarget(t *testing.T) {
+	a := &callgraph.Arc{ViaPointer: true}
+	if tgt, w, tot := a.DominantPtrTarget(); tgt != "" || w != 0 || tot != 0 {
+		t.Errorf("empty histogram: %q %v %v", tgt, w, tot)
+	}
+	a.PtrTargets = map[string]float64{"zeta": 40, "alpha": 40, "mid": 20}
+	tgt, w, tot := a.DominantPtrTarget()
+	if tgt != "alpha" || w != 40 || tot != 100 {
+		t.Errorf("tie must break lexically: got %q %v of %v, want alpha 40 of 100", tgt, w, tot)
+	}
+	a.PtrTargets["zeta"] = 60
+	if tgt, w, _ := a.DominantPtrTarget(); tgt != "zeta" || w != 60 {
+		t.Errorf("dominant = %q %v, want zeta 60", tgt, w)
+	}
+}

@@ -1,0 +1,59 @@
+package inline
+
+import (
+	"fmt"
+
+	"inlinec/internal/ir"
+)
+
+// spliceDevirtCall rewrites the OpCallPtr at idx into a guarded
+// test-and-inline of target:
+//
+//	rA = addrf &target
+//	rC = eq fp, rA
+//	br rC, Linl
+//	(dst =) callptr fp(args)   ; original site, original CallID
+//	jump Lcont
+//	Linl:
+//	  <inlined body of target>
+//	Lcont:
+//
+// The guard compiles to plain IL — both interpreter engines execute it
+// through their ordinary dispatch, with no new opcodes. The fallback
+// CALLPTR keeps the site's CallID, so profiling the transformed module
+// counts exactly the calls that missed the dominant target.
+func spliceDevirtCall(fn *ir.Func, idx int, target *ir.Func) error {
+	call := fn.Code[idx]
+	if call.Op != ir.OpCallPtr {
+		return fmt.Errorf("instruction %d is %s, not a callptr", idx, call.Op)
+	}
+	if len(call.Args) < target.NumParams {
+		return fmt.Errorf("callptr has %d args, target %s wants %d", len(call.Args), target.Name, target.NumParams)
+	}
+
+	body, contLabel := inlineBody(fn, &call, target)
+	inlLabel := fn.NewLabel()
+	addrReg := fn.NewReg()
+	cmpReg := fn.NewReg()
+
+	fb := call
+	fb.Args = append([]ir.Value(nil), call.Args...)
+	head := []ir.Instr{
+		{Op: ir.OpAddrF, Dst: addrReg, Sym: target.Name, Pos: call.Pos},
+		{Op: ir.OpEq, Dst: cmpReg, A: call.A, B: ir.R(addrReg), Pos: call.Pos},
+		{Op: ir.OpBr, A: ir.R(cmpReg), Label: inlLabel, Pos: call.Pos},
+		fb,
+		{Op: ir.OpJump, Label: contLabel, Pos: call.Pos},
+		{Op: ir.OpLabel, Label: inlLabel, Pos: call.Pos},
+	}
+	fn.Inlined = append(fn.Inlined, target.Name)
+
+	out := make([]ir.Instr, 0, len(fn.Code)-1+len(head)+len(body)+1)
+	out = append(out, fn.Code[:idx]...)
+	out = append(out, head...)
+	out = append(out, body...)
+	out = append(out, ir.Instr{Op: ir.OpLabel, Label: contLabel, Pos: call.Pos})
+	out = append(out, fn.Code[idx+1:]...)
+	fn.Code = out
+	return nil
+}

@@ -74,8 +74,20 @@ func (il *Inliner) planWaves(byCaller map[string][]*callgraph.Arc) [][]string {
 		}
 		d := 0
 		for _, a := range arcs {
-			if _, pending := byCaller[a.Callee.Name]; pending {
-				if dd := depth[a.Callee.Name] + 1; dd > d {
+			dep := a.Callee.Name
+			if p := il.plans[a.ID]; p != nil {
+				if p.kind == planPartial {
+					// The region was snapshotted at selection time and the
+					// fallback is a plain call, so a partial site reads no
+					// body and imposes no dependency.
+					continue
+				}
+				if p.kind == planDevirt {
+					dep = p.target
+				}
+			}
+			if _, pending := byCaller[dep]; pending {
+				if dd := depth[dep] + 1; dd > d {
 					d = dd
 				}
 			}
@@ -186,7 +198,7 @@ func (il *Inliner) expandSitesIn(fn *ir.Func, wanted map[int]*callgraph.Arc, cac
 		var arc *callgraph.Arc
 		for i := range fn.Code {
 			in := &fn.Code[i]
-			if in.Op == ir.OpCall {
+			if in.Op == ir.OpCall || in.Op == ir.OpCallPtr {
 				if a, ok := wanted[in.CallID]; ok {
 					idx, arc = i, a
 					break
@@ -197,12 +209,30 @@ func (il *Inliner) expandSitesIn(fn *ir.Func, wanted map[int]*callgraph.Arc, cac
 			return expanded, nil
 		}
 		delete(wanted, arc.ID)
-		callee := cache.fetch(il.mod, arc.Callee.Name)
-		if callee == nil {
-			return expanded, fmt.Errorf("inline: callee %s not found for site %d", arc.Callee.Name, arc.ID)
-		}
-		if err := spliceCall(fn, idx, callee); err != nil {
-			return expanded, fmt.Errorf("inline: site %d (%s <- %s): %w", arc.ID, fn.Name, callee.Name, err)
+		switch plan := il.plans[arc.ID]; {
+		case plan != nil && plan.kind == planDevirt:
+			target := cache.fetch(il.mod, plan.target)
+			if target == nil {
+				return expanded, fmt.Errorf("inline: devirt target %s not found for site %d", plan.target, arc.ID)
+			}
+			if err := spliceDevirtCall(fn, idx, target); err != nil {
+				return expanded, fmt.Errorf("inline: site %d (%s <- ptr:%s): %w", arc.ID, fn.Name, target.Name, err)
+			}
+		case plan != nil && plan.kind == planPartial:
+			// The region snapshot is in the plan; the fetch still models
+			// the definition read, keeping lookups == splices.
+			cache.fetch(il.mod, arc.Callee.Name)
+			if err := splicePartialCall(fn, idx, plan.region); err != nil {
+				return expanded, fmt.Errorf("inline: site %d (%s <- region:%s): %w", arc.ID, fn.Name, arc.Callee.Name, err)
+			}
+		default:
+			callee := cache.fetch(il.mod, arc.Callee.Name)
+			if callee == nil {
+				return expanded, fmt.Errorf("inline: callee %s not found for site %d", arc.Callee.Name, arc.ID)
+			}
+			if err := spliceCall(fn, idx, callee); err != nil {
+				return expanded, fmt.Errorf("inline: site %d (%s <- %s): %w", arc.ID, fn.Name, callee.Name, err)
+			}
 		}
 		arc.Status = callgraph.StatusExpanded
 		expanded++
@@ -300,6 +330,25 @@ func spliceCall(fn *ir.Func, idx int, callee *ir.Func) error {
 		return fmt.Errorf("call has %d args, callee %s wants %d", len(call.Args), callee.Name, callee.NumParams)
 	}
 
+	body, contLabel := inlineBody(fn, &call, callee)
+	body = append(body, ir.Instr{Op: ir.OpLabel, Label: contLabel, Pos: call.Pos})
+	fn.Inlined = append(fn.Inlined, callee.Name)
+
+	// Splice: code[:idx] + body + code[idx+1:].
+	out := make([]ir.Instr, 0, len(fn.Code)-1+len(body))
+	out = append(out, fn.Code[:idx]...)
+	out = append(out, body...)
+	out = append(out, fn.Code[idx+1:]...)
+	fn.Code = out
+	return nil
+}
+
+// inlineBody renders a copy of callee ready for splicing in place of the
+// call: renaming tables, parameter buffering, and the call/return
+// replacement. It returns the instruction sequence (without the trailing
+// continuation label, which the caller places) and the continuation
+// label id. Both the whole-body and the devirtualized splice build on it.
+func inlineBody(fn *ir.Func, call *ir.Instr, callee *ir.Func) ([]ir.Instr, int) {
 	// Renaming tables.
 	regBase := ir.Reg(fn.NumRegs)
 	fn.NumRegs += callee.NumRegs
@@ -375,16 +424,7 @@ func spliceCall(fn *ir.Func, idx int, callee *ir.Func) error {
 		}
 		body = append(body, in)
 	}
-	body = append(body, ir.Instr{Op: ir.OpLabel, Label: contLabel, Pos: call.Pos})
-	fn.Inlined = append(fn.Inlined, callee.Name)
-
-	// Splice: code[:idx] + body + code[idx+1:].
-	out := make([]ir.Instr, 0, len(fn.Code)-1+len(body))
-	out = append(out, fn.Code[:idx]...)
-	out = append(out, body...)
-	out = append(out, fn.Code[idx+1:]...)
-	fn.Code = out
-	return nil
+	return body, contLabel
 }
 
 func accessOf(slotSize int) int {

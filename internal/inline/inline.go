@@ -72,6 +72,22 @@ type Params struct {
 	// function; this option is the ablation for when it does not — a
 	// greedy knapsack by benefit density under the program-size budget.
 	OrderByDensity bool
+	// PartialInline enables hot-region expansion of callees that fail the
+	// per-callee size limit: when MaxCalleeSize rejects a whole body, the
+	// pure entry region every invocation executes first is expanded in
+	// place, with every cold exit funnelled into a guarded fallback call
+	// to the original function. The fallback call keeps the site's id, so
+	// its profile counters stay exact in the transformed module. Ignored
+	// under NoLinearOrder (the fixed-point ablation has no plan table).
+	PartialInline bool
+	// DevirtThreshold enables guarded pointer-call devirtualization: when
+	// the profile shows a ### site resolving to one dominant defined
+	// target whose share of the site's resolved calls is at least this
+	// fraction, the site is rewritten as "if fp == &target { inlined body
+	// } else { original CALLPTR }". 0 disables it; the fallback CALLPTR
+	// keeps the site's id so the fallback arc's counters stay exact.
+	// Ignored under NoLinearOrder.
+	DevirtThreshold float64
 	// Parallelism bounds the worker pool physical expansion schedules its
 	// dependency waves over: 0 or 1 runs the serial linear walk, N > 1
 	// uses up to N workers. Any setting produces byte-identical modules
@@ -190,12 +206,21 @@ type Inliner struct {
 	estFrame map[string]int
 	progSize int
 	limit    int
+	// plans records, per accepted arc id, how physical expansion must
+	// splice it when the plain whole-body copy does not apply (partial
+	// regions and devirtualized pointer sites). Written only during the
+	// serial selection phase, read-only during (possibly parallel)
+	// expansion.
+	plans map[int]*expandPlan
 }
 
 // New prepares an inliner over mod using the weighted call graph g.
 // The module is mutated in place; clone it first to keep the original.
 func New(mod *ir.Module, g *callgraph.Graph, prof *profile.Profile, params Params) *Inliner {
-	return &Inliner{mod: mod, graph: g, prof: prof, params: params.withDefaults()}
+	return &Inliner{
+		mod: mod, graph: g, prof: prof, params: params.withDefaults(),
+		plans: make(map[int]*expandPlan),
+	}
 }
 
 // Run executes the full three-phase procedure and returns the result.
@@ -234,11 +259,24 @@ func (il *Inliner) recordMetrics(res *Result) {
 	if reg == nil {
 		return
 	}
+	var partial, devirt int64
 	for _, ev := range res.Trace {
 		reg.Counter("inline_arcs_total",
 			"Arcs seen by expansion-site selection, by outcome and reason.",
 			"outcome", string(ev.Outcome), "reason", string(ev.Reason)).Inc()
+		switch ev.Outcome {
+		case obs.OutcomePartialInlined:
+			partial++
+		case obs.OutcomeDevirtualized:
+			devirt++
+		}
 	}
+	reg.Counter("inline_partial_total",
+		"Hot-region partial expansions (guarded fallback call to the original callee).").
+		Add(partial)
+	reg.Counter("inline_devirt_total",
+		"Pointer-call sites devirtualized into a guarded dominant-target inline.").
+		Add(devirt)
 	reg.Counter("inline_expansions_total", "Physical call-site splices performed.").
 		Add(int64(res.NumExpansions))
 	reg.Counter("inline_bodycache_lookups_total", "Body-cache lookups during physical expansion.").
@@ -328,6 +366,15 @@ func (il *Inliner) selectSites(res *Result) {
 	for _, a := range il.graph.Arcs {
 		switch {
 		case a.Callee.IsSpecial():
+			if a.ViaPointer && il.params.DevirtThreshold > 0 &&
+				!il.params.NoLinearOrder && len(a.PtrTargets) > 0 {
+				// A profiled pointer site is a devirtualization candidate:
+				// it joins the considered arcs so the guarded test-and-inline
+				// competes for the program-size budget in weight order.
+				a.Status = callgraph.StatusExpandable
+				arcs = append(arcs, a)
+				break
+			}
 			// Arcs touching $$$ or ### can never be expanded.
 			exclude(a, obs.ReasonSpecialCallee,
 				fmt.Sprintf("callee is the %s summary node", a.Callee.Name))
@@ -376,6 +423,10 @@ func (il *Inliner) selectSites(res *Result) {
 	})
 
 	for _, a := range arcs {
+		if a.ViaPointer {
+			il.considerDevirt(a, res)
+			continue
+		}
 		d := Decision{SiteID: a.ID, Caller: a.Caller.Name, Callee: a.Callee.Name, Weight: a.Weight}
 		ev := obs.ArcEvent{Site: a.ID, Caller: a.Caller.Name, Callee: a.Callee.Name, Weight: a.Weight}
 		cost, code, reason := il.cost(a)
@@ -391,6 +442,32 @@ func (il *Inliner) selectSites(res *Result) {
 			SizeLimit:   il.limit,
 		}
 		if math.IsInf(cost, 1) {
+			if code == obs.ReasonCalleeSizeLimit && il.params.PartialInline &&
+				!il.params.NoLinearOrder {
+				// The whole body is too large; try to expand just its hot
+				// entry region with a guarded fallback to the original.
+				if plan, grow, detail, why := il.planPartial(a); plan != nil {
+					if il.progSize+grow > il.limit {
+						code = obs.ReasonProgramSizeLimit
+						reason = fmt.Sprintf("program size %d+%d would exceed limit %d",
+							il.progSize, grow, il.limit)
+					} else {
+						a.Status = callgraph.StatusToBeExpanded
+						il.plans[a.ID] = plan
+						d.Accepted = true
+						ev.Outcome, ev.Detail = obs.OutcomePartialInlined, detail
+						il.estSize[a.Caller.Name] += grow
+						il.progSize += grow
+						il.estFrame[a.Caller.Name] += il.estFrame[a.Callee.Name]
+						res.Decisions = append(res.Decisions, d)
+						res.Expanded = append(res.Expanded, d)
+						res.Trace = append(res.Trace, ev)
+						continue
+					}
+				} else {
+					code, reason = obs.ReasonNoHotRegion, why
+				}
+			}
 			d.Reason, d.Code = reason, code
 			ev.Outcome, ev.Reason, ev.Detail = obs.OutcomeRejected, code, reason
 			res.Decisions = append(res.Decisions, d)
@@ -436,6 +513,99 @@ func (il *Inliner) cost(a *callgraph.Arc) (float64, obs.Reason, string) {
 		return math.Inf(1), obs.ReasonCalleeSizeLimit,
 			fmt.Sprintf("callee size %d exceeds per-callee limit %d", grow, il.params.MaxCalleeSize)
 	}
+	if il.progSize+grow > il.limit {
+		return math.Inf(1), obs.ReasonProgramSizeLimit,
+			fmt.Sprintf("program size %d+%d would exceed limit %d", il.progSize, grow, il.limit)
+	}
+	return float64(grow), obs.ReasonNone, ""
+}
+
+// devirtGuardSize is the instruction overhead of a devirtualized site
+// beyond the inlined target body: addrf + eq + br + the jump around the
+// fallback CALLPTR (which itself replaces the original call).
+const devirtGuardSize = 4
+
+// considerDevirt evaluates one profiled pointer-call arc for guarded
+// devirtualization and appends its decision and trace event. An accepted
+// site is rewritten during physical expansion as a test-and-inline of
+// the dominant target; the fallback CALLPTR keeps the site id so the
+// fallback arc's counters stay exact in the transformed module.
+func (il *Inliner) considerDevirt(a *callgraph.Arc, res *Result) {
+	target, domW, totW := a.DominantPtrTarget()
+	d := Decision{SiteID: a.ID, Caller: a.Caller.Name, Callee: a.Callee.Name, Weight: a.Weight}
+	ev := obs.ArcEvent{Site: a.ID, Caller: a.Caller.Name, Callee: a.Callee.Name, Weight: a.Weight}
+	ev.Cost = &obs.CostTerms{
+		Weight:      a.Weight,
+		Threshold:   il.params.WeightThreshold,
+		CalleeSize:  il.estSize[target],
+		CalleeFrame: il.estFrame[target],
+		StackBound:  il.params.StackBound,
+		ProgSize:    il.progSize,
+		SizeLimit:   il.limit,
+	}
+	cost, code, reason := il.costDevirt(a, target, domW, totW)
+	if math.IsInf(cost, 1) {
+		d.Reason, d.Code = reason, code
+		ev.Outcome, ev.Reason, ev.Detail = obs.OutcomeRejected, code, reason
+		res.Decisions = append(res.Decisions, d)
+		res.Trace = append(res.Trace, ev)
+		return
+	}
+	a.Status = callgraph.StatusToBeExpanded
+	il.plans[a.ID] = &expandPlan{kind: planDevirt, target: target}
+	d.Accepted = true
+	ev.Outcome = obs.OutcomeDevirtualized
+	ev.Detail = fmt.Sprintf("dominant target %s takes %.0f of %.0f resolved calls (%.0f%%)",
+		target, domW, totW, 100*domW/totW)
+	grow := il.estSize[target] + devirtGuardSize
+	il.estSize[a.Caller.Name] += grow
+	il.progSize += grow
+	il.estFrame[a.Caller.Name] += il.estFrame[target]
+	res.Decisions = append(res.Decisions, d)
+	res.Expanded = append(res.Expanded, d)
+	res.Trace = append(res.Trace, ev)
+}
+
+// costDevirt is the cost function for a devirtualization candidate: the
+// whole-body rules of cost applied to the dominant target, plus the
+// dominance-fraction test that makes the guard worthwhile.
+func (il *Inliner) costDevirt(a *callgraph.Arc, target string, domW, totW float64) (float64, obs.Reason, string) {
+	if target == "" || il.mod.Func(target) == nil {
+		return math.Inf(1), obs.ReasonSpecialCallee,
+			fmt.Sprintf("dominant target %q is not a defined function", target)
+	}
+	if totW <= 0 || domW/totW < il.params.DevirtThreshold {
+		return math.Inf(1), obs.ReasonDevirtBelowThreshold,
+			fmt.Sprintf("dominant target %s takes %.0f of %.0f resolved calls (%.0f%% < %.0f%%)",
+				target, domW, totW, 100*domW/math.Max(totW, 1), 100*il.params.DevirtThreshold)
+	}
+	tn := il.graph.Nodes[target]
+	if tn == a.Caller {
+		return math.Inf(1), obs.ReasonSelfRecursion, "dominant target is the caller itself"
+	}
+	if il.orderPos[target] >= il.orderPos[a.Caller.Name] {
+		return math.Inf(1), obs.ReasonLinearOrder,
+			fmt.Sprintf("dominant target %s at linear position %d does not precede caller at %d",
+				target, il.orderPos[target]+1, il.orderPos[a.Caller.Name]+1)
+	}
+	recursive := il.graph.Recursive(tn)
+	if il.params.ConservativeRecursion {
+		recursive = il.graph.ConservativelyRecursive(tn)
+	}
+	if recursive && il.estFrame[target] > il.params.StackBound {
+		return math.Inf(1), obs.ReasonStackBound,
+			fmt.Sprintf("dominant target on recursive path with frame %dB > stack bound %dB",
+				il.estFrame[target], il.params.StackBound)
+	}
+	if ok, code, why := il.accepts(target, domW); !ok {
+		return math.Inf(1), code, why
+	}
+	if il.params.MaxCalleeSize > 0 && il.estSize[target] > il.params.MaxCalleeSize {
+		return math.Inf(1), obs.ReasonCalleeSizeLimit,
+			fmt.Sprintf("dominant target size %d exceeds per-callee limit %d",
+				il.estSize[target], il.params.MaxCalleeSize)
+	}
+	grow := il.estSize[target] + devirtGuardSize
 	if il.progSize+grow > il.limit {
 		return math.Inf(1), obs.ReasonProgramSizeLimit,
 			fmt.Sprintf("program size %d+%d would exceed limit %d", il.progSize, grow, il.limit)

@@ -1,0 +1,258 @@
+package inline
+
+import (
+	"strings"
+	"testing"
+
+	"inlinec/internal/ir"
+	"inlinec/internal/obs"
+)
+
+// hotColdSrc: work has a pure early-return fast path taken for most
+// inputs and a cold loop tail large enough to blow a tight per-callee
+// limit. Partial inlining should splice the fast path and fall back to
+// the original work on the cold quarter.
+const hotColdSrc = `
+extern int printf(char *fmt, ...);
+int work(int x) {
+    int i; int t;
+    if ((x & 3) != 0) return x + x + 7;
+    t = x ^ 23;
+    for (i = 0; i < 20; i++) {
+        t = t + i;
+        t = t ^ (t >> 2);
+        if (t & 1) t = t + 5; else t = t - 3;
+        t = t & 0xffff;
+    }
+    return t;
+}
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 200; i++) s += work(i);
+    printf("%d\n", s);
+    return 0;
+}
+`
+
+func tracedOutcome(res *Result, callee string) (obs.Outcome, obs.Reason, string) {
+	for _, ev := range res.Trace {
+		if ev.Callee == callee {
+			return ev.Outcome, ev.Reason, ev.Detail
+		}
+	}
+	return "", obs.ReasonNone, ""
+}
+
+func TestPartialInlineHotRegion(t *testing.T) {
+	mod, g, prof := build(t, hotColdSrc)
+	before, stBefore := runModule(t, mod)
+	res, err := Expand(mod, g, prof, Params{
+		WeightThreshold: 1, SizeLimitFactor: 3.0, MaxCalleeSize: 30,
+		PartialInline: true,
+	})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	out, rej, detail := tracedOutcome(res, "work")
+	if out != obs.OutcomePartialInlined {
+		t.Fatalf("main<-work outcome = %s (%s, %q), want partial_inlined", out, rej, detail)
+	}
+	if !strings.Contains(detail, "hot entry region") {
+		t.Errorf("partial_inlined detail = %q, want region size report", detail)
+	}
+	after, stAfter := runModule(t, mod)
+	if before != after {
+		t.Fatalf("output changed: %q -> %q", before, after)
+	}
+	// The fast path covers 3 of 4 iterations; those calls vanish, the cold
+	// quarter still reaches the fallback — so the original work must
+	// survive elimination and still be called.
+	if stAfter.Calls >= stBefore.Calls {
+		t.Errorf("calls %d -> %d; want decrease from the hot region", stBefore.Calls, stAfter.Calls)
+	}
+	if mod.Func("work") == nil {
+		t.Error("fallback target work was eliminated")
+	}
+	userCalls := stAfter.Calls - stAfter.ExternCalls
+	if userCalls == 0 {
+		t.Error("cold fallback path never called the original work")
+	}
+	if err := mod.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestPartialInlineNoHotRegion(t *testing.T) {
+	// No early return: the only return sits beyond the cold loop, so no
+	// return fits inside the region budget and the split must be refused
+	// with a specific reason.
+	src := `
+extern int printf(char *fmt, ...);
+int grind(int x) {
+    int i; int t;
+    t = x;
+    for (i = 0; i < 10; i++) {
+        t = t + i;
+        t = t ^ (t >> 3);
+        if (t & 1) t = t + 9; else t = t - 2;
+        t = t & 0xffff;
+    }
+    return t;
+}
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 100; i++) s += grind(i);
+    printf("%d\n", s);
+    return 0;
+}
+`
+	mod, g, prof := build(t, src)
+	res, err := Expand(mod, g, prof, Params{
+		WeightThreshold: 1, SizeLimitFactor: 3.0, MaxCalleeSize: 10,
+		PartialInline: true,
+	})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	out, rej, detail := tracedOutcome(res, "grind")
+	if out != obs.OutcomeRejected || rej != obs.ReasonNoHotRegion {
+		t.Fatalf("main<-grind = %s/%s (%q), want rejected/no_hot_region", out, rej, detail)
+	}
+	if !strings.Contains(detail, "return") {
+		t.Errorf("no_hot_region detail = %q, want the unreachable-return explanation", detail)
+	}
+}
+
+func TestPlanRegionRefusals(t *testing.T) {
+	// planRegion's remaining refusal reasons, driven directly on IL.
+	tiny := func(code []ir.Instr, regs int) *ir.Func {
+		return &ir.Func{Name: "f", NumRegs: regs, Code: code}
+	}
+	// Entire body is one pure return: no cold exit, nothing to guard.
+	rp, why := planRegion(tiny([]ir.Instr{
+		{Op: ir.OpConst, Dst: 0, A: ir.C(1)},
+		{Op: ir.OpRet, A: ir.R(0)},
+	}, 1), 10)
+	if rp != nil || !strings.Contains(why, "every reachable path") {
+		t.Errorf("all-pure body: rp=%v why=%q", rp, why)
+	}
+	// Entry instruction itself is impure: zero-size region.
+	rp, why = planRegion(tiny([]ir.Instr{
+		{Op: ir.OpCall, Sym: "g"},
+		{Op: ir.OpRet},
+	}, 0), 10)
+	if rp != nil || !strings.Contains(why, "not re-executable") {
+		t.Errorf("impure entry: rp=%v why=%q", rp, why)
+	}
+}
+
+// dispatchSrc routes 7 of 8 iterations to the small handler aa and the
+// rest to bb — a 87.5% dominant pointer site.
+const dispatchSrc = `
+extern int printf(char *fmt, ...);
+int aa(int x) { return x + 3; }
+int bb(int x) { return x * 5; }
+int main() {
+    int i; int s;
+    int (*fp)(int);
+    s = 0;
+    for (i = 0; i < 160; i++) {
+        if ((i & 7) != 0) fp = aa; else fp = bb;
+        s += fp(i) & 0xffff;
+    }
+    printf("%d\n", s);
+    return 0;
+}
+`
+
+func TestDevirtDominantTarget(t *testing.T) {
+	mod, g, prof := build(t, dispatchSrc)
+	before, stBefore := runModule(t, mod)
+	res, err := Expand(mod, g, prof, Params{
+		WeightThreshold: 1, SizeLimitFactor: 3.0, DevirtThreshold: 0.8,
+	})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	out, rej, detail := tracedOutcome(res, "###")
+	if out != obs.OutcomeDevirtualized {
+		t.Fatalf("pointer site = %s/%s (%q), want devirtualized", out, rej, detail)
+	}
+	if !strings.Contains(detail, "dominant target aa") {
+		t.Errorf("devirt detail = %q, want dominant target aa", detail)
+	}
+	after, stAfter := runModule(t, mod)
+	if before != after {
+		t.Fatalf("output changed: %q -> %q", before, after)
+	}
+	// 140 of 160 calls hit the guard's inlined body; only bb's 20 still go
+	// through the fallback CALLPTR.
+	if stAfter.PtrCalls >= stBefore.PtrCalls {
+		t.Errorf("ptr calls %d -> %d; want decrease from the guard", stBefore.PtrCalls, stAfter.PtrCalls)
+	}
+	if stAfter.PtrCalls == 0 {
+		t.Error("fallback CALLPTR never fired for the minority target")
+	}
+	if err := mod.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestDevirtBelowThreshold(t *testing.T) {
+	src := `
+extern int printf(char *fmt, ...);
+int aa(int x) { return x + 3; }
+int bb(int x) { return x * 5; }
+int main() {
+    int i; int s;
+    int (*fp)(int);
+    s = 0;
+    for (i = 0; i < 160; i++) {
+        if ((i & 1) != 0) fp = aa; else fp = bb;
+        s += fp(i) & 0xffff;
+    }
+    printf("%d\n", s);
+    return 0;
+}
+`
+	mod, g, prof := build(t, src)
+	res, err := Expand(mod, g, prof, Params{
+		WeightThreshold: 1, SizeLimitFactor: 3.0, DevirtThreshold: 0.8,
+	})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	out, rej, detail := tracedOutcome(res, "###")
+	if out != obs.OutcomeRejected || rej != obs.ReasonDevirtBelowThreshold {
+		t.Fatalf("even split = %s/%s (%q), want rejected/devirt_below_threshold", out, rej, detail)
+	}
+	if !strings.Contains(detail, "< 80%") {
+		t.Errorf("below-threshold detail = %q, want the dominance comparison", detail)
+	}
+}
+
+func TestGuardedExpansionDeterministic(t *testing.T) {
+	// Both guarded splices must be byte-identical at any worker count —
+	// the plan table is written serially and only read by the waves.
+	render := func(par int) string {
+		mod, g, prof := build(t, hotColdSrc+`
+int helper(int x) { return x; }
+`)
+		_, err := Expand(mod, g, prof, Params{
+			WeightThreshold: 1, SizeLimitFactor: 3.0, MaxCalleeSize: 30,
+			PartialInline: true, DevirtThreshold: 0.8, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatalf("expand at par %d: %v", par, err)
+		}
+		return mod.String()
+	}
+	ref := render(1)
+	for _, par := range []int{2, 8} {
+		if got := render(par); got != ref {
+			t.Errorf("module differs between Parallelism 1 and %d", par)
+		}
+	}
+}

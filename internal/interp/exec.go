@@ -434,6 +434,7 @@ func (m *Machine) execBC(entry *bcFunc, args []int64, st *profile.RunStats) (int
 				if m.ptrEntries != nil {
 					m.bumpPtrEntry(int32(pt.user.id))
 				}
+				m.bumpPtrTarget(int(ci.site), pt.user.id)
 				f = nf
 				depth++
 				bf = f.bf
@@ -451,6 +452,7 @@ func (m *Machine) execBC(entry *bcFunc, args []int64, st *profile.RunStats) (int
 				} else {
 					m.bumpPtrEntry(pt.id)
 				}
+				m.bumpPtrTarget(int(ci.site), int(pt.id))
 				rv, err := pt.ext(m, callArgs)
 				if err != nil {
 					if _, isExit := err.(*exitError); isExit {

@@ -120,6 +120,19 @@ type Machine struct {
 	funcCounts []int64
 	siteCounts []int64
 
+	// Per-target counters for pointer call sites: ptrSiteIdx maps a
+	// call-site id to a compact pointer-site index (-1 for direct sites),
+	// ptrSiteIDs is the reverse map, and ptrTargetCounts is the flat
+	// [site index][dense function id] histogram. These are exact in every
+	// profile mode — never masked or sampled — because devirtualization
+	// needs true dominance fractions and minimal-mode profiles must stay
+	// byte-identical to full-mode ones. They are excluded from
+	// ProfileEvents.
+	ptrSiteIdx      []int32
+	ptrSiteIDs      []int32
+	ptrTargetCounts []int64
+	ptrStride       int
+
 	// Profile-mode state (profmode.go). profileMode is the resolved
 	// Options.ProfileMode; sampleK the resolved 1-in-k rate (1 = exact).
 	// entryCount/siteCount are the coverage plan's counter masks (nil in
@@ -244,6 +257,22 @@ func NewMachine(mod *ir.Module, env *Env, opts Options) (*Machine, error) {
 	}
 	m.siteCounts = make([]int64, maxCallID+1)
 
+	m.ptrSiteIdx = make([]int32, maxCallID+1)
+	for i := range m.ptrSiteIdx {
+		m.ptrSiteIdx[i] = -1
+	}
+	for _, cf := range cfs {
+		for pc := range cf.fn.Code {
+			in := &cf.fn.Code[pc]
+			if in.Op == ir.OpCallPtr && m.ptrSiteIdx[in.CallID] < 0 {
+				m.ptrSiteIdx[in.CallID] = int32(len(m.ptrSiteIDs))
+				m.ptrSiteIDs = append(m.ptrSiteIDs, int32(in.CallID))
+			}
+		}
+	}
+	m.ptrStride = len(m.funcCounts)
+	m.ptrTargetCounts = make([]int64, len(m.ptrSiteIDs)*m.ptrStride)
+
 	// Resolve the profile mode before translation: the bytecode
 	// translator reads the counter masks to elide counter updates on
 	// uninstrumented arcs.
@@ -294,9 +323,12 @@ func (m *Machine) Run() (*profile.RunStats, error) {
 // first. Reusing the stats (its maps keep their buckets) lets steady-
 // state benchmark loops run without a single allocation.
 func (m *Machine) RunInto(st *profile.RunStats) error {
-	*st = profile.RunStats{SiteCounts: st.SiteCounts, FuncCounts: st.FuncCounts}
+	*st = profile.RunStats{SiteCounts: st.SiteCounts, FuncCounts: st.FuncCounts, PtrTargets: st.PtrTargets}
 	clear(st.SiteCounts)
 	clear(st.FuncCounts)
+	for _, targets := range st.PtrTargets {
+		clear(targets)
+	}
 
 	mainFn, ok := m.funcs["main"]
 	if !ok {
@@ -316,6 +348,9 @@ func (m *Machine) RunInto(st *profile.RunStats) error {
 	}
 	for i := range m.siteCounts {
 		m.siteCounts[i] = 0
+	}
+	for i := range m.ptrTargetCounts {
+		m.ptrTargetCounts[i] = 0
 	}
 	m.resetProfileCounters()
 
@@ -380,6 +415,22 @@ func (m *Machine) foldCounts(st *profile.RunStats) {
 		if n != 0 {
 			st.SiteCounts[sid] += n
 		}
+	}
+	for pi, sid := range m.ptrSiteIDs {
+		row := m.ptrTargetCounts[pi*m.ptrStride : (pi+1)*m.ptrStride]
+		for tid, n := range row {
+			if n != 0 {
+				st.AddPtrTarget(int(sid), m.funcNames[tid], n)
+			}
+		}
+	}
+}
+
+// bumpPtrTarget counts one resolved target at a pointer call site. Exact
+// in every profile mode (see the field comment on ptrTargetCounts).
+func (m *Machine) bumpPtrTarget(site, tid int) {
+	if pi := m.ptrSiteIdx[site]; pi >= 0 {
+		m.ptrTargetCounts[int(pi)*m.ptrStride+tid]++
 	}
 }
 
@@ -606,6 +657,7 @@ func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) 
 				if m.ptrEntries != nil {
 					m.bumpPtrEntry(int32(callee.id))
 				}
+				m.bumpPtrTarget(in.CallID, callee.id)
 				f = nf
 				depth++
 				continue
@@ -617,6 +669,7 @@ func (m *Machine) exec(entry *compiledFunc, args []int64, st *profile.RunStats) 
 				} else {
 					m.bumpPtrEntry(int32(et.id))
 				}
+				m.bumpPtrTarget(in.CallID, et.id)
 				rv, err := et.impl(m, callArgs)
 				if err != nil {
 					if _, isExit := err.(*exitError); isExit {

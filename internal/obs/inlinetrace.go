@@ -11,7 +11,9 @@ import (
 // Outcome classifies what expansion-site selection did with one arc.
 type Outcome string
 
-// The three arc outcomes of the paper's phase 2.
+// The arc outcomes: the paper's three phase-2 verdicts plus the two
+// guarded-expansion forms (partial inlining and pointer-call
+// devirtualization).
 const (
 	// OutcomeExpanded marks a to_be_expanded arc.
 	OutcomeExpanded Outcome = "expanded"
@@ -21,7 +23,22 @@ const (
 	// OutcomeNotExpandable marks an arc excluded before cost evaluation
 	// (linear-order violation, $$$/### endpoint, recursion).
 	OutcomeNotExpandable Outcome = "not_expandable"
+	// OutcomePartialInlined marks an arc whose callee exceeded the
+	// per-callee size limit but whose hot entry region was expanded with
+	// a guarded fallback call to the original function.
+	OutcomePartialInlined Outcome = "partial_inlined"
+	// OutcomeDevirtualized marks a pointer-call arc rewritten into a
+	// guarded test-and-inline of its dominant profiled target, with the
+	// original CALLPTR kept on the fallback path.
+	OutcomeDevirtualized Outcome = "devirtualized"
 )
+
+// IsAccepted reports whether the outcome put code into the caller
+// (full, partial, or devirtualized expansion) — accepted arcs carry no
+// rejection reason.
+func (o Outcome) IsAccepted() bool {
+	return o == OutcomeExpanded || o == OutcomePartialInlined || o == OutcomeDevirtualized
+}
 
 // Reason is the machine-readable code for why an arc was not expanded.
 // Each code maps to one paper-level rule.
@@ -61,6 +78,15 @@ const (
 	// ReasonProgramSizeLimit: accepting the arc would push the whole
 	// program past the code-size limit (SizeLimitFactor × original).
 	ReasonProgramSizeLimit Reason = "program_size_limit"
+	// ReasonDevirtBelowThreshold: a pointer-call site's dominant profiled
+	// target falls below the devirtualization fraction, so the guarded
+	// test-and-inline would mispredict too often to pay off.
+	ReasonDevirtBelowThreshold Reason = "devirt_below_threshold"
+	// ReasonNoHotRegion: the callee exceeded the size limit and partial
+	// inlining found no pure entry region worth splitting out (the entry
+	// block calls, stores through escaping pointers, or covers the whole
+	// body).
+	ReasonNoHotRegion Reason = "no_hot_region"
 )
 
 // CostTerms are the cost-function inputs at the moment an arc was
@@ -147,11 +173,15 @@ func FormatInlineReport(order []string, events []ArcEvent) string {
 		fmt.Fprintf(&sb, "  %3d. %s\n", i+1, n)
 	}
 
-	var expanded, rejected, notExpandable []ArcEvent
+	var expanded, partial, devirt, rejected, notExpandable []ArcEvent
 	for _, ev := range events {
 		switch ev.Outcome {
 		case OutcomeExpanded:
 			expanded = append(expanded, ev)
+		case OutcomePartialInlined:
+			partial = append(partial, ev)
+		case OutcomeDevirtualized:
+			devirt = append(devirt, ev)
 		case OutcomeRejected:
 			rejected = append(rejected, ev)
 		default:
@@ -159,16 +189,28 @@ func FormatInlineReport(order []string, events []ArcEvent) string {
 		}
 	}
 
-	fmt.Fprintf(&sb, "\nexpanded (%d arcs, heaviest first):\n", len(expanded))
-	if len(expanded) == 0 {
-		sb.WriteString("  (none)\n")
-	}
-	for _, ev := range expanded {
-		fmt.Fprintf(&sb, "  site %-4d %-24s <- %-24s weight %.1f", ev.Site, ev.Caller, ev.Callee, ev.Weight)
-		if ev.Cost != nil {
-			fmt.Fprintf(&sb, "  (+%d IL, program %d/%d)", ev.Cost.CalleeSize, ev.Cost.ProgSize, ev.Cost.SizeLimit)
+	accepted := func(header string, evs []ArcEvent) {
+		fmt.Fprintf(&sb, "\n%s (%d arcs, heaviest first):\n", header, len(evs))
+		if len(evs) == 0 {
+			sb.WriteString("  (none)\n")
 		}
-		sb.WriteByte('\n')
+		for _, ev := range evs {
+			fmt.Fprintf(&sb, "  site %-4d %-24s <- %-24s weight %.1f", ev.Site, ev.Caller, ev.Callee, ev.Weight)
+			if ev.Cost != nil {
+				fmt.Fprintf(&sb, "  (+%d IL, program %d/%d)", ev.Cost.CalleeSize, ev.Cost.ProgSize, ev.Cost.SizeLimit)
+			}
+			if ev.Detail != "" {
+				fmt.Fprintf(&sb, "  [%s]", ev.Detail)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	accepted("expanded", expanded)
+	if len(partial) > 0 {
+		accepted("partially inlined (hot entry region + guarded fallback)", partial)
+	}
+	if len(devirt) > 0 {
+		accepted("devirtualized (guarded test-and-inline of dominant target)", devirt)
 	}
 
 	fmt.Fprintf(&sb, "\nrejected by the cost function (%d arcs):\n", len(rejected))

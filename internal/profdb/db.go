@@ -36,6 +36,11 @@ type Record struct {
 
 	Funcs map[string]int64
 	Sites map[SiteKey]int64
+	// Targets holds the per-target resolution counts of pointer-call
+	// sites (site key -> resolved target function -> count), the data
+	// behind guarded devirtualization. Absent for direct sites, so old
+	// databases without target lines parse — and re-serialize — as-is.
+	Targets map[SiteKey]map[string]int64
 
 	// SampleRate records how the runs behind this record were counted:
 	// 0 means exact (full or minimal profile mode), k > 0 means sampled
@@ -52,7 +57,19 @@ func NewRecord(fingerprint string, gen int) *Record {
 		Gen:         gen,
 		Funcs:       make(map[string]int64),
 		Sites:       make(map[SiteKey]int64),
+		Targets:     make(map[SiteKey]map[string]int64),
 	}
+}
+
+// addTarget accumulates one per-target count, allocating the inner map
+// on first use.
+func (r *Record) addTarget(k SiteKey, target string, n int64) {
+	m := r.Targets[k]
+	if m == nil {
+		m = make(map[string]int64)
+		r.Targets[k] = m
+	}
+	m[target] += n
 }
 
 // add accumulates another record's counts (same fingerprint and gen).
@@ -74,7 +91,25 @@ func (r *Record) add(o *Record) {
 	for k, n := range o.Sites {
 		r.Sites[k] += n
 	}
+	for k, targets := range o.Targets {
+		for t, n := range targets {
+			r.addTarget(k, t, n)
+		}
+	}
 	r.SampleRate = combineSampleRates(r.SampleRate, o.SampleRate, r.Runs-o.Runs, o.Runs)
+}
+
+// sortedTargetKeys returns the site keys with per-target data in on-disk
+// order, skipping empty inner maps so they never affect serialization.
+func (r *Record) sortedTargetKeys() []SiteKey {
+	keys := make([]SiteKey, 0, len(r.Targets))
+	for k := range r.Targets {
+		if len(r.Targets[k]) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return siteKeyLess(keys[i], keys[j]) })
+	return keys
 }
 
 // combineSampleRates merges the sampling rates of two run populations:
@@ -100,20 +135,22 @@ func (r *Record) sortedSiteKeys() []SiteKey {
 	for k := range r.Sites {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.Caller != b.Caller {
-			return a.Caller < b.Caller
-		}
-		if a.Callee != b.Callee {
-			return a.Callee < b.Callee
-		}
-		if a.Ordinal != b.Ordinal {
-			return a.Ordinal < b.Ordinal
-		}
-		return a.PosHash < b.PosHash
-	})
+	sort.Slice(keys, func(i, j int) bool { return siteKeyLess(keys[i], keys[j]) })
 	return keys
+}
+
+// siteKeyLess is the canonical on-disk site-key order.
+func siteKeyLess(a, b SiteKey) bool {
+	if a.Caller != b.Caller {
+		return a.Caller < b.Caller
+	}
+	if a.Callee != b.Callee {
+		return a.Callee < b.Callee
+	}
+	if a.Ordinal != b.Ordinal {
+		return a.Ordinal < b.Ordinal
+	}
+	return a.PosHash < b.PosHash
 }
 
 // sortedFuncNames returns the record's function names in on-disk order.
@@ -308,6 +345,18 @@ func (r *Record) Resolve(keys *KeyMap) (*profile.Profile, *ResolveStats) {
 		}
 		prof.SiteCounts[id] += n
 	}
+	// Per-target pointer-site counts ride on the same keys: a target
+	// entry resolves exactly when its site does (the drop was already
+	// reported above, since every target key also has a site entry).
+	for _, k := range r.sortedTargetKeys() {
+		id, _, ok := keys.Resolve(k)
+		if !ok {
+			continue
+		}
+		for t, n := range r.Targets[k] {
+			prof.AddPtrTarget(id, t, n)
+		}
+	}
 	for _, f := range r.sortedFuncNames() {
 		if !keys.HasFunc(f) {
 			stats.DroppedFuncs++
@@ -403,6 +452,7 @@ func (db *DB) mergeAt(fingerprint string, maxGen int, p MergeParams) (*Record, *
 	var runs, il, control, calls, returns, extern, ptr, truncated float64
 	funcs := make(map[string]float64)
 	sites := make(map[SiteKey]float64)
+	targets := make(map[SiteKey]map[string]float64)
 	includedRuns := 0
 	for _, key := range db.sortedKeys() {
 		rec := db.Records[key]
@@ -442,6 +492,16 @@ func (db *DB) mergeAt(fingerprint string, maxGen int, p MergeParams) (*Record, *
 		for k, n := range rec.Sites {
 			sites[k] += w * float64(n)
 		}
+		for k, ts := range rec.Targets {
+			m := targets[k]
+			if m == nil {
+				m = make(map[string]float64)
+				targets[k] = m
+			}
+			for t, n := range ts {
+				m[t] += w * float64(n)
+			}
+		}
 	}
 	round := func(v float64) int64 { return int64(math.Round(v)) }
 	out.Runs = int(round(runs))
@@ -463,6 +523,13 @@ func (db *DB) mergeAt(fingerprint string, maxGen int, p MergeParams) (*Record, *
 	for k, v := range sites {
 		if n := round(v); n > 0 {
 			out.Sites[k] = n
+		}
+	}
+	for k, ts := range targets {
+		for t, v := range ts {
+			if n := round(v); n > 0 {
+				out.addTarget(k, t, n)
+			}
 		}
 	}
 	return out, stats

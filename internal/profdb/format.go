@@ -34,6 +34,7 @@ import (
 //	samplerate <k>          (optional; k>0 sampled, -1 mixed, omitted exact)
 //	func <name> <total-count>
 //	site <caller> <callee> <ordinal> <poshash> <total-count>
+//	target <caller> <callee> <ordinal> <poshash> <target-func> <total-count>
 //	end
 //	record ...
 //
@@ -114,6 +115,17 @@ func writeRecordBody(sb *strings.Builder, rec *Record) {
 	}
 	for _, k := range rec.sortedSiteKeys() {
 		fmt.Fprintf(sb, "site %s %d\n", k, rec.Sites[k])
+	}
+	for _, k := range rec.sortedTargetKeys() {
+		ts := rec.Targets[k]
+		names := make([]string, 0, len(ts))
+		for t := range ts {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		for _, t := range names {
+			fmt.Fprintf(sb, "target %s %s %d\n", k, t, ts[t])
+		}
 	}
 }
 
@@ -248,6 +260,28 @@ func (d *decoder) readBodyLine(fields []string, rec *Record, seen map[string]int
 			return true, d.errf("duplicate site entry %q", k.String())
 		}
 		rec.Sites[k] = v
+		return true, nil
+	case "target":
+		if len(fields) != 7 {
+			return true, d.errf("malformed target entry (want `target <caller> <callee> <ordinal> <poshash> <target-func> <count>`)")
+		}
+		ord, err := d.num(fields[3])
+		if err != nil {
+			return true, err
+		}
+		ph, err := strconv.ParseUint(fields[4], 16, 32)
+		if err != nil {
+			return true, d.errf("bad poshash %q", fields[4])
+		}
+		v, err := d.num(fields[6])
+		if err != nil {
+			return true, err
+		}
+		k := SiteKey{Caller: fields[1], Callee: fields[2], Ordinal: int(ord), PosHash: uint32(ph)}
+		if _, dup := rec.Targets[k][fields[5]]; dup {
+			return true, d.errf("duplicate target entry %q %s", k.String(), fields[5])
+		}
+		rec.addTarget(k, fields[5], v)
 		return true, nil
 	}
 	return false, nil
@@ -458,6 +492,21 @@ func SnapshotOf(prof *profile.Profile, mod *ir.Module, gen int) (*Record, error)
 				id, mod.Name)
 		}
 		rec.Sites[k] += prof.SiteCounts[id]
+	}
+	tids := make([]int, 0, len(prof.PtrTargets))
+	for id := range prof.PtrTargets {
+		tids = append(tids, id)
+	}
+	sort.Ints(tids)
+	for _, id := range tids {
+		k, ok := keys.Key(id)
+		if !ok {
+			return nil, fmt.Errorf("profdb: profile references call-site id %d, which %s does not define (profile/module mismatch)",
+				id, mod.Name)
+		}
+		for t, n := range prof.PtrTargets[id] {
+			rec.addTarget(k, t, n)
+		}
 	}
 	for name, n := range prof.FuncCounts {
 		rec.Funcs[name] = n

@@ -30,6 +30,12 @@ type RunStats struct {
 	SiteCounts map[int]int64
 	// FuncCounts maps a function name to its entry count (node weights).
 	FuncCounts map[string]int64
+	// PtrTargets maps a pointer call-site id to its resolved-target
+	// histogram (target function name -> invocation count). Targets are
+	// counted exactly in every profile mode — the devirtualization
+	// decision needs true dominance fractions, and a masked or sampled
+	// histogram would break the minimal==full byte-identity contract.
+	PtrTargets map[int]map[string]int64
 	// ExternCalls counts dynamic calls whose callee body is unavailable.
 	ExternCalls int64
 	// PtrCalls counts dynamic calls made through pointers.
@@ -56,7 +62,21 @@ func NewRunStats() *RunStats {
 	return &RunStats{
 		SiteCounts: make(map[int]int64),
 		FuncCounts: make(map[string]int64),
+		PtrTargets: make(map[int]map[string]int64),
 	}
+}
+
+// AddPtrTarget records one resolved pointer-call target at a site.
+func (rs *RunStats) AddPtrTarget(site int, target string, n int64) {
+	if rs.PtrTargets == nil {
+		rs.PtrTargets = make(map[int]map[string]int64)
+	}
+	m := rs.PtrTargets[site]
+	if m == nil {
+		m = make(map[string]int64)
+		rs.PtrTargets[site] = m
+	}
+	m[target] += n
 }
 
 // Profile is the average of one or more runs: the weighted-call-graph
@@ -75,7 +95,11 @@ type Profile struct {
 	TotalTruncated int64
 	SiteCounts     map[int]int64
 	FuncCounts     map[string]int64
-	MaxStack       int64
+	// PtrTargets accumulates per-target counts for pointer call sites
+	// (site id -> target function name -> total count across runs). Exact
+	// in every profile mode; see RunStats.PtrTargets.
+	PtrTargets map[int]map[string]int64
+	MaxStack   int64
 	// ProfileEvents totals the counter-increment events across runs (see
 	// RunStats.ProfileEvents). Not serialized.
 	ProfileEvents int64
@@ -93,6 +117,7 @@ func NewProfile() *Profile {
 	return &Profile{
 		SiteCounts: make(map[int]int64),
 		FuncCounts: make(map[string]int64),
+		PtrTargets: make(map[int]map[string]int64),
 	}
 }
 
@@ -113,9 +138,27 @@ func (p *Profile) Add(rs *RunStats) {
 	for f, n := range rs.FuncCounts {
 		p.FuncCounts[f] += n
 	}
+	for site, targets := range rs.PtrTargets {
+		for t, n := range targets {
+			p.AddPtrTarget(site, t, n)
+		}
+	}
 	if rs.MaxStack > p.MaxStack {
 		p.MaxStack = rs.MaxStack
 	}
+}
+
+// AddPtrTarget accumulates one resolved pointer-call target count.
+func (p *Profile) AddPtrTarget(site int, target string, n int64) {
+	if p.PtrTargets == nil {
+		p.PtrTargets = make(map[int]map[string]int64)
+	}
+	m := p.PtrTargets[site]
+	if m == nil {
+		m = make(map[string]int64)
+		p.PtrTargets[site] = m
+	}
+	m[target] += n
 }
 
 func (p *Profile) avg(total int64) float64 {
@@ -141,6 +184,25 @@ func (p *Profile) SiteWeight(id int) float64 { return p.avg(p.SiteCounts[id]) }
 // FuncWeight returns the averaged entry count of a function — the node
 // weight used for linearization.
 func (p *Profile) FuncWeight(name string) float64 { return p.avg(p.FuncCounts[name]) }
+
+// SiteTargetWeight returns the averaged count of one resolved target at a
+// pointer call site.
+func (p *Profile) SiteTargetWeight(site int, target string) float64 {
+	return p.avg(p.PtrTargets[site][target])
+}
+
+// DominantTarget returns the most-frequent resolved target of a pointer
+// call site, its total count, and the site's total resolved count. Ties
+// break toward the lexically smaller name so the answer is deterministic.
+func (p *Profile) DominantTarget(site int) (target string, count, total int64) {
+	for t, n := range p.PtrTargets[site] {
+		total += n
+		if n > count || (n == count && (target == "" || t < target)) {
+			target, count = t, n
+		}
+	}
+	return target, count, total
+}
 
 // String renders a compact summary.
 func (p *Profile) String() string {

@@ -25,6 +25,7 @@ import (
 //	truncated 0
 //	func <name> <total-count>
 //	site <id> <total-count>
+//	target <site-id> <func-name> <total-count>
 //
 // Counts are totals across runs (averages are recomputed on load). The
 // decoder is strict: every scalar directive may appear at most once, each
@@ -71,6 +72,24 @@ func (p *Profile) WriteTo(w io.Writer) (int64, error) {
 	sort.Ints(ids)
 	for _, id := range ids {
 		fmt.Fprintf(&sb, "site %d %d\n", id, p.SiteCounts[id])
+	}
+	tids := make([]int, 0, len(p.PtrTargets))
+	for id := range p.PtrTargets {
+		if len(p.PtrTargets[id]) > 0 {
+			tids = append(tids, id)
+		}
+	}
+	sort.Ints(tids)
+	for _, id := range tids {
+		targets := p.PtrTargets[id]
+		names := make([]string, 0, len(targets))
+		for t := range targets {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		for _, t := range names {
+			fmt.Fprintf(&sb, "target %d %s %d\n", id, t, targets[t])
+		}
 	}
 	n, err := io.WriteString(w, sb.String())
 	return int64(n), err
@@ -175,6 +194,27 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 				return nil, fmt.Errorf("profile: line %d: duplicate site entry %d", lineNo, int(id))
 			}
 			p.SiteCounts[int(id)] = v
+		case "target":
+			if len(fields) != 4 {
+				return nil, bad()
+			}
+			id, err := num(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			v, err := num(fields[3])
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := p.PtrTargets[int(id)][fields[2]]; dup {
+				return nil, fmt.Errorf("profile: line %d: duplicate target entry %d %s", lineNo, int(id), fields[2])
+			}
+			m := p.PtrTargets[int(id)]
+			if m == nil {
+				m = make(map[string]int64)
+				p.PtrTargets[int(id)] = m
+			}
+			m[fields[2]] = v
 		default:
 			return nil, fmt.Errorf("profile: line %d: unknown directive %q", lineNo, fields[0])
 		}

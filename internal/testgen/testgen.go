@@ -31,6 +31,16 @@ type Options struct {
 	// Extern permits calls to external library routines (abs, putchar) —
 	// "$" call sites that profile but never inline.
 	Extern bool
+	// HotColdBodies makes every other function a large body with a
+	// skewed shape: a cheap pure early-return fast path followed by a
+	// long cold tail of calls and loops. These are the callees
+	// region-based partial inlining splits — too big to inline whole,
+	// with a hot entry region worth expanding.
+	HotColdBodies bool
+	// DominantFuncPtr emits pointer calls that pick between two targets
+	// with a ~15-in-16 skew toward one — the profile shape guarded
+	// devirtualization keys on. Implies function-pointer statements.
+	DominantFuncPtr bool
 }
 
 func (o Options) withDefaults() Options {
@@ -82,6 +92,10 @@ func (g *gen) program() string {
 	// Function i may call only functions with smaller indices (a DAG), plus
 	// itself when recursive. Two parameters keep call sites interesting.
 	for i := 0; i < n; i++ {
+		if g.o.HotColdBodies && i%2 == 1 {
+			sb.WriteString(g.hotColdBody(i))
+			continue
+		}
 		fmt.Fprintf(&sb, "int f%d(int x, int y) {\n", i)
 		sb.WriteString("    int a, b, c, d;\n")
 		sb.WriteString("    a = x; b = y; c = 1; d = 2;\n")
@@ -114,7 +128,7 @@ func (g *gen) stmt(fn, indent int) string {
 	pad := strings.Repeat("    ", indent)
 	v := localNames[g.r.Intn(len(localNames))]
 	kinds := 6
-	if g.o.FuncPtrs {
+	if g.o.FuncPtrs || g.o.DominantFuncPtr {
 		kinds++
 	}
 	if g.o.Extern {
@@ -122,7 +136,7 @@ func (g *gen) stmt(fn, indent int) string {
 	}
 	k := g.r.Intn(kinds)
 	if k >= 6 {
-		if k == 6 && g.o.FuncPtrs {
+		if k == 6 && (g.o.FuncPtrs || g.o.DominantFuncPtr) {
 			return g.funcPtrStmt(fn, pad, v)
 		}
 		return g.externStmt(fn, pad, v)
@@ -157,9 +171,44 @@ func (g *gen) funcPtrStmt(fn int, pad, v string) string {
 	if fn == 0 {
 		return fmt.Sprintf("%s%s = %s;\n", pad, v, g.expr(fn, 1))
 	}
+	if g.o.DominantFuncPtr && fn >= 2 {
+		// A data-dependent two-way choice skewed ~15:1 toward the
+		// dominant target: the exact profile split depends on the local's
+		// values, but the shape reliably produces sites with one heavy
+		// target and a live fallback path.
+		dom := g.r.Intn(fn)
+		alt := g.r.Intn(fn)
+		if alt == dom {
+			alt = (dom + 1) % fn
+		}
+		sel := localNames[g.r.Intn(len(localNames))]
+		return fmt.Sprintf("%s{ int (*fp)(int, int); if ((%s & 15) != %d) fp = f%d; else fp = f%d; %s = fp(%s, %s); }\n",
+			pad, sel, g.r.Intn(16), dom, alt, v, g.expr(fn, 1), g.expr(fn, 1))
+	}
 	callee := g.r.Intn(fn)
 	return fmt.Sprintf("%s{ int (*fp)(int, int); fp = f%d; %s = fp(%s, %s); }\n",
 		pad, callee, v, g.expr(fn, 1), g.expr(fn, 1))
+}
+
+// hotColdBody emits a function partial inlining can split: a pure,
+// cheap early-return fast path taken for most argument values, then a
+// cold tail long enough to fail any reasonable per-callee size limit,
+// full of loops and (for fn >= 1) calls that keep the tail impure.
+func (g *gen) hotColdBody(fn int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "int f%d(int x, int y) {\n", fn)
+	sb.WriteString("    int a, b, c, d;\n")
+	sb.WriteString("    a = x; b = y; c = 1; d = 2;\n")
+	// The hot entry region: a guard plus a call-free return expression.
+	fmt.Fprintf(&sb, "    if ((x & %d) != %d) return (x * %d + y) ^ %d;\n",
+		3+4*g.r.Intn(4), g.r.Intn(4), 1+g.r.Intn(9), g.r.Intn(256))
+	// The cold tail: enough statements to dwarf the region.
+	tail := 2 * (2 + g.o.MaxStmts)
+	for s := 0; s < tail; s++ {
+		sb.WriteString(g.stmt(fn, 1))
+	}
+	fmt.Fprintf(&sb, "    return %s;\n}\n\n", g.expr(fn, g.o.MaxDepth))
+	return sb.String()
 }
 
 // externStmt calls into the host library: abs feeds a value back into

@@ -40,6 +40,10 @@ func TestPropertyInlinePreservesSemantics(t *testing.T) {
 		{Heuristic: inline.HeuristicLeaf, SizeLimitFactor: 3.0},
 		{Heuristic: inline.HeuristicSmall, SmallCalleeLimit: 40, SizeLimitFactor: 3.0},
 		{NoLinearOrder: true, SizeLimitFactor: 2.0},
+		{WeightThreshold: 1, SizeLimitFactor: 3.0, MaxCalleeSize: 25,
+			PartialInline: true, DevirtThreshold: 0.5},
+		{WeightThreshold: 1, SizeLimitFactor: 4.0, MaxCalleeSize: 30,
+			PartialInline: true},
 	}
 	shapes := []testgen.Options{
 		{},
@@ -48,6 +52,8 @@ func TestPropertyInlinePreservesSemantics(t *testing.T) {
 		{Funcs: 5, Pointers: true, Recursion: true},
 		{Funcs: 6, FuncPtrs: true},
 		{Funcs: 4, FuncPtrs: true, Extern: true, Pointers: true},
+		{Funcs: 6, HotColdBodies: true, DominantFuncPtr: true},
+		{Funcs: 8, HotColdBodies: true, FuncPtrs: true, Extern: true},
 	}
 	for seed := int64(1); seed <= 25; seed++ {
 		seed := seed
@@ -122,6 +128,7 @@ func TestPropertyMinimalProfileExact(t *testing.T) {
 		{Funcs: 6, FuncPtrs: true},
 		{Funcs: 4, FuncPtrs: true, Extern: true, Pointers: true},
 		{Funcs: 9, FuncPtrs: true, Extern: true, Recursion: true, MaxStmts: 8},
+		{Funcs: 7, HotColdBodies: true, DominantFuncPtr: true},
 	}
 	srcs := []string{truncatedSrc}
 	for i, shape := range shapes {
