@@ -13,6 +13,8 @@
 //	ilbench -engine both -json      # both engines, one report (perf comparison)
 //	ilbench -profile-mode all       # full/minimal/sampled profiling overhead comparison
 //	ilbench -profile-mode sampled -samplerate 32   # one reduced mode only
+//	ilbench -profile-mode predicted # profile-free: inline with synthesized weights
+//	ilbench -agreement -bench espresso -minagree 80  # predicted-vs-measured decision diff
 //	ilbench -json        # machine-readable results (see BENCH_baseline.json)
 //	ilbench -bench espresso -baseline BENCH_baseline.json  # perf gate
 //	ilbench -bench espresso -profdb 32   # profile-database ingest/merge benchmark
@@ -50,7 +52,7 @@ func run(args []string, stdout, stderrW io.Writer) int {
 	maxRuns := fs.Int("runs", 0, "cap profiling runs per benchmark (0 = all)")
 	parallel := fs.Int("parallel", 0, "worker count for benchmarks and profiling runs (0 = all cores, 1 = serial); any value yields identical tables")
 	engine := fs.String("engine", "bytecode", "interpreter engine: bytecode, switch, or both (identical tables; different wall clock)")
-	profileMode := fs.String("profile-mode", "full", "profiling instrumentation: full, minimal, sampled, or all (runs every mode and prints the overhead comparison)")
+	profileMode := fs.String("profile-mode", "full", "profiling instrumentation: full (alias measured), minimal, sampled, all (every instrumentation mode), or predicted (inline with synthesized weights; zero profiling runs behind the decisions)")
 	sampleRate := fs.Int("samplerate", 0, "1-in-k rate for sampled profiling (0 = default rate)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable per-benchmark results instead of the tables")
 	postOpt := fs.Bool("postopt", false, "apply post-inline cleanup passes before measuring")
@@ -60,6 +62,8 @@ func run(args []string, stdout, stderrW io.Writer) int {
 	fleetReplicas := fs.Int("fleet-replicas", 2, "replication factor in the -fleet quorum configuration")
 	fleetIngests := fs.Int("fleet-ingests", 2000, "snapshot POSTs per -fleet configuration")
 	fleetWorkers := fs.Int("fleet-workers", 8, "concurrent ingest clients for -fleet")
+	agreement := fs.Bool("agreement", false, "diff predicted-vs-measured inlining decisions instead of running the tables")
+	minAgree := fs.Float64("minagree", 0, "with -agreement, fail if the agreement score falls below this percentage")
 	ablation := fs.Bool("ablation", false, "run the design-choice ablation studies instead of the tables")
 	icache := fs.Bool("icache", false, "run the instruction-cache sweep instead of the tables")
 	verbose := fs.Bool("v", false, "print per-benchmark progress and expansion details")
@@ -129,12 +133,14 @@ func run(args []string, stdout, stderrW io.Writer) int {
 
 	var modes []string
 	switch *profileMode {
-	case "", "full", "minimal", "sampled":
+	case "", "full", "minimal", "sampled", bench.ModePredicted:
 		modes = []string{*profileMode}
+	case "measured":
+		modes = []string{"full"}
 	case "all":
 		modes = []string{"full", "minimal", "sampled"}
 	default:
-		fmt.Fprintf(stderrW, "ilbench: unknown profile mode %q (want full, minimal, sampled, or all)\n", *profileMode)
+		fmt.Fprintf(stderrW, "ilbench: unknown profile mode %q (want full/measured, minimal, sampled, predicted, or all)\n", *profileMode)
 		return 2
 	}
 	cfg.ProfileMode = modes[0]
@@ -190,6 +196,50 @@ func run(args []string, stdout, stderrW io.Writer) int {
 		}
 		for _, r := range fleetResults {
 			fmt.Fprint(stdout, r)
+		}
+		return 0
+	}
+
+	if *agreement {
+		names := []string{"espresso"}
+		if *benchName != "" {
+			names = []string{*benchName}
+		}
+		var agrResults []*bench.AgreementResult
+		for _, name := range names {
+			b := bench.Get(name)
+			if b == nil {
+				fmt.Fprintf(stderrW, "ilbench: unknown benchmark %q (have %v)\n", name, bench.SuiteNames())
+				return 2
+			}
+			r, err := bench.RunAgreement(b, cfg, nil)
+			if err != nil {
+				fmt.Fprintf(stderrW, "ilbench: %v\n", err)
+				return 1
+			}
+			agrResults = append(agrResults, r)
+		}
+		if *jsonOut {
+			data, err := bench.MarshalResultsAgreement(nil, cfg.Parallelism, nil, nil, agrResults)
+			if err != nil {
+				fmt.Fprintf(stderrW, "ilbench: %v\n", err)
+				return 1
+			}
+			stdout.Write(data)
+		} else {
+			for _, r := range agrResults {
+				fmt.Fprint(stdout, r)
+			}
+		}
+		if *minAgree > 0 {
+			for _, r := range agrResults {
+				if r.ScorePct < *minAgree {
+					fmt.Fprintf(stderrW, "ilbench: %s agreement %.1f%% below the %.1f%% floor\n",
+						r.Name, r.ScorePct, *minAgree)
+					return 1
+				}
+			}
+			fmt.Fprintf(stderrW, "ilbench: agreement at or above the %.1f%% floor\n", *minAgree)
 		}
 		return 0
 	}

@@ -71,7 +71,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	profdbSrc := fs.String("profdb", "", "use a merged database profile for -inline: a .profdb file or an ilprofd base URL")
 	parallel := fs.Int("parallel", 0, "worker count for multi-unit compilation, profiling, and expansion (0 = all cores, 1 = serial); any value yields identical output")
 	engine := fs.String("engine", "", "interpreter engine for -run/-inline profiling: bytecode (default) or switch; identical output either way")
-	profileMode := fs.String("profile-mode", "", "profiling instrumentation: full (default), minimal (reduced counters, exact reconstruction), or sampled (1-in-k counting, approximate)")
+	profileMode := fs.String("profile-mode", "", "profile source/instrumentation: full (default), minimal, or sampled select measured instrumentation; measured is an alias for full; predicted synthesizes weights from static features with zero profiling runs; hybrid merges a -profdb snapshot (exact sites measured, moved/dropped/new sites predicted)")
 	sampleRate := fs.Int("samplerate", 0, "1-in-k rate for -profile-mode sampled (0 = default rate)")
 	explainInline := fs.Bool("explain-inline", false, "print the per-arc inline decision report — every arc with its accept/reject reason (implies -inline)")
 	inlineTrace := fs.String("inline-trace", "", "write the inline-decision trace as JSON lines to this file (implies -inline)")
@@ -140,6 +140,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 	}
+	// -profile-mode covers two axes: the instrumentation modes
+	// (full/minimal/sampled) flow into the interpreter, while the
+	// profile-source modes (measured/predicted/hybrid) select where
+	// -inline gets its arc weights. The source modes leave the
+	// interpreter on full instrumentation for any run they perform.
+	profSource := ""
+	switch *profileMode {
+	case "measured", "predicted", "hybrid":
+		profSource = *profileMode
+		*profileMode = ""
+	}
 	prog.Parallelism = *parallel
 	prog.Engine = *engine
 	prog.ProfileMode = *profileMode
@@ -178,6 +189,30 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		switch {
 		case *profdbSrc != "" && *profilePath != "":
 			return fail(fmt.Errorf("-profile and -profdb are mutually exclusive"))
+		case profSource == "predicted":
+			if *profilePath != "" || *profdbSrc != "" {
+				return fail(fmt.Errorf("-profile-mode=predicted takes no measured profile; drop -profile/-profdb or use -profile-mode=hybrid"))
+			}
+			// Zero profiling runs: weights come from static features and
+			// the embedded calibrated model alone.
+			prof = prog.PredictProfile()
+		case profSource == "hybrid":
+			if *profdbSrc == "" {
+				return fail(fmt.Errorf("-profile-mode=hybrid needs -profdb (a .profdb file or an ilprofd base URL)"))
+			}
+			var err error
+			prof, err = hybridFromDB(prog, *profdbSrc, stderr)
+			if err != nil {
+				if !strings.HasPrefix(*profdbSrc, "http://") && !strings.HasPrefix(*profdbSrc, "https://") {
+					return fail(err)
+				}
+				// A fleet daemon being down must not fail the compile: the
+				// whole point of hybrid is surviving missing measurements,
+				// so degrade to pure prediction and keep going.
+				fmt.Fprintf(stderr, "ilcc: warning: profile database %s unavailable (%v); falling back to predicted weights\n",
+					*profdbSrc, err)
+				prof = prog.PredictProfile()
+			}
 		case *profdbSrc != "":
 			var err error
 			prof, err = profileFromDB(prog, *profdbSrc, stderr)
@@ -318,6 +353,38 @@ func profileFromDB(prog *inlinec.Program, src string, stderr io.Writer) (*inline
 	if prof.Runs == 0 {
 		return nil, fmt.Errorf("%s served an empty profile", src)
 	}
+	if stats.MovedSites > 0 || stats.DroppedSites > 0 || stats.DroppedFuncs > 0 {
+		report := &profdb.Report{Resolve: *stats}
+		fmt.Fprintf(stderr, "%s\n", report)
+	}
+	return prof, nil
+}
+
+// hybridFromDB obtains the hybrid (measured-where-exact, predicted
+// elsewhere) profile from a database file or a running ilprofd. Unlike
+// the measured path, an empty or fully stale database is not an error:
+// prediction fills whatever measurement cannot cover, and only the
+// staleness report tells the difference.
+func hybridFromDB(prog *inlinec.Program, src string, stderr io.Writer) (*inlinec.Profile, error) {
+	if !strings.HasPrefix(src, "http://") && !strings.HasPrefix(src, "https://") {
+		db, err := profdb.ReadDBFile(src, "")
+		if err != nil {
+			return nil, err
+		}
+		prof, report := prog.HybridProfileFromDB(db, profdb.DefaultMergeParams())
+		if !report.Clean() {
+			fmt.Fprintf(stderr, "%s\n", report)
+		}
+		return prof, nil
+	}
+	client := profdb.NewClient(src)
+	client.Warn = stderr
+	client.Obs = prog.Obs
+	_, rec, err := client.FetchProfile(prog.Fingerprint(), nil)
+	if err != nil {
+		return nil, err
+	}
+	prof, stats := prog.HybridProfileFromRecord(rec)
 	if stats.MovedSites > 0 || stats.DroppedSites > 0 || stats.DroppedFuncs > 0 {
 		report := &profdb.Report{Resolve: *stats}
 		fmt.Fprintf(stderr, "%s\n", report)

@@ -10,7 +10,9 @@ import (
 	"testing"
 
 	"inlinec"
+	"inlinec/internal/bench"
 	"inlinec/internal/profdb"
+	"inlinec/internal/testgen"
 )
 
 // writeFile drops MiniC source (or any content) into a temp dir.
@@ -321,5 +323,103 @@ func TestCLIExitCodePropagates(t *testing.T) {
 	code, _, _ := runCLI(t, []string{"-run", p}, "")
 	if code != 7 {
 		t.Errorf("exit = %d, want the program's own 7", code)
+	}
+}
+
+// TestCLIPredictedMode: -profile-mode=predicted must compile and expand
+// every generator shape and the espresso benchmark with zero profiling
+// runs — no input bytes are consumed and no interpreter run happens
+// before expansion, so programs whose profiling inputs are unavailable
+// still get weighted inlining.
+func TestCLIPredictedMode(t *testing.T) {
+	dir := t.TempDir()
+	srcs := map[string]string{
+		"plain.c":     testgen.Generate(1234, testgen.Options{Funcs: 9}),
+		"recursion.c": testgen.Generate(1234, testgen.Options{Funcs: 8, Recursion: true}),
+		"funcptrs.c":  testgen.Generate(1234, testgen.Options{Funcs: 8, FuncPtrs: true, Extern: true, Recursion: true}),
+		"pointers.c":  testgen.Generate(1234, testgen.Options{Funcs: 10, Pointers: true, MaxDepth: 3}),
+		"hotcold.c":   testgen.Generate(1234, testgen.Options{Funcs: 10, MaxStmts: 8, HotColdBodies: true}),
+		"domptr.c":    testgen.Generate(1234, testgen.Options{Funcs: 8, DominantFuncPtr: true}),
+		"mixed.c":     testgen.Generate(1234, testgen.Options{Funcs: 12, MaxStmts: 8, Recursion: true, Pointers: true, FuncPtrs: true, Extern: true}),
+	}
+	for _, b := range bench.Suite() {
+		if b.Name == "espresso" {
+			srcs["espresso.c"] = b.Source
+		}
+	}
+	if _, ok := srcs["espresso.c"]; !ok {
+		t.Fatal("espresso missing from the bench suite")
+	}
+	for name, src := range srcs {
+		p := writeFile(t, dir, name, src)
+		// Predicted weights are per-run expectations (a straight-line
+		// site predicts well under 1), so the default threshold of 10 —
+		// tuned for multi-run measured counts — would reject everything;
+		// drop it to the per-run scale.
+		code, _, errb := runCLI(t, []string{"-inline", "-profile-mode", "predicted", "-threshold", "0.25", "-sizelimit", "2.0", p}, "")
+		if code != 0 {
+			t.Errorf("%s: exit = %d (%s)", name, code, errb)
+			continue
+		}
+		if !strings.Contains(errb, "arcs considered") {
+			t.Errorf("%s: inline phase did not run on the predicted profile: %q", name, errb)
+		}
+		// The heavily recursive shape can legitimately reject every arc
+		// (cycles are not expandable); everywhere else the predicted
+		// weights must actually drive expansions.
+		if name != "recursion.c" && !strings.Contains(errb, "expanded site") {
+			t.Errorf("%s: predicted weights produced no expansion: %q", name, errb)
+		}
+	}
+}
+
+// TestCLIPredictedModeRunsCorrectly: predicted-weight expansion must not
+// change program behavior.
+func TestCLIPredictedModeRunsCorrectly(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "p.c", prog)
+	code, out, errb := runCLI(t, []string{"-inline", "-run", "-profile-mode", "predicted", p}, "")
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errb)
+	}
+	if out != "3675\n" {
+		t.Errorf("stdout = %q", out)
+	}
+}
+
+// TestCLIHybridModeFromProfDB: -profile-mode=hybrid with a clean database
+// behaves like measured consumption — every site resolves exactly, so the
+// program still inlines and runs correctly.
+func TestCLIHybridModeFromProfDB(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "p.c", prog)
+	dbPath := seedDB(t, dir, p)
+	code, out, errb := runCLI(t, []string{"-inline", "-run", "-profile-mode", "hybrid", "-profdb", dbPath, p}, "")
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errb)
+	}
+	if out != "3675\n" {
+		t.Errorf("stdout = %q", out)
+	}
+	if !strings.Contains(errb, "expanded site") {
+		t.Errorf("expansion report missing: %q", errb)
+	}
+}
+
+// TestCLIPredictModeErrors: the profile-source modes reject contradictory
+// flag combinations rather than silently picking one source.
+func TestCLIPredictModeErrors(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "p.c", prog)
+	dbPath := seedDB(t, dir, p)
+	cases := [][]string{
+		{"-inline", "-profile-mode", "predicted", "-profdb", dbPath, p},  // predicted takes no measurements
+		{"-inline", "-profile-mode", "predicted", "-profile", dbPath, p}, // ditto for a profile file
+		{"-inline", "-profile-mode", "hybrid", p},                        // hybrid needs a database
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(t, args, ""); code == 0 {
+			t.Errorf("args %v: expected nonzero exit", args)
+		}
 	}
 }

@@ -10,6 +10,7 @@ package inlinec_test
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -263,5 +264,223 @@ func TestE2EStaleDatabaseAfterSourceEdit(t *testing.T) {
 	}
 	if len(res.Expanded) == 0 {
 		t.Error("no expansions from the migrated profile")
+	}
+}
+
+// TestE2EHybridAppendEditKeepsExactDecisions covers the hybrid profile
+// mode's core contract: after a source edit that leaves every recorded
+// call site in place (appending a function), fingerprint resolution
+// reports the surviving sites exact, the hybrid profile keeps their
+// measured weights bit-for-bit, and the inline decisions at those sites
+// are identical — arc by arc — to measured mode. The compile stays
+// deterministic and byte-identical at Parallelism 1, 2, and 8 on both
+// engines.
+func TestE2EHybridAppendEditKeepsExactDecisions(t *testing.T) {
+	b := bench.Get("espresso")
+	if b == nil {
+		t.Fatal("espresso benchmark missing")
+	}
+	inputs := b.Inputs[:4]
+
+	// v1: measured profile into the database.
+	v1, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := v1.ProfileInputs(inputs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := inlinec.NewProfDB("espresso.c")
+	rec, err := v1.Snapshot(prof, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Ingest(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// v2: appended function — fingerprint changes, site ids do not.
+	edited := b.Source + "\nint hybrid_e2e_pad(int x) { return x * 2 + 1; }\n"
+	compileV2 := func() *inlinec.Program {
+		t.Helper()
+		p, err := inlinec.Compile("espresso.c", edited)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	v2 := compileV2()
+	if v2.Fingerprint() == v1.Fingerprint() {
+		t.Fatal("source edit did not change the module fingerprint")
+	}
+
+	// Measured-mode reference on v2 (the appended function is dead code,
+	// so its measured behavior matches v1's weights on the shared sites).
+	ref := compileV2()
+	refProf, err := ref.ProfileInputs(inputs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.Inline(refProf, inlinec.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The edit changes the fingerprint, so the record merges as stale;
+	// keep full weight so the raw counts stay comparable (the per-run
+	// averages — and hence the decisions — are scale-invariant anyway).
+	mergeParams := inlinec.DefaultProfDBMergeParams()
+	mergeParams.StaleWeight = 1
+	hybridProf, report := v2.HybridProfileFromDB(db, mergeParams)
+	if report.Resolve.MovedSites != 0 {
+		t.Fatalf("append-only edit moved %d sites", report.Resolve.MovedSites)
+	}
+	if report.Resolve.ExactSites == 0 {
+		t.Fatal("no site resolved exact after an append-only edit")
+	}
+	for id, exact := range report.Resolve.ExactIDs {
+		if !exact {
+			t.Errorf("site %d resolved non-exact after an append-only edit", id)
+		}
+	}
+
+	// Exact sites keep the raw measured counts — same Runs, same totals,
+	// hence bit-identical averaged weights.
+	if hybridProf.Runs != prof.Runs {
+		t.Fatalf("hybrid Runs = %d, want the measured %d", hybridProf.Runs, prof.Runs)
+	}
+	for id, n := range prof.SiteCounts {
+		if hybridProf.SiteCounts[id] != n {
+			t.Errorf("exact site %d: hybrid count %d, want the measured %d",
+				id, hybridProf.SiteCounts[id], n)
+		}
+	}
+
+	// Same expansion parameters: every exact site must decide exactly as
+	// measured mode did — same outcome, same devirtualization target.
+	// (Sites the database never saw — cold sites with zero measured
+	// weight — take predicted weights by design, so only their decision
+	// class is compared: the predictor may move a rejection between the
+	// classifier and the cost function, but it must not flip accept and
+	// reject on this corpus.)
+	hybRes, err := v2.Inline(hybridProf, inlinec.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBy, hybBy := refRes.TraceBySite(), hybRes.TraceBySite()
+	exactCompared := 0
+	for id, want := range refBy {
+		got, ok := hybBy[id]
+		if !ok {
+			t.Errorf("site %d decided in measured mode but absent in hybrid", id)
+			continue
+		}
+		if report.Resolve.ExactIDs[id] {
+			exactCompared++
+			if got.Outcome != want.Outcome || got.Target != want.Target {
+				t.Errorf("exact site %d (%s <- %s): hybrid %s(%s), measured %s(%s)",
+					id, want.Caller, want.Callee, got.Outcome, got.Target, want.Outcome, want.Target)
+			}
+		} else if got.Outcome.DecisionClass() != want.Outcome.DecisionClass() {
+			t.Errorf("unmeasured site %d (%s <- %s): hybrid class %s, measured class %s",
+				id, want.Caller, want.Callee, got.Outcome.DecisionClass(), want.Outcome.DecisionClass())
+		}
+	}
+	if exactCompared == 0 {
+		t.Error("no exact site reached the decision comparison")
+	}
+	for id := range hybBy {
+		if _, ok := refBy[id]; !ok {
+			t.Errorf("site %d decided in hybrid mode but absent in measured", id)
+		}
+	}
+
+	// Determinism: parallelism and engine must not perturb the compile.
+	refModule := v2.Module.String()
+	for _, engine := range []string{"bytecode", "switch"} {
+		for _, par := range []int{1, 2, 8} {
+			p := compileV2()
+			p.Parallelism = par
+			p.Engine = engine
+			hp, _ := p.HybridProfileFromDB(db, mergeParams)
+			if _, err := p.Inline(hp, inlinec.DefaultParams()); err != nil {
+				t.Fatal(err)
+			}
+			if p.Module.String() != refModule {
+				t.Errorf("hybrid compile differs at Parallelism %d on %s engine", par, engine)
+			}
+		}
+	}
+}
+
+// TestE2EHybridPrependEditPredictsMovedSites is the other half of the
+// hybrid contract: an edit that shifts every raw call-site id (prepending
+// a function) makes fingerprint resolution report every surviving site
+// moved — and hybrid mode then trusts the predictor, not the displaced
+// measurements, for every site weight. Function entry counts, which key
+// on names rather than positions, stay measured.
+func TestE2EHybridPrependEditPredictsMovedSites(t *testing.T) {
+	b := bench.Get("espresso")
+	if b == nil {
+		t.Fatal("espresso benchmark missing")
+	}
+	inputs := b.Inputs[:2]
+
+	v1, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := v1.ProfileInputs(inputs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := inlinec.NewProfDB("espresso.c")
+	rec, err := v1.Snapshot(prof, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Ingest(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	edited := "int hybrid_e2e_pad(int x) { return x + 1; }\n" + b.Source
+	v2, err := inlinec.Compile("espresso.c", edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	params := inlinec.DefaultProfDBMergeParams()
+	params.StaleWeight = 1
+	hybridProf, report := v2.HybridProfileFromDB(db, params)
+	if report.Resolve.ExactSites != 0 {
+		t.Fatalf("every id shifted, yet %d sites reported exact", report.Resolve.ExactSites)
+	}
+	if report.Resolve.MovedSites == 0 {
+		t.Fatal("name-stable sites must survive the id shift as moved")
+	}
+
+	// Every site weight must come from the prediction (scaled to the
+	// measured run count), not from the displaced measurements.
+	pred := v2.PredictProfile()
+	for id, n := range hybridProf.SiteCounts {
+		want := int64(math.Round(pred.SiteWeight(id) * float64(hybridProf.Runs)))
+		if n != want {
+			t.Errorf("moved site %d: hybrid count %d, want the predicted %d", id, n, want)
+		}
+	}
+	// ...while name-keyed function entries stay measured.
+	for name, n := range prof.FuncCounts {
+		if got := hybridProf.FuncCounts[name]; got != n {
+			t.Errorf("func %s: hybrid count %d, want the measured %d", name, got, n)
+		}
+	}
+
+	res, err := v2.Inline(hybridProf, inlinec.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Expanded) == 0 {
+		t.Error("no expansions from the hybrid profile after an id-shifting edit")
 	}
 }

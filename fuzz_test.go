@@ -10,6 +10,7 @@ import (
 	"inlinec/internal/ir"
 	"inlinec/internal/irgen"
 	"inlinec/internal/parser"
+	"inlinec/internal/predict"
 	"inlinec/internal/profdb"
 	"inlinec/internal/profile"
 	"inlinec/internal/sema"
@@ -419,6 +420,62 @@ func FuzzFlowReconstruction(f *testing.F) {
 				t.Errorf("site %d reconstructed %d, want %d (counted=%v)",
 					s.ID, obs.Sites[s.ID], trueSites[s.ID], plan.SiteCounted[s.ID])
 			}
+		}
+	})
+}
+
+// FuzzPredictModelDecoder attacks the strict ILPREDICT parser. Accepted
+// models must be valid (finite coefficients, sane structural parameters)
+// and serialize to a byte-identical fixed point — the property that lets
+// the calibration pass check in its output and re-read it losslessly.
+func FuzzPredictModelDecoder(f *testing.F) {
+	var valid strings.Builder
+	if _, err := predict.DefaultModel().WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	v := valid.String()
+	seeds := []string{
+		v,
+		strings.Replace(v, "coef bias", "coef bogus", 1), // unknown feature
+		strings.Replace(v, "param scale 64", "", 1),      // missing parameter
+		v + "coef bias 0\n",                              // duplicate coefficient
+		v + "param scale 64\n",                           // duplicate parameter
+		strings.Replace(v, "ILPREDICT 1", "ILPREDICT 2", 1),
+		strings.Replace(v, "param scale 64", "param scale NaN", 1),
+		strings.Replace(v, "param scale 64", "param scale +Inf", 1),
+		strings.Replace(v, "param domshare 0.9375", "param domshare 1.5", 1), // out of range
+		strings.Replace(v, " 0.9375", " 0.93750", 1),                         // non-canonical spelling
+		"ILPREDICT 1\n", // nothing else
+		"coef bias 0\n", // missing magic
+		v + "garbage\n",
+		strings.Replace(v, "\n", "\r\n", 1),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		m, err := predict.ReadModel(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted model fails validation: %v", err)
+		}
+		var first strings.Builder
+		if _, err := m.WriteTo(&first); err != nil {
+			t.Fatalf("accepted model does not serialize: %v", err)
+		}
+		back, err := predict.ReadModel(strings.NewReader(first.String()))
+		if err != nil {
+			t.Fatalf("serialized model does not re-parse: %v\n%s", err, first.String())
+		}
+		var second strings.Builder
+		back.WriteTo(&second)
+		if first.String() != second.String() {
+			t.Fatalf("model round trip not a fixed point:\n%s\nvs\n%s", first.String(), second.String())
 		}
 	})
 }

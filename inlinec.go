@@ -36,6 +36,7 @@ import (
 	"inlinec/internal/obs"
 	"inlinec/internal/opt"
 	"inlinec/internal/parser"
+	"inlinec/internal/predict"
 	"inlinec/internal/profdb"
 	"inlinec/internal/profile"
 	"inlinec/internal/sema"
@@ -102,6 +103,50 @@ func (p *Program) Snapshot(prof *Profile, gen int) (*ProfDBRecord, error) {
 // silently attributed to a shifted raw id.
 func (p *Program) ProfileFromDB(db *ProfDB, params ProfDBMergeParams) (*Profile, *ProfDBReport) {
 	return db.ProfileFor(p.Fingerprint(), profdb.ModuleKeys(p.Module), params)
+}
+
+// PredictModel re-exports the calibrated weight-prediction model behind
+// -profile-mode=predicted (see internal/predict and docs/predict.md).
+type PredictModel = predict.Model
+
+// ReadPredictModel parses a serialized ILPREDICT model, strictly.
+func ReadPredictModel(r io.Reader) (*PredictModel, error) { return predict.ReadModel(r) }
+
+// DefaultPredictModel returns the embedded calibrated model.
+func DefaultPredictModel() *PredictModel { return predict.DefaultModel() }
+
+// PredictProfile synthesizes a profile for the working module from
+// static features alone — zero profiling runs — using the embedded
+// calibrated model. The result is shaped exactly like a measured
+// profile (node weights, arc weights, pointer-target dominance guesses),
+// so Inline, guarded devirtualization, and partial inlining consume it
+// unchanged. Deterministic: the same module always predicts the same
+// profile. Runs under a "predict" span on the program's registry.
+func (p *Program) PredictProfile() *Profile {
+	return p.PredictProfileWith(predict.DefaultModel())
+}
+
+// PredictProfileWith is PredictProfile with an explicit model.
+func (p *Program) PredictProfileWith(m *PredictModel) *Profile {
+	defer p.Obs.StartSpan("predict")()
+	return predict.Synthesize(p.Module, m)
+}
+
+// HybridProfileFromDB implements -profile-mode=hybrid against a profile
+// database: the database is merged and resolved as in ProfileFromDB,
+// then sites whose fingerprint resolution reported `exact` keep their
+// measured weights while moved, dropped, and new sites take predictions.
+// The returned report carries the underlying resolution accounting.
+func (p *Program) HybridProfileFromDB(db *ProfDB, params ProfDBMergeParams) (*Profile, *ProfDBReport) {
+	measured, report := p.ProfileFromDB(db, params)
+	return predict.Hybrid(p.PredictProfile(), measured, report.Resolve.ExactIDs), report
+}
+
+// HybridProfileFromRecord is HybridProfileFromDB for an already-merged
+// record, e.g. one served by ilprofd.
+func (p *Program) HybridProfileFromRecord(rec *ProfDBRecord) (*Profile, *profdb.ResolveStats) {
+	measured, stats := rec.Resolve(profdb.ModuleKeys(p.Module))
+	return predict.Hybrid(p.PredictProfile(), measured, stats.ExactIDs), stats
 }
 
 // Graph re-exports the weighted call graph.

@@ -41,12 +41,23 @@ type Config struct {
 	// default when empty, "minimal", or "sampled"). Full and minimal
 	// produce identical tables; sampled tables are approximate. The
 	// ProfileEvents/WeightErrPct columns record the overhead and accuracy
-	// trade-off.
+	// trade-off. The special mode "predicted" feeds the inline expander
+	// synthesized weights (zero profiling runs behind its decisions) while
+	// the before/after measurements still run fully instrumented — the
+	// configuration the predictor's compile-time cost is tracked under;
+	// its WeightErrPct column reports the predicted-vs-measured total
+	// call-count error.
 	ProfileMode string
 	// SampleRate is the 1-in-k rate for the sampled mode (0 = the
 	// interpreter's default rate).
 	SampleRate int
 }
+
+// ModePredicted is the Config.ProfileMode value that drives the inline
+// expander with synthesized weights (internal/predict) instead of the
+// measured profile. It is a bench-level mode, not an interpreter
+// instrumentation mode: measurements still run ProfileFull.
+const ModePredicted = "predicted"
 
 // DefaultConfig mirrors the paper's setup.
 func DefaultConfig() Config {
@@ -120,10 +131,15 @@ func RunOne(b *Benchmark, cfg Config) (*BenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	predicted := cfg.ProfileMode == ModePredicted
 	p.Parallelism = cfg.Parallelism
 	p.Engine = cfg.Engine
-	p.ProfileMode = cfg.ProfileMode
-	p.SampleRate = cfg.SampleRate
+	if !predicted {
+		// Predicted mode measures with full instrumentation; only the
+		// expander's weights come from the predictor.
+		p.ProfileMode = cfg.ProfileMode
+		p.SampleRate = cfg.SampleRate
+	}
 	before, err := p.ProfileInputs(inputs...)
 	if err != nil {
 		return nil, fmt.Errorf("%s: profiling original: %w", b.Name, err)
@@ -155,27 +171,39 @@ func RunOne(b *Benchmark, cfg Config) (*BenchResult, error) {
 		AvgIL:       before.AvgIL(),
 		AvgControl:  before.AvgControl(),
 	}
-	// Arc-weight accuracy: the Calls total stays exact in every mode, so
-	// comparing it against the (possibly rescaled) per-site sum measures
-	// the sampling error directly.
-	var siteSum int64
-	for _, n := range before.SiteCounts {
-		siteSum += n
-	}
-	if before.TotalCalls > 0 {
-		diff := siteSum - before.TotalCalls
-		if diff < 0 {
-			diff = -diff
+	guide := before
+	if predicted {
+		guide = p.PredictProfile()
+		// Accuracy column: how far the synthesized calls-per-run total is
+		// from the measured one.
+		if before.TotalCalls > 0 && before.Runs > 0 && guide.Runs > 0 {
+			measuredPerRun := float64(before.TotalCalls) / float64(before.Runs)
+			predictedPerRun := float64(guide.TotalCalls) / float64(guide.Runs)
+			r.WeightErrPct = 100 * math.Abs(predictedPerRun-measuredPerRun) / measuredPerRun
 		}
-		r.WeightErrPct = 100 * float64(diff) / float64(before.TotalCalls)
+	} else {
+		// Arc-weight accuracy: the Calls total stays exact in every mode,
+		// so comparing it against the (possibly rescaled) per-site sum
+		// measures the sampling error directly.
+		var siteSum int64
+		for _, n := range before.SiteCounts {
+			siteSum += n
+		}
+		if before.TotalCalls > 0 {
+			diff := siteSum - before.TotalCalls
+			if diff < 0 {
+				diff = -diff
+			}
+			r.WeightErrPct = 100 * float64(diff) / float64(before.TotalCalls)
+		}
 	}
 
 	// Tables 2 and 3: classification of the original module's call sites.
-	g := p.CallGraph(before)
+	g := p.CallGraph(guide)
 	r.Classes = callgraph.Count(g.Classify(cfg.Classify))
 
 	// Table 4: expand, optionally clean up, and re-measure.
-	res, err := p.Inline(before, cfg.Inline)
+	res, err := p.Inline(guide, cfg.Inline)
 	if err != nil {
 		return nil, fmt.Errorf("%s: inline expansion: %w", b.Name, err)
 	}

@@ -56,6 +56,10 @@ type JSONReport struct {
 	// (ilbench -fleet); see BENCH_pr8.json for the single-node vs
 	// replicated-quorum comparison.
 	Fleet []*FleetResult `json:"fleet,omitempty"`
+	// Agreement carries the predicted-vs-measured inlining-decision
+	// comparisons (ilbench -agreement) — the numbers the CI predict-gate
+	// checks against .github/agreement-threshold.txt.
+	Agreement []*AgreementResult `json:"agreement,omitempty"`
 }
 
 // MarshalResults renders benchmark results as indented JSON. parallelism
@@ -72,12 +76,19 @@ func MarshalResultsProfDB(results []*BenchResult, parallelism int, pdb []*ProfDB
 // MarshalResultsFull is MarshalResults plus the optional profdb and
 // fleet sections.
 func MarshalResultsFull(results []*BenchResult, parallelism int, pdb []*ProfDBResult, fl []*FleetResult) ([]byte, error) {
+	return MarshalResultsAgreement(results, parallelism, pdb, fl, nil)
+}
+
+// MarshalResultsAgreement is MarshalResultsFull plus the optional
+// predicted-vs-measured agreement section.
+func MarshalResultsAgreement(results []*BenchResult, parallelism int, pdb []*ProfDBResult, fl []*FleetResult, agr []*AgreementResult) ([]byte, error) {
 	rep := JSONReport{
 		Parallelism: parallelism,
 		NumCPU:      runtime.NumCPU(),
 		Results:     make([]JSONResult, 0, len(results)),
 		ProfDB:      pdb,
 		Fleet:       fl,
+		Agreement:   agr,
 	}
 	for _, r := range results {
 		rep.Results = append(rep.Results, JSONResult{

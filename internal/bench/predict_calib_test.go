@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"inlinec"
+	"inlinec/internal/ir"
+	"inlinec/internal/predict"
+	"inlinec/internal/profile"
+	"inlinec/internal/testgen"
+)
+
+// The calibration corpus: measured profiles harvested from the testgen
+// shape zoo plus the espresso and funcptrs benchmarks. The checked-in
+// internal/predict/default.ilpredict is the ridge fit over exactly this
+// corpus; regenerate it after changing the corpus, the feature set, or
+// the profile pipeline with
+//
+//	go test ./internal/bench -run TestCalibratedDefaultModel -update
+func calibrationCorpus(t *testing.T) (mods []*ir.Module, profs []*profile.Profile) {
+	t.Helper()
+	shapes := []testgen.Options{
+		{Funcs: 9},
+		{Funcs: 8, Recursion: true},
+		{Funcs: 8, FuncPtrs: true, Extern: true, Recursion: true},
+		{Funcs: 10, Pointers: true, MaxDepth: 3},
+		{Funcs: 10, MaxStmts: 8, HotColdBodies: true},
+		{Funcs: 8, DominantFuncPtr: true},
+		{Funcs: 12, MaxStmts: 8, Recursion: true, Pointers: true, FuncPtrs: true, Extern: true},
+	}
+	for i, opts := range shapes {
+		for _, seed := range []int64{41, 42, 43} {
+			src := testgen.Generate(seed+int64(100*i), opts)
+			p, err := inlinec.Compile("gen.c", src)
+			if err != nil {
+				t.Fatalf("shape %d seed %d: %v", i, seed, err)
+			}
+			prof, err := p.ProfileInputs(inlinec.Input{})
+			if err != nil {
+				t.Fatalf("shape %d seed %d: %v", i, seed, err)
+			}
+			mods = append(mods, p.Module)
+			profs = append(profs, prof)
+		}
+	}
+	for _, name := range []string{"espresso", "funcptrs"} {
+		b := Get(name)
+		if b == nil {
+			t.Fatalf("benchmark %s not registered", name)
+		}
+		p, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := p.ProfileInputs(b.Inputs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods = append(mods, p.Module)
+		profs = append(profs, prof)
+	}
+	return mods, profs
+}
+
+func fitCorpusModel(t *testing.T) *predict.Model {
+	t.Helper()
+	mods, profs := calibrationCorpus(t)
+	samples := predict.SamplesFromModules(mods, profs)
+	if len(samples) < predict.NumFeatures*10 {
+		t.Fatalf("corpus too thin: %d samples", len(samples))
+	}
+	m, err := predict.Calibrate(samples, predict.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCalibratedDefaultModel refits the predictor on the calibration
+// corpus and checks the checked-in default model matches the fit. The
+// comparison uses a small tolerance (the fit rounds coefficients to
+// 1e-6, but cross-platform FMA contraction can wiggle the last digit);
+// -update rewrites internal/predict/default.ilpredict instead.
+func TestCalibratedDefaultModel(t *testing.T) {
+	m := fitCorpusModel(t)
+	path := filepath.Join("..", "predict", "default.ilpredict")
+	if *updateGolden {
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want := predict.DefaultModel()
+	const tol = 2e-6
+	for i, c := range m.Coef {
+		if math.Abs(c-want.Coef[i]) > tol {
+			t.Errorf("coef %s: fit %v, checked-in %v (|diff| > %v)\n"+
+				"regenerate with: go test ./internal/bench -run TestCalibratedDefaultModel -update",
+				predict.FeatureNames[i], c, want.Coef[i], tol)
+		}
+	}
+}
+
+// TestCalibrationDeterministic: two in-process fits over the same corpus
+// serialize byte-identically — the calibration pass has no hidden
+// iteration-order or accumulation nondeterminism.
+func TestCalibrationDeterministic(t *testing.T) {
+	serialize := func(m *predict.Model) []byte {
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := serialize(fitCorpusModel(t))
+	b := serialize(fitCorpusModel(t))
+	if !bytes.Equal(a, b) {
+		t.Errorf("two calibration passes disagree:\n--- first\n%s--- second\n%s", a, b)
+	}
+}

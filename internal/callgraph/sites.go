@@ -1,6 +1,8 @@
 package callgraph
 
 import (
+	"sort"
+
 	"inlinec/internal/ir"
 	"inlinec/internal/token"
 )
@@ -64,4 +66,20 @@ func StableSites(mod *ir.Module) []SiteInfo {
 		}
 	}
 	return sites
+}
+
+// PointerCallees returns the names of the functions a call through a
+// pointer may reach — the callees of the ### summary node's worst-case
+// arcs — sorted for determinism. This is the candidate set weight
+// prediction spreads a pointer site's guessed targets over when the
+// caller itself takes no function addresses.
+func (g *Graph) PointerCallees() []string {
+	names := make([]string, 0, len(g.Pointer.Out))
+	for _, a := range g.Pointer.Out {
+		if !a.Callee.IsSpecial() {
+			names = append(names, a.Callee.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
 }

@@ -172,6 +172,18 @@ type Result struct {
 	Trace []obs.ArcEvent
 }
 
+// TraceBySite indexes the decision trace by call-site id — the shape
+// arc-level diffing (obs.CompareInlineTraces, the hybrid exact-site
+// identity check) consumes. Every arc emits exactly one event, so the
+// map is lossless.
+func (r *Result) TraceBySite() map[int]obs.ArcEvent {
+	m := make(map[int]obs.ArcEvent, len(r.Trace))
+	for _, ev := range r.Trace {
+		m[ev.Site] = ev
+	}
+	return m
+}
+
 // CodeIncrease returns the fractional static code growth, e.g. 0.17.
 func (r *Result) CodeIncrease() float64 {
 	if r.OriginalSize == 0 {
@@ -555,6 +567,7 @@ func (il *Inliner) considerDevirt(a *callgraph.Arc, res *Result) {
 	il.plans[a.ID] = &expandPlan{kind: planDevirt, target: target}
 	d.Accepted = true
 	ev.Outcome = obs.OutcomeDevirtualized
+	ev.Target = target
 	ev.Detail = fmt.Sprintf("dominant target %s takes %.0f of %.0f resolved calls (%.0f%%)",
 		target, domW, totW, 100*domW/totW)
 	grow := il.estSize[target] + devirtGuardSize

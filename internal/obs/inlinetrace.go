@@ -121,6 +121,10 @@ type ArcEvent struct {
 	// Weight is the profiled expected invocation count.
 	Weight  float64 `json:"weight"`
 	Outcome Outcome `json:"outcome"`
+	// Target names the dominant target a devirtualized pointer-call arc
+	// was rewritten to test for (empty for every other outcome). Two
+	// devirtualizations agree only if they guard the same target.
+	Target string `json:"target,omitempty"`
 	// Reason is empty for expanded arcs.
 	Reason Reason `json:"reason,omitempty"`
 	// Detail is the human-readable explanation (also empty when

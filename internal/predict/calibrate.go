@@ -1,0 +1,142 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"inlinec/internal/ir"
+	"inlinec/internal/profile"
+)
+
+// Calibration fits the feature coefficients against measured profiles:
+// for every executed call site, the observed local frequency is
+// SiteWeight / FuncWeight(caller), and the model is a log-linear map from
+// features to that frequency — so the fit is an ordinary ridge-regularized
+// least squares on log frequencies, solved exactly by Gaussian
+// elimination on the normal equations. No iteration, no randomness: the
+// same corpus always yields the same coefficients, and serialization
+// rounds them (to 1e-6) so the checked-in model is stable across
+// platforms too.
+
+// Sample is one calibration observation: a site's static feature vector
+// and the log of its measured local frequency.
+type Sample struct {
+	Vec     [NumFeatures]float64
+	LogFreq float64
+}
+
+// coldFreq floors an observed local frequency: sites a caller executed
+// but the site itself (almost) never ran still teach the model, without
+// log(0) blowing the fit up.
+const coldFreq = 1.0 / 64
+
+// SiteSamples extracts calibration samples from one module and its
+// measured profile, in deterministic StableSites order. Sites whose
+// caller never executed carry no frequency information and are skipped.
+func SiteSamples(mod *ir.Module, prof *profile.Profile) []Sample {
+	var out []Sample
+	for _, sf := range Featurize(mod) {
+		callerW := prof.FuncWeight(sf.Site.Caller)
+		if callerW <= 0 {
+			continue
+		}
+		freq := prof.SiteWeight(sf.Site.ID) / callerW
+		if freq < coldFreq {
+			freq = coldFreq
+		}
+		out = append(out, Sample{Vec: sf.Vec, LogFreq: math.Log(freq)})
+	}
+	return out
+}
+
+// ridgeLambda regularizes the normal equations: features that barely vary
+// across the corpus (or are collinear) get pulled toward zero instead of
+// producing a singular system or wild coefficients. The bias term is
+// exempt so regularization never shifts the overall frequency level.
+const ridgeLambda = 1e-3
+
+// Calibrate fits the feature coefficients to the samples and returns a
+// model carrying base's structural parameters (recursion, domshare,
+// maxfreq, scale) with the fitted, 1e-6-rounded coefficients. It fails
+// on an empty corpus or a singular system.
+func Calibrate(samples []Sample, base *Model) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("predict: calibrate: no samples")
+	}
+	// Normal equations: (XᵀX + λI) c = Xᵀy.
+	var a [NumFeatures][NumFeatures]float64
+	var b [NumFeatures]float64
+	for _, s := range samples {
+		for i := 0; i < NumFeatures; i++ {
+			for j := 0; j < NumFeatures; j++ {
+				a[i][j] += s.Vec[i] * s.Vec[j]
+			}
+			b[i] += s.Vec[i] * s.LogFreq
+		}
+	}
+	for i := 1; i < NumFeatures; i++ {
+		a[i][i] += ridgeLambda * float64(len(samples))
+	}
+	coef, err := solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	m := *base
+	for i, c := range coef {
+		m.Coef[i] = math.Round(c*1e6) / 1e6
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on the
+// (small, dense) normal-equation system.
+func solve(a [NumFeatures][NumFeatures]float64, b [NumFeatures]float64) ([NumFeatures]float64, error) {
+	const n = NumFeatures
+	for col := 0; col < n; col++ {
+		// Pivot: largest magnitude in the column, lowest row on ties.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return b, fmt.Errorf("predict: calibrate: singular system at feature %s", FeatureNames[col])
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [NumFeatures]float64
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// SamplesFromModules harvests calibration samples from several
+// (module, profile) pairs — the corpus interface the regeneration test
+// in internal/bench uses.
+func SamplesFromModules(mods []*ir.Module, profs []*profile.Profile) []Sample {
+	var out []Sample
+	for i := range mods {
+		out = append(out, SiteSamples(mods[i], profs[i])...)
+	}
+	return out
+}

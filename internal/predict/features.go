@@ -1,0 +1,203 @@
+// Package predict estimates the node and arc weights the inline expander
+// consumes — without running the program. The paper's expander is driven
+// by measured profiles; ROADMAP item 3 (after Rotem & Cummins, "Profile
+// Guided Optimization without Profiles") closes the gap for code that has
+// no profile yet, or only a stale one: a small calibrated model maps
+// static features of each call site (loop depth, guardedness, position,
+// callee shape) to an expected per-invocation frequency, and a
+// deterministic propagation pass over the call graph turns those local
+// frequencies into whole-program node and arc weights shaped exactly like
+// a measured profile.Profile — including PtrTargets dominance guesses, so
+// guarded devirtualization and partial inlining still fire.
+//
+// Everything in this package is deterministic and dependency-free: the
+// same module and model always synthesize byte-identical profiles, at any
+// parallelism, on any platform.
+package predict
+
+import (
+	"math"
+
+	"inlinec/internal/callgraph"
+	"inlinec/internal/ir"
+)
+
+// The feature vector, one slot per FeatureNames entry. All features are
+// static — computable from the IL alone — and bounded, so one bad
+// coefficient cannot blow a prediction up more than exp(coef·cap).
+const (
+	// FeatBias is the constant 1 intercept term.
+	FeatBias = iota
+	// FeatLoopDepth counts enclosing loop regions (backward branches whose
+	// target precedes the site), capped at LoopDepthCap. The dominant
+	// term: each level multiplies expected frequency by roughly the trip
+	// count.
+	FeatLoopDepth
+	// FeatCondDepth counts enclosing conditional regions (forward branches
+	// that jump over the site), capped at CondDepthCap. Guarded sites run
+	// less often than straight-line ones.
+	FeatCondDepth
+	// FeatPosFrac is the site's fractional position in the caller's body
+	// (0 = entry, 1 = last instruction): later sites sit behind more early
+	// returns.
+	FeatPosFrac
+	// FeatOrdinal is the site's per-(caller, callee) ordinal, capped at
+	// OrdinalCap — repeated calls to the same callee tend to be colder
+	// than the first.
+	FeatOrdinal
+	// FeatPtrSite is 1 for calls through pointers, 0 for direct calls.
+	FeatPtrSite
+	// FeatCalleeSize is log(1 + callee code size), 0 when the callee body
+	// is unavailable (extern or pointer).
+	FeatCalleeSize
+	// FeatCalleeLeaf is 1 when the callee is a defined leaf function
+	// (contains no calls).
+	FeatCalleeLeaf
+
+	// NumFeatures is the feature vector length.
+	NumFeatures
+)
+
+// FeatureNames gives the on-disk (ILPREDICT) name of each feature, in
+// vector order.
+var FeatureNames = [NumFeatures]string{
+	FeatBias:       "bias",
+	FeatLoopDepth:  "loopdepth",
+	FeatCondDepth:  "conddepth",
+	FeatPosFrac:    "posfrac",
+	FeatOrdinal:    "ordinal",
+	FeatPtrSite:    "ptrsite",
+	FeatCalleeSize: "calleesize",
+	FeatCalleeLeaf: "calleeleaf",
+}
+
+// Feature caps: depths and ordinals saturate so pathological nesting
+// stays in the calibrated range.
+const (
+	LoopDepthCap = 6
+	CondDepthCap = 6
+	OrdinalCap   = 8
+)
+
+// SiteFeatures pairs one static call site with its feature vector.
+type SiteFeatures struct {
+	Site callgraph.SiteInfo
+	Vec  [NumFeatures]float64
+}
+
+// Featurize computes the feature vector of every call site in the module,
+// in callgraph.StableSites order (module function order, then code
+// order) — the same deterministic enumeration the profile database keys
+// on.
+func Featurize(mod *ir.Module) []SiteFeatures {
+	leaf := make(map[string]bool, len(mod.Funcs))
+	for _, f := range mod.Funcs {
+		leaf[f.Name] = isLeaf(f)
+	}
+	depths := make(map[string]*funcDepths, len(mod.Funcs))
+	for _, f := range mod.Funcs {
+		depths[f.Name] = regionDepths(f)
+	}
+
+	sites := callgraph.StableSites(mod)
+	out := make([]SiteFeatures, 0, len(sites))
+	for _, s := range sites {
+		caller := mod.Func(s.Caller)
+		d := depths[s.Caller]
+		var v [NumFeatures]float64
+		v[FeatBias] = 1
+		v[FeatLoopDepth] = float64(min(d.loop[s.Instr], LoopDepthCap))
+		v[FeatCondDepth] = float64(min(d.cond[s.Instr], CondDepthCap))
+		if n := len(caller.Code); n > 1 {
+			v[FeatPosFrac] = float64(s.Instr) / float64(n-1)
+		}
+		v[FeatOrdinal] = float64(min(s.Ordinal, OrdinalCap))
+		if s.ViaPointer {
+			v[FeatPtrSite] = 1
+		} else if callee := mod.Func(s.Callee); callee != nil {
+			v[FeatCalleeSize] = math.Log(1 + float64(callee.CodeSize()))
+			if leaf[s.Callee] {
+				v[FeatCalleeLeaf] = 1
+			}
+		}
+		out = append(out, SiteFeatures{Site: s, Vec: v})
+	}
+	return out
+}
+
+// isLeaf reports whether f contains no call instructions.
+func isLeaf(f *ir.Func) bool {
+	for i := range f.Code {
+		switch f.Code[i].Op {
+		case ir.OpCall, ir.OpCallPtr:
+			return false
+		}
+	}
+	return true
+}
+
+// funcDepths holds the per-instruction nesting depths of one function.
+type funcDepths struct {
+	loop []int // enclosing backward-branch regions
+	cond []int // enclosing forward-branch regions
+}
+
+// regionDepths derives loop and conditional nesting from the flat IL. A
+// backward OpJump/OpBr at index j targeting label index t <= j closes a
+// loop region [t, j]; a forward branch at j targeting t > j opens a
+// guarded region (j, t) — but only when that span contains no backward
+// branch. A forward branch over a backward branch is a loop's exit (or
+// entry) test, not an if: counting it would tag every site inside a
+// loop body as conditionally guarded too, collapsing the two features
+// into one. The depth of an instruction is the number of regions
+// containing it. This recovers the front end's structured nesting for
+// while/for/if lowering, and degrades gracefully on arbitrary gotos.
+func regionDepths(f *ir.Func) *funcDepths {
+	n := len(f.Code)
+	d := &funcDepths{loop: make([]int, n), cond: make([]int, n)}
+	if n == 0 {
+		return d
+	}
+	labels := f.LabelIndex()
+	// backBr[i] counts backward branches among Code[0:i], so a span
+	// [a, b) contains one iff backBr[b] > backBr[a].
+	backBr := make([]int, n+1)
+	for j := range f.Code {
+		backBr[j+1] = backBr[j]
+		in := &f.Code[j]
+		if in.Op != ir.OpJump && in.Op != ir.OpBr {
+			continue
+		}
+		if t, ok := labels[in.Label]; ok && t <= j {
+			backBr[j+1]++
+		}
+	}
+	// Difference arrays: +1 at region start, -1 one past its end.
+	loopDiff := make([]int, n+1)
+	condDiff := make([]int, n+1)
+	for j := range f.Code {
+		in := &f.Code[j]
+		if in.Op != ir.OpJump && in.Op != ir.OpBr {
+			continue
+		}
+		t, ok := labels[in.Label]
+		if !ok {
+			continue
+		}
+		if t <= j { // backward: loop region [t, j]
+			loopDiff[t]++
+			loopDiff[j+1]--
+		} else if j+1 < t && backBr[t] == backBr[j+1] { // forward over straight-line code: guarded region
+			condDiff[j+1]++
+			condDiff[t]--
+		}
+	}
+	loop, cond := 0, 0
+	for i := 0; i < n; i++ {
+		loop += loopDiff[i]
+		cond += condDiff[i]
+		d.loop[i] = loop
+		d.cond[i] = cond
+	}
+	return d
+}

@@ -1,0 +1,96 @@
+package predict
+
+import (
+	"math"
+
+	"inlinec/internal/profile"
+)
+
+// Hybrid merges a measured profile (resolved from a profile database
+// against the current module) with a synthesized prediction, per the
+// hybrid -profile-mode contract: sites whose fingerprint resolution
+// reported `exact` keep their measured weights untouched — down to the
+// raw totals, so their averaged weights (and therefore their inlining
+// decisions) are bit-identical to measured mode — while `moved`,
+// `dropped`, and new sites take the prediction. exact maps resolved
+// call-site ids to whether the source position matched (true = exact,
+// false = moved); ids absent from the map never resolved at all.
+//
+// Function entry counts have no source position to move, so measured
+// node weights win wherever the database still knows the function;
+// functions the database never saw get predicted node weights.
+//
+// A nil or empty measured profile degrades to the pure prediction.
+func Hybrid(pred, measured *profile.Profile, exact map[int]bool) *profile.Profile {
+	if measured == nil || measured.Runs <= 0 {
+		return pred
+	}
+	runs := measured.Runs
+	cnt := func(avg float64) int64 { return int64(math.Round(avg * float64(runs))) }
+
+	out := profile.NewProfile()
+	out.Runs = runs
+	// Scalar totals describe the measured runs; the call totals are
+	// recomputed below so they stay consistent with the merged sites.
+	out.TotalIL = measured.TotalIL
+	out.TotalControl = measured.TotalControl
+	out.TotalExtern = measured.TotalExtern
+	out.TotalPtr = measured.TotalPtr
+	out.TotalTruncated = measured.TotalTruncated
+	out.MaxStack = measured.MaxStack
+
+	for id, n := range measured.SiteCounts {
+		if exact[id] {
+			out.SiteCounts[id] = n
+		}
+	}
+	for id := range pred.SiteCounts {
+		if _, keep := out.SiteCounts[id]; keep {
+			continue
+		}
+		if c := cnt(pred.SiteWeight(id)); c > 0 {
+			out.SiteCounts[id] = c
+		}
+	}
+	for _, n := range out.SiteCounts {
+		out.TotalCalls += n
+	}
+	out.TotalReturns = out.TotalCalls
+
+	for id, targets := range measured.PtrTargets {
+		if !exact[id] {
+			continue
+		}
+		for t, n := range targets {
+			out.AddPtrTarget(id, t, n)
+		}
+	}
+	for id, targets := range pred.PtrTargets {
+		if _, keep := out.PtrTargets[id]; keep {
+			continue
+		}
+		if exact[id] {
+			// An exact site without measured target data keeps its
+			// measured (empty) resolution rather than a guess.
+			continue
+		}
+		for t := range targets {
+			if c := cnt(pred.SiteTargetWeight(id, t)); c > 0 {
+				out.AddPtrTarget(id, t, c)
+			}
+		}
+	}
+
+	for name, n := range measured.FuncCounts {
+		out.FuncCounts[name] = n
+	}
+	for name := range pred.FuncCounts {
+		if _, ok := out.FuncCounts[name]; ok {
+			continue
+		}
+		if c := cnt(pred.FuncWeight(name)); c > 0 {
+			out.FuncCounts[name] = c
+		}
+	}
+	return out
+}

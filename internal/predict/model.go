@@ -1,0 +1,230 @@
+package predict
+
+import (
+	"bufio"
+	_ "embed"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The on-disk model format is a line-oriented text file in the spirit of
+// the ILPROF profiler-to-compiler interface: small enough to check in and
+// diff, strict enough that a corrupt or concatenated model can never
+// silently skew the expander's weights.
+//
+//	ILPREDICT 1
+//	coef bias 0.25
+//	coef loopdepth 2.1
+//	...                       (one line per FeatureNames entry)
+//	param recursion 2
+//	param domshare 0.9
+//	param maxfreq 4096
+//	param scale 64
+//
+// The decoder is strict: the magic line is mandatory, every coef and
+// param directive must appear exactly once (no unknowns, no duplicates,
+// no omissions), values must be finite, and the structural params must
+// lie in their documented ranges. Any violation is a line-numbered error.
+// Serialization is canonical — sorted directives, shortest round-trip
+// float formatting — so write/parse/write is byte-stable (the property
+// FuzzPredictModelDecoder checks).
+
+const modelMagic = "ILPREDICT 1"
+
+// Model holds the calibrated predictor: log-space feature coefficients
+// plus the structural parameters the propagation pass uses.
+type Model struct {
+	// Coef are the log-linear feature coefficients: a site's expected
+	// calls per caller invocation is exp(Coef · features), clamped to
+	// [0, MaxFreq].
+	Coef [NumFeatures]float64
+
+	// Recursion multiplies the local frequency of arcs inside a
+	// recursive cycle: a recursive call repeats, so its arc carries more
+	// weight than the surrounding straight-line code suggests. Must be
+	// positive.
+	Recursion float64
+	// DomShare is the fraction of a pointer-call site's weight guessed to
+	// go to its dominant target (the nearest preceding address-of
+	// operand); the remainder is split evenly over the other candidates.
+	// Must lie in (0, 1].
+	DomShare float64
+	// MaxFreq clamps a single site's predicted calls per caller
+	// invocation. Must be at least 1.
+	MaxFreq float64
+	// Scale is the synthetic profile's run denominator: predicted weights
+	// are fixed-point with resolution 1/Scale (the profile carries
+	// Runs=Scale and counts of weight×Scale), so fractional weights
+	// survive the integer profile format. Must be at least 1.
+	Scale float64
+}
+
+// structural params, in canonical (sorted) on-disk order.
+var paramNames = []string{"domshare", "maxfreq", "recursion", "scale"}
+
+// Validate checks the structural-parameter ranges and that every value is
+// finite. The decoder calls it; Calibrate's output satisfies it by
+// construction.
+func (m *Model) Validate() error {
+	for i, c := range m.Coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("predict: coef %s is not finite", FeatureNames[i])
+		}
+	}
+	switch {
+	case math.IsNaN(m.Recursion) || m.Recursion <= 0:
+		return fmt.Errorf("predict: param recursion %v outside (0, inf)", m.Recursion)
+	case math.IsInf(m.Recursion, 0):
+		return fmt.Errorf("predict: param recursion is not finite")
+	case math.IsNaN(m.DomShare) || m.DomShare <= 0 || m.DomShare > 1:
+		return fmt.Errorf("predict: param domshare %v outside (0, 1]", m.DomShare)
+	case math.IsNaN(m.MaxFreq) || math.IsInf(m.MaxFreq, 0) || m.MaxFreq < 1:
+		return fmt.Errorf("predict: param maxfreq %v outside [1, inf)", m.MaxFreq)
+	case math.IsNaN(m.Scale) || math.IsInf(m.Scale, 0) || m.Scale < 1:
+		return fmt.Errorf("predict: param scale %v outside [1, inf)", m.Scale)
+	}
+	return nil
+}
+
+// param returns a pointer to the named structural parameter.
+func (m *Model) param(name string) *float64 {
+	switch name {
+	case "recursion":
+		return &m.Recursion
+	case "domshare":
+		return &m.DomShare
+	case "maxfreq":
+		return &m.MaxFreq
+	case "scale":
+		return &m.Scale
+	}
+	return nil
+}
+
+// fmtFloat renders a coefficient in the canonical on-disk form: the
+// shortest decimal that round-trips exactly, so write/parse/write is
+// byte-stable.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteTo serializes the model in canonical form.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	fmt.Fprintln(&sb, modelMagic)
+	for i, name := range FeatureNames {
+		fmt.Fprintf(&sb, "coef %s %s\n", name, fmtFloat(m.Coef[i]))
+	}
+	for _, name := range paramNames {
+		fmt.Fprintf(&sb, "param %s %s\n", name, fmtFloat(*m.param(name)))
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// ReadModel parses a serialized model, strictly.
+func ReadModel(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4<<10), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("predict: empty model input")
+	}
+	if sc.Text() != modelMagic {
+		return nil, fmt.Errorf("predict: bad magic %q", sc.Text())
+	}
+	featIdx := make(map[string]int, NumFeatures)
+	for i, name := range FeatureNames {
+		featIdx[name] = i
+	}
+	m := &Model{}
+	seenCoef := make(map[string]int)
+	seenParam := make(map[string]int)
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("predict: line %d: malformed %q", lineNo, line)
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || fields[2] != fmtFloat(v) {
+			// Rejecting non-canonical spellings (1e0, +1, 01, inf) keeps
+			// write/parse/write byte-stable and finiteness checkable here.
+			return nil, fmt.Errorf("predict: line %d: bad value %q", lineNo, fields[2])
+		}
+		switch fields[0] {
+		case "coef":
+			i, ok := featIdx[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("predict: line %d: unknown feature %q", lineNo, fields[1])
+			}
+			if prev, dup := seenCoef[fields[1]]; dup {
+				return nil, fmt.Errorf("predict: line %d: duplicate coef %q (first on line %d)", lineNo, fields[1], prev)
+			}
+			seenCoef[fields[1]] = lineNo
+			m.Coef[i] = v
+		case "param":
+			p := m.param(fields[1])
+			if p == nil {
+				return nil, fmt.Errorf("predict: line %d: unknown param %q", lineNo, fields[1])
+			}
+			if prev, dup := seenParam[fields[1]]; dup {
+				return nil, fmt.Errorf("predict: line %d: duplicate param %q (first on line %d)", lineNo, fields[1], prev)
+			}
+			seenParam[fields[1]] = lineNo
+			*p = v
+		default:
+			return nil, fmt.Errorf("predict: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, name := range FeatureNames {
+		if _, ok := seenCoef[name]; !ok {
+			return nil, fmt.Errorf("predict: missing coef %q", name)
+		}
+	}
+	for _, name := range paramNames {
+		if _, ok := seenParam[name]; !ok {
+			return nil, fmt.Errorf("predict: missing param %q", name)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// defaultModelBytes is the checked-in calibrated model, regenerated by
+// `go test ./internal/bench -run TestCalibratedDefaultModel -update`
+// (see calibrate.go for the procedure and corpus).
+//
+//go:embed default.ilpredict
+var defaultModelBytes []byte
+
+var (
+	defaultModelOnce sync.Once
+	defaultModel     *Model
+	defaultModelErr  error
+)
+
+// DefaultModel returns the embedded calibrated model. The file is checked
+// in and covered by strict-parse tests and fuzzing, so a parse failure is
+// a build corruption: it panics rather than returning a half-zero model
+// that would silently mispredict everything.
+func DefaultModel() *Model {
+	defaultModelOnce.Do(func() {
+		defaultModel, defaultModelErr = ReadModel(strings.NewReader(string(defaultModelBytes)))
+	})
+	if defaultModelErr != nil {
+		panic(fmt.Sprintf("predict: embedded default.ilpredict is invalid: %v", defaultModelErr))
+	}
+	return defaultModel
+}

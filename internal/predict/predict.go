@@ -1,0 +1,386 @@
+package predict
+
+import (
+	"math"
+	"sort"
+
+	"inlinec/internal/callgraph"
+	"inlinec/internal/ir"
+	"inlinec/internal/profile"
+)
+
+// LocalFreq evaluates the model on one feature vector: the expected
+// number of times the site executes per invocation of its caller,
+// exp(Coef · vec) clamped to [0, MaxFreq].
+func (m *Model) LocalFreq(vec [NumFeatures]float64) float64 {
+	dot := 0.0
+	for i, c := range m.Coef {
+		dot += c * vec[i]
+	}
+	f := math.Exp(dot)
+	if f > m.MaxFreq {
+		return m.MaxFreq
+	}
+	return f
+}
+
+// targetShare is one guessed resolution of a pointer-call site.
+type targetShare struct {
+	name  string
+	share float64
+}
+
+// edge is one weighted call-graph edge for the propagation pass: a
+// direct call carries share 1; a pointer call fans out one edge per
+// guessed target.
+type edge struct {
+	siteID int
+	caller int // module function index
+	callee int
+	freq   float64 // local frequency (already includes the share)
+}
+
+// Synthesize predicts a full profile for the module: node weights
+// (FuncCounts), arc weights (SiteCounts), and pointer-target dominance
+// guesses (PtrTargets), shaped exactly like a measured profile so the
+// call graph, the expander, guarded devirtualization, and partial
+// inlining consume it unchanged. The synthetic profile carries
+// Runs = Scale with counts of weight × Scale, i.e. fixed-point weights
+// with resolution 1/Scale, normalized to one entry of main per run.
+//
+// The estimate is purely static and deterministic: local per-site
+// frequencies come from the calibrated model, whole-program weights from
+// one topological propagation over the call graph's SCC condensation
+// (recursive cycles get one relaxation round scaled by the Recursion
+// parameter rather than a fixed point — crude, but bounded and
+// reproducible).
+func Synthesize(mod *ir.Module, m *Model) *profile.Profile {
+	feats := Featurize(mod)
+	g := callgraph.Build(mod, nil)
+
+	idx := make(map[string]int, len(mod.Funcs))
+	for i, f := range mod.Funcs {
+		idx[f.Name] = i
+	}
+
+	// Per-site local frequencies, pointer-target guesses, and the edge
+	// list, all in StableSites order.
+	freqs := make([]float64, len(feats))
+	guesses := make([][]targetShare, len(feats))
+	var edges []edge
+	ptrCandidates := g.PointerCallees()
+	for i, sf := range feats {
+		lf := m.LocalFreq(sf.Vec)
+		freqs[i] = lf
+		caller := idx[sf.Site.Caller]
+		switch {
+		case sf.Site.ViaPointer:
+			ts := guessTargets(mod, mod.Funcs[caller], sf.Site.Instr, ptrCandidates, m.DomShare)
+			guesses[i] = ts
+			for _, t := range ts {
+				edges = append(edges, edge{siteID: sf.Site.ID, caller: caller, callee: idx[t.name], freq: lf * t.share})
+			}
+		default:
+			if callee, ok := idx[sf.Site.Callee]; ok {
+				edges = append(edges, edge{siteID: sf.Site.ID, caller: caller, callee: callee, freq: lf})
+			}
+			// Extern callees contribute no node weight; their arc weight
+			// still lands in SiteCounts below.
+		}
+	}
+
+	weights := propagate(len(mod.Funcs), idx["main"], edges, m.Recursion)
+
+	// Assemble the profile. A site's arc weight is its caller's final
+	// node weight times the local frequency (times Recursion when the
+	// arc closes a cycle, matching the propagation).
+	comp := sccOf(len(mod.Funcs), edges)
+	scale := math.Round(m.Scale)
+	cnt := func(w float64) int64 { return int64(math.Round(w * scale)) }
+	prof := profile.NewProfile()
+	prof.Runs = int(scale)
+	var totalIL, totalControl float64
+	for i, f := range mod.Funcs {
+		if c := cnt(weights[i]); c > 0 {
+			prof.FuncCounts[f.Name] = c
+		}
+		totalIL += weights[i] * float64(f.CodeSize())
+		totalControl += weights[i] * float64(countControl(f))
+	}
+	for i, sf := range feats {
+		caller := idx[sf.Site.Caller]
+		w := weights[caller] * freqs[i]
+		if callee, ok := idx[sf.Site.Callee]; ok && !sf.Site.ViaPointer && comp[callee] == comp[caller] {
+			w *= m.Recursion
+		}
+		c := cnt(w)
+		if c <= 0 {
+			continue
+		}
+		prof.SiteCounts[sf.Site.ID] = c
+		prof.TotalCalls += c
+		switch {
+		case sf.Site.ViaPointer:
+			prof.TotalPtr += c
+			for _, t := range guesses[i] {
+				if tc := cnt(w * t.share); tc > 0 {
+					prof.AddPtrTarget(sf.Site.ID, t.name, tc)
+				}
+			}
+		case mod.Func(sf.Site.Callee) == nil:
+			prof.TotalExtern += c
+		}
+	}
+	prof.TotalReturns = prof.TotalCalls
+	prof.TotalIL = cnt(totalIL)
+	prof.TotalControl = cnt(totalControl)
+	prof.MaxStack = estimateMaxStack(g)
+	return prof
+}
+
+// guessTargets picks the candidate targets of one pointer-call site and
+// their shares. The primary candidate set is the nearest assignment
+// cluster: address-of-function operands found scanning backward from the
+// call until the previous call site (assignments before an intervening
+// call belong to an earlier dispatch, not this one). Those clusters are
+// the arms of the if-chain that selected the pointer, so positional
+// conventions apply: the first arm of a chain of three or more is
+// treated as the common case and gets the dominant share; a two-armed
+// diamond gives no positional reason to favor either arm, so the share
+// splits evenly (and guarded devirtualization, correctly, refuses the
+// site). A call with no preceding cluster falls back to every
+// address-of-function in the caller, then the module, then the supplied
+// worst-case set — first name dominant in each.
+func guessTargets(mod *ir.Module, caller *ir.Func, instr int, fallback []string, domShare float64) []targetShare {
+	var names []string // candidates, source order
+	seen := make(map[string]bool)
+	for i := instr - 1; i >= 0; i-- {
+		in := &caller.Code[i]
+		if in.Op == ir.OpCall || in.Op == ir.OpCallPtr {
+			break
+		}
+		if in.Op == ir.OpAddrF && mod.Func(in.Sym) != nil && !seen[in.Sym] {
+			seen[in.Sym] = true
+			names = append(names, in.Sym)
+		}
+	}
+	// The backward scan found the arms last-first; restore source order.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	if len(names) == 0 {
+		for i := range caller.Code {
+			in := &caller.Code[i]
+			if in.Op == ir.OpAddrF && mod.Func(in.Sym) != nil && !seen[in.Sym] {
+				seen[in.Sym] = true
+				names = append(names, in.Sym)
+			}
+		}
+	}
+	if len(names) == 0 {
+		// Module-wide fallback: the first function (in module order) that
+		// any code takes the address of dominates.
+		for _, f := range mod.Funcs {
+			for i := range f.Code {
+				in := &f.Code[i]
+				if in.Op == ir.OpAddrF && mod.Func(in.Sym) != nil && !seen[in.Sym] {
+					seen[in.Sym] = true
+					names = append(names, in.Sym)
+				}
+			}
+		}
+	}
+	if len(names) == 0 {
+		names = append(names, fallback...)
+	}
+	switch len(names) {
+	case 0:
+		return nil
+	case 1:
+		return []targetShare{{name: names[0], share: 1}}
+	case 2:
+		a, b := names[0], names[1]
+		if b < a {
+			a, b = b, a
+		}
+		return []targetShare{{name: a, share: 0.5}, {name: b, share: 0.5}}
+	}
+	dominant := names[0]
+	rest := (1 - domShare) / float64(len(names)-1)
+	sort.Strings(names)
+	out := make([]targetShare, 0, len(names))
+	for _, n := range names {
+		s := rest
+		if n == dominant {
+			s = domShare
+		}
+		out = append(out, targetShare{name: n, share: s})
+	}
+	return out
+}
+
+// propagate computes node weights: main executes once, and every edge
+// forwards weight(caller) × freq to its callee, processed over the SCC
+// condensation in topological order. Within a recursive component, one
+// relaxation round scaled by the recursion parameter stands in for the
+// (divergent) fixed point: each intra-component edge forwards its
+// caller's externally-accumulated weight once, times recursion.
+func propagate(n, main int, edges []edge, recursion float64) []float64 {
+	weights := make([]float64, n)
+	if n == 0 || main < 0 {
+		return weights
+	}
+	comp := sccOf(n, edges)
+	nc := 0
+	for _, c := range comp {
+		if c+1 > nc {
+			nc = c + 1
+		}
+	}
+	// Components are numbered in reverse topological order (callees
+	// first), so callers come last: process components highest-first.
+	members := make([][]int, nc)
+	for v := 0; v < n; v++ {
+		members[comp[v]] = append(members[comp[v]], v)
+	}
+	outEdges := make([][]edge, n)
+	for _, e := range edges {
+		outEdges[e.caller] = append(outEdges[e.caller], e)
+	}
+	weights[main] = 1
+	for c := nc - 1; c >= 0; c-- {
+		// One relaxation round inside the component: intra edges forward
+		// the externally-accumulated base weights, scaled by recursion.
+		base := make(map[int]float64, len(members[c]))
+		for _, v := range members[c] {
+			base[v] = weights[v]
+		}
+		for _, v := range members[c] {
+			for _, e := range outEdges[v] {
+				if comp[e.callee] == c {
+					weights[e.callee] += base[v] * e.freq * recursion
+				}
+			}
+		}
+		// Then forward the final member weights downstream.
+		for _, v := range members[c] {
+			for _, e := range outEdges[v] {
+				if comp[e.callee] != c {
+					weights[e.callee] += weights[v] * e.freq
+				}
+			}
+		}
+	}
+	return weights
+}
+
+// sccOf computes strongly connected components over the edge list with
+// Tarjan's algorithm (iterative). Component ids come out in reverse
+// topological order of the condensation: every edge u -> v with
+// comp[u] != comp[v] has comp[u] > comp[v].
+func sccOf(n int, edges []edge) []int {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e.caller] = append(adj[e.caller], e.callee)
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next, nc := 0, 0
+
+	type frame struct{ v, ei int }
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		call := []frame{{start, 0}}
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.ei == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ei < len(adj[v]) {
+				w := adj[v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					call = append(call, frame{w, 0})
+					advanced = true
+					break
+				}
+				if onStack[w] && low[w] < low[v] {
+					low[v] = low[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nc
+					if w == v {
+						break
+					}
+				}
+				nc++
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// countControl counts the control-transfer instructions of a function
+// (jumps, branches, calls, returns) for the synthetic TotalControl
+// estimate.
+func countControl(f *ir.Func) int {
+	n := 0
+	for i := range f.Code {
+		switch f.Code[i].Op {
+		case ir.OpJump, ir.OpBr, ir.OpCall, ir.OpCallPtr, ir.OpRet:
+			n++
+		}
+	}
+	return n
+}
+
+// estimateMaxStack guesses the peak control-stack depth: the largest
+// frame times the deepest user-arc chain. Informational only — the
+// expander's recursion hazard uses per-callee frame sizes, not this.
+func estimateMaxStack(g *callgraph.Graph) int64 {
+	maxFrame, maxHeight := 0, 0
+	for _, node := range g.Nodes {
+		if node.Fn == nil {
+			continue
+		}
+		if node.Fn.FrameSize > maxFrame {
+			maxFrame = node.Fn.FrameSize
+		}
+		if node.Height() > maxHeight {
+			maxHeight = node.Height()
+		}
+	}
+	return int64(maxFrame) * int64(maxHeight+1)
+}

@@ -1,0 +1,344 @@
+package predict_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"inlinec"
+	"inlinec/internal/predict"
+	"inlinec/internal/profile"
+	"regexp"
+)
+
+// compile builds a module through the real front end; the predictor only
+// ever sees compiler output, so tests should too.
+func compile(t *testing.T, src string) *inlinec.Program {
+	t.Helper()
+	p, err := inlinec.Compile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDefaultModelLoads(t *testing.T) {
+	m := predict.DefaultModel()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("embedded default model invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := predict.ReadModel(&buf)
+	if err != nil {
+		t.Fatalf("default model does not round-trip: %v", err)
+	}
+	if *back != *m {
+		t.Errorf("round trip changed the model: %+v vs %+v", back, m)
+	}
+}
+
+func TestReadModelStrict(t *testing.T) {
+	var valid bytes.Buffer
+	if _, err := predict.DefaultModel().WriteTo(&valid); err != nil {
+		t.Fatal(err)
+	}
+	v := valid.String()
+	// Strip the ordinal line wherever its (recalibrated) value landed, so
+	// this test does not chase the checked-in coefficients.
+	ordLine := regexp.MustCompile(`(?m)^coef ordinal .*\n`)
+	if !ordLine.MatchString(v) {
+		t.Fatal("serialized model has no ordinal coefficient line")
+	}
+	bad := map[string]string{
+		"missing magic":      strings.TrimPrefix(v, "ILPREDICT 1\n"),
+		"bad version":        strings.Replace(v, "ILPREDICT 1", "ILPREDICT 9", 1),
+		"unknown feature":    v + "coef wibble 1\n",
+		"duplicate coef":     v + "coef bias 0\n",
+		"duplicate param":    v + "param scale 64\n",
+		"missing param":      strings.Replace(v, "param scale 64\n", "", 1),
+		"missing coef":       ordLine.ReplaceAllString(v, ""),
+		"nan":                strings.Replace(v, "param recursion 2", "param recursion NaN", 1),
+		"inf":                strings.Replace(v, "param recursion 2", "param recursion +Inf", 1),
+		"domshare too big":   strings.Replace(v, "param domshare 0.9375", "param domshare 1.25", 1),
+		"non-canonical 0.50": strings.Replace(v, "param domshare 0.9375", "param domshare 0.93750", 1),
+		"trailing garbage":   v + "wibble\n",
+		"short line":         v + "coef bias\n",
+	}
+	for name, text := range bad {
+		if _, err := predict.ReadModel(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: strict parser accepted:\n%s", name, text)
+		}
+	}
+	if _, err := predict.ReadModel(strings.NewReader(v)); err != nil {
+		t.Errorf("canonical model rejected: %v", err)
+	}
+}
+
+func TestFeaturizeDepths(t *testing.T) {
+	p := compile(t, `
+int leaf(int x) { return x + 1; }
+int main() {
+	int i; int j; int s;
+	s = leaf(0);                 /* depth 0 */
+	for (i = 0; i < 4; i++) {
+		s += leaf(i);            /* loop depth 1 */
+		for (j = 0; j < 4; j++) {
+			s += leaf(j);        /* loop depth 2 */
+		}
+	}
+	if (s > 100) { s += leaf(s); } /* cond depth 1 */
+	return s & 0x7f;
+}`)
+	feats := predict.Featurize(p.Module)
+	byOrdinal := map[int][8]float64{}
+	for _, sf := range feats {
+		if sf.Site.Caller == "main" {
+			byOrdinal[sf.Site.Ordinal] = sf.Vec
+		}
+	}
+	if len(byOrdinal) != 4 {
+		t.Fatalf("expected 4 sites in main, got %d", len(byOrdinal))
+	}
+	check := func(ord int, loop, cond float64) {
+		t.Helper()
+		v := byOrdinal[ord]
+		if v[predict.FeatLoopDepth] != loop {
+			t.Errorf("site ordinal %d: loop depth %v, want %v", ord, v[predict.FeatLoopDepth], loop)
+		}
+		if v[predict.FeatCondDepth] != cond {
+			t.Errorf("site ordinal %d: cond depth %v, want %v", ord, v[predict.FeatCondDepth], cond)
+		}
+	}
+	check(0, 0, 0)
+	check(1, 1, 0)
+	check(2, 2, 0)
+	check(3, 0, 1)
+	for ord, v := range byOrdinal {
+		if v[predict.FeatBias] != 1 {
+			t.Errorf("site ordinal %d: bias %v, want 1", ord, v[predict.FeatBias])
+		}
+		if v[predict.FeatCalleeLeaf] != 1 {
+			t.Errorf("site ordinal %d: callee leaf flag %v, want 1 (leaf calls nothing)", ord, v[predict.FeatCalleeLeaf])
+		}
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	p := compile(t, `
+int leaf(int x) { return x * 3 + 1; }
+int main() {
+	int i; int s;
+	s = leaf(7);                        /* cold */
+	for (i = 0; i < 50; i++) s += leaf(i); /* hot */
+	return s & 0x7f;
+}`)
+	m := predict.DefaultModel()
+	prof := predict.Synthesize(p.Module, m)
+	if prof.Runs != int(math.Round(m.Scale)) {
+		t.Errorf("Runs = %d, want the model scale %v", prof.Runs, m.Scale)
+	}
+	if w := prof.FuncWeight("main"); w != 1 {
+		t.Errorf("main weight %v, want exactly 1 (one entry per run)", w)
+	}
+	if prof.FuncWeight("leaf") <= 0 {
+		t.Error("leaf got no predicted weight")
+	}
+	// The loop site must outweigh the straight-line site.
+	var weights []float64
+	for id := range prof.SiteCounts {
+		weights = append(weights, prof.SiteWeight(id))
+	}
+	if len(weights) != 2 {
+		t.Fatalf("expected 2 predicted sites, got %d", len(weights))
+	}
+	lo, hi := math.Min(weights[0], weights[1]), math.Max(weights[0], weights[1])
+	if hi <= lo {
+		t.Errorf("loop site (%v) does not outweigh straight-line site (%v)", hi, lo)
+	}
+	if prof.TotalCalls <= 0 || prof.TotalReturns != prof.TotalCalls {
+		t.Errorf("call/return totals inconsistent: %d calls, %d returns", prof.TotalCalls, prof.TotalReturns)
+	}
+	if prof.TotalIL <= 0 || prof.TotalControl <= 0 {
+		t.Errorf("zero synthetic IL/control totals: %d / %d", prof.TotalIL, prof.TotalControl)
+	}
+}
+
+func TestSynthesizePtrTargets(t *testing.T) {
+	// A three-armed dispatch chain: the first arm is the conventional
+	// common case and must get the dominant share; the two-armed chain
+	// below it must split evenly so devirtualization refuses it.
+	p := compile(t, `
+int op_a(int x) { return x + 1; }
+int op_b(int x) { return x + 2; }
+int op_c(int x) { return x + 3; }
+int main() {
+	int i; int s; int (*fp)(int);
+	s = 0;
+	for (i = 0; i < 64; i++) {
+		if (i < 60) fp = op_a;
+		else if (i < 62) fp = op_b;
+		else fp = op_c;
+		s += fp(i);
+		if ((i & 7) == 0) {
+			if (i & 1) fp = op_b; else fp = op_c;
+			s += fp(i >> 1);
+		}
+	}
+	return s & 0x7f;
+}`)
+	m := predict.DefaultModel()
+	prof := predict.Synthesize(p.Module, m)
+	if len(prof.PtrTargets) != 2 {
+		t.Fatalf("expected target histograms for 2 pointer sites, got %d", len(prof.PtrTargets))
+	}
+	var threeArm, twoArm int
+	for id, targets := range prof.PtrTargets {
+		switch len(targets) {
+		case 3:
+			threeArm = id
+		case 2:
+			twoArm = id
+		default:
+			t.Fatalf("site %d: %d guessed targets", id, len(targets))
+		}
+	}
+	tw := func(id int, name string) float64 { return prof.SiteTargetWeight(id, name) }
+	total := tw(threeArm, "op_a") + tw(threeArm, "op_b") + tw(threeArm, "op_c")
+	if share := tw(threeArm, "op_a") / total; math.Abs(share-m.DomShare) > 0.02 {
+		t.Errorf("first arm op_a share %v, want the dominant share %v", share, m.DomShare)
+	}
+	if b, c := tw(twoArm, "op_b"), tw(twoArm, "op_c"); math.Abs(b-c) > 1e-9 || b <= 0 {
+		t.Errorf("two-armed site must split evenly, got op_b=%v op_c=%v", b, c)
+	}
+}
+
+func TestHybridMerge(t *testing.T) {
+	pred := profile.NewProfile()
+	pred.Runs = 64
+	pred.SiteCounts[1] = 640  // weight 10
+	pred.SiteCounts[2] = 320  // weight 5
+	pred.SiteCounts[3] = 6400 // weight 100
+	pred.FuncCounts["f"] = 640
+	pred.FuncCounts["g"] = 64
+	pred.AddPtrTarget(3, "a", 6000)
+	pred.AddPtrTarget(3, "b", 400)
+
+	measured := profile.NewProfile()
+	measured.Runs = 10
+	measured.SiteCounts[1] = 777 // exact: must survive untouched
+	measured.SiteCounts[2] = 555 // moved: replaced by prediction
+	measured.FuncCounts["f"] = 123
+	measured.AddPtrTarget(1, "x", 700)
+	measured.TotalIL = 4242
+	measured.MaxStack = 512
+
+	exact := map[int]bool{1: true, 2: false}
+	out := predict.Hybrid(pred, measured, exact)
+
+	if out.Runs != 10 {
+		t.Errorf("Runs = %d, want the measured 10", out.Runs)
+	}
+	if out.SiteCounts[1] != 777 {
+		t.Errorf("exact site kept %d, want the raw measured 777", out.SiteCounts[1])
+	}
+	if got, want := out.SiteWeight(2), pred.SiteWeight(2); math.Abs(got-want) > 0.1 {
+		t.Errorf("moved site weight %v, want the predicted %v", got, want)
+	}
+	if got, want := out.SiteWeight(3), pred.SiteWeight(3); math.Abs(got-want) > 0.1 {
+		t.Errorf("new site weight %v, want the predicted %v", got, want)
+	}
+	if out.FuncCounts["f"] != 123 {
+		t.Errorf("measured func count overwritten: %d", out.FuncCounts["f"])
+	}
+	if out.FuncWeight("g") <= 0 {
+		t.Error("unseen function got no predicted weight")
+	}
+	if w := out.SiteTargetWeight(1, "x"); w <= 0 {
+		t.Error("exact site lost its measured pointer targets")
+	}
+	if out.SiteTargetWeight(3, "a") <= out.SiteTargetWeight(3, "b") {
+		t.Error("new pointer site lost its predicted dominance")
+	}
+	if out.TotalIL != 4242 || out.MaxStack != 512 {
+		t.Errorf("measured scalar totals not carried: il=%d maxstack=%d", out.TotalIL, out.MaxStack)
+	}
+	var sum int64
+	for _, n := range out.SiteCounts {
+		sum += n
+	}
+	if out.TotalCalls != sum || out.TotalReturns != sum {
+		t.Errorf("totals inconsistent with merged sites: calls=%d returns=%d sum=%d",
+			out.TotalCalls, out.TotalReturns, sum)
+	}
+
+	if got := predict.Hybrid(pred, nil, nil); got != pred {
+		t.Error("nil measured profile must degrade to the pure prediction")
+	}
+}
+
+func TestCalibrateRecoversCoefficients(t *testing.T) {
+	// Synthetic ground truth: plant a coefficient vector, generate
+	// feature vectors, label with exact log-frequencies, and the ridge
+	// fit must land near the planted values (exactly at lambda -> 0;
+	// near, at the real lambda).
+	planted := [predict.NumFeatures]float64{0.3, 1.1, -0.4, 0.25, -0.1, 0.5, -0.02, 0.15}
+	r := rand.New(rand.NewSource(7))
+	var samples []predict.Sample
+	for n := 0; n < 400; n++ {
+		vec := [predict.NumFeatures]float64{
+			1, float64(r.Intn(5)), float64(r.Intn(4)), r.Float64(),
+			float64(r.Intn(4)), float64(r.Intn(2)), r.Float64() * 4, float64(r.Intn(2)),
+		}
+		y := 0.0
+		for i, c := range planted {
+			y += c * vec[i]
+		}
+		samples = append(samples, predict.Sample{Vec: vec, LogFreq: y})
+	}
+	m, err := predict.Calibrate(samples, predict.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range m.Coef {
+		if math.Abs(c-planted[i]) > 0.05 {
+			t.Errorf("coef %s: recovered %v, planted %v", predict.FeatureNames[i], c, planted[i])
+		}
+	}
+	// Structural parameters come from the base model, not the fit.
+	if m.DomShare != predict.DefaultModel().DomShare {
+		t.Errorf("DomShare %v, want the base model's %v", m.DomShare, predict.DefaultModel().DomShare)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	src := `
+int a(int x) { return x + 1; }
+int b(int x) { return a(x) + a(x + 1); }
+int rec(int n) { if (n < 2) return n; return rec(n - 1) + rec(n - 2); }
+int main() {
+	int i; int s;
+	s = rec(8);
+	for (i = 0; i < 20; i++) s += b(i);
+	return s & 0x7f;
+}`
+	m := predict.DefaultModel()
+	serialize := func() string {
+		p := compile(t, src)
+		var buf bytes.Buffer
+		if _, err := predict.Synthesize(p.Module, m).WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := serialize()
+	for i := 0; i < 3; i++ {
+		if got := serialize(); got != first {
+			t.Fatalf("Synthesize run %d differs:\n%s\nvs\n%s", i+2, got, first)
+		}
+	}
+}

@@ -303,6 +303,12 @@ type ResolveStats struct {
 	// Dropped lists the stale site keys and unknown function names, sorted,
 	// for reporting.
 	Dropped []string
+	// ExactIDs classifies every resolved site by its current raw id:
+	// true when the source position matched (exact), false when the site
+	// moved. Ids absent from the map did not resolve at all. Hybrid
+	// profile-mode uses this to keep measured weights only where the
+	// resolution is exact.
+	ExactIDs map[int]bool
 }
 
 // Resolve remaps a stable-key record onto the current module's raw
@@ -327,7 +333,7 @@ func (r *Record) Resolve(keys *KeyMap) (*profile.Profile, *ResolveStats) {
 		prof.SampleRate = r.SampleRate
 	}
 
-	stats := &ResolveStats{}
+	stats := &ResolveStats{ExactIDs: make(map[int]bool)}
 	for _, k := range r.sortedSiteKeys() {
 		n := r.Sites[k]
 		stats.Sites++
@@ -342,6 +348,13 @@ func (r *Record) Resolve(keys *KeyMap) (*profile.Profile, *ResolveStats) {
 			stats.ExactSites++
 		} else {
 			stats.MovedSites++
+		}
+		// Two keys can resolve onto one id only if one of them moved;
+		// the id is exact only when every contributor matched exactly.
+		if prev, seen := stats.ExactIDs[id]; seen {
+			stats.ExactIDs[id] = prev && exact
+		} else {
+			stats.ExactIDs[id] = exact
 		}
 		prof.SiteCounts[id] += n
 	}

@@ -138,3 +138,73 @@ func TestObsDoesNotPerturbCompilation(t *testing.T) {
 		}
 	}
 }
+
+// predictedArtifacts mirrors traceArtifacts with the profile synthesized
+// by the predictor instead of measured — zero interpreter runs.
+func predictedArtifacts(t *testing.T, src, engine string, par int) (jsonl []byte, report, module string) {
+	t.Helper()
+	p, err := Compile("d.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Parallelism = par
+	p.Engine = engine
+	prof := p.PredictProfile()
+	params := DefaultParams()
+	params.WeightThreshold = 0.25
+	params.SizeLimitFactor = 2.0
+	res, err := p.Inline(prof, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteInlineTraceJSONL(&buf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), obs.FormatInlineReport(res.Order, res.Trace), p.Module.String()
+}
+
+// TestPredictedTraceDeterministic: the determinism contract extends to
+// profile-free compilation — synthesized weights, the decision trace,
+// and the expanded module are byte-identical at any Parallelism and on
+// either interpreter engine (the engine never even runs, so it must not
+// be able to matter).
+func TestPredictedTraceDeterministic(t *testing.T) {
+	shapes := []struct {
+		name string
+		opts testgen.Options
+	}{
+		{"plain", testgen.Options{Funcs: 9}},
+		{"recursion", testgen.Options{Funcs: 8, Recursion: true}},
+		{"funcptrs_extern", testgen.Options{Funcs: 8, FuncPtrs: true, Extern: true, Recursion: true}},
+		{"pointers", testgen.Options{Funcs: 10, Pointers: true, MaxDepth: 3}},
+		{"dominant_ptr", testgen.Options{Funcs: 8, DominantFuncPtr: true}},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			src := testgen.Generate(1234, sh.opts)
+			refJSONL, refReport, refModule := predictedArtifacts(t, src, "", 1)
+			if len(refJSONL) == 0 {
+				t.Fatal("empty trace — shape produced no arcs to decide")
+			}
+			for _, engine := range []string{"", "switch"} {
+				for _, par := range []int{1, 2, 8} {
+					if engine == "" && par == 1 {
+						continue
+					}
+					jsonl, report, module := predictedArtifacts(t, src, engine, par)
+					if !bytes.Equal(jsonl, refJSONL) {
+						t.Errorf("engine %q parallelism %d: JSONL trace differs from the reference", engine, par)
+					}
+					if report != refReport {
+						t.Errorf("engine %q parallelism %d: explain report differs from the reference", engine, par)
+					}
+					if module != refModule {
+						t.Errorf("engine %q parallelism %d: expanded module differs from the reference", engine, par)
+					}
+				}
+			}
+		})
+	}
+}

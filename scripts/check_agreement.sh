@@ -1,0 +1,18 @@
+#!/bin/sh
+# Runs the predicted-vs-measured inlining agreement check and fails if
+# the agreement score drops below the checked-in floor
+# (.github/agreement-threshold.txt) on either gated benchmark. Raise the
+# floor when the predictor durably improves; never lower it to make a
+# PR pass — recalibrate instead:
+#   go test ./internal/bench -run TestCalibratedDefaultModel -update
+set -eu
+
+threshold=$(cat .github/agreement-threshold.txt)
+
+echo "== espresso (plain expansion) =="
+go run ./cmd/ilbench -agreement -bench espresso -minagree "$threshold"
+
+echo "== funcptrs (guarded expansion) =="
+go run ./cmd/ilbench -agreement -bench funcptrs \
+    -threshold 1 -sizelimit 3.0 -devirt-threshold 0.9 \
+    -partial-inline -maxcallee 40 -minagree "$threshold"
